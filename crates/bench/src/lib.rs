@@ -1,0 +1,46 @@
+//! # manet-bench
+//!
+//! Benchmark support for the broadcast-storm reproduction. The actual
+//! benchmarks live in `benches/`:
+//!
+//! * `figures` — one Criterion benchmark per reproduced paper figure,
+//!   running a scaled-down version of that figure's computation
+//!   (the full regeneration is the `manet-experiments` binary).
+//! * `substrate` — microbenchmarks of the building blocks: event queue,
+//!   coverage grid, reachability BFS, MAC state machine, mobility.
+//! * `ablations` — design-choice sweeps called out in DESIGN.md:
+//!   coverage-grid resolution, oracle vs HELLO neighbor information,
+//!   channel loss injection, and `C(n)` descent shapes.
+//!
+//! This library crate only hosts shared helpers.
+
+#![warn(missing_docs)]
+
+use broadcast_core::{SchemeSpec, SimConfig, SimReport, World};
+
+/// A miniature simulation sized so one run fits in a Criterion iteration
+/// (tens of milliseconds): 40 hosts, 12 broadcasts.
+pub fn mini_run(map_units: u32, scheme: SchemeSpec, seed: u64) -> SimReport {
+    World::new(mini_config(map_units, scheme, seed)).run()
+}
+
+/// The configuration behind [`mini_run`], for benches that tweak it.
+pub fn mini_config(map_units: u32, scheme: SchemeSpec, seed: u64) -> SimConfig {
+    SimConfig::builder(map_units, scheme)
+        .hosts(40)
+        .broadcasts(12)
+        .seed(seed)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mini_run_is_fast_and_sane() {
+        let report = mini_run(3, SchemeSpec::Flooding, 5);
+        assert_eq!(report.broadcasts, 12);
+        assert!(report.reachability > 0.0);
+    }
+}

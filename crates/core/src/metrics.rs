@@ -1,0 +1,401 @@
+//! Per-broadcast bookkeeping and the paper's performance metrics (§4):
+//!
+//! * **RE** (reachability) — `r / e`, where `r` is the number of hosts
+//!   that received the packet and `e` the number of hosts reachable
+//!   (directly or indirectly) from the source at the instant the
+//!   broadcast was issued. Computing `e` from the connectivity snapshot
+//!   makes partitions count against *topology*, not against the scheme.
+//! * **SRB** (saved rebroadcasts) — `(r − t) / r`, with `t` the number of
+//!   hosts that actually rebroadcast. Flooding has `SRB = 0`.
+//! * **Average latency** — from broadcast initiation until the last host
+//!   either finishes its rebroadcast or decides not to rebroadcast.
+
+use std::collections::HashMap;
+
+use manet_phy::NodeId;
+use manet_sim_engine::{SimDuration, SimTime};
+
+use crate::ids::PacketId;
+
+/// Compact membership set over host indices.
+#[derive(Debug, Clone)]
+struct HostSet {
+    words: Vec<u64>,
+    count: u32,
+}
+
+impl HostSet {
+    fn new(hosts: usize) -> Self {
+        HostSet {
+            words: vec![0; hosts.div_ceil(64)],
+            count: 0,
+        }
+    }
+
+    /// Inserts; returns `true` when newly added.
+    fn insert(&mut self, id: NodeId) -> bool {
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        let mask = 1u64 << b;
+        if self.words[w] & mask == 0 {
+            self.words[w] |= mask;
+            self.count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn contains(&self, id: NodeId) -> bool {
+        self.words[id.index() / 64] & (1u64 << (id.index() % 64)) != 0
+    }
+}
+
+/// Everything recorded about one broadcast.
+#[derive(Debug, Clone)]
+struct BroadcastRecord {
+    source: NodeId,
+    issued_at: SimTime,
+    /// `e`: hosts reachable from the source when issued.
+    reachable: u32,
+    received: HostSet,
+    rebroadcasters: HostSet,
+    /// Time of the last rebroadcast completion or inhibit decision.
+    last_decision: SimTime,
+}
+
+/// The outcome of one broadcast, after the run settles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BroadcastOutcome {
+    /// The broadcast this outcome belongs to.
+    pub packet: PacketId,
+    /// Hosts reachable from the source at issue time (`e`).
+    pub reachable: u32,
+    /// Hosts that decoded at least one copy (`r`).
+    pub received: u32,
+    /// Hosts that actually rebroadcast (`t`, excludes the source).
+    pub rebroadcast: u32,
+    /// `r / e`; `None` when the source was isolated (`e = 0`).
+    pub reachability: Option<f64>,
+    /// `(r − t) / r`; `None` when nobody received (`r = 0`).
+    pub saved_rebroadcasts: Option<f64>,
+    /// Initiation to last rebroadcast/inhibit decision.
+    pub latency: SimDuration,
+}
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Scheme label (e.g. `"AC"`, `"C=2"`, `"flooding"`).
+    pub scheme: String,
+    /// Map label (e.g. `"5x5"`).
+    pub map: String,
+    /// Broadcasts issued.
+    pub broadcasts: u32,
+    /// Mean reachability over broadcasts with a non-isolated source.
+    pub reachability: f64,
+    /// Mean saved-rebroadcast ratio over broadcasts with `r > 0`.
+    pub saved_rebroadcasts: f64,
+    /// Mean broadcast latency in seconds.
+    pub avg_latency_s: f64,
+    /// HELLO packets put on the air during the run.
+    pub hello_packets: u64,
+    /// Broadcast (data) frames put on the air, including sources.
+    pub data_frames: u64,
+    /// Frame deliveries lost to collisions or half-duplex.
+    pub collisions: u64,
+    /// Simulated seconds the run covered.
+    pub sim_seconds: f64,
+    /// Per-broadcast detail, in issue order.
+    pub per_broadcast: Vec<BroadcastOutcome>,
+}
+
+impl SimReport {
+    /// The latency distribution of this run's broadcasts.
+    pub fn latency_summary(&self) -> LatencySummary {
+        latency_summary(&self.per_broadcast)
+    }
+}
+
+/// Collects per-broadcast events during a run and aggregates them into a
+/// [`SimReport`].
+#[derive(Debug)]
+pub struct MetricsCollector {
+    hosts: usize,
+    records: Vec<(PacketId, BroadcastRecord)>,
+    index: HashMap<PacketId, usize>,
+}
+
+impl MetricsCollector {
+    /// Creates a collector for a run with `hosts` hosts.
+    pub fn new(hosts: usize) -> Self {
+        MetricsCollector {
+            hosts,
+            records: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// A broadcast was issued by `source` with `reachable` hosts reachable.
+    pub fn broadcast_issued(
+        &mut self,
+        packet: PacketId,
+        source: NodeId,
+        reachable: u32,
+        now: SimTime,
+    ) {
+        let record = BroadcastRecord {
+            source,
+            issued_at: now,
+            reachable,
+            received: HostSet::new(self.hosts),
+            rebroadcasters: HostSet::new(self.hosts),
+            last_decision: now,
+        };
+        self.index.insert(packet, self.records.len());
+        self.records.push((packet, record));
+    }
+
+    fn record_mut(&mut self, packet: PacketId) -> &mut BroadcastRecord {
+        let idx = *self
+            .index
+            .get(&packet)
+            .expect("event for an unknown broadcast");
+        &mut self.records[idx].1
+    }
+
+    /// Host `node` decoded a copy of `packet`.
+    pub fn packet_received(&mut self, packet: PacketId, node: NodeId) {
+        let record = self.record_mut(packet);
+        if node != record.source {
+            record.received.insert(node);
+        }
+    }
+
+    /// Host `node` finished transmitting a copy of `packet` at `now`.
+    /// The source's original transmission is recorded for latency but not
+    /// counted in `t`.
+    pub fn transmission_finished(&mut self, packet: PacketId, node: NodeId, now: SimTime) {
+        let record = self.record_mut(packet);
+        if node != record.source {
+            record.rebroadcasters.insert(node);
+        }
+        record.last_decision = record.last_decision.max(now);
+    }
+
+    /// Host decided not to rebroadcast `packet` at `now` (inhibited or
+    /// cancelled).
+    pub fn rebroadcast_inhibited(&mut self, packet: PacketId, now: SimTime) {
+        let record = self.record_mut(packet);
+        record.last_decision = record.last_decision.max(now);
+    }
+
+    /// `true` when `node` already counted as a receiver of `packet`.
+    pub fn has_received(&self, packet: PacketId, node: NodeId) -> bool {
+        let idx = self.index.get(&packet).expect("unknown broadcast");
+        self.records[*idx].1.received.contains(node)
+    }
+
+    /// Aggregates everything collected into per-broadcast outcomes.
+    pub fn outcomes(&self) -> Vec<BroadcastOutcome> {
+        self.records
+            .iter()
+            .map(|(packet, record)| {
+                let r = record.received.count;
+                let t = record.rebroadcasters.count;
+                BroadcastOutcome {
+                    packet: *packet,
+                    reachable: record.reachable,
+                    received: r,
+                    rebroadcast: t,
+                    reachability: (record.reachable > 0)
+                        .then(|| f64::from(r) / f64::from(record.reachable)),
+                    saved_rebroadcasts: (r > 0)
+                        .then(|| f64::from(r.saturating_sub(t)) / f64::from(r)),
+                    latency: record.last_decision - record.issued_at,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Latency distribution over a run's broadcasts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Mean latency, seconds.
+    pub mean_s: f64,
+    /// Median latency, seconds.
+    pub p50_s: f64,
+    /// 95th-percentile latency, seconds.
+    pub p95_s: f64,
+    /// Worst broadcast, seconds.
+    pub max_s: f64,
+}
+
+/// Summarizes the latency distribution of a set of outcomes.
+///
+/// Percentiles use the nearest-rank method. Returns all zeros for an
+/// empty slice.
+pub fn latency_summary(outcomes: &[BroadcastOutcome]) -> LatencySummary {
+    if outcomes.is_empty() {
+        return LatencySummary {
+            mean_s: 0.0,
+            p50_s: 0.0,
+            p95_s: 0.0,
+            max_s: 0.0,
+        };
+    }
+    let mut latencies: Vec<f64> = outcomes.iter().map(|o| o.latency.as_secs_f64()).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = |q: f64| {
+        let idx = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+        latencies[idx - 1]
+    };
+    LatencySummary {
+        mean_s: latencies.iter().sum::<f64>() / latencies.len() as f64,
+        p50_s: rank(0.50),
+        p95_s: rank(0.95),
+        max_s: *latencies.last().expect("non-empty"),
+    }
+}
+
+/// Averages per-broadcast outcomes into the three headline numbers.
+///
+/// Returns `(mean RE, mean SRB, mean latency seconds)`; broadcasts without
+/// a defined ratio (isolated source, zero receivers) are excluded from the
+/// corresponding mean, matching the paper's definitions.
+pub fn summarize(outcomes: &[BroadcastOutcome]) -> (f64, f64, f64) {
+    fn mean(values: impl Iterator<Item = f64>) -> f64 {
+        let (mut sum, mut n) = (0.0, 0u32);
+        for v in values {
+            sum += v;
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / f64::from(n)
+        }
+    }
+    let re = mean(outcomes.iter().filter_map(|o| o.reachability));
+    let srb = mean(outcomes.iter().filter_map(|o| o.saved_rebroadcasts));
+    let latency = mean(outcomes.iter().map(|o| o.latency.as_secs_f64()));
+    (re, srb, latency)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn pid(seq: u32) -> PacketId {
+        PacketId::new(id(0), seq)
+    }
+
+    #[test]
+    fn re_counts_unique_receivers_against_reachable() {
+        let mut m = MetricsCollector::new(8);
+        m.broadcast_issued(pid(0), id(0), 4, SimTime::ZERO);
+        m.packet_received(pid(0), id(1));
+        m.packet_received(pid(0), id(1)); // duplicate decode: still one
+        m.packet_received(pid(0), id(2));
+        m.packet_received(pid(0), id(0)); // source does not count
+        let o = &m.outcomes()[0];
+        assert_eq!(o.received, 2);
+        assert_eq!(o.reachability, Some(0.5));
+    }
+
+    #[test]
+    fn srb_excludes_source_transmission() {
+        let mut m = MetricsCollector::new(8);
+        m.broadcast_issued(pid(0), id(0), 4, SimTime::ZERO);
+        for i in 1..=4 {
+            m.packet_received(pid(0), id(i));
+        }
+        // Source plus two rebroadcasters transmit.
+        m.transmission_finished(pid(0), id(0), SimTime::from_millis(3));
+        m.transmission_finished(pid(0), id(1), SimTime::from_millis(6));
+        m.transmission_finished(pid(0), id(2), SimTime::from_millis(9));
+        let o = &m.outcomes()[0];
+        assert_eq!(o.rebroadcast, 2);
+        assert_eq!(o.saved_rebroadcasts, Some(0.5)); // (4 - 2) / 4
+    }
+
+    #[test]
+    fn flooding_like_record_has_zero_srb() {
+        let mut m = MetricsCollector::new(4);
+        m.broadcast_issued(pid(0), id(0), 3, SimTime::ZERO);
+        for i in 1..=3 {
+            m.packet_received(pid(0), id(i));
+            m.transmission_finished(pid(0), id(i), SimTime::from_millis(i as u64));
+        }
+        let o = &m.outcomes()[0];
+        assert_eq!(o.saved_rebroadcasts, Some(0.0));
+        assert_eq!(o.reachability, Some(1.0));
+    }
+
+    #[test]
+    fn latency_tracks_last_decision() {
+        let mut m = MetricsCollector::new(4);
+        m.broadcast_issued(pid(0), id(0), 3, SimTime::from_secs(10));
+        m.transmission_finished(pid(0), id(0), SimTime::from_millis(10_003));
+        m.packet_received(pid(0), id(1));
+        m.rebroadcast_inhibited(pid(0), SimTime::from_millis(10_050));
+        let o = &m.outcomes()[0];
+        assert_eq!(o.latency, SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn isolated_source_yields_no_re() {
+        let mut m = MetricsCollector::new(4);
+        m.broadcast_issued(pid(0), id(0), 0, SimTime::ZERO);
+        let o = &m.outcomes()[0];
+        assert_eq!(o.reachability, None);
+        assert_eq!(o.saved_rebroadcasts, None);
+    }
+
+    #[test]
+    fn summarize_skips_undefined_ratios() {
+        let mut m = MetricsCollector::new(4);
+        m.broadcast_issued(pid(0), id(0), 0, SimTime::ZERO); // isolated
+        m.broadcast_issued(pid(1), id(0), 2, SimTime::ZERO);
+        m.packet_received(pid(1), id(1));
+        m.packet_received(pid(1), id(2));
+        let (re, srb, _lat) = summarize(&m.outcomes());
+        assert_eq!(re, 1.0, "only the defined broadcast counts");
+        assert_eq!(srb, 1.0, "2 receivers, 0 rebroadcasts");
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let mut m = MetricsCollector::new(4);
+        // Latencies 10, 20, ..., 100 ms over ten broadcasts.
+        for i in 0..10u32 {
+            m.broadcast_issued(pid(i), id(0), 3, SimTime::ZERO);
+            m.rebroadcast_inhibited(pid(i), SimTime::from_millis(u64::from(i + 1) * 10));
+        }
+        let summary = latency_summary(&m.outcomes());
+        assert!((summary.mean_s - 0.055).abs() < 1e-9);
+        assert!((summary.p50_s - 0.05).abs() < 1e-9);
+        assert!((summary.p95_s - 0.10).abs() < 1e-9);
+        assert!((summary.max_s - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_summary_of_empty_is_zero() {
+        let summary = latency_summary(&[]);
+        assert_eq!(summary.mean_s, 0.0);
+        assert_eq!(summary.max_s, 0.0);
+    }
+
+    #[test]
+    fn has_received_reflects_state() {
+        let mut m = MetricsCollector::new(4);
+        m.broadcast_issued(pid(0), id(0), 3, SimTime::ZERO);
+        assert!(!m.has_received(pid(0), id(1)));
+        m.packet_received(pid(0), id(1));
+        assert!(m.has_received(pid(0), id(1)));
+    }
+}

@@ -1,0 +1,112 @@
+//! The counter-based scheme — fixed (from \[15\]) and adaptive (§3.1).
+
+use crate::policy::{DuplicateDecision, FirstDecision, HearContext, RebroadcastPolicy};
+use crate::threshold::CounterThreshold;
+
+/// Counter-based suppression: count how many times the same packet has
+/// been heard; cancel the pending rebroadcast once the counter reaches the
+/// threshold `C(n)`.
+///
+/// With a [`CounterThreshold::fixed`] threshold this is the scheme of
+/// \[15\]; with an adaptive threshold function it is the paper's
+/// **adaptive counter-based scheme (AC)** — the threshold is re-evaluated
+/// against the host's *current* neighbor count at every duplicate, so a
+/// host whose neighborhood changes mid-wait adapts on the fly.
+#[derive(Debug, Clone)]
+pub struct CounterScheme {
+    threshold: CounterThreshold,
+    /// Copies of the packet heard so far (the paper's `c`).
+    count: u32,
+}
+
+impl CounterScheme {
+    /// Creates the per-packet state for one host.
+    pub fn new(threshold: CounterThreshold) -> Self {
+        CounterScheme {
+            threshold,
+            count: 0,
+        }
+    }
+
+    /// The current counter value `c`.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+}
+
+impl RebroadcastPolicy for CounterScheme {
+    fn on_first_hear(&mut self, ctx: &HearContext<'_>) -> FirstDecision {
+        // S1: c = 1. Thresholds are at least 2, so the first hearing never
+        // inhibits by itself.
+        self.count = 1;
+        debug_assert!(self.threshold.threshold(ctx.neighbor_count) >= 2);
+        FirstDecision::Schedule
+    }
+
+    fn on_duplicate_hear(&mut self, ctx: &HearContext<'_>) -> DuplicateDecision {
+        // S4: c += 1; cancel unless c < C(n).
+        self.count += 1;
+        if self.count < self.threshold.threshold(ctx.neighbor_count) {
+            DuplicateDecision::Keep
+        } else {
+            DuplicateDecision::Cancel
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::test_support::CtxFixture;
+
+    #[test]
+    fn fixed_threshold_cancels_at_c() {
+        let fx = CtxFixture::default();
+        let mut p = CounterScheme::new(CounterThreshold::fixed(3));
+        assert_eq!(p.on_first_hear(&fx.ctx()), FirstDecision::Schedule);
+        assert_eq!(p.count(), 1);
+        // c = 2 < 3: keep. c = 3: cancel.
+        assert_eq!(p.on_duplicate_hear(&fx.ctx()), DuplicateDecision::Keep);
+        assert_eq!(p.on_duplicate_hear(&fx.ctx()), DuplicateDecision::Cancel);
+        assert_eq!(p.count(), 3);
+    }
+
+    #[test]
+    fn lowest_threshold_cancels_on_first_duplicate() {
+        let fx = CtxFixture::default();
+        let mut p = CounterScheme::new(CounterThreshold::fixed(2));
+        p.on_first_hear(&fx.ctx());
+        assert_eq!(p.on_duplicate_hear(&fx.ctx()), DuplicateDecision::Cancel);
+    }
+
+    #[test]
+    fn adaptive_threshold_tracks_neighbor_count() {
+        // With few neighbors AC tolerates many duplicates; with many it
+        // cancels fast.
+        let mut sparse = CtxFixture {
+            neighbor_count: 2, // C(2) = 3
+            ..CtxFixture::default()
+        };
+        let mut p = CounterScheme::new(CounterThreshold::paper_recommended());
+        p.on_first_hear(&sparse.ctx());
+        assert_eq!(p.on_duplicate_hear(&sparse.ctx()), DuplicateDecision::Keep);
+        // The neighborhood becomes crowded mid-wait: C(20) = 2 <= c = 3.
+        sparse.neighbor_count = 20;
+        assert_eq!(p.on_duplicate_hear(&sparse.ctx()), DuplicateDecision::Cancel);
+    }
+
+    #[test]
+    fn sparse_host_with_adaptive_threshold_persists() {
+        // n = 1 -> C = 2? paper_recommended: C(1) = 2. n = 3 -> C(3) = 4:
+        // survives two duplicates.
+        let fx = CtxFixture {
+            neighbor_count: 3,
+            ..CtxFixture::default()
+        };
+        let mut p = CounterScheme::new(CounterThreshold::paper_recommended());
+        p.on_first_hear(&fx.ctx());
+        assert_eq!(p.on_duplicate_hear(&fx.ctx()), DuplicateDecision::Keep);
+        assert_eq!(p.on_duplicate_hear(&fx.ctx()), DuplicateDecision::Keep);
+        assert_eq!(p.on_duplicate_hear(&fx.ctx()), DuplicateDecision::Cancel);
+    }
+}

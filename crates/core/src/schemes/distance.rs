@@ -1,0 +1,105 @@
+//! The distance-based scheme from \[15\] — an extra baseline.
+//!
+//! The closer a receiver is to the nearest transmitter it has heard the
+//! packet from, the smaller the extra area its own rebroadcast could
+//! cover. The scheme tracks the minimum such distance `d_min` and cancels
+//! once `d_min` falls below a distance threshold `D`.
+
+use crate::policy::{DuplicateDecision, FirstDecision, HearContext, RebroadcastPolicy};
+
+/// Distance-based suppression with threshold `D` in meters.
+#[derive(Debug, Clone)]
+pub struct DistanceScheme {
+    threshold_m: f64,
+    min_distance: f64,
+}
+
+impl DistanceScheme {
+    /// Creates the per-packet state with threshold `D` meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold_m` is negative or not finite.
+    pub fn new(threshold_m: f64) -> Self {
+        assert!(
+            threshold_m.is_finite() && threshold_m >= 0.0,
+            "distance threshold must be finite and non-negative, got {threshold_m}"
+        );
+        DistanceScheme {
+            threshold_m,
+            min_distance: f64::INFINITY,
+        }
+    }
+
+    /// The smallest distance to any heard transmitter so far.
+    pub fn min_distance(&self) -> f64 {
+        self.min_distance
+    }
+}
+
+impl RebroadcastPolicy for DistanceScheme {
+    fn on_first_hear(&mut self, ctx: &HearContext<'_>) -> FirstDecision {
+        self.min_distance = ctx.own_position.distance_to(ctx.sender_position);
+        if self.min_distance < self.threshold_m {
+            FirstDecision::Inhibit
+        } else {
+            FirstDecision::Schedule
+        }
+    }
+
+    fn on_duplicate_hear(&mut self, ctx: &HearContext<'_>) -> DuplicateDecision {
+        let d = ctx.own_position.distance_to(ctx.sender_position);
+        self.min_distance = self.min_distance.min(d);
+        if self.min_distance < self.threshold_m {
+            DuplicateDecision::Cancel
+        } else {
+            DuplicateDecision::Keep
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::test_support::CtxFixture;
+    use manet_geom::Vec2;
+
+    #[test]
+    fn close_first_sender_inhibits() {
+        let fx = CtxFixture {
+            sender_position: Vec2::new(50.0, 0.0),
+            ..CtxFixture::default()
+        };
+        let mut p = DistanceScheme::new(100.0);
+        assert_eq!(p.on_first_hear(&fx.ctx()), FirstDecision::Inhibit);
+    }
+
+    #[test]
+    fn far_sender_schedules_then_close_duplicate_cancels() {
+        let mut fx = CtxFixture {
+            sender_position: Vec2::new(450.0, 0.0),
+            ..CtxFixture::default()
+        };
+        let mut p = DistanceScheme::new(100.0);
+        assert_eq!(p.on_first_hear(&fx.ctx()), FirstDecision::Schedule);
+        assert!((p.min_distance() - 450.0).abs() < 1e-9);
+        // A duplicate from far away keeps the rebroadcast alive…
+        fx.sender_position = Vec2::new(0.0, 400.0);
+        assert_eq!(p.on_duplicate_hear(&fx.ctx()), DuplicateDecision::Keep);
+        // …but one from next door kills it.
+        fx.sender_position = Vec2::new(30.0, 0.0);
+        assert_eq!(p.on_duplicate_hear(&fx.ctx()), DuplicateDecision::Cancel);
+        assert!((p.min_distance() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_threshold_never_suppresses() {
+        let fx = CtxFixture {
+            sender_position: Vec2::ZERO, // co-located sender, d = 0
+            ..CtxFixture::default()
+        };
+        let mut p = DistanceScheme::new(0.0);
+        assert_eq!(p.on_first_hear(&fx.ctx()), FirstDecision::Schedule);
+        assert_eq!(p.on_duplicate_hear(&fx.ctx()), DuplicateDecision::Keep);
+    }
+}

@@ -1,0 +1,38 @@
+//! Blind flooding — the baseline that *causes* the broadcast storm.
+
+use crate::policy::{DuplicateDecision, FirstDecision, HearContext, RebroadcastPolicy};
+
+/// Flooding: every host rebroadcasts every packet exactly once,
+/// unconditionally (§2.2: "A host, on receiving a broadcast packet for the
+/// first time, has the obligation to rebroadcast the packet").
+///
+/// Its `SRB` is 0 by construction; in dense networks its reachability
+/// *drops* because of contention and collision — the storm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Flooding;
+
+impl RebroadcastPolicy for Flooding {
+    fn on_first_hear(&mut self, _ctx: &HearContext<'_>) -> FirstDecision {
+        FirstDecision::Schedule
+    }
+
+    fn on_duplicate_hear(&mut self, _ctx: &HearContext<'_>) -> DuplicateDecision {
+        DuplicateDecision::Keep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::test_support::CtxFixture;
+
+    #[test]
+    fn never_suppresses() {
+        let fx = CtxFixture::default();
+        let mut p = Flooding;
+        assert_eq!(p.on_first_hear(&fx.ctx()), FirstDecision::Schedule);
+        for _ in 0..20 {
+            assert_eq!(p.on_duplicate_hear(&fx.ctx()), DuplicateDecision::Keep);
+        }
+    }
+}

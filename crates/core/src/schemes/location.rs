@@ -1,0 +1,175 @@
+//! The location-based scheme — fixed (from \[15\]) and adaptive (§3.2).
+//!
+//! Assumes each host knows its position (GPS) and that packets carry the
+//! transmitter's position. The receiver computes the *additional coverage*
+//! `ac` its own rebroadcast would provide — the part of its disk no heard
+//! transmitter has covered — and suppresses once `ac` drops below the
+//! threshold `A(n)`.
+//!
+//! The coverage estimate is maintained **incrementally**: on the first
+//! copy the host materializes the grid sample points of its own disk and
+//! deletes those the sender covers; every duplicate deletes more. The
+//! surviving fraction is exactly the grid estimate of
+//! [`CoverageGrid::additional_fraction`] but costs `O(points)` per
+//! duplicate instead of `O(points × transmitters)`.
+
+use manet_geom::Vec2;
+
+use crate::policy::{DuplicateDecision, FirstDecision, HearContext, RebroadcastPolicy};
+use crate::threshold::AreaThreshold;
+
+/// Location-based suppression with threshold function `A(n)`.
+///
+/// With [`AreaThreshold::fixed`] this is the scheme of \[15\]; with
+/// [`AreaThreshold::adaptive`] it is the paper's **adaptive location-based
+/// scheme (AL)**.
+#[derive(Debug, Clone)]
+pub struct LocationScheme {
+    threshold: AreaThreshold,
+    /// Sample points of the host's own disk not yet covered by any heard
+    /// transmitter. Empty until the first copy arrives.
+    uncovered: Vec<Vec2>,
+    /// Sample-point count of the full disk (the `πr²` denominator).
+    total: usize,
+}
+
+impl LocationScheme {
+    /// Creates the per-packet state for one host.
+    pub fn new(threshold: AreaThreshold) -> Self {
+        LocationScheme {
+            threshold,
+            uncovered: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// The current additional-coverage estimate `ac` as a fraction of
+    /// `πr²`. Defined once the first copy has been processed.
+    pub fn additional_coverage(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.uncovered.len() as f64 / self.total as f64
+        }
+    }
+
+    /// Deletes the sample points covered by a transmitter at `pos`.
+    fn subtract(&mut self, pos: Vec2, radius: f64) {
+        let r2 = radius * radius;
+        self.uncovered
+            .retain(|p| p.distance_squared_to(pos) > r2);
+    }
+}
+
+impl RebroadcastPolicy for LocationScheme {
+    fn on_first_hear(&mut self, ctx: &HearContext<'_>) -> FirstDecision {
+        // S1: materialize the disk, subtract the first sender, test ac.
+        self.uncovered = ctx
+            .coverage
+            .sample_points(ctx.own_position, ctx.radio_radius);
+        self.total = self.uncovered.len();
+        self.subtract(ctx.sender_position, ctx.radio_radius);
+        if self.additional_coverage() < self.threshold.threshold(ctx.neighbor_count) {
+            FirstDecision::Inhibit
+        } else {
+            FirstDecision::Schedule
+        }
+    }
+
+    fn on_duplicate_hear(&mut self, ctx: &HearContext<'_>) -> DuplicateDecision {
+        // S4: update ac with the new sender, test against A(n) at the
+        // *current* neighbor count.
+        self.subtract(ctx.sender_position, ctx.radio_radius);
+        if self.additional_coverage() < self.threshold.threshold(ctx.neighbor_count) {
+            DuplicateDecision::Cancel
+        } else {
+            DuplicateDecision::Keep
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::test_support::CtxFixture;
+    use manet_geom::additional_coverage_two;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn first_hear_matches_two_circle_form() {
+        let fx = CtxFixture {
+            sender_position: Vec2::new(400.0, 0.0),
+            ..CtxFixture::default()
+        };
+        let mut p = LocationScheme::new(AreaThreshold::fixed(0.0134));
+        assert_eq!(p.on_first_hear(&fx.ctx()), FirstDecision::Schedule);
+        let exact = additional_coverage_two(400.0, 500.0) / (PI * 500.0 * 500.0);
+        assert!(
+            (p.additional_coverage() - exact).abs() < 0.01,
+            "ac {} vs exact {exact}",
+            p.additional_coverage()
+        );
+    }
+
+    #[test]
+    fn colocated_sender_inhibits_immediately() {
+        let fx = CtxFixture {
+            sender_position: Vec2::ZERO,
+            ..CtxFixture::default()
+        };
+        let mut p = LocationScheme::new(AreaThreshold::fixed(0.0134));
+        assert_eq!(p.on_first_hear(&fx.ctx()), FirstDecision::Inhibit);
+        assert_eq!(p.additional_coverage(), 0.0);
+    }
+
+    #[test]
+    fn duplicates_erode_coverage_until_cancel() {
+        // Senders at distance 450 in three directions leave less and less.
+        let mut fx = CtxFixture {
+            sender_position: Vec2::new(450.0, 0.0),
+            ..CtxFixture::default()
+        };
+        let mut p = LocationScheme::new(AreaThreshold::fixed(0.3));
+        assert_eq!(p.on_first_hear(&fx.ctx()), FirstDecision::Schedule);
+        let after_one = p.additional_coverage();
+        fx.sender_position = Vec2::new(-450.0, 0.0);
+        let d1 = p.on_duplicate_hear(&fx.ctx());
+        let after_two = p.additional_coverage();
+        assert!(after_two < after_one);
+        if d1 == DuplicateDecision::Keep {
+            fx.sender_position = Vec2::new(0.0, 450.0);
+            let _ = p.on_duplicate_hear(&fx.ctx());
+            fx.sender_position = Vec2::new(0.0, -450.0);
+            assert_eq!(p.on_duplicate_hear(&fx.ctx()), DuplicateDecision::Cancel);
+        }
+    }
+
+    #[test]
+    fn adaptive_threshold_forces_rebroadcast_when_sparse() {
+        // n <= n1 = 6: A(n) = 0, so even a nearly covered host schedules.
+        let fx = CtxFixture {
+            neighbor_count: 3,
+            sender_position: Vec2::new(20.0, 0.0), // tiny ac
+            ..CtxFixture::default()
+        };
+        let mut p = LocationScheme::new(AreaThreshold::paper_recommended());
+        assert_eq!(p.on_first_hear(&fx.ctx()), FirstDecision::Schedule);
+        // Only exactly-zero coverage can inhibit at A(n) = 0.
+        assert!(p.additional_coverage() > 0.0);
+    }
+
+    #[test]
+    fn adaptive_threshold_suppresses_when_dense() {
+        // n >= n2 = 12: A(n) = 0.187; a sender at 250 m leaves ~39% > 0.187
+        // (keep), but a second opposite sender drops it below.
+        let mut fx = CtxFixture {
+            neighbor_count: 15,
+            sender_position: Vec2::new(250.0, 0.0),
+            ..CtxFixture::default()
+        };
+        let mut p = LocationScheme::new(AreaThreshold::paper_recommended());
+        assert_eq!(p.on_first_hear(&fx.ctx()), FirstDecision::Schedule);
+        fx.sender_position = Vec2::new(-250.0, 0.0);
+        assert_eq!(p.on_duplicate_hear(&fx.ctx()), DuplicateDecision::Cancel);
+    }
+}

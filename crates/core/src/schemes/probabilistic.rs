@@ -1,0 +1,101 @@
+//! The probabilistic scheme from \[15\] — another fixed baseline.
+//!
+//! On first hearing a packet, rebroadcast with probability `P` (and stay
+//! silent with probability `1 − P`); duplicates change nothing. `P = 1`
+//! degenerates to flooding. Like the other fixed schemes it cannot adapt:
+//! a `P` that saves well in dense networks strands hosts in sparse ones.
+//!
+//! Randomness is supplied by the simulation through
+//! [`HearContext::random_unit`], keeping the policy itself a pure,
+//! deterministic function of its inputs.
+
+use crate::policy::{DuplicateDecision, FirstDecision, HearContext, RebroadcastPolicy};
+
+/// Probabilistic (gossip) rebroadcasting with probability `p`.
+#[derive(Debug, Clone)]
+pub struct ProbabilisticScheme {
+    p: f64,
+}
+
+impl ProbabilisticScheme {
+    /// Creates the per-packet state with rebroadcast probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is in `[0, 1]`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        ProbabilisticScheme { p }
+    }
+
+    /// The configured rebroadcast probability.
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+}
+
+impl RebroadcastPolicy for ProbabilisticScheme {
+    fn on_first_hear(&mut self, ctx: &HearContext<'_>) -> FirstDecision {
+        if ctx.random_unit < self.p {
+            FirstDecision::Schedule
+        } else {
+            FirstDecision::Inhibit
+        }
+    }
+
+    fn on_duplicate_hear(&mut self, _ctx: &HearContext<'_>) -> DuplicateDecision {
+        DuplicateDecision::Keep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::test_support::CtxFixture;
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn decision_follows_the_supplied_sample() {
+        let mut fx = CtxFixture::default();
+        let mut p = ProbabilisticScheme::new(0.6);
+        fx.random_unit = 0.59;
+        assert_eq!(p.on_first_hear(&fx.ctx()), FirstDecision::Schedule);
+        fx.random_unit = 0.61;
+        assert_eq!(p.on_first_hear(&fx.ctx()), FirstDecision::Inhibit);
+    }
+
+    #[test]
+    fn extremes_behave_like_flooding_and_silence() {
+        let fx = CtxFixture {
+            random_unit: 0.999_999,
+            ..CtxFixture::default()
+        };
+        let mut always = ProbabilisticScheme::new(1.0);
+        assert_eq!(always.on_first_hear(&fx.ctx()), FirstDecision::Schedule);
+        let fx = CtxFixture {
+            random_unit: 0.0,
+            ..CtxFixture::default()
+        };
+        let mut never = ProbabilisticScheme::new(0.0);
+        assert_eq!(never.on_first_hear(&fx.ctx()), FirstDecision::Inhibit);
+    }
+
+    #[test]
+    fn duplicates_never_cancel() {
+        let fx = CtxFixture {
+            random_unit: 0.0,
+            ..CtxFixture::default()
+        };
+        let mut p = ProbabilisticScheme::new(0.9);
+        assert_eq!(p.on_first_hear(&fx.ctx()), FirstDecision::Schedule);
+        for _ in 0..5 {
+            assert_eq!(p.on_duplicate_hear(&fx.ctx()), DuplicateDecision::Keep);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_probability_panics() {
+        let _ = ProbabilisticScheme::new(1.5);
+    }
+}

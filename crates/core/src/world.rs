@@ -1,0 +1,844 @@
+//! The full event-driven simulation: mobility + channel + MAC + HELLO +
+//! broadcast scheme, wired together over the engine's event queue.
+//!
+//! One [`World`] executes one [`SimConfig`]: it issues the broadcast
+//! workload, moves the hosts, runs the per-host DCF MACs against the
+//! shared [`Medium`], delivers decoded frames up to the HELLO layer or the
+//! configured broadcast scheme, and collects the paper's RE / SRB /
+//! latency metrics.
+//!
+//! The layering mirrors the crates: lower layers are pure state machines
+//! (`manet-mac::Dcf`, `manet-phy::Medium`, the schemes); this module is
+//! the *only* place where they are connected and where geometry (who is
+//! in range) is evaluated.
+
+use std::collections::HashMap;
+
+use manet_geom::{CoverageGrid, Vec2};
+use manet_mac::timing::SLOT;
+use manet_mac::{frame_airtime, Dcf, FrameHandle, MacAction};
+use manet_mobility::{
+    grid_placement, line_placement, uniform_placement, Map, Mobility, RandomTurn,
+    RandomTurnParams, RandomWaypoint, RandomWaypointParams, Stationary,
+};
+use manet_net::{HelloPayload, NeighborTable, VariationTracker};
+use manet_phy::{in_range_of, reachable_from, FrameId, Medium, NodeId};
+use manet_sim_engine::{EventKey, EventQueue, SimRng, SimTime};
+
+use crate::config::{NeighborInfo, SimConfig};
+use crate::ids::PacketId;
+use crate::metrics::{summarize, MetricsCollector, SimReport};
+use crate::policy::{DuplicateDecision, FirstDecision, HearContext, RebroadcastPolicy};
+use crate::schemes::PacketPolicy;
+use crate::trace::{DecisionKind, FrameKind, NoopObserver, SimObserver, TraceEvent};
+
+/// Events on the simulation queue.
+#[derive(Debug)]
+enum Event {
+    /// A host's motion segment ended; take the next random turn.
+    MobilityTurn { node: NodeId },
+    /// Time for a host to emit its next HELLO beacon.
+    HelloTimer { node: NodeId },
+    /// A DCF timer (DIFS or backoff countdown) fired.
+    MacTimer { node: NodeId, generation: u64 },
+    /// A frame's airtime ended.
+    TxEnd { frame: FrameId },
+    /// A host's scheme-level assessment delay (S2's 0–31 slots) elapsed.
+    AssessmentDone { node: NodeId, packet: PacketId },
+    /// The workload issues the next broadcast request.
+    IssueBroadcast,
+    /// A delayed carrier-sense report reaches a host's MAC (models the
+    /// CCA assessment latency).
+    CarrierSense { node: NodeId, busy: bool },
+}
+
+/// What a queued MAC frame carries.
+#[derive(Debug, Clone)]
+enum Payload {
+    Broadcast(PacketId),
+    Hello(HelloPayload),
+}
+
+/// A frame currently on the air.
+#[derive(Debug)]
+struct InFlight {
+    sender: NodeId,
+    payload: Payload,
+    /// Sender position at transmission start (carried in the packet for
+    /// the location-based schemes).
+    sent_from: Vec2,
+}
+
+/// Progress of one packet at one host.
+#[derive(Debug)]
+enum PacketState {
+    /// This host issued the packet; its original transmission is queued.
+    SourcePending,
+    /// In the S2 assessment delay; `key` cancels the wakeup.
+    Assessing { key: EventKey, policy: PacketPolicy },
+    /// Submitted to the MAC; cancellable until it hits the air.
+    Queued { handle: FrameHandle, policy: PacketPolicy },
+    /// Transmitted or inhibited; nothing more will happen.
+    Done,
+}
+
+/// The configured mobility model for one host.
+#[derive(Debug)]
+enum HostMobility {
+    Turn(RandomTurn),
+    Waypoint(RandomWaypoint),
+    Fixed(Stationary),
+}
+
+impl Mobility for HostMobility {
+    fn position_at(&self, t: SimTime) -> Vec2 {
+        match self {
+            HostMobility::Turn(m) => m.position_at(t),
+            HostMobility::Waypoint(m) => m.position_at(t),
+            HostMobility::Fixed(m) => m.position_at(t),
+        }
+    }
+
+    fn next_change(&self) -> Option<SimTime> {
+        match self {
+            HostMobility::Turn(m) => m.next_change(),
+            HostMobility::Waypoint(m) => m.next_change(),
+            HostMobility::Fixed(m) => m.next_change(),
+        }
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        match self {
+            HostMobility::Turn(m) => m.advance(now),
+            HostMobility::Waypoint(m) => m.advance(now),
+            HostMobility::Fixed(m) => m.advance(now),
+        }
+    }
+}
+
+/// One mobile host.
+#[derive(Debug)]
+struct Node {
+    mobility: HostMobility,
+    mac: Dcf,
+    table: NeighborTable,
+    tracker: VariationTracker,
+    packets: HashMap<PacketId, PacketState>,
+    /// Payloads of frames sitting in the MAC queue.
+    outgoing: HashMap<FrameHandle, Payload>,
+    next_handle: u64,
+    /// The scheduled next HELLO (cancellation key and fire time), so a
+    /// dynamic-interval host can pull its beacon forward when churn rises.
+    hello_pending: Option<(EventKey, SimTime)>,
+}
+
+impl Node {
+    fn new_handle(&mut self) -> FrameHandle {
+        let h = FrameHandle(self.next_handle);
+        self.next_handle += 1;
+        h
+    }
+}
+
+/// A complete simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use broadcast_core::{SchemeSpec, SimConfig, World};
+///
+/// let config = SimConfig::builder(3, SchemeSpec::Flooding)
+///     .hosts(20)
+///     .broadcasts(3)
+///     .seed(7)
+///     .build();
+/// let report = World::new(config).run();
+/// assert_eq!(report.broadcasts, 3);
+/// assert!(report.reachability > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct World {
+    cfg: SimConfig,
+    map: Map,
+    queue: EventQueue<Event>,
+    nodes: Vec<Node>,
+    medium: Medium,
+    metrics: MetricsCollector,
+    coverage: CoverageGrid,
+    /// Workload randomness: interarrivals and source selection.
+    workload_rng: SimRng,
+    /// Scheme-level randomness: assessment-slot draws, hello jitter.
+    proto_rng: SimRng,
+    in_flight: HashMap<FrameId, InFlight>,
+    next_seq: u32,
+    issued: u32,
+    stop_at: SimTime,
+    hello_frames: u64,
+    data_frames: u64,
+}
+
+impl World {
+    /// Builds the initial state for `config`: places the hosts, arms the
+    /// mobility and HELLO timers, and schedules the first broadcast at the
+    /// end of the warm-up period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`SimConfig::validate`].
+    pub fn new(config: SimConfig) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid simulation config: {msg}");
+        }
+        let map = config.map();
+        let root = SimRng::seed_from(config.seed);
+        let mut placement_rng = root.fork(0);
+        let workload_rng = root.fork(1);
+        let mut proto_rng = root.fork(2);
+        let hosts = config.hosts as usize;
+        let positions = match config.placement {
+            crate::config::PlacementSpec::Uniform => {
+                uniform_placement(&map, hosts, &mut placement_rng)
+            }
+            crate::config::PlacementSpec::Grid => grid_placement(&map, hosts),
+            crate::config::PlacementSpec::Line { spacing_m } => {
+                let length = f64::from(spacing_m) * (hosts as f64 - 1.0);
+                let x0 = (map.bounds().width() - length) / 2.0;
+                line_placement(&map, hosts, x0, f64::from(spacing_m))
+            }
+        };
+        let max_speed = config.effective_max_speed_kmh();
+
+        let hellos_enabled = matches!(config.neighbor_info, NeighborInfo::Hello(_))
+            && (config.scheme.needs_neighbor_count() || config.scheme.needs_two_hop_hellos());
+
+        let mut queue = EventQueue::new();
+        let mut nodes = Vec::with_capacity(hosts);
+        for (i, &pos) in positions.iter().enumerate() {
+            let id = NodeId::new(i as u32);
+            let mobility = match config.mobility {
+                crate::config::MobilitySpec::RandomTurn => HostMobility::Turn(RandomTurn::new(
+                    map,
+                    RandomTurnParams::paper(max_speed),
+                    pos,
+                    SimTime::ZERO,
+                    root.fork(100 + i as u64),
+                )),
+                crate::config::MobilitySpec::RandomWaypoint => {
+                    HostMobility::Waypoint(RandomWaypoint::new(
+                        map,
+                        RandomWaypointParams::conventional(max_speed.max(3.6)),
+                        pos,
+                        SimTime::ZERO,
+                        root.fork(100 + i as u64),
+                    ))
+                }
+                crate::config::MobilitySpec::Stationary => {
+                    HostMobility::Fixed(Stationary::new(pos))
+                }
+            };
+            if let Some(next) = mobility.next_change() {
+                queue.schedule(next, Event::MobilityTurn { node: id });
+            }
+            let hello_pending = hellos_enabled.then(|| {
+                // Random initial phase so beacons do not synchronize.
+                let first = proto_rng.gen_duration_up_to(manet_sim_engine::SimDuration::from_secs(1));
+                let at = SimTime::ZERO + first;
+                (queue.schedule(at, Event::HelloTimer { node: id }), at)
+            });
+            nodes.push(Node {
+                mobility,
+                mac: Dcf::new(root.fork(10_000 + i as u64)),
+                table: NeighborTable::new(),
+                tracker: VariationTracker::new(),
+                packets: HashMap::new(),
+                outgoing: HashMap::new(),
+                next_handle: 0,
+                hello_pending,
+            });
+        }
+        queue.schedule(SimTime::ZERO + config.warmup, Event::IssueBroadcast);
+
+        World {
+            map,
+            queue,
+            medium: {
+                let mut medium = Medium::new(hosts);
+                if config.drop_probability > 0.0 {
+                    medium =
+                        medium.with_drop_probability(config.drop_probability, root.fork(3));
+                }
+                if let Some(capture) = config.capture {
+                    medium = medium.with_capture(manet_phy::CaptureModel::new(
+                        capture.sir_threshold,
+                    ));
+                }
+                medium
+            },
+            metrics: MetricsCollector::new(hosts),
+            coverage: CoverageGrid::new(config.coverage_resolution),
+            workload_rng,
+            proto_rng,
+            in_flight: HashMap::new(),
+            next_seq: 0,
+            issued: 0,
+            stop_at: SimTime::MAX,
+            hello_frames: 0,
+            data_frames: 0,
+            nodes,
+            cfg: config,
+        }
+    }
+
+    /// Runs the simulation to completion and returns the aggregated
+    /// report.
+    pub fn run(self) -> SimReport {
+        self.run_observed(&mut NoopObserver)
+    }
+
+    /// Runs the simulation with an observer receiving every protocol-level
+    /// [`TraceEvent`] in simulation order (see [`crate::trace`]).
+    pub fn run_observed(mut self, observer: &mut dyn SimObserver) -> SimReport {
+        let mut last = SimTime::ZERO;
+        while let Some((now, event)) = self.queue.pop() {
+            if now > self.stop_at {
+                break;
+            }
+            last = now;
+            self.handle(now, event, observer);
+        }
+        let outcomes = self.metrics.outcomes();
+        let (re, srb, latency) = summarize(&outcomes);
+        SimReport {
+            scheme: self.cfg.scheme.label(),
+            map: self.map.label(),
+            broadcasts: self.issued,
+            reachability: re,
+            saved_rebroadcasts: srb,
+            avg_latency_s: latency,
+            hello_packets: self.hello_frames,
+            data_frames: self.data_frames,
+            collisions: self.medium.collision_count(),
+            sim_seconds: last.as_secs_f64(),
+            per_broadcast: outcomes,
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, event: Event, observer: &mut dyn SimObserver) {
+        match event {
+            Event::MobilityTurn { node } => {
+                let mobility = &mut self.nodes[node.index()].mobility;
+                mobility.advance(now);
+                if let Some(next) = mobility.next_change() {
+                    self.queue.schedule(next, Event::MobilityTurn { node });
+                }
+            }
+            Event::HelloTimer { node } => self.send_hello(node, now, observer),
+            Event::MacTimer { node, generation } => {
+                let actions = self.nodes[node.index()].mac.on_timer(generation, now);
+                self.process_mac_actions(node, actions, now, observer);
+            }
+            Event::TxEnd { frame } => self.finish_transmission(frame, now, observer),
+            Event::AssessmentDone { node, packet } => {
+                self.assessment_done(node, packet, now, observer)
+            }
+            Event::IssueBroadcast => self.issue_broadcast(now, observer),
+            Event::CarrierSense { node, busy } => {
+                let mac = &mut self.nodes[node.index()].mac;
+                let actions = if busy {
+                    mac.on_medium_busy(now)
+                } else {
+                    mac.on_medium_idle(now)
+                };
+                self.process_mac_actions(node, actions, now, observer);
+            }
+        }
+    }
+
+    /// Current positions of all hosts.
+    fn positions(&self, now: SimTime) -> Vec<Vec2> {
+        self.nodes
+            .iter()
+            .map(|n| n.mobility.position_at(now))
+            .collect()
+    }
+
+    /// Expires stale neighbors, feeding leave events to the variation
+    /// tracker.
+    fn refresh_table(&mut self, node: NodeId, now: SimTime) {
+        let n = &mut self.nodes[node.index()];
+        let mut changed = false;
+        for _leave in n.table.expire(now) {
+            n.tracker.record_change(now);
+            changed = true;
+        }
+        if changed {
+            self.maybe_accelerate_hello(node, now);
+        }
+    }
+
+    /// Under the dynamic hello policy, membership churn may shorten the
+    /// host's hello interval; if the recomputed interval would fire before
+    /// the currently scheduled beacon, pull the beacon forward. (The paper
+    /// notes "each host's hello interval may change dynamically".)
+    fn maybe_accelerate_hello(&mut self, node: NodeId, now: SimTime) {
+        let NeighborInfo::Hello(manet_net::HelloIntervalPolicy::Dynamic(params)) =
+            self.cfg.neighbor_info
+        else {
+            return;
+        };
+        let n = &mut self.nodes[node.index()];
+        let Some((key, at)) = n.hello_pending else {
+            return;
+        };
+        let count = n.table.neighbor_count();
+        let interval = params.interval_for(n.tracker.variation(now, count));
+        let target = now + interval;
+        if target < at {
+            self.queue.cancel(key);
+            let key = self.queue.schedule(target, Event::HelloTimer { node });
+            self.nodes[node.index()].hello_pending = Some((key, target));
+        }
+    }
+
+    // ---- workload -------------------------------------------------------
+
+    fn issue_broadcast(&mut self, now: SimTime, observer: &mut dyn SimObserver) {
+        let source = NodeId::new(self.workload_rng.gen_range_u32(0..self.cfg.hosts));
+        let packet = PacketId::new(source, self.next_seq);
+        self.next_seq += 1;
+        self.issued += 1;
+
+        let positions = self.positions(now);
+        let reachable = reachable_from(&positions, source, self.cfg.radio_radius).len() as u32;
+        self.metrics.broadcast_issued(packet, source, reachable, now);
+        observer.event(&TraceEvent::BroadcastIssued {
+            packet,
+            source,
+            reachable,
+            at: now,
+        });
+
+        // The source transmits unconditionally: queue straight to its MAC.
+        let node = &mut self.nodes[source.index()];
+        let handle = node.new_handle();
+        node.outgoing.insert(handle, Payload::Broadcast(packet));
+        node.packets.insert(packet, PacketState::SourcePending);
+        let bytes = self.cfg.packet_bytes;
+        let actions = node.mac.enqueue(handle, bytes, now);
+        self.process_mac_actions(source, actions, now, observer);
+
+        if self.issued < self.cfg.broadcasts {
+            let gap = self.workload_rng.gen_duration_up_to(self.cfg.max_interarrival);
+            self.queue.schedule(now + gap, Event::IssueBroadcast);
+        } else {
+            self.stop_at = now + self.cfg.grace;
+        }
+    }
+
+    // ---- HELLO beaconing ------------------------------------------------
+
+    fn send_hello(&mut self, node: NodeId, now: SimTime, observer: &mut dyn SimObserver) {
+        self.refresh_table(node, now);
+        let interval_policy = match &self.cfg.neighbor_info {
+            NeighborInfo::Hello(policy) => *policy,
+            NeighborInfo::Oracle => unreachable!("hello timer armed in oracle mode"),
+        };
+        let include_neighbors = self.cfg.scheme.needs_two_hop_hellos();
+        let n = &mut self.nodes[node.index()];
+        let neighbor_count = n.table.neighbor_count();
+        let interval = interval_policy.current_interval(&mut n.tracker, neighbor_count, now);
+        let payload = HelloPayload {
+            sender: node,
+            interval,
+            neighbors: if include_neighbors {
+                n.table.neighbor_ids()
+            } else {
+                Vec::new()
+            },
+        };
+        let bytes = payload.air_bytes();
+        let handle = n.new_handle();
+        n.outgoing.insert(handle, Payload::Hello(payload));
+        let actions = n.mac.enqueue(handle, bytes, now);
+        self.process_mac_actions(node, actions, now, observer);
+        // Re-arm with a small jitter so beacons do not phase-lock.
+        let jitter_num = self.proto_rng.gen_range_u32(95..106);
+        let next = interval * u64::from(jitter_num) / 100;
+        let at = now + next;
+        let key = self.queue.schedule(at, Event::HelloTimer { node });
+        self.nodes[node.index()].hello_pending = Some((key, at));
+    }
+
+    fn hello_received(&mut self, node: NodeId, payload: &HelloPayload, now: SimTime) {
+        self.refresh_table(node, now);
+        let n = &mut self.nodes[node.index()];
+        if n
+            .table
+            .record_hello(payload.sender, now, payload.interval, &payload.neighbors)
+            .is_some()
+        {
+            n.tracker.record_change(now);
+            self.maybe_accelerate_hello(node, now);
+        }
+    }
+
+    // ---- MAC / channel wiring --------------------------------------------
+
+    fn process_mac_actions(
+        &mut self,
+        node: NodeId,
+        actions: Vec<MacAction>,
+        now: SimTime,
+        observer: &mut dyn SimObserver,
+    ) {
+        for action in actions {
+            match action {
+                MacAction::StartTimer { delay, generation } => {
+                    self.queue
+                        .schedule(now + delay, Event::MacTimer { node, generation });
+                }
+                MacAction::BeginTx {
+                    handle,
+                    payload_bytes,
+                } => self.begin_transmission(node, handle, payload_bytes, now, observer),
+            }
+        }
+    }
+
+    fn begin_transmission(
+        &mut self,
+        node: NodeId,
+        handle: FrameHandle,
+        payload_bytes: usize,
+        now: SimTime,
+        observer: &mut dyn SimObserver,
+    ) {
+        let payload = self.nodes[node.index()]
+            .outgoing
+            .remove(&handle)
+            .expect("MAC transmitted an unknown frame");
+        match &payload {
+            Payload::Broadcast(packet) => {
+                self.data_frames += 1;
+                // On the air: no longer cancellable.
+                self.nodes[node.index()]
+                    .packets
+                    .insert(*packet, PacketState::Done);
+            }
+            Payload::Hello(_) => self.hello_frames += 1,
+        }
+        let positions = self.positions(now);
+        let listeners = in_range_of(&positions, node, self.cfg.radio_radius);
+        observer.event(&TraceEvent::FrameStarted {
+            node,
+            kind: match &payload {
+                Payload::Broadcast(packet) => FrameKind::Broadcast(*packet),
+                Payload::Hello(_) => FrameKind::Hello,
+            },
+            listeners: listeners.len() as u32,
+            at: now,
+        });
+        let end = now + frame_airtime(payload_bytes);
+        let start = if let Some(capture) = self.cfg.capture {
+            // Received power falls off as (r / d)^alpha, normalized so a
+            // listener at the coverage edge receives strength 1.
+            let own = positions[node.index()];
+            let with_signals: Vec<manet_phy::Listener> = listeners
+                .iter()
+                .map(|&l| {
+                    let d = positions[l.index()].distance_to(own).max(1.0);
+                    manet_phy::Listener {
+                        node: l,
+                        signal: (self.cfg.radio_radius / d).powf(capture.path_loss_exponent),
+                    }
+                })
+                .collect();
+            self.medium
+                .begin_transmission_with_signals(node, now, end, &with_signals)
+        } else {
+            self.medium.begin_transmission(node, now, end, &listeners)
+        };
+        self.queue.schedule(end, Event::TxEnd { frame: start.frame });
+        self.in_flight.insert(
+            start.frame,
+            InFlight {
+                sender: node,
+                payload,
+                sent_from: positions[node.index()],
+            },
+        );
+        for change in start.carrier_changes {
+            self.deliver_carrier_change(change.node, true, now, observer);
+        }
+    }
+
+    /// Routes a carrier-sense transition to a host's MAC, applying the
+    /// configured CCA latency.
+    fn deliver_carrier_change(
+        &mut self,
+        node: NodeId,
+        busy: bool,
+        now: SimTime,
+        observer: &mut dyn SimObserver,
+    ) {
+        if self.cfg.cs_delay.is_zero() {
+            let mac = &mut self.nodes[node.index()].mac;
+            let actions = if busy {
+                mac.on_medium_busy(now)
+            } else {
+                mac.on_medium_idle(now)
+            };
+            self.process_mac_actions(node, actions, now, observer);
+        } else {
+            self.queue
+                .schedule(now + self.cfg.cs_delay, Event::CarrierSense { node, busy });
+        }
+    }
+
+    fn finish_transmission(
+        &mut self,
+        frame: FrameId,
+        now: SimTime,
+        observer: &mut dyn SimObserver,
+    ) {
+        let tx = self.medium.end_transmission(frame, now);
+        let in_flight = self
+            .in_flight
+            .remove(&frame)
+            .expect("unknown frame finished");
+        debug_assert_eq!(tx.source, in_flight.sender);
+
+        // The transmitter's MAC enters post-backoff.
+        let actions = self.nodes[tx.source.index()].mac.on_tx_end(now);
+        self.process_mac_actions(tx.source, actions, now, observer);
+
+        if let Payload::Broadcast(packet) = in_flight.payload {
+            self.metrics.transmission_finished(packet, tx.source, now);
+        }
+        let decoded = tx.deliveries.iter().filter(|d| d.decoded).count() as u32;
+        observer.event(&TraceEvent::FrameFinished {
+            node: tx.source,
+            kind: match &in_flight.payload {
+                Payload::Broadcast(packet) => FrameKind::Broadcast(*packet),
+                Payload::Hello(_) => FrameKind::Hello,
+            },
+            decoded,
+            lost: tx.deliveries.len() as u32 - decoded,
+            at: now,
+        });
+
+        // Deliver decoded copies to the upper layer.
+        for delivery in &tx.deliveries {
+            if !delivery.decoded {
+                continue;
+            }
+            match &in_flight.payload {
+                Payload::Hello(h) => self.hello_received(delivery.to, h, now),
+                Payload::Broadcast(packet) => {
+                    self.packet_heard(
+                        delivery.to,
+                        *packet,
+                        tx.source,
+                        in_flight.sent_from,
+                        now,
+                        observer,
+                    );
+                }
+            }
+        }
+
+        // Carrier-sense idle transitions may resume frozen backoffs.
+        for change in tx.carrier_changes {
+            self.deliver_carrier_change(change.node, false, now, observer);
+        }
+    }
+
+    // ---- scheme-level packet handling ------------------------------------
+
+    /// Gathers the neighbor information the configured scheme needs for a
+    /// decision at `node` about a packet heard from `sender`.
+    fn neighbor_view(
+        &mut self,
+        node: NodeId,
+        sender: NodeId,
+        now: SimTime,
+    ) -> (usize, Vec<NodeId>, Vec<NodeId>) {
+        let needs_count = self.cfg.scheme.needs_neighbor_count();
+        let needs_two_hop = self.cfg.scheme.needs_two_hop_hellos();
+        if !needs_count && !needs_two_hop {
+            return (0, Vec::new(), Vec::new());
+        }
+        match self.cfg.neighbor_info {
+            NeighborInfo::Hello(_) => {
+                self.refresh_table(node, now);
+                let table = &self.nodes[node.index()].table;
+                let count = table.neighbor_count();
+                if needs_two_hop {
+                    let neighbors = table.neighbor_ids();
+                    let sender_neighbors =
+                        table.neighbors_of(sender).map(<[NodeId]>::to_vec).unwrap_or_default();
+                    (count, neighbors, sender_neighbors)
+                } else {
+                    (count, Vec::new(), Vec::new())
+                }
+            }
+            NeighborInfo::Oracle => {
+                let positions = self.positions(now);
+                let neighbors = in_range_of(&positions, node, self.cfg.radio_radius);
+                let count = neighbors.len();
+                if needs_two_hop {
+                    let sender_neighbors =
+                        in_range_of(&positions, sender, self.cfg.radio_radius);
+                    (count, neighbors, sender_neighbors)
+                } else {
+                    (count, Vec::new(), Vec::new())
+                }
+            }
+        }
+    }
+
+    fn packet_heard(
+        &mut self,
+        node: NodeId,
+        packet: PacketId,
+        sender: NodeId,
+        sender_pos: Vec2,
+        now: SimTime,
+        observer: &mut dyn SimObserver,
+    ) {
+        self.metrics.packet_received(packet, node);
+
+        let (neighbor_count, neighbors, sender_neighbors) =
+            self.neighbor_view(node, sender, now);
+        let own_position = self.nodes[node.index()].mobility.position_at(now);
+
+        // Split borrows: context data is owned or from `self.coverage`,
+        // the policy lives in the node's packet map.
+        let ctx = HearContext {
+            neighbor_count,
+            own_position,
+            sender,
+            sender_position: sender_pos,
+            neighbors: &neighbors,
+            sender_neighbors: &sender_neighbors,
+            coverage: &self.coverage,
+            radio_radius: self.cfg.radio_radius,
+            random_unit: self.proto_rng.gen_unit_f64(),
+        };
+
+        let entry = self.nodes[node.index()].packets.get_mut(&packet);
+        match entry {
+            None => {
+                // S1: first copy.
+                observer.event(&TraceEvent::FirstHeard {
+                    node,
+                    packet,
+                    at: now,
+                });
+                let mut policy = self.cfg.scheme.build();
+                match policy.on_first_hear(&ctx) {
+                    FirstDecision::Inhibit => {
+                        observer.event(&TraceEvent::Decision {
+                            node,
+                            packet,
+                            kind: DecisionKind::InhibitedOnFirstHear,
+                            at: now,
+                        });
+                        self.metrics.rebroadcast_inhibited(packet, now);
+                        self.nodes[node.index()]
+                            .packets
+                            .insert(packet, PacketState::Done);
+                    }
+                    FirstDecision::Schedule => {
+                        // S2: random assessment delay of 0-31 slots. The
+                        // slots count after carrier sensing and DIFS (the
+                        // standard random-assessment-delay composition), so
+                        // hosts that drew different slot numbers access the
+                        // medium at distinct, carrier-separable instants,
+                        // while same-slot draws contend - the paper's
+                        // Fig. 2 contention scenario.
+                        let slots = self.proto_rng.gen_range_u32(0..32);
+                        let delay =
+                            self.cfg.cs_delay + manet_mac::timing::DIFS + SLOT * u64::from(slots);
+                        let key = self.queue.schedule(
+                            now + delay,
+                            Event::AssessmentDone { node, packet },
+                        );
+                        observer.event(&TraceEvent::Decision {
+                            node,
+                            packet,
+                            kind: DecisionKind::Scheduled,
+                            at: now,
+                        });
+                        self.nodes[node.index()]
+                            .packets
+                            .insert(packet, PacketState::Assessing { key, policy });
+                    }
+                }
+            }
+            Some(PacketState::Assessing { key, policy }) => {
+                if policy.on_duplicate_hear(&ctx) == DuplicateDecision::Cancel {
+                    let key = *key;
+                    self.queue.cancel(key);
+                    observer.event(&TraceEvent::Decision {
+                        node,
+                        packet,
+                        kind: DecisionKind::Cancelled,
+                        at: now,
+                    });
+                    self.metrics.rebroadcast_inhibited(packet, now);
+                    self.nodes[node.index()]
+                        .packets
+                        .insert(packet, PacketState::Done);
+                }
+            }
+            Some(PacketState::Queued { handle, policy }) => {
+                if policy.on_duplicate_hear(&ctx) == DuplicateDecision::Cancel {
+                    let handle = *handle;
+                    let n = &mut self.nodes[node.index()];
+                    let cancelled = n.mac.cancel(handle);
+                    debug_assert!(cancelled, "queued frame must still be cancellable");
+                    n.outgoing.remove(&handle);
+                    observer.event(&TraceEvent::Decision {
+                        node,
+                        packet,
+                        kind: DecisionKind::Cancelled,
+                        at: now,
+                    });
+                    self.metrics.rebroadcast_inhibited(packet, now);
+                    n.packets.insert(packet, PacketState::Done);
+                }
+            }
+            // The source never reacts to copies of its own broadcast, and
+            // finished packets stay finished ("rebroadcast at most once").
+            Some(PacketState::SourcePending) | Some(PacketState::Done) => {}
+        }
+    }
+
+    fn assessment_done(
+        &mut self,
+        node: NodeId,
+        packet: PacketId,
+        now: SimTime,
+        observer: &mut dyn SimObserver,
+    ) {
+        let n = &mut self.nodes[node.index()];
+        let state = n
+            .packets
+            .remove(&packet)
+            .expect("assessment fired for unknown packet");
+        match state {
+            PacketState::Assessing { policy, .. } => {
+                // S2 continued: submit to the MAC.
+                let handle = n.new_handle();
+                n.outgoing.insert(handle, Payload::Broadcast(packet));
+                n.packets
+                    .insert(packet, PacketState::Queued { handle, policy });
+                let bytes = self.cfg.packet_bytes;
+                let actions = n.mac.enqueue(handle, bytes, now);
+                self.process_mac_actions(node, actions, now, observer);
+            }
+            other => unreachable!("assessment fired in state {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Integration tests of HELLO beaconing as observed through whole-run
+//! statistics: beacon rates for fixed and dynamic intervals, and when
+//! beaconing runs at all.
+
+use broadcast_core::{
+    CounterThreshold, NeighborInfo, PlacementSpec, SchemeSpec, SimConfig, World,
+};
+use manet_net::{DynamicHelloParams, HelloIntervalPolicy};
+use manet_sim_engine::SimDuration;
+
+fn ac() -> SchemeSpec {
+    SchemeSpec::AdaptiveCounter(CounterThreshold::paper_recommended())
+}
+
+#[test]
+fn fixed_interval_beacons_at_the_configured_rate() {
+    // 30 hosts beaconing every second for a ~40 s run: expect roughly
+    // hosts × seconds hellos (±15% for jitter and edge effects).
+    let config = SimConfig::builder(3, ac())
+        .hosts(30)
+        .broadcasts(30)
+        .max_interarrival(SimDuration::from_secs(1))
+        .neighbor_info(NeighborInfo::Hello(HelloIntervalPolicy::Fixed(
+            SimDuration::from_secs(1),
+        )))
+        .seed(5)
+        .build();
+    let report = World::new(config).run();
+    let expected = 30.0 * report.sim_seconds;
+    let actual = report.hello_packets as f64;
+    assert!(
+        (actual - expected).abs() / expected < 0.15,
+        "expected ~{expected:.0} hellos, saw {actual}"
+    );
+}
+
+#[test]
+fn slower_interval_means_proportionally_fewer_hellos() {
+    let run = |secs: u64| {
+        let config = SimConfig::builder(3, ac())
+            .hosts(30)
+            .broadcasts(30)
+            .neighbor_info(NeighborInfo::Hello(HelloIntervalPolicy::Fixed(
+                SimDuration::from_secs(secs),
+            )))
+            .seed(5)
+            .build();
+        let report = World::new(config).run();
+        report.hello_packets as f64 / report.sim_seconds
+    };
+    let fast = run(1);
+    let slow = run(5);
+    let ratio = fast / slow;
+    assert!(
+        (3.5..=6.5).contains(&ratio),
+        "1 s vs 5 s beacon rate ratio should be ~5, got {ratio:.2}"
+    );
+}
+
+#[test]
+fn schemes_without_neighbor_needs_send_no_hellos() {
+    // Fixed-threshold schemes take no neighborhood input, so the hello
+    // machinery must stay off even when a hello policy is configured.
+    for scheme in [
+        SchemeSpec::Flooding,
+        SchemeSpec::Counter(3),
+        SchemeSpec::Location(0.0469),
+        SchemeSpec::Distance(100.0),
+    ] {
+        let config = SimConfig::builder(3, scheme)
+            .hosts(20)
+            .broadcasts(5)
+            .seed(5)
+            .build();
+        let report = World::new(config).run();
+        assert_eq!(
+            report.hello_packets, 0,
+            "{} should not beacon",
+            report.scheme
+        );
+    }
+}
+
+#[test]
+fn dynamic_interval_beacons_slowly_in_a_static_network() {
+    // A stationary grid never churns, so every host should settle at
+    // hi_max = 10 s: rate well below the 1 Hz of the fixed-1s policy.
+    let config = SimConfig::builder(3, SchemeSpec::NeighborCoverage)
+        .hosts(30)
+        .broadcasts(20)
+        .placement(PlacementSpec::Grid)
+        .max_speed_kmh(0.0)
+        .neighbor_info(NeighborInfo::Hello(HelloIntervalPolicy::Dynamic(
+            DynamicHelloParams::paper(),
+        )))
+        .warmup(SimDuration::from_secs(20))
+        .seed(5)
+        .build();
+    let report = World::new(config).run();
+    let rate = report.hello_packets as f64 / (30.0 * report.sim_seconds);
+    assert!(
+        rate < 0.4,
+        "static network should settle near hi_max (0.1 Hz), got {rate:.3} Hz"
+    );
+}
+
+#[test]
+fn dynamic_interval_beacons_fast_under_churn() {
+    // A sparse fast map churns constantly: hosts should beacon several
+    // times faster than the static case.
+    let config = SimConfig::builder(9, SchemeSpec::NeighborCoverage)
+        .broadcasts(20)
+        .max_speed_kmh(80.0)
+        .neighbor_info(NeighborInfo::Hello(HelloIntervalPolicy::Dynamic(
+            DynamicHelloParams::paper(),
+        )))
+        .warmup(SimDuration::from_secs(20))
+        .seed(5)
+        .build();
+    let report = World::new(config).run();
+    let rate = report.hello_packets as f64 / (100.0 * report.sim_seconds);
+    assert!(
+        rate > 0.3,
+        "churning network should beacon much faster than hi_max, got {rate:.3} Hz"
+    );
+}
+
+#[test]
+fn hello_traffic_does_not_change_data_frame_accounting() {
+    // HELLO frames and broadcast frames are counted separately.
+    let config = SimConfig::builder(3, ac())
+        .hosts(25)
+        .broadcasts(10)
+        .seed(6)
+        .build();
+    let report = World::new(config).run();
+    assert!(report.hello_packets > 0);
+    assert!(report.data_frames >= 10);
+    // Every data frame belongs to one of the ten broadcasts; with 25
+    // hosts, at most 10 × 25 transmissions are possible.
+    assert!(report.data_frames <= 250);
+}

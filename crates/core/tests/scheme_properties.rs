@@ -1,0 +1,241 @@
+//! Property-based tests of the scheme decision state machines, driven as
+//! pure functions over arbitrary duplicate sequences.
+
+use broadcast_core::policy::{
+    DuplicateDecision, FirstDecision, HearContext, RebroadcastPolicy,
+};
+use broadcast_core::{
+    AreaThreshold, CounterScheme, CounterThreshold, DistanceScheme, LocationScheme,
+    NeighborCoverageScheme, SchemeSpec,
+};
+use manet_geom::{CoverageGrid, Vec2};
+use manet_phy::NodeId;
+use proptest::prelude::*;
+
+/// Builds a context for a sender at polar position (rho, theta) with a
+/// given neighbor count.
+struct Fixture {
+    coverage: CoverageGrid,
+    neighbors: Vec<NodeId>,
+    sender_neighbors: Vec<NodeId>,
+}
+
+impl Fixture {
+    fn new() -> Self {
+        Fixture {
+            coverage: CoverageGrid::new(32),
+            neighbors: Vec::new(),
+            sender_neighbors: Vec::new(),
+        }
+    }
+
+    fn ctx(&self, n: usize, sender: u32, rho: f64, theta: f64) -> HearContext<'_> {
+        HearContext {
+            neighbor_count: n,
+            own_position: Vec2::ZERO,
+            sender: NodeId::new(sender),
+            sender_position: Vec2::from_angle(theta) * rho,
+            neighbors: &self.neighbors,
+            sender_neighbors: &self.sender_neighbors,
+            coverage: &self.coverage,
+            radio_radius: 500.0,
+            random_unit: 0.5,
+        }
+    }
+}
+
+/// A random stream of duplicate arrivals: (sender id, rho, theta, n).
+fn arrivals() -> impl Strategy<Value = Vec<(u32, f64, f64, usize)>> {
+    prop::collection::vec(
+        (
+            0u32..20,
+            0.0f64..500.0,
+            0.0f64..std::f64::consts::TAU,
+            0usize..20,
+        ),
+        1..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The counter scheme cancels exactly when the running count reaches
+    /// the threshold evaluated at that moment.
+    #[test]
+    fn counter_cancels_exactly_at_threshold(seq in arrivals()) {
+        let fx = Fixture::new();
+        let threshold = CounterThreshold::paper_recommended();
+        let mut policy = CounterScheme::new(threshold.clone());
+        let first = &seq[0];
+        prop_assert_eq!(
+            policy.on_first_hear(&fx.ctx(first.3, first.0, first.1, first.2)),
+            FirstDecision::Schedule
+        );
+        let mut count = 1u32;
+        for dup in &seq[1..] {
+            let decision = policy.on_duplicate_hear(&fx.ctx(dup.3, dup.0, dup.1, dup.2));
+            count += 1;
+            let expected = if count < threshold.threshold(dup.3) {
+                DuplicateDecision::Keep
+            } else {
+                DuplicateDecision::Cancel
+            };
+            prop_assert_eq!(decision, expected);
+            if decision == DuplicateDecision::Cancel {
+                break;
+            }
+        }
+    }
+
+    /// The location scheme's coverage estimate never increases, and a
+    /// Cancel decision implies it is below the threshold.
+    #[test]
+    fn location_coverage_is_monotone(seq in arrivals()) {
+        let fx = Fixture::new();
+        let threshold = AreaThreshold::fixed(0.05);
+        let mut policy = LocationScheme::new(threshold);
+        let first = &seq[0];
+        let decision = policy.on_first_hear(&fx.ctx(first.3, first.0, first.1, first.2));
+        if decision == FirstDecision::Inhibit {
+            prop_assert!(policy.additional_coverage() < 0.05);
+            return Ok(());
+        }
+        let mut prev = policy.additional_coverage();
+        for dup in &seq[1..] {
+            let decision = policy.on_duplicate_hear(&fx.ctx(dup.3, dup.0, dup.1, dup.2));
+            let ac = policy.additional_coverage();
+            prop_assert!(ac <= prev + 1e-12, "coverage grew: {prev} -> {ac}");
+            prev = ac;
+            match decision {
+                DuplicateDecision::Cancel => {
+                    prop_assert!(ac < 0.05);
+                    return Ok(());
+                }
+                DuplicateDecision::Keep => prop_assert!(ac >= 0.05),
+            }
+        }
+    }
+
+    /// The distance scheme's minimum distance never increases and the
+    /// decision matches the threshold test.
+    #[test]
+    fn distance_minimum_is_monotone(seq in arrivals(), threshold in 0.0f64..400.0) {
+        let fx = Fixture::new();
+        let mut policy = DistanceScheme::new(threshold);
+        let first = &seq[0];
+        let decision = policy.on_first_hear(&fx.ctx(first.3, first.0, first.1, first.2));
+        prop_assert_eq!(
+            decision == FirstDecision::Inhibit,
+            policy.min_distance() < threshold
+        );
+        if decision == FirstDecision::Inhibit {
+            return Ok(());
+        }
+        let mut prev = policy.min_distance();
+        for dup in &seq[1..] {
+            let decision = policy.on_duplicate_hear(&fx.ctx(dup.3, dup.0, dup.1, dup.2));
+            let d = policy.min_distance();
+            prop_assert!(d <= prev + 1e-12);
+            prev = d;
+            prop_assert_eq!(decision == DuplicateDecision::Cancel, d < threshold);
+            if decision == DuplicateDecision::Cancel {
+                return Ok(());
+            }
+        }
+    }
+
+    /// The neighbor-coverage pending set only shrinks, and cancellation
+    /// happens exactly when it empties.
+    #[test]
+    fn neighbor_coverage_pending_shrinks(
+        neighbors in prop::collection::btree_set(0u32..30, 1..10),
+        senders in prop::collection::vec(
+            (0u32..30, prop::collection::btree_set(0u32..30, 0..6)),
+            1..8,
+        ),
+    ) {
+        let mut fx = Fixture::new();
+        fx.neighbors = neighbors.iter().map(|&i| NodeId::new(i)).collect();
+        let mut policy = NeighborCoverageScheme::new();
+
+        let (first_sender, first_known) = &senders[0];
+        fx.sender_neighbors = first_known.iter().map(|&i| NodeId::new(i)).collect();
+        let ctx = HearContext {
+            neighbor_count: fx.neighbors.len(),
+            own_position: Vec2::ZERO,
+            sender: NodeId::new(*first_sender),
+            sender_position: Vec2::new(100.0, 0.0),
+            neighbors: &fx.neighbors,
+            sender_neighbors: &fx.sender_neighbors,
+            coverage: &fx.coverage,
+            radio_radius: 500.0,
+            random_unit: 0.5,
+        };
+        let decision = policy.on_first_hear(&ctx);
+        let mut pending: Vec<NodeId> = policy.pending().collect();
+        prop_assert_eq!(decision == FirstDecision::Inhibit, pending.is_empty());
+        if pending.is_empty() {
+            return Ok(());
+        }
+        // Pending is a subset of the announced neighborhood minus covered.
+        for p in &pending {
+            prop_assert!(fx.neighbors.contains(p));
+            prop_assert!(*p != NodeId::new(*first_sender));
+            prop_assert!(!fx.sender_neighbors.contains(p));
+        }
+        for (sender, known) in &senders[1..] {
+            fx.sender_neighbors = known.iter().map(|&i| NodeId::new(i)).collect();
+            let ctx = HearContext {
+                neighbor_count: fx.neighbors.len(),
+                own_position: Vec2::ZERO,
+                sender: NodeId::new(*sender),
+                sender_position: Vec2::new(100.0, 0.0),
+                neighbors: &fx.neighbors,
+                sender_neighbors: &fx.sender_neighbors,
+                coverage: &fx.coverage,
+                radio_radius: 500.0,
+                random_unit: 0.5,
+            };
+            let decision = policy.on_duplicate_hear(&ctx);
+            let next: Vec<NodeId> = policy.pending().collect();
+            prop_assert!(next.len() <= pending.len(), "pending set grew");
+            prop_assert!(next.iter().all(|p| pending.contains(p)));
+            prop_assert_eq!(decision == DuplicateDecision::Cancel, next.is_empty());
+            pending = next;
+            if pending.is_empty() {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Every scheme, built through SchemeSpec, survives an arbitrary
+    /// arrival sequence without panicking and never un-cancels.
+    #[test]
+    fn all_schemes_are_total(seq in arrivals(), which in 0usize..7) {
+        let spec = match which {
+            0 => SchemeSpec::Flooding,
+            1 => SchemeSpec::Counter(3),
+            2 => SchemeSpec::AdaptiveCounter(CounterThreshold::paper_recommended()),
+            3 => SchemeSpec::Distance(80.0),
+            4 => SchemeSpec::Location(0.0469),
+            5 => SchemeSpec::AdaptiveLocation(AreaThreshold::paper_recommended()),
+            _ => SchemeSpec::NeighborCoverage,
+        };
+        let mut fx = Fixture::new();
+        fx.neighbors = (0..5).map(NodeId::new).collect();
+        let mut policy = spec.build();
+        let first = &seq[0];
+        let decision = policy.on_first_hear(&fx.ctx(first.3, first.0, first.1, first.2));
+        if decision == FirstDecision::Inhibit {
+            return Ok(());
+        }
+        for dup in &seq[1..] {
+            if policy.on_duplicate_hear(&fx.ctx(dup.3, dup.0, dup.1, dup.2))
+                == DuplicateDecision::Cancel
+            {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! End-to-end tests of the trace observer: counters must agree with the
+//! run report, and packet timelines must be causally ordered.
+
+use broadcast_core::trace::{
+    DecisionKind, EventCounters, FrameKind, TraceEvent, TraceRecorder,
+};
+use broadcast_core::{CounterThreshold, SchemeSpec, SimConfig, World};
+use manet_sim_engine::SimTime;
+
+fn config(scheme: SchemeSpec) -> SimConfig {
+    SimConfig::builder(3, scheme)
+        .hosts(25)
+        .broadcasts(8)
+        .seed(77)
+        .build()
+}
+
+#[test]
+fn counters_agree_with_the_report() {
+    let mut counters = EventCounters::default();
+    let report = World::new(config(SchemeSpec::AdaptiveCounter(
+        CounterThreshold::paper_recommended(),
+    )))
+    .run_observed(&mut counters);
+
+    assert_eq!(counters.broadcasts, u64::from(report.broadcasts));
+    assert_eq!(counters.data_frames, report.data_frames);
+    assert_eq!(counters.hello_frames, report.hello_packets);
+    assert_eq!(counters.losses, report.collisions);
+    // Every scheduled rebroadcast either transmits or is cancelled; the
+    // source frames are extra.
+    assert!(counters.scheduled >= counters.cancelled);
+    assert!(
+        counters.data_frames <= counters.scheduled + counters.broadcasts,
+        "every data frame is a source frame or a scheduled rebroadcast"
+    );
+}
+
+#[test]
+fn flooding_never_inhibits_or_cancels() {
+    let mut counters = EventCounters::default();
+    let _ = World::new(config(SchemeSpec::Flooding)).run_observed(&mut counters);
+    assert_eq!(counters.inhibited, 0);
+    assert_eq!(counters.cancelled, 0);
+    assert_eq!(counters.scheduled, counters.first_hears);
+}
+
+#[test]
+fn counter_scheme_cancels_in_dense_networks() {
+    let mut counters = EventCounters::default();
+    let _ = World::new(config(SchemeSpec::Counter(2))).run_observed(&mut counters);
+    assert!(counters.cancelled > 0, "C=2 must cancel on a 3x3 map");
+    assert_eq!(
+        counters.inhibited, 0,
+        "the counter scheme never inhibits on first hear"
+    );
+}
+
+#[test]
+fn packet_timelines_are_causal() {
+    let mut recorder = TraceRecorder::unbounded();
+    let report = World::new(config(SchemeSpec::Counter(3))).run_observed(&mut recorder);
+
+    for outcome in &report.per_broadcast {
+        let timeline = recorder.packet_timeline(outcome.packet);
+        assert!(!timeline.is_empty());
+        // Issue comes first; times never decrease.
+        assert!(matches!(timeline[0], TraceEvent::BroadcastIssued { .. }));
+        let mut last = SimTime::ZERO;
+        let mut first_heard = std::collections::HashSet::new();
+        for event in &timeline {
+            assert!(event.at() >= last);
+            last = event.at();
+            match event {
+                TraceEvent::FirstHeard { node, .. } => {
+                    assert!(first_heard.insert(*node), "{node} first-heard twice");
+                }
+                TraceEvent::Decision { node, kind, .. } => {
+                    // A decision requires a prior first-hear at that host.
+                    assert!(
+                        first_heard.contains(node),
+                        "decision {kind:?} at {node} before first hear"
+                    );
+                }
+                _ => {}
+            }
+        }
+        // The number of hosts that first-heard equals the receiver count.
+        assert_eq!(first_heard.len() as u32, outcome.received);
+    }
+}
+
+#[test]
+fn bounded_recorder_survives_large_runs() {
+    let mut recorder = TraceRecorder::bounded(100);
+    let _ = World::new(config(SchemeSpec::Flooding)).run_observed(&mut recorder);
+    assert_eq!(recorder.events().len(), 100);
+    assert!(recorder.dropped_count() > 0);
+}
+
+#[test]
+fn rendered_trace_mentions_every_broadcast() {
+    let mut recorder = TraceRecorder::unbounded();
+    let report = World::new(config(SchemeSpec::Counter(3))).run_observed(&mut recorder);
+    let text = recorder.render();
+    for outcome in &report.per_broadcast {
+        assert!(
+            text.contains(&outcome.packet.to_string()),
+            "trace misses {}",
+            outcome.packet
+        );
+    }
+}
+
+#[test]
+fn hello_frames_appear_for_adaptive_schemes_only() {
+    let mut counters = EventCounters::default();
+    let _ = World::new(config(SchemeSpec::Counter(3))).run_observed(&mut counters);
+    assert_eq!(counters.hello_frames, 0);
+
+    let mut counters = EventCounters::default();
+    let _ = World::new(config(SchemeSpec::NeighborCoverage)).run_observed(&mut counters);
+    assert!(counters.hello_frames > 0);
+}
+
+#[test]
+fn frame_kinds_partition_the_frames() {
+    let mut recorder = TraceRecorder::unbounded();
+    let report = World::new(config(SchemeSpec::AdaptiveCounter(
+        CounterThreshold::paper_recommended(),
+    )))
+    .run_observed(&mut recorder);
+    let (mut data, mut hello) = (0u64, 0u64);
+    for event in recorder.events() {
+        if let TraceEvent::FrameStarted { kind, .. } = event {
+            match kind {
+                FrameKind::Broadcast(_) => data += 1,
+                FrameKind::Hello => hello += 1,
+            }
+        }
+    }
+    assert_eq!(data, report.data_frames);
+    assert_eq!(hello, report.hello_packets);
+}
+
+#[test]
+fn decision_kinds_match_scheme_semantics() {
+    // Neighbor coverage inhibits on first hear (empty pending set) but the
+    // counter scheme never does; both can cancel.
+    let mut nc = EventCounters::default();
+    let _ = World::new(config(SchemeSpec::NeighborCoverage)).run_observed(&mut nc);
+    assert!(
+        nc.inhibited > 0,
+        "NC on a dense map should inhibit some hosts outright"
+    );
+    let _ = DecisionKind::Scheduled; // referenced for the doc story
+}

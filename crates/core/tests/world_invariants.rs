@@ -1,0 +1,119 @@
+//! Property-based invariants of whole simulation runs: for arbitrary
+//! small configurations, the reported metrics must be internally
+//! consistent and runs must be reproducible.
+
+use broadcast_core::{
+    AreaThreshold, CounterThreshold, NeighborInfo, SchemeSpec, SimConfig, World,
+};
+use manet_net::HelloIntervalPolicy;
+use manet_sim_engine::SimDuration;
+use proptest::prelude::*;
+
+fn scheme_strategy() -> impl Strategy<Value = SchemeSpec> {
+    prop_oneof![
+        Just(SchemeSpec::Flooding),
+        (2u32..8).prop_map(SchemeSpec::Counter),
+        Just(SchemeSpec::AdaptiveCounter(
+            CounterThreshold::paper_recommended()
+        )),
+        (0.0f64..0.3).prop_map(SchemeSpec::Location),
+        Just(SchemeSpec::AdaptiveLocation(
+            AreaThreshold::paper_recommended()
+        )),
+        Just(SchemeSpec::NeighborCoverage),
+        (0.0f64..200.0).prop_map(SchemeSpec::Distance),
+    ]
+}
+
+proptest! {
+    // Whole-simulation cases are costly; a couple dozen random configs
+    // per run is plenty on top of the deterministic integration tests.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Metrics are well-formed for arbitrary configurations.
+    #[test]
+    fn reports_are_internally_consistent(
+        scheme in scheme_strategy(),
+        map_units in 1u32..8,
+        hosts in 8u32..35,
+        seed in any::<u64>(),
+        oracle in any::<bool>(),
+    ) {
+        let info = if oracle {
+            NeighborInfo::Oracle
+        } else {
+            NeighborInfo::Hello(HelloIntervalPolicy::fixed_1s())
+        };
+        let config = SimConfig::builder(map_units, scheme)
+            .hosts(hosts)
+            .broadcasts(4)
+            .neighbor_info(info)
+            .warmup(SimDuration::from_secs(2))
+            .seed(seed)
+            .build();
+        let report = World::new(config).run();
+
+        prop_assert_eq!(report.broadcasts, 4);
+        prop_assert_eq!(report.per_broadcast.len(), 4);
+        prop_assert!(report.reachability >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&report.saved_rebroadcasts));
+        prop_assert!(report.avg_latency_s >= 0.0);
+        prop_assert!(report.data_frames >= u64::from(report.broadcasts),
+            "every broadcast puts at least the source frame on the air");
+        for outcome in &report.per_broadcast {
+            // r and t never exceed the host population.
+            prop_assert!(outcome.received < hosts);
+            prop_assert!(outcome.rebroadcast <= outcome.received);
+            if let Some(srb) = outcome.saved_rebroadcasts {
+                prop_assert!((0.0..=1.0).contains(&srb));
+            }
+            // Latency cannot exceed the whole simulated span.
+            prop_assert!(outcome.latency.as_secs_f64() <= report.sim_seconds + 1e-9);
+        }
+    }
+
+    /// Same seed, same report — across every scheme.
+    #[test]
+    fn runs_are_reproducible(scheme in scheme_strategy(), seed in any::<u64>()) {
+        let build = || {
+            SimConfig::builder(4, scheme.clone())
+                .hosts(20)
+                .broadcasts(3)
+                .warmup(SimDuration::from_secs(2))
+                .seed(seed)
+                .build()
+        };
+        let a = World::new(build()).run();
+        let b = World::new(build()).run();
+        prop_assert_eq!(a.reachability, b.reachability);
+        prop_assert_eq!(a.saved_rebroadcasts, b.saved_rebroadcasts);
+        prop_assert_eq!(a.avg_latency_s, b.avg_latency_s);
+        prop_assert_eq!(a.data_frames, b.data_frames);
+        prop_assert_eq!(a.hello_packets, b.hello_packets);
+        prop_assert_eq!(a.collisions, b.collisions);
+    }
+
+    /// Flooding never saves a rebroadcast, whatever the configuration.
+    #[test]
+    fn flooding_srb_is_always_zero(
+        map_units in 1u32..8,
+        hosts in 8u32..30,
+        seed in any::<u64>(),
+    ) {
+        let config = SimConfig::builder(map_units, SchemeSpec::Flooding)
+            .hosts(hosts)
+            .broadcasts(3)
+            .warmup(SimDuration::from_secs(1))
+            .seed(seed)
+            .build();
+        let report = World::new(config).run();
+        for outcome in &report.per_broadcast {
+            if let Some(srb) = outcome.saved_rebroadcasts {
+                // A host may still be "saved" if the run ends while its
+                // frame sits in the MAC queue; with a generous grace
+                // period that should never happen.
+                prop_assert!(srb <= 1e-9, "flooding saved {srb}");
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! CLI for the figure-reproduction harness.
+//!
+//! ```text
+//! manet-experiments <figure>... [--scale quick|default|full] [--csv DIR]
+//! manet-experiments all [--scale default]
+//! manet-experiments --list
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use manet_experiments::{all_figures, FigureRunner, Scale};
+
+fn usage() -> &'static str {
+    "usage: manet-experiments <figure>... [options]\n\
+     \n\
+     figures: fig1 fig2 fig5a fig5b fig5c fig5d fig6 fig7 fig8 fig9\n\
+     \x20        fig10 fig11 fig12 fig13 ext-distance ext-oracle ext-capture\n\
+     \x20        ext-mobility ext-load claims | all\n\
+     \n\
+     options:\n\
+     \x20 --scale quick|default|full   work per data point (default: default)\n\
+     \x20                              full = the paper's 10,000 broadcasts\n\
+     \x20 --csv DIR                    also write each table as CSV into DIR\n\
+     \x20 --list                       list available figures and exit\n"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Default;
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--scale needs a value\n\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                let Some(parsed) = Scale::parse(value) else {
+                    eprintln!("unknown scale '{value}'\n\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                scale = parsed;
+            }
+            "--csv" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--csv needs a directory\n\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                csv_dir = Some(PathBuf::from(value));
+            }
+            "--list" => {
+                for (id, _) in all_figures() {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown option '{other}'\n\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+            figure => wanted.push(figure.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    let registry = all_figures();
+    let selected: Vec<(&str, FigureRunner)> =
+        if wanted.iter().any(|w| w == "all") {
+            registry
+        } else {
+            let mut selected = Vec::new();
+            for want in &wanted {
+                match registry.iter().find(|(id, _)| id == want) {
+                    Some(entry) => selected.push(*entry),
+                    None => {
+                        eprintln!("unknown figure '{want}'\n\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            selected
+        };
+
+    for (id, runner) in selected {
+        let started = Instant::now();
+        let tables = runner(scale);
+        let elapsed = started.elapsed();
+        for (i, table) in tables.iter().enumerate() {
+            println!("{}", table.render());
+            if let Some(dir) = &csv_dir {
+                let stem = if tables.len() == 1 {
+                    id.to_string()
+                } else {
+                    format!("{id}_{}", (b'a' + i as u8) as char)
+                };
+                match table.write_csv(dir, &stem) {
+                    Ok(path) => println!("[csv] {}", path.display()),
+                    Err(err) => {
+                        eprintln!("failed to write CSV for {id}: {err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+        eprintln!("[{id}] done in {:.1}s", elapsed.as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

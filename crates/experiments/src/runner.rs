@@ -1,0 +1,258 @@
+//! Shared experiment machinery: run scales, seed-averaged simulation
+//! runs, and a std-only parallel map over independent configurations.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+use broadcast_core::{SimConfig, SimReport, World};
+
+/// How much work a figure reproduction does.
+///
+/// The paper runs 10 000 broadcast requests per data point. [`Scale::Full`]
+/// matches that; the smaller scales preserve every curve's shape while
+/// keeping the whole suite interactive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-test sized: ~1 minute for the whole figure suite.
+    Quick,
+    /// The default: statistically stable curves in a few minutes.
+    Default,
+    /// The paper's full 10 000 broadcasts per data point.
+    Full,
+}
+
+impl Scale {
+    /// Broadcast requests per simulation run.
+    pub fn broadcasts(self) -> u32 {
+        match self {
+            Scale::Quick => 60,
+            Scale::Default => 400,
+            Scale::Full => 10_000,
+        }
+    }
+
+    /// Independent repetitions (distinct seeds) averaged per data point.
+    pub fn repeats(self) -> u64 {
+        match self {
+            Scale::Quick => 1,
+            Scale::Default => 2,
+            Scale::Full => 1,
+        }
+    }
+
+    /// Parses a `--scale` argument.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "default" => Some(Scale::Default),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+}
+
+/// Mean RE / SRB / latency over the repeats of one configuration.
+#[derive(Debug, Clone)]
+pub struct AveragedReport {
+    /// Scheme label of the underlying runs.
+    pub scheme: String,
+    /// Map label of the underlying runs.
+    pub map: String,
+    /// Mean reachability.
+    pub reachability: f64,
+    /// Mean saved-rebroadcast ratio.
+    pub saved_rebroadcasts: f64,
+    /// Mean broadcast latency, seconds.
+    pub avg_latency_s: f64,
+    /// Mean HELLO frames per run.
+    pub hello_packets: f64,
+    /// Mean data frames per run.
+    pub data_frames: f64,
+    /// Mean collisions per run.
+    pub collisions: f64,
+    /// Mean simulated seconds per run.
+    pub sim_seconds: f64,
+    /// Sample standard deviation of reachability across repeats (0 for a
+    /// single repeat).
+    pub reachability_std: f64,
+    /// Number of repeats averaged.
+    pub repeats: usize,
+}
+
+impl AveragedReport {
+    fn from_reports(reports: &[SimReport]) -> Self {
+        assert!(!reports.is_empty(), "need at least one report to average");
+        let n = reports.len() as f64;
+        let re_mean = reports.iter().map(|r| r.reachability).sum::<f64>() / n;
+        let re_std = if reports.len() > 1 {
+            let var = reports
+                .iter()
+                .map(|r| (r.reachability - re_mean).powi(2))
+                .sum::<f64>()
+                / (n - 1.0);
+            var.sqrt()
+        } else {
+            0.0
+        };
+        AveragedReport {
+            scheme: reports[0].scheme.clone(),
+            map: reports[0].map.clone(),
+            reachability: re_mean,
+            saved_rebroadcasts: reports.iter().map(|r| r.saved_rebroadcasts).sum::<f64>() / n,
+            avg_latency_s: reports.iter().map(|r| r.avg_latency_s).sum::<f64>() / n,
+            hello_packets: reports.iter().map(|r| r.hello_packets as f64).sum::<f64>() / n,
+            data_frames: reports.iter().map(|r| r.data_frames as f64).sum::<f64>() / n,
+            collisions: reports.iter().map(|r| r.collisions as f64).sum::<f64>() / n,
+            sim_seconds: reports.iter().map(|r| r.sim_seconds).sum::<f64>() / n,
+            reachability_std: re_std,
+            repeats: reports.len(),
+        }
+    }
+}
+
+/// Runs `config` `repeats` times with seeds `seed, seed+1, …` and averages
+/// the headline metrics. The same seed is reused across schemes by the
+/// figure modules, giving paired comparisons (identical placements,
+/// trajectories, and workloads).
+pub fn run_averaged(config: &SimConfig, repeats: u64) -> AveragedReport {
+    assert!(repeats > 0, "need at least one repeat");
+    let reports: Vec<SimReport> = (0..repeats)
+        .map(|i| {
+            let mut c = config.clone();
+            c.seed = config.seed.wrapping_add(i);
+            World::new(c).run()
+        })
+        .collect();
+    AveragedReport::from_reports(&reports)
+}
+
+/// Evaluates `job` over `inputs` on up to `available_parallelism` OS
+/// threads, preserving input order. Plain `std::thread` — simulations are
+/// independent and CPU-bound, so this is all the parallelism the harness
+/// needs.
+pub fn parallel_map<I, O, F>(inputs: Vec<I>, job: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let workers = thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(inputs.len().max(1));
+    if workers <= 1 {
+        return inputs.iter().map(&job).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<O>> = Vec::new();
+    slots.resize_with(inputs.len(), || None);
+    let slots_mutex = std::sync::Mutex::new(&mut slots);
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= inputs.len() {
+                    break;
+                }
+                let out = job(&inputs[idx]);
+                slots_mutex.lock().expect("result mutex poisoned")[idx] = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|o| o.expect("worker skipped a slot"))
+        .collect()
+}
+
+/// Runs every `(scheme, map)` pair of a figure's sweep in parallel.
+///
+/// Returns `results[scheme_index][map_index]`. All runs share
+/// [`BASE_SEED`]-derived seeds, so schemes are compared on identical host
+/// placements, trajectories, and workloads. `tweak` customizes each
+/// configuration (speed overrides, neighbor-info policy, …).
+pub fn run_grid(
+    maps: &[u32],
+    schemes: &[broadcast_core::SchemeSpec],
+    scale: Scale,
+    tweak: impl Fn(broadcast_core::SimConfigBuilder) -> broadcast_core::SimConfigBuilder + Sync,
+) -> Vec<Vec<AveragedReport>> {
+    let pairs: Vec<(usize, usize)> = (0..schemes.len())
+        .flat_map(|s| (0..maps.len()).map(move |m| (s, m)))
+        .collect();
+    let flat = parallel_map(pairs.clone(), |&(s, m)| {
+        let builder = broadcast_core::SimConfig::builder(maps[m], schemes[s].clone())
+            .broadcasts(scale.broadcasts())
+            .seed(BASE_SEED);
+        let config = tweak(builder).build();
+        run_averaged(&config, scale.repeats())
+    });
+    let mut grid: Vec<Vec<Option<AveragedReport>>> = (0..schemes.len())
+        .map(|_| (0..maps.len()).map(|_| None).collect())
+        .collect();
+    for ((s, m), report) in pairs.into_iter().zip(flat) {
+        grid[s][m] = Some(report);
+    }
+    grid.into_iter()
+        .map(|row| row.into_iter().map(|r| r.expect("missing grid cell")).collect())
+        .collect()
+}
+
+/// The paper's six map sizes (side length in 500 m units).
+pub const PAPER_MAPS: [u32; 6] = [1, 3, 5, 7, 9, 11];
+
+/// Base seed shared by all figures so runs are reproducible end to end.
+pub const BASE_SEED: u64 = 20_260_705;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use broadcast_core::SchemeSpec;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let inputs: Vec<u64> = (0..37).collect();
+        let outputs = parallel_map(inputs.clone(), |&x| x * 2);
+        assert_eq!(outputs, inputs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty() {
+        let outputs: Vec<u64> = parallel_map(Vec::<u64>::new(), |&x| x);
+        assert!(outputs.is_empty());
+    }
+
+    #[test]
+    fn averaging_runs_distinct_seeds() {
+        let config = broadcast_core::SimConfig::builder(3, SchemeSpec::Flooding)
+            .hosts(15)
+            .broadcasts(3)
+            .seed(1)
+            .build();
+        let avg = run_averaged(&config, 2);
+        assert_eq!(avg.map, "3x3");
+        assert!(avg.reachability >= 0.0 && avg.reachability <= 1.01);
+    }
+
+    #[test]
+    fn averaging_reports_spread() {
+        let config = broadcast_core::SimConfig::builder(5, SchemeSpec::Counter(2))
+            .hosts(25)
+            .broadcasts(5)
+            .seed(9)
+            .build();
+        let avg = run_averaged(&config, 3);
+        assert_eq!(avg.repeats, 3);
+        assert!(avg.reachability_std >= 0.0);
+        // Three distinct seeds virtually never agree to 15 decimal places.
+        assert!(avg.reachability_std > 0.0 || avg.reachability == 1.0);
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("bogus"), None);
+        assert_eq!(Scale::Full.broadcasts(), 10_000);
+    }
+}

@@ -1,0 +1,172 @@
+//! The broadcast-storm analyses of paper §2.2 (Figs. 1 and 2).
+//!
+//! * [`expected_additional_coverage`] — `EAC(k)`, the expected additional
+//!   coverage of a rebroadcast after hearing the same packet `k` times
+//!   (Fig. 1). `EAC(1) ≈ 0.41`, and `EAC(k) < 0.05` for `k ≥ 4`, which is
+//!   what motivates small counter thresholds.
+//! * [`contention_free_distribution`] — `cf(n, k)`, the probability that
+//!   exactly `k` of `n` receivers experience no contention when they all
+//!   rebroadcast (Fig. 2). `cf(n, 0)` exceeds 0.8 for `n ≥ 6`.
+
+use manet_sim_engine::SimRng;
+
+use crate::coverage::{monte_carlo_additional_fraction, sample_in_disk};
+use crate::vec2::Vec2;
+
+/// Monte-Carlo estimate of the paper's `EAC(k)` for `k = 1..=max_k`,
+/// as fractions of `πr²`.
+///
+/// For each trial, `k` prior transmitters are placed uniformly at random in
+/// the receiving host's transmission disk (it heard all of them, so they
+/// are in range) and the uncovered fraction of the host's own disk is
+/// measured with `samples` points.
+///
+/// Returns a vector `v` with `v[k-1] = EAC(k)`.
+///
+/// # Panics
+///
+/// Panics if `max_k == 0` or `trials == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use manet_sim_engine::SimRng;
+/// use manet_geom::expected_additional_coverage;
+///
+/// let mut rng = SimRng::seed_from(1);
+/// let eac = expected_additional_coverage(4, 200, 400, &mut rng);
+/// assert!(eac[0] > eac[3], "EAC decreases with k");
+/// ```
+pub fn expected_additional_coverage(
+    max_k: usize,
+    trials: usize,
+    samples: usize,
+    rng: &mut SimRng,
+) -> Vec<f64> {
+    assert!(max_k > 0, "need at least k = 1");
+    assert!(trials > 0, "need at least one trial");
+    let r = 1.0;
+    let own = Vec2::ZERO;
+    (1..=max_k)
+        .map(|k| {
+            let mut total = 0.0;
+            for _ in 0..trials {
+                let heard: Vec<Vec2> = (0..k).map(|_| sample_in_disk(own, r, rng)).collect();
+                total += monte_carlo_additional_fraction(own, r, &heard, samples, rng);
+            }
+            total / trials as f64
+        })
+        .collect()
+}
+
+/// Monte-Carlo estimate of the paper's `cf(n, k)` contention analysis.
+///
+/// For each trial, `n` receivers are placed uniformly at random in a
+/// transmitter's disk. A receiver is *contention-free* when no other
+/// receiver lies within its own transmission range (same radius). The
+/// returned row `v` for a given `n` satisfies `v[k] = cf(n, k)`,
+/// `k = 0..=n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `trials == 0`.
+pub fn contention_free_distribution(n: usize, trials: usize, rng: &mut SimRng) -> Vec<f64> {
+    assert!(n > 0, "need at least one receiver");
+    assert!(trials > 0, "need at least one trial");
+    let r = 1.0;
+    let r2 = r * r;
+    let mut counts = vec![0u64; n + 1];
+    let mut hosts = vec![Vec2::ZERO; n];
+    for _ in 0..trials {
+        for h in hosts.iter_mut() {
+            *h = sample_in_disk(Vec2::ZERO, r, rng);
+        }
+        let free = hosts
+            .iter()
+            .enumerate()
+            .filter(|(i, a)| {
+                hosts
+                    .iter()
+                    .enumerate()
+                    .all(|(j, b)| *i == j || a.distance_squared_to(*b) > r2)
+            })
+            .count();
+        counts[free] += 1;
+    }
+    counts
+        .into_iter()
+        .map(|c| c as f64 / trials as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eac_one_matches_41_percent() {
+        let mut rng = SimRng::seed_from(42);
+        let eac = expected_additional_coverage(1, 2_000, 800, &mut rng);
+        assert!((eac[0] - 0.41).abs() < 0.02, "EAC(1) = {}", eac[0]);
+    }
+
+    #[test]
+    fn eac_is_decreasing_and_small_beyond_four() {
+        let mut rng = SimRng::seed_from(42);
+        let eac = expected_additional_coverage(6, 800, 500, &mut rng);
+        for w in eac.windows(2) {
+            assert!(w[1] <= w[0] + 0.02, "EAC should trend down: {eac:?}");
+        }
+        // Paper: "when k >= 4, the expected additional coverage is below 5%."
+        assert!(eac[3] < 0.06, "EAC(4) = {}", eac[3]);
+        assert!(eac[5] < 0.04, "EAC(6) = {}", eac[5]);
+    }
+
+    #[test]
+    fn cf_distribution_sums_to_one() {
+        let mut rng = SimRng::seed_from(7);
+        for n in [1, 2, 5, 8] {
+            let dist = contention_free_distribution(n, 2_000, &mut rng);
+            let total: f64 = dist.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n}: sums to {total}");
+            assert_eq!(dist.len(), n + 1);
+        }
+    }
+
+    #[test]
+    fn single_receiver_is_always_contention_free() {
+        let mut rng = SimRng::seed_from(7);
+        let dist = contention_free_distribution(1, 500, &mut rng);
+        assert_eq!(dist[0], 0.0);
+        assert_eq!(dist[1], 1.0);
+    }
+
+    #[test]
+    fn exactly_n_minus_one_free_is_impossible() {
+        // If n-1 hosts are contention-free the n-th must be too, so
+        // cf(n, n-1) = 0 (paper §2.2.2).
+        let mut rng = SimRng::seed_from(7);
+        for n in [2, 3, 5] {
+            let dist = contention_free_distribution(n, 3_000, &mut rng);
+            assert_eq!(dist[n - 1], 0.0, "cf({n}, {}) must be 0", n - 1);
+        }
+    }
+
+    #[test]
+    fn two_receivers_contend_with_59_percent() {
+        // P(contention between two random receivers) ≈ 0.59, so
+        // cf(2, 0) ≈ 0.59 and cf(2, 2) ≈ 0.41.
+        let mut rng = SimRng::seed_from(21);
+        let dist = contention_free_distribution(2, 50_000, &mut rng);
+        assert!((dist[0] - 0.59).abs() < 0.02, "cf(2,0) = {}", dist[0]);
+        assert!((dist[2] - 0.41).abs() < 0.02, "cf(2,2) = {}", dist[2]);
+    }
+
+    #[test]
+    fn crowded_area_is_mostly_all_contending() {
+        // Paper: cf(n, 0) rises above 0.8 once n >= 6.
+        let mut rng = SimRng::seed_from(3);
+        let dist = contention_free_distribution(6, 5_000, &mut rng);
+        assert!(dist[0] > 0.75, "cf(6,0) = {}", dist[0]);
+    }
+}

@@ -1,0 +1,282 @@
+//! Additional-coverage estimation against a *union* of heard disks.
+//!
+//! The location-based schemes need, at a receiving host `x`, the area of
+//! `x`'s own transmission disk **not** already covered by the disks of the
+//! transmitters it has heard the packet from. For one prior transmitter the
+//! closed form [`crate::additional_coverage_two`] applies; for several, the
+//! union of disks has no convenient closed form, so this module provides two
+//! estimators:
+//!
+//! * [`CoverageGrid`] — deterministic grid sampling (the default in the
+//!   simulator; same inputs, same output).
+//! * [`monte_carlo_additional_fraction`] — randomized sampling, used by the
+//!   redundancy analysis of Fig. 1 and as a cross-check in tests.
+//!
+//! Both return the additional coverage as a **fraction of `πr²`** in
+//! `[0, 1]`, which is the unit the paper's `A(n)` thresholds use
+//! (e.g. `A = 0.187`).
+
+use manet_sim_engine::SimRng;
+
+use crate::vec2::Vec2;
+
+/// Deterministic grid estimator of additional coverage.
+///
+/// The estimator lays a `resolution × resolution` grid of cell centers over
+/// the bounding square of the host's disk and counts cells that fall inside
+/// the host's disk but outside every heard disk.
+///
+/// # Examples
+///
+/// ```
+/// use manet_geom::{CoverageGrid, Vec2};
+///
+/// let grid = CoverageGrid::new(64);
+/// // No one heard yet: the whole disk is additional coverage.
+/// assert_eq!(grid.additional_fraction(Vec2::ZERO, 500.0, &[]), 1.0);
+/// // Heard from a co-located transmitter: nothing left to cover.
+/// assert_eq!(grid.additional_fraction(Vec2::ZERO, 500.0, &[Vec2::ZERO]), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoverageGrid {
+    resolution: usize,
+}
+
+impl CoverageGrid {
+    /// Creates an estimator with the given grid resolution per axis.
+    ///
+    /// Resolution 64 keeps the error against the exact two-circle form
+    /// under about one percentage point, which is far below the spacing of
+    /// the paper's `A` thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution < 2`.
+    pub fn new(resolution: usize) -> Self {
+        assert!(resolution >= 2, "grid resolution must be at least 2");
+        CoverageGrid { resolution }
+    }
+
+    /// Grid resolution per axis.
+    pub fn resolution(&self) -> usize {
+        self.resolution
+    }
+
+    /// Fraction of the disk at `center` with radius `r` that is **not**
+    /// covered by any same-radius disk centered at a point of `heard`.
+    ///
+    /// Returns a value in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not positive and finite.
+    pub fn additional_fraction(&self, center: Vec2, r: f64, heard: &[Vec2]) -> f64 {
+        assert!(r.is_finite() && r > 0.0, "radius must be positive, got {r}");
+        if heard.is_empty() {
+            return 1.0;
+        }
+        // Fast path: a co-located (or nearly so) transmitter covers all.
+        if heard
+            .iter()
+            .any(|h| h.distance_squared_to(center) < (r * 1e-9) * (r * 1e-9))
+        {
+            return 0.0;
+        }
+        let r2 = r * r;
+        let n = self.resolution;
+        let step = 2.0 * r / n as f64;
+        let mut inside = 0u64;
+        let mut uncovered = 0u64;
+        for i in 0..n {
+            let x = center.x - r + (i as f64 + 0.5) * step;
+            for j in 0..n {
+                let y = center.y - r + (j as f64 + 0.5) * step;
+                let p = Vec2::new(x, y);
+                if p.distance_squared_to(center) > r2 {
+                    continue;
+                }
+                inside += 1;
+                if heard.iter().all(|h| h.distance_squared_to(p) > r2) {
+                    uncovered += 1;
+                }
+            }
+        }
+        if inside == 0 {
+            return 0.0;
+        }
+        uncovered as f64 / inside as f64
+    }
+
+    /// The grid's sample points that fall inside the disk at `center`
+    /// with radius `r`, as absolute positions.
+    ///
+    /// This is the same point set `additional_fraction` integrates over,
+    /// exposed so callers can track coverage *incrementally*: keep the
+    /// points, delete those covered as each new transmitter is heard, and
+    /// the uncovered fraction is `remaining / initial` (used by the
+    /// location-based broadcast schemes, which update their estimate on
+    /// every duplicate).
+    pub fn sample_points(&self, center: Vec2, r: f64) -> Vec<Vec2> {
+        assert!(r.is_finite() && r > 0.0, "radius must be positive, got {r}");
+        let r2 = r * r;
+        let n = self.resolution;
+        let step = 2.0 * r / n as f64;
+        let mut points = Vec::with_capacity(n * n * 4 / 5);
+        for i in 0..n {
+            let x = center.x - r + (i as f64 + 0.5) * step;
+            for j in 0..n {
+                let y = center.y - r + (j as f64 + 0.5) * step;
+                let p = Vec2::new(x, y);
+                if p.distance_squared_to(center) <= r2 {
+                    points.push(p);
+                }
+            }
+        }
+        points
+    }
+}
+
+impl Default for CoverageGrid {
+    /// The resolution used by the simulator (64).
+    fn default() -> Self {
+        CoverageGrid::new(64)
+    }
+}
+
+/// Monte-Carlo estimate of the additional coverage fraction.
+///
+/// Draws `samples` points uniformly from the disk at `center` (radius `r`)
+/// and returns the fraction that no heard disk covers.
+pub fn monte_carlo_additional_fraction(
+    center: Vec2,
+    r: f64,
+    heard: &[Vec2],
+    samples: usize,
+    rng: &mut SimRng,
+) -> f64 {
+    assert!(r.is_finite() && r > 0.0, "radius must be positive, got {r}");
+    assert!(samples > 0, "need at least one sample");
+    if heard.is_empty() {
+        return 1.0;
+    }
+    let r2 = r * r;
+    let mut uncovered = 0usize;
+    for _ in 0..samples {
+        let p = sample_in_disk(center, r, rng);
+        if heard.iter().all(|h| h.distance_squared_to(p) > r2) {
+            uncovered += 1;
+        }
+    }
+    uncovered as f64 / samples as f64
+}
+
+/// Draws a point uniformly at random from the disk at `center`, radius `r`.
+pub fn sample_in_disk(center: Vec2, r: f64, rng: &mut SimRng) -> Vec2 {
+    // Inverse-CDF sampling: radius ~ r*sqrt(U) gives a uniform area density.
+    let rho = r * rng.gen_unit_f64().sqrt();
+    let theta = rng.gen_range_f64(0.0..std::f64::consts::TAU);
+    center + Vec2::from_angle(theta) * rho
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circle::additional_coverage_two;
+    use std::f64::consts::PI;
+
+    const R: f64 = 500.0;
+
+    #[test]
+    fn empty_heard_means_full_disk() {
+        let grid = CoverageGrid::default();
+        assert_eq!(grid.additional_fraction(Vec2::ZERO, R, &[]), 1.0);
+    }
+
+    #[test]
+    fn colocated_transmitter_covers_everything() {
+        let grid = CoverageGrid::default();
+        assert_eq!(
+            grid.additional_fraction(Vec2::new(3.0, 4.0), R, &[Vec2::new(3.0, 4.0)]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn grid_matches_two_circle_closed_form() {
+        let grid = CoverageGrid::new(128);
+        for frac in [0.2, 0.5, 0.8, 1.0, 1.5] {
+            let d = frac * R;
+            let exact = additional_coverage_two(d, R) / (PI * R * R);
+            let est = grid.additional_fraction(Vec2::ZERO, R, &[Vec2::new(d, 0.0)]);
+            assert!(
+                (est - exact).abs() < 0.01,
+                "d={d}: grid {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn monte_carlo_matches_two_circle_closed_form() {
+        let mut rng = SimRng::seed_from(99);
+        for frac in [0.3, 1.0, 1.7] {
+            let d = frac * R;
+            let exact = additional_coverage_two(d, R) / (PI * R * R);
+            let est = monte_carlo_additional_fraction(
+                Vec2::ZERO,
+                R,
+                &[Vec2::new(d, 0.0)],
+                50_000,
+                &mut rng,
+            );
+            assert!(
+                (est - exact).abs() < 0.01,
+                "d={d}: mc {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_hearers_never_increase_coverage() {
+        let grid = CoverageGrid::default();
+        let mut heard = Vec::new();
+        let mut prev = 1.0;
+        for k in 0..6 {
+            heard.push(Vec2::new(
+                R * 0.7 * (k as f64 * 1.1).cos(),
+                R * 0.7 * (k as f64 * 1.1).sin(),
+            ));
+            let frac = grid.additional_fraction(Vec2::ZERO, R, &heard);
+            assert!(frac <= prev + 1e-12, "coverage fraction must be monotone");
+            prev = frac;
+        }
+    }
+
+    #[test]
+    fn disjoint_hearer_leaves_full_disk() {
+        let grid = CoverageGrid::default();
+        let far = Vec2::new(2.5 * R, 0.0);
+        let frac = grid.additional_fraction(Vec2::ZERO, R, &[far]);
+        assert!((frac - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disk_sampling_is_uniform_enough() {
+        // Mean squared distance from center of a uniform disk sample is r²/2.
+        let mut rng = SimRng::seed_from(5);
+        let n = 100_000;
+        let mean_sq: f64 = (0..n)
+            .map(|_| sample_in_disk(Vec2::ZERO, R, &mut rng).length_squared())
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mean_sq - R * R / 2.0).abs() / (R * R) < 0.01,
+            "mean squared radius {mean_sq}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_resolution_panics() {
+        let _ = CoverageGrid::new(1);
+    }
+}

@@ -1,0 +1,190 @@
+//! Two-dimensional vectors and points.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A point or displacement in the plane, in meters.
+///
+/// # Examples
+///
+/// ```
+/// use manet_geom::Vec2;
+///
+/// let a = Vec2::new(0.0, 0.0);
+/// let b = Vec2::new(3.0, 4.0);
+/// assert_eq!(a.distance_to(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// Horizontal coordinate, meters.
+    pub x: f64,
+    /// Vertical coordinate, meters.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The origin / zero displacement.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from its components.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// A unit vector pointing at `angle` radians from the positive x-axis.
+    pub fn from_angle(angle: f64) -> Self {
+        Vec2::new(angle.cos(), angle.sin())
+    }
+
+    /// Euclidean length.
+    pub fn length(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared Euclidean length (avoids the square root).
+    pub fn length_squared(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Distance to another point.
+    pub fn distance_to(self, other: Vec2) -> f64 {
+        (other - self).length()
+    }
+
+    /// Squared distance to another point.
+    pub fn distance_squared_to(self, other: Vec2) -> f64 {
+        (other - self).length_squared()
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// The vector scaled to unit length, or `None` for the zero vector.
+    pub fn normalized(self) -> Option<Vec2> {
+        let len = self.length();
+        if len == 0.0 {
+            None
+        } else {
+            Some(self / len)
+        }
+    }
+
+    /// Component-wise clamp into the axis-aligned box `[min, max]`.
+    pub fn clamp(self, min: Vec2, max: Vec2) -> Vec2 {
+        Vec2::new(self.x.clamp(min.x, max.x), self.y.clamp(min.y, max.y))
+    }
+
+    /// `true` when both components are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    fn add_assign(&mut self, rhs: Vec2) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    fn sub_assign(&mut self, rhs: Vec2) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -1.0);
+        assert_eq!(a + b, Vec2::new(4.0, 1.0));
+        assert_eq!(a - b, Vec2::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Vec2::new(1.5, -0.5));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn lengths_and_distances() {
+        let a = Vec2::new(3.0, 4.0);
+        assert_eq!(a.length(), 5.0);
+        assert_eq!(a.length_squared(), 25.0);
+        assert_eq!(Vec2::ZERO.distance_to(a), 5.0);
+        assert_eq!(Vec2::ZERO.distance_squared_to(a), 25.0);
+    }
+
+    #[test]
+    fn from_angle_is_unit_length() {
+        for i in 0..16 {
+            let angle = i as f64 * std::f64::consts::TAU / 16.0;
+            let v = Vec2::from_angle(angle);
+            assert!((v.length() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normalization() {
+        let v = Vec2::new(0.0, 5.0).normalized().unwrap();
+        assert!((v.length() - 1.0).abs() < 1e-12);
+        assert_eq!(Vec2::ZERO.normalized(), None);
+    }
+
+    #[test]
+    fn clamping() {
+        let v = Vec2::new(-1.0, 10.0);
+        let clamped = v.clamp(Vec2::ZERO, Vec2::new(5.0, 5.0));
+        assert_eq!(clamped, Vec2::new(0.0, 5.0));
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(Vec2::new(1.0, 0.0).dot(Vec2::new(0.0, 1.0)), 0.0);
+        assert_eq!(Vec2::new(2.0, 3.0).dot(Vec2::new(4.0, 5.0)), 23.0);
+    }
+}

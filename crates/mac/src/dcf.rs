@@ -1,0 +1,530 @@
+//! The DCF broadcast state machine.
+//!
+//! One [`Dcf`] instance models one host's MAC. It is a *pure* state
+//! machine: every input carries the current time and returns a list of
+//! [`MacAction`]s for the simulation wiring to execute (arm a timer, put a
+//! frame on the air). The machine never talks to a channel directly, which
+//! makes every DCF rule unit-testable in isolation.
+//!
+//! ## Rules implemented (paper §2.2.3 / IEEE 802.11 DCF, broadcast only)
+//!
+//! * A frame may be transmitted immediately if the medium has been idle
+//!   for at least DIFS and no backoff is pending.
+//! * A host wanting to transmit while the medium is busy (or that just
+//!   finished a transmission — *post-backoff*) draws a backoff counter
+//!   uniformly from `0..=CW_MIN` and counts it down in slot units, but
+//!   only while the medium has been idle for DIFS; the counter freezes
+//!   whenever the medium goes busy.
+//! * Broadcast frames get no acknowledgment and no retry, so the
+//!   contention window never doubles.
+//! * Queued frames can be cancelled until the moment they hit the air
+//!   (the suppression schemes' step S5).
+
+use manet_sim_engine::{SimDuration, SimRng, SimTime};
+
+use crate::timing::{CW_MIN, DIFS, SLOT};
+
+/// Upper-layer handle for a queued frame, echoed back in
+/// [`MacAction::BeginTx`] so the wiring can find the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FrameHandle(pub u64);
+
+/// A side effect requested by the state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MacAction {
+    /// Arm a timer to call [`Dcf::on_timer`] with this generation after
+    /// `delay`. Only the latest generation is live; stale firings are
+    /// ignored, so the wiring never needs to cancel timers.
+    StartTimer {
+        /// Time from now until the timer fires.
+        delay: SimDuration,
+        /// Generation token to pass back to [`Dcf::on_timer`].
+        generation: u64,
+    },
+    /// Put the frame on the air now, for `airtime`. The wiring must call
+    /// [`Dcf::on_tx_end`] when the airtime elapses.
+    BeginTx {
+        /// The frame to transmit.
+        handle: FrameHandle,
+        /// Payload size in bytes (echoed from [`Dcf::enqueue`]).
+        payload_bytes: usize,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Nothing to do.
+    Idle,
+    /// Want the channel (frame queued and/or post-backoff pending) but the
+    /// medium is busy; waiting for it to go idle.
+    WaitIdle,
+    /// DIFS timer running; medium idle so far.
+    Difs,
+    /// Backoff countdown timer running; medium idle.
+    Backoff {
+        /// When the countdown started (for freezing).
+        started: SimTime,
+        /// Counter value at `started`, in slots.
+        slots: u32,
+    },
+    /// Own frame on the air.
+    Transmitting,
+}
+
+/// One host's DCF MAC for broadcast frames.
+///
+/// # Examples
+///
+/// ```
+/// use manet_mac::{Dcf, FrameHandle, MacAction};
+/// use manet_sim_engine::{SimRng, SimTime};
+///
+/// let mut mac = Dcf::new(SimRng::seed_from(1));
+/// // Medium idle since time zero: an enqueue after DIFS transmits at once.
+/// let now = SimTime::from_millis(1);
+/// let actions = mac.enqueue(FrameHandle(0), 280, now);
+/// assert!(matches!(actions[0], MacAction::BeginTx { .. }));
+/// ```
+#[derive(Debug)]
+pub struct Dcf {
+    state: State,
+    queue: std::collections::VecDeque<(FrameHandle, usize)>,
+    /// Frozen backoff counter, if a backoff is in progress or pending.
+    backoff_slots: Option<u32>,
+    /// Medium busy according to carrier sense (foreign signals only).
+    medium_busy: bool,
+    /// Start of the current idle period, when `!medium_busy`.
+    idle_since: SimTime,
+    /// Live timer generation; stale timer firings are ignored.
+    generation: u64,
+    rng: SimRng,
+    /// Frames handed to the air (statistics).
+    transmitted: u64,
+}
+
+impl Dcf {
+    /// Creates an idle MAC whose medium is idle since time zero.
+    pub fn new(rng: SimRng) -> Self {
+        Dcf {
+            state: State::Idle,
+            queue: std::collections::VecDeque::new(),
+            backoff_slots: None,
+            medium_busy: false,
+            idle_since: SimTime::ZERO,
+            generation: 0,
+            rng,
+            transmitted: 0,
+        }
+    }
+
+    /// Frames put on the air so far.
+    pub fn transmitted_count(&self) -> u64 {
+        self.transmitted
+    }
+
+    /// Frames waiting in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` while this host's own frame is on the air.
+    pub fn is_transmitting(&self) -> bool {
+        self.state == State::Transmitting
+    }
+
+    /// Queues a frame for transmission.
+    pub fn enqueue(
+        &mut self,
+        handle: FrameHandle,
+        payload_bytes: usize,
+        now: SimTime,
+    ) -> Vec<MacAction> {
+        self.queue.push_back((handle, payload_bytes));
+        match self.state {
+            State::Idle => {
+                if self.medium_busy {
+                    // Deferral: a busy medium at arrival forces a backoff.
+                    self.ensure_backoff();
+                    self.state = State::WaitIdle;
+                    vec![]
+                } else {
+                    debug_assert!(self.backoff_slots.is_none());
+                    let idle_for = now.saturating_duration_since(self.idle_since);
+                    if idle_for >= DIFS {
+                        self.begin_tx(now)
+                    } else {
+                        // Wait out the remainder of DIFS.
+                        self.state = State::Difs;
+                        vec![self.arm_timer(DIFS - idle_for)]
+                    }
+                }
+            }
+            // Machinery already running; the frame waits its turn.
+            State::WaitIdle | State::Difs | State::Backoff { .. } | State::Transmitting => vec![],
+        }
+    }
+
+    /// Removes a queued frame before it reaches the air.
+    ///
+    /// Returns `true` if the frame was still queued. A frame already on
+    /// the air (or already transmitted) cannot be cancelled.
+    pub fn cancel(&mut self, handle: FrameHandle) -> bool {
+        let before = self.queue.len();
+        self.queue.retain(|&(h, _)| h != handle);
+        before != self.queue.len()
+    }
+
+    /// Carrier sense reports the medium busy (a foreign frame started).
+    pub fn on_medium_busy(&mut self, now: SimTime) -> Vec<MacAction> {
+        if self.medium_busy {
+            return vec![]; // duplicate report; wiring coalesces, but be safe
+        }
+        self.medium_busy = true;
+        match self.state {
+            State::Idle | State::WaitIdle | State::Transmitting => vec![],
+            State::Difs => {
+                // DIFS interrupted: this counts as a deferral, so a backoff
+                // is required when the medium frees up.
+                self.generation += 1; // invalidate the DIFS timer
+                self.ensure_backoff();
+                self.state = State::WaitIdle;
+                vec![]
+            }
+            State::Backoff { started, slots } => {
+                // Freeze: whole slots that elapsed are consumed.
+                self.generation += 1; // invalidate the countdown timer
+                let elapsed = now.saturating_duration_since(started);
+                let consumed = (elapsed.as_nanos() / SLOT.as_nanos()) as u32;
+                self.backoff_slots = Some(slots.saturating_sub(consumed));
+                self.state = State::WaitIdle;
+                vec![]
+            }
+        }
+    }
+
+    /// Carrier sense reports the medium idle (the last foreign frame
+    /// ended).
+    pub fn on_medium_idle(&mut self, now: SimTime) -> Vec<MacAction> {
+        if !self.medium_busy {
+            return vec![];
+        }
+        self.medium_busy = false;
+        self.idle_since = now;
+        match self.state {
+            State::WaitIdle => {
+                self.state = State::Difs;
+                vec![self.arm_timer(DIFS)]
+            }
+            State::Idle | State::Transmitting => vec![],
+            State::Difs | State::Backoff { .. } => {
+                unreachable!("timer states imply an idle medium")
+            }
+        }
+    }
+
+    /// A timer armed by a previous [`MacAction::StartTimer`] fired.
+    ///
+    /// Stale generations (from timers superseded by a state change) are
+    /// ignored and return no actions.
+    pub fn on_timer(&mut self, generation: u64, now: SimTime) -> Vec<MacAction> {
+        if generation != self.generation {
+            return vec![];
+        }
+        match self.state {
+            State::Difs => {
+                debug_assert!(!self.medium_busy);
+                match self.backoff_slots {
+                    Some(0) => self.finish_backoff(now),
+                    Some(slots) => {
+                        self.state = State::Backoff { started: now, slots };
+                        vec![self.arm_timer(SLOT * u64::from(slots))]
+                    }
+                    None => {
+                        if self.queue.is_empty() {
+                            self.state = State::Idle;
+                            vec![]
+                        } else {
+                            self.begin_tx(now)
+                        }
+                    }
+                }
+            }
+            State::Backoff { .. } => {
+                self.backoff_slots = Some(0);
+                self.finish_backoff(now)
+            }
+            State::Idle | State::WaitIdle | State::Transmitting => {
+                unreachable!("live timer fired in state {:?}", self.state)
+            }
+        }
+    }
+
+    /// The frame started by [`MacAction::BeginTx`] finished its airtime.
+    pub fn on_tx_end(&mut self, now: SimTime) -> Vec<MacAction> {
+        assert_eq!(
+            self.state,
+            State::Transmitting,
+            "tx end without a transmission"
+        );
+        // Post-backoff: always back off after transmitting (paper §2.2.3).
+        self.ensure_backoff();
+        if self.medium_busy {
+            self.state = State::WaitIdle;
+            vec![]
+        } else {
+            // Own transmission is not carrier: the idle period (for DIFS
+            // accounting) starts now.
+            self.idle_since = now;
+            self.state = State::Difs;
+            vec![self.arm_timer(DIFS)]
+        }
+    }
+
+    /// Draws a post/deferral backoff counter if none is pending.
+    fn ensure_backoff(&mut self) {
+        if self.backoff_slots.is_none() {
+            self.backoff_slots = Some(self.rng.gen_range_u32(0..CW_MIN + 1));
+        }
+    }
+
+    /// Backoff counter hit zero with the medium idle.
+    fn finish_backoff(&mut self, now: SimTime) -> Vec<MacAction> {
+        self.backoff_slots = None;
+        if self.queue.is_empty() {
+            self.state = State::Idle;
+            vec![]
+        } else {
+            self.begin_tx(now)
+        }
+    }
+
+    fn begin_tx(&mut self, _now: SimTime) -> Vec<MacAction> {
+        let (handle, payload_bytes) = self
+            .queue
+            .pop_front()
+            .expect("begin_tx requires a queued frame");
+        self.state = State::Transmitting;
+        self.transmitted += 1;
+        vec![MacAction::BeginTx {
+            handle,
+            payload_bytes,
+        }]
+    }
+
+    fn arm_timer(&mut self, delay: SimDuration) -> MacAction {
+        self.generation += 1;
+        MacAction::StartTimer {
+            delay,
+            generation: self.generation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::frame_airtime;
+
+    fn mac() -> Dcf {
+        Dcf::new(SimRng::seed_from(42))
+    }
+
+    /// Drives a single timer action to completion, returning the follow-up
+    /// actions and the fire time.
+    fn fire_timer(mac: &mut Dcf, actions: &[MacAction], now: SimTime) -> (Vec<MacAction>, SimTime) {
+        match actions {
+            [MacAction::StartTimer { delay, generation }] => {
+                let at = now + *delay;
+                (mac.on_timer(*generation, at), at)
+            }
+            other => panic!("expected a single StartTimer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn idle_long_enough_transmits_immediately() {
+        let mut m = mac();
+        let now = SimTime::from_millis(5); // idle since 0 >> DIFS
+        let actions = m.enqueue(FrameHandle(1), 280, now);
+        assert_eq!(
+            actions,
+            vec![MacAction::BeginTx {
+                handle: FrameHandle(1),
+                payload_bytes: 280
+            }]
+        );
+        assert!(m.is_transmitting());
+    }
+
+    #[test]
+    fn fresh_idle_waits_out_difs() {
+        let mut m = mac();
+        // Medium just went idle at t=1ms.
+        m.medium_busy = true;
+        let t_idle = SimTime::from_millis(1);
+        m.on_medium_idle(t_idle);
+        let t_enq = t_idle + SimDuration::from_micros(10);
+        let actions = m.enqueue(FrameHandle(1), 280, t_enq);
+        // 10 of the 50 µs DIFS have elapsed; wait the remaining 40.
+        match actions[..] {
+            [MacAction::StartTimer { delay, generation }] => {
+                assert_eq!(delay, SimDuration::from_micros(40));
+                let fire = t_enq + delay;
+                let next = m.on_timer(generation, fire);
+                assert!(matches!(next[..], [MacAction::BeginTx { .. }]));
+            }
+            ref other => panic!("unexpected actions {other:?}"),
+        }
+    }
+
+    #[test]
+    fn busy_medium_defers_then_backs_off() {
+        let mut m = mac();
+        let t0 = SimTime::from_millis(1);
+        m.on_medium_busy(t0);
+        let actions = m.enqueue(FrameHandle(1), 280, t0);
+        assert!(actions.is_empty(), "must wait for idle");
+        // Medium goes idle: DIFS first.
+        let t1 = t0 + SimDuration::from_micros(500);
+        let actions = m.on_medium_idle(t1);
+        let (actions, t2) = fire_timer(&mut m, &actions, t1);
+        // After DIFS, a backoff countdown runs (deferral draws a counter).
+        match actions[..] {
+            [MacAction::StartTimer { delay, generation }] => {
+                assert_eq!(delay.as_nanos() % SLOT.as_nanos(), 0, "whole slots");
+                let fire = t2 + delay;
+                let next = m.on_timer(generation, fire);
+                assert!(matches!(next[..], [MacAction::BeginTx { .. }]));
+            }
+            [MacAction::BeginTx { .. }] => {
+                // Counter happened to be zero: legal.
+            }
+            ref other => panic!("unexpected actions {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backoff_freezes_and_resumes() {
+        // Force a known backoff by seeding: find a seed with slots >= 2.
+        let mut m = Dcf::new(SimRng::seed_from(3));
+        let t0 = SimTime::from_millis(1);
+        m.on_medium_busy(t0);
+        m.enqueue(FrameHandle(1), 280, t0);
+        let t1 = t0 + SimDuration::from_micros(100);
+        let actions = m.on_medium_idle(t1);
+        let (actions, t2) = fire_timer(&mut m, &actions, t1); // DIFS done
+        let (total_slots, gen) = match actions[..] {
+            [MacAction::StartTimer { delay, generation }] => {
+                ((delay.as_nanos() / SLOT.as_nanos()) as u32, generation)
+            }
+            _ => return, // zero backoff: nothing to freeze, covered elsewhere
+        };
+        if total_slots < 2 {
+            return;
+        }
+        // Medium goes busy after exactly one slot: freeze with slots-1 left.
+        let t3 = t2 + SLOT;
+        assert!(m.on_medium_busy(t3).is_empty());
+        // The frozen timer must now be stale.
+        assert!(m.on_timer(gen, t3 + SLOT).is_empty());
+        // Idle again: DIFS, then the *remaining* slots.
+        let t4 = t3 + SimDuration::from_micros(300);
+        let actions = m.on_medium_idle(t4);
+        let (actions, _t5) = fire_timer(&mut m, &actions, t4);
+        match actions[..] {
+            [MacAction::StartTimer { delay, .. }] => {
+                let remaining = (delay.as_nanos() / SLOT.as_nanos()) as u32;
+                assert_eq!(remaining, total_slots - 1, "one slot was consumed");
+            }
+            ref other => panic!("unexpected actions {other:?}"),
+        }
+    }
+
+    #[test]
+    fn post_backoff_runs_after_tx() {
+        let mut m = mac();
+        let t0 = SimTime::from_millis(5);
+        let actions = m.enqueue(FrameHandle(1), 280, t0);
+        assert!(matches!(actions[..], [MacAction::BeginTx { .. }]));
+        let t1 = t0 + frame_airtime(280);
+        let actions = m.on_tx_end(t1);
+        // Post-backoff: DIFS timer starts even with an empty queue.
+        assert!(matches!(actions[..], [MacAction::StartTimer { .. }]));
+        assert!(!m.is_transmitting());
+    }
+
+    #[test]
+    fn second_frame_waits_for_post_backoff() {
+        let mut m = mac();
+        let t0 = SimTime::from_millis(5);
+        m.enqueue(FrameHandle(1), 280, t0);
+        let t1 = t0 + frame_airtime(280);
+        let difs_actions = m.on_tx_end(t1);
+        // Enqueue during post-backoff DIFS: no immediate transmission.
+        let actions = m.enqueue(FrameHandle(2), 280, t1);
+        assert!(actions.is_empty());
+        // Run DIFS then (possibly zero) backoff; frame 2 eventually sends.
+        let (actions, t2) = fire_timer(&mut m, &difs_actions, t1);
+        let final_actions = match actions[..] {
+            [MacAction::StartTimer { delay, generation }] => m.on_timer(generation, t2 + delay),
+            [MacAction::BeginTx { .. }] => actions.clone(),
+            ref other => panic!("unexpected {other:?}"),
+        };
+        match final_actions[..] {
+            [MacAction::BeginTx { handle, .. }] => assert_eq!(handle, FrameHandle(2)),
+            ref other => panic!("expected BeginTx, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_removes_queued_frame() {
+        let mut m = mac();
+        let t0 = SimTime::from_millis(1);
+        m.on_medium_busy(t0); // park the frame in the queue
+        m.enqueue(FrameHandle(7), 280, t0);
+        assert_eq!(m.queue_len(), 1);
+        assert!(m.cancel(FrameHandle(7)));
+        assert_eq!(m.queue_len(), 0);
+        assert!(!m.cancel(FrameHandle(7)), "double cancel is false");
+        // Medium idles; DIFS+backoff complete with nothing to send.
+        let t1 = t0 + SimDuration::from_micros(100);
+        let actions = m.on_medium_idle(t1);
+        let (actions, t2) = fire_timer(&mut m, &actions, t1);
+        match actions[..] {
+            [] => {} // no backoff pending and queue empty
+            [MacAction::StartTimer { delay, generation }] => {
+                let after = m.on_timer(generation, t2 + delay);
+                assert!(after.is_empty(), "nothing to transmit after cancel");
+            }
+            [MacAction::BeginTx { .. }] => panic!("cancelled frame transmitted"),
+            ref other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(m.transmitted_count(), 0);
+    }
+
+    #[test]
+    fn on_air_frame_cannot_be_cancelled() {
+        let mut m = mac();
+        let t0 = SimTime::from_millis(5);
+        m.enqueue(FrameHandle(1), 280, t0);
+        assert!(m.is_transmitting());
+        assert!(!m.cancel(FrameHandle(1)));
+        assert_eq!(m.transmitted_count(), 1);
+    }
+
+    #[test]
+    fn stale_timers_are_ignored() {
+        let mut m = mac();
+        assert!(m.on_timer(999, SimTime::from_millis(1)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_carrier_reports_are_harmless() {
+        let mut m = mac();
+        let t0 = SimTime::from_millis(1);
+        assert!(m.on_medium_busy(t0).is_empty());
+        assert!(m.on_medium_busy(t0).is_empty());
+        assert!(m.on_medium_idle(t0 + SLOT).is_empty());
+        assert!(m.on_medium_idle(t0 + SLOT).is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Simulation maps, measured in multiples of the radio radius.
+//!
+//! The paper simulates 100 hosts on square maps of `1×1`, `3×3`, …, `11×11`
+//! *units*, where one unit equals the 500 m transmission radius. Smaller
+//! maps are denser; an `11×11` map is very sparse.
+
+use manet_geom::{Rect, Vec2};
+
+/// The transmission radius used throughout the paper, in meters.
+pub const PAPER_RADIO_RADIUS_M: f64 = 500.0;
+
+/// A square (or rectangular) simulation map.
+///
+/// # Examples
+///
+/// ```
+/// use manet_mobility::Map;
+///
+/// let map = Map::square_units(3);           // the paper's 3×3 map
+/// assert_eq!(map.bounds().width(), 1500.0); // 3 × 500 m
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Map {
+    bounds: Rect,
+    units_x: u32,
+    units_y: u32,
+}
+
+impl Map {
+    /// A `units × units` map with the paper's 500 m unit length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units == 0`.
+    pub fn square_units(units: u32) -> Self {
+        Map::units(units, units, PAPER_RADIO_RADIUS_M)
+    }
+
+    /// A `units_x × units_y` map with a custom unit length in meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either unit count is zero or `unit_len` is not positive.
+    pub fn units(units_x: u32, units_y: u32, unit_len: f64) -> Self {
+        assert!(units_x > 0 && units_y > 0, "map must have at least 1 unit");
+        Map {
+            bounds: Rect::new(f64::from(units_x) * unit_len, f64::from(units_y) * unit_len),
+            units_x,
+            units_y,
+        }
+    }
+
+    /// The map's rectangle in meters.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// Horizontal size in units.
+    pub fn units_x(&self) -> u32 {
+        self.units_x
+    }
+
+    /// Vertical size in units.
+    pub fn units_y(&self) -> u32 {
+        self.units_y
+    }
+
+    /// `true` when `p` lies on the map.
+    pub fn contains(&self, p: Vec2) -> bool {
+        self.bounds.contains(p)
+    }
+
+    /// A label such as `"3x3"` for tables and CSV output.
+    pub fn label(&self) -> String {
+        format!("{}x{}", self.units_x, self.units_y)
+    }
+
+    /// The paper's default maximum roaming speed for this map size, in
+    /// km/h: 10 km/h on the 1×1 map, 30 on 3×3, 50 on 5×5, and so on
+    /// ("this is to make a host move through a wider range in a larger
+    /// map", §4).
+    pub fn paper_max_speed_kmh(&self) -> f64 {
+        f64::from(self.units_x.max(self.units_y)) * 10.0
+    }
+}
+
+/// Converts km/h (the paper's speed unit) to m/s (the simulator's).
+pub fn kmh_to_mps(kmh: f64) -> f64 {
+    kmh * 1_000.0 / 3_600.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_maps_have_expected_sizes() {
+        for (units, side) in [(1u32, 500.0), (3, 1500.0), (11, 5500.0)] {
+            let m = Map::square_units(units);
+            assert_eq!(m.bounds().width(), side);
+            assert_eq!(m.bounds().height(), side);
+        }
+    }
+
+    #[test]
+    fn paper_speed_schedule() {
+        assert_eq!(Map::square_units(1).paper_max_speed_kmh(), 10.0);
+        assert_eq!(Map::square_units(3).paper_max_speed_kmh(), 30.0);
+        assert_eq!(Map::square_units(11).paper_max_speed_kmh(), 110.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Map::square_units(5).label(), "5x5");
+        assert_eq!(Map::units(2, 4, 100.0).label(), "2x4");
+    }
+
+    #[test]
+    fn unit_conversion() {
+        assert!((kmh_to_mps(36.0) - 10.0).abs() < 1e-12);
+        assert!((kmh_to_mps(10.0) - 2.777_78).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 unit")]
+    fn zero_units_panics() {
+        let _ = Map::square_units(0);
+    }
+}

@@ -1,0 +1,88 @@
+//! The mobility-model abstraction.
+//!
+//! A mobility model answers two questions for one host:
+//!
+//! 1. *Where is the host at time `t`?* — [`Mobility::position_at`], valid
+//!    for any `t` within the current motion segment.
+//! 2. *When does its motion change next?* — [`Mobility::next_change`], at
+//!    which point the driver must call [`Mobility::advance`] so the model
+//!    can start its next segment (pick a new direction, bounce off a wall,
+//!    …).
+//!
+//! Keeping motion piecewise-linear lets the simulator query exact positions
+//! at arbitrary event timestamps in `O(1)` without integrating trajectories.
+
+use manet_geom::Vec2;
+use manet_sim_engine::SimTime;
+
+/// A single host's motion over time.
+pub trait Mobility {
+    /// The host's position at `t`.
+    ///
+    /// `t` must lie within the current segment: not before the segment's
+    /// start and not after [`next_change`](Self::next_change) (when one is
+    /// pending). Implementations may clamp or panic outside that window —
+    /// see each implementation's documentation.
+    fn position_at(&self, t: SimTime) -> Vec2;
+
+    /// The instant at which the current motion segment ends and
+    /// [`advance`](Self::advance) must be called, or `None` for models that
+    /// never change (e.g. a stationary host).
+    fn next_change(&self) -> Option<SimTime>;
+
+    /// Begins the next motion segment at `now`.
+    ///
+    /// Called by the simulation driver when `now ==`
+    /// [`next_change`](Self::next_change).
+    fn advance(&mut self, now: SimTime);
+}
+
+/// A host that never moves.
+///
+/// # Examples
+///
+/// ```
+/// use manet_geom::Vec2;
+/// use manet_mobility::{Mobility, Stationary};
+/// use manet_sim_engine::SimTime;
+///
+/// let host = Stationary::new(Vec2::new(100.0, 200.0));
+/// assert_eq!(host.position_at(SimTime::from_secs(99)), Vec2::new(100.0, 200.0));
+/// assert_eq!(host.next_change(), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stationary {
+    position: Vec2,
+}
+
+impl Stationary {
+    /// Creates a host fixed at `position`.
+    pub fn new(position: Vec2) -> Self {
+        Stationary { position }
+    }
+}
+
+impl Mobility for Stationary {
+    fn position_at(&self, _t: SimTime) -> Vec2 {
+        self.position
+    }
+
+    fn next_change(&self) -> Option<SimTime> {
+        None
+    }
+
+    fn advance(&mut self, _now: SimTime) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_is_inert() {
+        let mut s = Stationary::new(Vec2::new(1.0, 2.0));
+        s.advance(SimTime::from_secs(10));
+        assert_eq!(s.position_at(SimTime::from_secs(20)), Vec2::new(1.0, 2.0));
+        assert_eq!(s.next_change(), None);
+    }
+}

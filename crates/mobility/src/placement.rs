@@ -1,0 +1,120 @@
+//! Initial host placements.
+
+use manet_geom::Vec2;
+use manet_sim_engine::SimRng;
+
+use crate::map::Map;
+
+/// `count` positions drawn independently and uniformly over the map —
+/// the paper's initial distribution for its 100 hosts.
+///
+/// # Examples
+///
+/// ```
+/// use manet_mobility::{uniform_placement, Map};
+/// use manet_sim_engine::SimRng;
+///
+/// let map = Map::square_units(3);
+/// let hosts = uniform_placement(&map, 100, &mut SimRng::seed_from(7));
+/// assert_eq!(hosts.len(), 100);
+/// assert!(hosts.iter().all(|&p| map.contains(p)));
+/// ```
+pub fn uniform_placement(map: &Map, count: usize, rng: &mut SimRng) -> Vec<Vec2> {
+    (0..count)
+        .map(|_| {
+            Vec2::new(
+                rng.gen_range_f64(0.0..map.bounds().width()),
+                rng.gen_range_f64(0.0..map.bounds().height()),
+            )
+        })
+        .collect()
+}
+
+/// `count` positions equally spaced along a horizontal line through the
+/// map's vertical center, `spacing` meters apart starting at `x0`.
+///
+/// Useful for deterministic chain/line topologies in tests: with spacing
+/// just under the radio radius every host reaches exactly its line
+/// neighbors.
+///
+/// # Panics
+///
+/// Panics if the line does not fit on the map.
+pub fn line_placement(map: &Map, count: usize, x0: f64, spacing: f64) -> Vec<Vec2> {
+    let y = map.bounds().height() / 2.0;
+    let positions: Vec<Vec2> = (0..count)
+        .map(|i| Vec2::new(x0 + i as f64 * spacing, y))
+        .collect();
+    assert!(
+        positions.iter().all(|&p| map.contains(p)),
+        "line placement of {count} hosts at spacing {spacing} does not fit the map"
+    );
+    positions
+}
+
+/// `count` positions on a uniform grid covering the map with equal margins.
+///
+/// The grid is the smallest `c × r` arrangement with `c * r >= count`;
+/// surplus cells at the end are left empty.
+pub fn grid_placement(map: &Map, count: usize) -> Vec<Vec2> {
+    if count == 0 {
+        return Vec::new();
+    }
+    let cols = (count as f64).sqrt().ceil() as usize;
+    let rows = count.div_ceil(cols);
+    let dx = map.bounds().width() / cols as f64;
+    let dy = map.bounds().height() / rows as f64;
+    (0..count)
+        .map(|i| {
+            let c = i % cols;
+            let r = i / cols;
+            Vec2::new((c as f64 + 0.5) * dx, (r as f64 + 0.5) * dy)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_stays_on_map_and_spreads() {
+        let map = Map::square_units(5);
+        let mut rng = SimRng::seed_from(1);
+        let hosts = uniform_placement(&map, 500, &mut rng);
+        assert!(hosts.iter().all(|&p| map.contains(p)));
+        // Rough uniformity: each quadrant holds between 15% and 35%.
+        let half_w = map.bounds().width() / 2.0;
+        let half_h = map.bounds().height() / 2.0;
+        let q1 = hosts.iter().filter(|p| p.x < half_w && p.y < half_h).count();
+        assert!((75..=175).contains(&q1), "quadrant count {q1}");
+    }
+
+    #[test]
+    fn line_is_evenly_spaced() {
+        let map = Map::square_units(11);
+        let hosts = line_placement(&map, 10, 100.0, 450.0);
+        for w in hosts.windows(2) {
+            assert!((w[1].x - w[0].x - 450.0).abs() < 1e-9);
+            assert_eq!(w[0].y, w[1].y);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_line_panics() {
+        let map = Map::square_units(1);
+        let _ = line_placement(&map, 10, 0.0, 400.0);
+    }
+
+    #[test]
+    fn grid_covers_count() {
+        let map = Map::square_units(3);
+        for count in [1, 4, 7, 100] {
+            let hosts = grid_placement(&map, count);
+            assert_eq!(hosts.len(), count);
+            assert!(hosts.iter().all(|&p| map.contains(p)));
+        }
+        assert!(grid_placement(&map, 0).is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the mobility layer.
+
+use manet_geom::Vec2;
+use manet_mobility::{
+    uniform_placement, Map, Mobility, RandomTurn, RandomTurnParams,
+};
+use manet_sim_engine::{SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Hosts never leave the map regardless of seed, map size, or speed.
+    #[test]
+    fn random_turn_stays_on_map(
+        seed in any::<u64>(),
+        units in 1u32..12,
+        kmh in 0.0f64..120.0,
+    ) {
+        let map = Map::square_units(units);
+        let mut host = RandomTurn::new(
+            map,
+            RandomTurnParams::paper(kmh),
+            map.bounds().center(),
+            SimTime::ZERO,
+            SimRng::seed_from(seed),
+        );
+        for _ in 0..100 {
+            let end = host.next_change().unwrap();
+            prop_assert!(map.contains(host.position_at(end)));
+            host.advance(end);
+        }
+    }
+
+    /// Displacement over a segment never exceeds max_speed × elapsed time,
+    /// and the instantaneous speed never exceeds the configured maximum.
+    #[test]
+    fn displacement_bounded_by_speed(seed in any::<u64>(), kmh in 1.0f64..100.0) {
+        let map = Map::square_units(7);
+        let params = RandomTurnParams::paper(kmh);
+        let mut host = RandomTurn::new(
+            map, params, map.bounds().center(), SimTime::ZERO, SimRng::seed_from(seed),
+        );
+        let mut seg_start_t = SimTime::ZERO;
+        for _ in 0..50 {
+            let start_pos = host.position_at(seg_start_t);
+            let end_t = host.next_change().unwrap();
+            let end_pos = host.position_at(end_t);
+            let elapsed = (end_t - seg_start_t).as_secs_f64();
+            prop_assert!(
+                start_pos.distance_to(end_pos) <= params.max_speed_mps * elapsed + 1e-6
+            );
+            prop_assert!(host.velocity().length() <= params.max_speed_mps + 1e-9);
+            host.advance(end_t);
+            seg_start_t = end_t;
+        }
+    }
+
+    /// Uniform placement always lands on the map and is deterministic per seed.
+    #[test]
+    fn placement_deterministic(seed in any::<u64>(), units in 1u32..12) {
+        let map = Map::square_units(units);
+        let a = uniform_placement(&map, 50, &mut SimRng::seed_from(seed));
+        let b = uniform_placement(&map, 50, &mut SimRng::seed_from(seed));
+        prop_assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(*pa, *pb);
+            prop_assert!(map.contains(*pa));
+        }
+    }
+
+    /// Hosts built from the same fork stream replay identically.
+    #[test]
+    fn same_fork_replays_identically(seed in any::<u64>()) {
+        let map = Map::square_units(5);
+        let make = || {
+            RandomTurn::new(
+                map,
+                RandomTurnParams::paper(50.0),
+                map.bounds().center(),
+                SimTime::ZERO,
+                SimRng::seed_from(seed).fork(9),
+            )
+        };
+        let mut a = make();
+        let mut b = make();
+        for _ in 0..20 {
+            let ta = a.next_change().unwrap();
+            let tb = b.next_change().unwrap();
+            prop_assert_eq!(ta, tb);
+            let (pa, pb): (Vec2, Vec2) = (a.position_at(ta), b.position_at(tb));
+            prop_assert_eq!(pa, pb);
+            a.advance(ta);
+            b.advance(tb);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! One- and two-hop neighbor tables built from HELLO packets.
+//!
+//! Paper §4.3: *"A host x enlists another host h as its one-hop neighbor
+//! when a HELLO is received from h. If no HELLO has been received from h
+//! for the past two hello intervals, host x deletes h as its one-hop
+//! neighbor."* Because each host may use its own (possibly dynamic) hello
+//! interval, the interval governing expiry is the one the **sender**
+//! announced in its last HELLO.
+//!
+//! For the neighbor-coverage scheme, HELLOs carry the sender's own
+//! neighbor list, giving the receiver (possibly stale) two-hop knowledge:
+//! `N_{x,h}`, "the set of neighbors of h known by host x".
+
+use std::collections::HashMap;
+
+use manet_phy::NodeId;
+use manet_sim_engine::{SimDuration, SimTime};
+
+/// What a host knows about one of its neighbors.
+#[derive(Debug, Clone)]
+struct NeighborEntry {
+    /// When the last HELLO from this neighbor arrived.
+    last_heard: SimTime,
+    /// The hello interval the neighbor announced; entry expires after two
+    /// of these without a HELLO.
+    interval: SimDuration,
+    /// The neighbor's own one-hop set as of its last HELLO (`N_{x,h}`).
+    /// Empty when HELLOs do not carry neighbor lists.
+    neighbors: Vec<NodeId>,
+}
+
+/// Membership changes produced by [`NeighborTable::record_hello`] and
+/// [`NeighborTable::expire`]; feed these to the variation tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipChange {
+    /// A host became a neighbor.
+    Joined(NodeId),
+    /// A host's entry timed out.
+    Left(NodeId),
+}
+
+/// One host's view of its neighborhood.
+///
+/// # Examples
+///
+/// ```
+/// use manet_net::NeighborTable;
+/// use manet_phy::NodeId;
+/// use manet_sim_engine::{SimDuration, SimTime};
+///
+/// let mut table = NeighborTable::new();
+/// let h = NodeId::new(1);
+/// let interval = SimDuration::from_secs(1);
+/// table.record_hello(h, SimTime::ZERO, interval, &[]);
+/// assert_eq!(table.neighbor_count(), 1);
+///
+/// // Two intervals pass without another HELLO: h expires.
+/// let leaves = table.expire(SimTime::from_millis(2_001));
+/// assert_eq!(table.neighbor_count(), 0);
+/// assert_eq!(leaves.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NeighborTable {
+    entries: HashMap<NodeId, NeighborEntry>,
+}
+
+impl NeighborTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        NeighborTable::default()
+    }
+
+    /// Records a HELLO from `from` announcing its `interval` and one-hop
+    /// `neighbors`. Returns `Some(Joined)` when `from` was not already a
+    /// neighbor.
+    pub fn record_hello(
+        &mut self,
+        from: NodeId,
+        now: SimTime,
+        interval: SimDuration,
+        neighbors: &[NodeId],
+    ) -> Option<MembershipChange> {
+        let new = self
+            .entries
+            .insert(
+                from,
+                NeighborEntry {
+                    last_heard: now,
+                    interval,
+                    neighbors: neighbors.to_vec(),
+                },
+            )
+            .is_none();
+        new.then_some(MembershipChange::Joined(from))
+    }
+
+    /// Drops every neighbor whose last HELLO is more than two of its own
+    /// hello intervals old, returning the leave events.
+    pub fn expire(&mut self, now: SimTime) -> Vec<MembershipChange> {
+        let mut leaves = Vec::new();
+        self.entries.retain(|&id, entry| {
+            let deadline = entry.last_heard + entry.interval * 2;
+            if now > deadline {
+                leaves.push(MembershipChange::Left(id));
+                false
+            } else {
+                true
+            }
+        });
+        leaves.sort_by_key(|change| match change {
+            MembershipChange::Left(id) | MembershipChange::Joined(id) => *id,
+        });
+        leaves
+    }
+
+    /// Number of live neighbors — the `n` that parameterizes the adaptive
+    /// thresholds `C(n)` and `A(n)`.
+    pub fn neighbor_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when `id` is currently believed to be a neighbor.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// The current one-hop set `N_x`, sorted.
+    pub fn neighbor_ids(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.entries.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// The two-hop knowledge `N_{x,h}`: what `h` last claimed its
+    /// neighborhood was. `None` when `h` is not a (live) neighbor.
+    pub fn neighbors_of(&self, h: NodeId) -> Option<&[NodeId]> {
+        self.entries.get(&h).map(|e| e.neighbors.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: SimDuration = SimDuration::from_secs(1);
+
+    fn id(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn records_joins_once() {
+        let mut t = NeighborTable::new();
+        assert_eq!(
+            t.record_hello(id(1), SimTime::ZERO, SEC, &[]),
+            Some(MembershipChange::Joined(id(1)))
+        );
+        assert_eq!(
+            t.record_hello(id(1), SimTime::from_secs(1), SEC, &[]),
+            None,
+            "refresh is not a join"
+        );
+        assert!(t.contains(id(1)));
+        assert_eq!(t.neighbor_count(), 1);
+    }
+
+    #[test]
+    fn expiry_uses_two_sender_intervals() {
+        let mut t = NeighborTable::new();
+        t.record_hello(id(1), SimTime::ZERO, SEC, &[]);
+        t.record_hello(id(2), SimTime::ZERO, SEC * 5, &[]);
+        // At t = 2.5 s: host 1 (interval 1 s) is stale, host 2 (5 s) is not.
+        let leaves = t.expire(SimTime::from_millis(2_500));
+        assert_eq!(leaves, vec![MembershipChange::Left(id(1))]);
+        assert!(!t.contains(id(1)));
+        assert!(t.contains(id(2)));
+        // Host 2 expires only after 10 s.
+        assert!(t.expire(SimTime::from_secs(10)).is_empty());
+        assert_eq!(
+            t.expire(SimTime::from_millis(10_001)),
+            vec![MembershipChange::Left(id(2))]
+        );
+    }
+
+    #[test]
+    fn refresh_postpones_expiry() {
+        let mut t = NeighborTable::new();
+        t.record_hello(id(1), SimTime::ZERO, SEC, &[]);
+        t.record_hello(id(1), SimTime::from_millis(1_900), SEC, &[]);
+        assert!(t.expire(SimTime::from_millis(3_800)).is_empty());
+        assert_eq!(t.expire(SimTime::from_millis(3_901)).len(), 1);
+    }
+
+    #[test]
+    fn two_hop_knowledge_tracks_latest_hello() {
+        let mut t = NeighborTable::new();
+        t.record_hello(id(1), SimTime::ZERO, SEC, &[id(5), id(6)]);
+        assert_eq!(t.neighbors_of(id(1)), Some(&[id(5), id(6)][..]));
+        t.record_hello(id(1), SimTime::from_secs(1), SEC, &[id(6)]);
+        assert_eq!(t.neighbors_of(id(1)), Some(&[id(6)][..]));
+        assert_eq!(t.neighbors_of(id(9)), None);
+    }
+
+    #[test]
+    fn neighbor_ids_are_sorted() {
+        let mut t = NeighborTable::new();
+        for i in [5u32, 1, 3] {
+            t.record_hello(id(i), SimTime::ZERO, SEC, &[]);
+        }
+        assert_eq!(t.neighbor_ids(), vec![id(1), id(3), id(5)]);
+    }
+
+    #[test]
+    fn announced_interval_change_applies() {
+        let mut t = NeighborTable::new();
+        t.record_hello(id(1), SimTime::ZERO, SEC, &[]);
+        // The neighbor slows its beacons to 5 s; expiry horizon follows.
+        t.record_hello(id(1), SimTime::from_secs(1), SEC * 5, &[]);
+        assert!(t.expire(SimTime::from_secs(10)).is_empty());
+        assert_eq!(t.expire(SimTime::from_millis(11_001)).len(), 1);
+    }
+}

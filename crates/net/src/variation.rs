@@ -1,0 +1,129 @@
+//! Neighborhood-variation tracking (paper §4.3).
+//!
+//! The paper defines a host `x`'s neighborhood variation as
+//!
+//! ```text
+//! nv_x = (number of hosts joining or leaving N_x in the past 10 s)
+//!        / (|N_x| * 10)
+//! ```
+//!
+//! — a per-neighbor, per-second churn rate. [`VariationTracker`] keeps the
+//! 10-second sliding window of membership-change timestamps and evaluates
+//! `nv_x` on demand.
+
+use std::collections::VecDeque;
+
+use manet_sim_engine::{SimDuration, SimTime};
+
+/// Length of the paper's churn window: 10 seconds.
+pub const VARIATION_WINDOW: SimDuration = SimDuration::from_secs(10);
+
+/// Sliding-window estimator of neighborhood variation.
+///
+/// # Examples
+///
+/// ```
+/// use manet_net::VariationTracker;
+/// use manet_sim_engine::SimTime;
+///
+/// let mut tracker = VariationTracker::new();
+/// tracker.record_change(SimTime::from_secs(1));
+/// tracker.record_change(SimTime::from_secs(2));
+/// // Two changes in the window, 4 current neighbors:
+/// let nv = tracker.variation(SimTime::from_secs(5), 4);
+/// assert!((nv - 2.0 / 40.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VariationTracker {
+    events: VecDeque<SimTime>,
+}
+
+impl VariationTracker {
+    /// Creates a tracker with an empty window.
+    pub fn new() -> Self {
+        VariationTracker::default()
+    }
+
+    /// Records one membership change (a join or a leave) at `now`.
+    pub fn record_change(&mut self, now: SimTime) {
+        self.events.push_back(now);
+    }
+
+    /// Drops events older than the window.
+    fn trim(&mut self, now: SimTime) {
+        while let Some(&front) = self.events.front() {
+            if now.saturating_duration_since(front) > VARIATION_WINDOW {
+                self.events.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number of membership changes within the past 10 seconds.
+    pub fn changes_in_window(&mut self, now: SimTime) -> usize {
+        self.trim(now);
+        self.events.len()
+    }
+
+    /// The paper's `nv_x` given the current neighbor count.
+    ///
+    /// With zero neighbors the paper's denominator vanishes; a lone,
+    /// churning host plainly has an unstable neighborhood, so the count is
+    /// clamped to 1 (an empty *and quiet* neighborhood still yields 0).
+    pub fn variation(&mut self, now: SimTime, neighbor_count: usize) -> f64 {
+        let changes = self.changes_in_window(now);
+        changes as f64 / (neighbor_count.max(1) as f64 * VARIATION_WINDOW.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_neighborhood_has_zero_variation() {
+        let mut t = VariationTracker::new();
+        assert_eq!(t.variation(SimTime::from_secs(100), 5), 0.0);
+        assert_eq!(t.variation(SimTime::from_secs(100), 0), 0.0);
+    }
+
+    #[test]
+    fn matches_paper_formula() {
+        let mut t = VariationTracker::new();
+        for s in [1, 2, 3] {
+            t.record_change(SimTime::from_secs(s));
+        }
+        // 3 changes, 6 neighbors: nv = 3 / 60.
+        let nv = t.variation(SimTime::from_secs(5), 6);
+        assert!((nv - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn events_age_out_after_ten_seconds() {
+        let mut t = VariationTracker::new();
+        t.record_change(SimTime::from_secs(1));
+        t.record_change(SimTime::from_secs(8));
+        assert_eq!(t.changes_in_window(SimTime::from_secs(10)), 2);
+        // t = 11.5 s: the event at 1 s is out, the one at 8 s remains.
+        assert_eq!(t.changes_in_window(SimTime::from_millis(11_500)), 1);
+        assert_eq!(t.changes_in_window(SimTime::from_secs(19)), 0);
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        let mut t = VariationTracker::new();
+        t.record_change(SimTime::from_secs(5));
+        // Exactly 10 s later the event is still (just) inside the window.
+        assert_eq!(t.changes_in_window(SimTime::from_secs(15)), 1);
+        assert_eq!(t.changes_in_window(SimTime::from_nanos(15_000_000_001)), 0);
+    }
+
+    #[test]
+    fn zero_neighbors_clamps_denominator() {
+        let mut t = VariationTracker::new();
+        t.record_change(SimTime::from_secs(1));
+        let nv = t.variation(SimTime::from_secs(2), 0);
+        assert!((nv - 0.1).abs() < 1e-12, "1 change / (1 * 10 s)");
+    }
+}

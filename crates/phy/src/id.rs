@@ -1,0 +1,82 @@
+//! Identifiers shared by the radio stack.
+
+use std::fmt;
+
+/// Identifies a mobile host. Hosts are numbered densely from zero, so the
+/// id doubles as an index into per-host arrays.
+///
+/// # Examples
+///
+/// ```
+/// use manet_phy::NodeId;
+///
+/// let n = NodeId::new(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(n.to_string(), "h3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates the id of host number `index`.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The host number, usable as an array index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(index: u32) -> Self {
+        NodeId(index)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// Identifies one transmission (one frame on the air). Unique over a
+/// [`Medium`](crate::Medium)'s lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FrameId(u64);
+
+impl FrameId {
+    pub(crate) const fn new(seq: u64) -> Self {
+        FrameId(seq)
+    }
+
+    /// The underlying sequence number.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trip() {
+        let n = NodeId::from(7u32);
+        assert_eq!(n.index(), 7);
+        assert_eq!(n, NodeId::new(7));
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(FrameId::new(1) < FrameId::new(2));
+    }
+}

@@ -1,0 +1,45 @@
+//! # manet-phy
+//!
+//! The radio layer of the MANET broadcast-storm reproduction: host and
+//! frame [identifiers](NodeId), the shared [`Medium`] with receiver-side
+//! collision tracking and carrier sense, and unit-disk
+//! [topology queries](reachable_from).
+//!
+//! The medium is a pure state machine — it never looks at positions. The
+//! simulation wiring evaluates host positions at each event, derives the
+//! listener set with [`in_range_of`], and drives
+//! [`Medium::begin_transmission`] / [`Medium::end_transmission`]. This
+//! split keeps the collision model independently testable (including the
+//! hidden-terminal and half-duplex cases of paper §2.2.3).
+//!
+//! # Examples
+//!
+//! ```
+//! use manet_geom::Vec2;
+//! use manet_phy::{in_range_of, Medium, NodeId};
+//! use manet_sim_engine::{SimDuration, SimTime};
+//!
+//! // Three hosts on a line; only the middle one hears the first.
+//! let positions = [Vec2::ZERO, Vec2::new(450.0, 0.0), Vec2::new(900.0, 0.0)];
+//! let src = NodeId::new(0);
+//! let listeners = in_range_of(&positions, src, 500.0);
+//!
+//! let mut medium = Medium::new(3);
+//! let t0 = SimTime::ZERO;
+//! let airtime = SimDuration::from_micros(2_432); // 280 B at 1 Mb/s + PLCP
+//! let start = medium.begin_transmission(src, t0, t0 + airtime, &listeners);
+//! let end = medium.end_transmission(start.frame, t0 + airtime);
+//! assert_eq!(end.deliveries.len(), 1);
+//! assert!(end.deliveries[0].decoded);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod id;
+mod medium;
+mod topology;
+
+pub use id::{FrameId, NodeId};
+pub use medium::{CaptureModel, CarrierChange, Delivery, Listener, Medium, TxEnd, TxStart};
+pub use topology::{components, in_range, in_range_of, reachable_from};

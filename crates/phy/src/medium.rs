@@ -1,0 +1,693 @@
+//! The shared radio medium.
+//!
+//! [`Medium`] tracks every frame currently on the air and each host's
+//! transceiver state. It is deliberately ignorant of *positions*: the
+//! caller decides who is in range of a transmission (unit-disk or
+//! otherwise) and passes the listener set to
+//! [`begin_transmission`](Medium::begin_transmission). That keeps this
+//! crate a pure, exhaustively testable state machine and confines geometry
+//! to one place in the simulator.
+//!
+//! ## Reception model (paper §2.2.3)
+//!
+//! A frame is decoded by a listener iff, for its **entire airtime**:
+//!
+//! * no other in-range frame overlaps it at that listener (no capture
+//!   effect — overlapping frames garble each other), and
+//! * the listener itself never transmits (half-duplex).
+//!
+//! There is no collision detection: a garbled frame still occupies the
+//! medium until its scheduled end, exactly as in the paper ("a host will
+//! keep transmitting the packet even if some of its foregoing bits have
+//! been garbled").
+//!
+//! Carrier sense reports whether any *foreign* signal is in the air at a
+//! host; a host's own transmission is not carrier (the MAC knows about its
+//! own frames).
+
+use std::collections::HashMap;
+
+use manet_sim_engine::{SimRng, SimTime};
+
+use crate::id::{FrameId, NodeId};
+
+/// A frame currently being received (or jammed) at one listener.
+#[derive(Debug, Clone)]
+struct IncomingFrame {
+    frame: FrameId,
+    /// Received signal strength at this listener (arbitrary linear units;
+    /// only ratios matter). 1.0 when the wiring does not model power.
+    signal: f64,
+    garbled: bool,
+    /// Lost to injected channel loss rather than a collision.
+    injected_loss: bool,
+}
+
+/// A listener of a transmission, with the signal strength it receives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Listener {
+    /// The receiving host.
+    pub node: NodeId,
+    /// Received signal strength, linear units (e.g. `1 / d^alpha`).
+    pub signal: f64,
+}
+
+/// Physical-layer capture: a frame survives overlap when its signal
+/// exceeds the sum of all interfering signals by `threshold` (a linear
+/// SIR requirement). Without a capture model any overlap garbles all
+/// involved frames — the paper's §2.2.3 assumption.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaptureModel {
+    /// Required signal-to-interference ratio, linear (e.g. 4.0 ≈ 6 dB).
+    pub threshold: f64,
+}
+
+impl CaptureModel {
+    /// Creates a capture model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `threshold > 0` and finite.
+    pub fn new(threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && threshold > 0.0,
+            "capture threshold must be positive and finite, got {threshold}"
+        );
+        CaptureModel { threshold }
+    }
+}
+
+/// Per-host transceiver state.
+#[derive(Debug, Clone, Default)]
+struct Radio {
+    /// End of this host's own transmission, if it is transmitting.
+    tx_end: Option<SimTime>,
+    /// Foreign frames currently on the air at this host.
+    incoming: Vec<IncomingFrame>,
+}
+
+impl Radio {
+    fn carrier_busy(&self) -> bool {
+        !self.incoming.is_empty()
+    }
+}
+
+/// Record of one active transmission.
+#[derive(Debug, Clone)]
+struct ActiveTx {
+    source: NodeId,
+    listeners: Vec<NodeId>,
+    end: SimTime,
+}
+
+/// Carrier-sense transition at one host caused by a transmission starting
+/// or ending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CarrierChange {
+    /// The host whose carrier-sense state flipped.
+    pub node: NodeId,
+    /// `true`: medium went busy; `false`: medium went idle.
+    pub busy: bool,
+}
+
+/// Result of starting a transmission.
+#[derive(Debug, Clone)]
+pub struct TxStart {
+    /// Identifier of the new frame.
+    pub frame: FrameId,
+    /// Hosts whose carrier sense flipped from idle to busy.
+    pub carrier_changes: Vec<CarrierChange>,
+}
+
+/// One listener's outcome for a finished frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// The listener.
+    pub to: NodeId,
+    /// `true` when the frame was decoded; `false` when it was garbled by
+    /// a collision, half-duplex loss, or injected channel loss.
+    pub decoded: bool,
+}
+
+/// Result of a transmission ending.
+#[derive(Debug, Clone)]
+pub struct TxEnd {
+    /// The transmitting host (now free to transmit again).
+    pub source: NodeId,
+    /// Per-listener outcomes, in listener order.
+    pub deliveries: Vec<Delivery>,
+    /// Hosts whose carrier sense flipped from busy to idle.
+    pub carrier_changes: Vec<CarrierChange>,
+}
+
+/// The shared medium: all transceivers plus every frame on the air.
+///
+/// # Examples
+///
+/// ```
+/// use manet_phy::{Medium, NodeId};
+/// use manet_sim_engine::{SimDuration, SimTime};
+///
+/// let mut medium = Medium::new(3);
+/// let a = NodeId::new(0);
+/// let b = NodeId::new(1);
+/// let t0 = SimTime::ZERO;
+/// let start = medium.begin_transmission(a, t0, t0 + SimDuration::from_micros(2432), &[b]);
+/// let end = medium.end_transmission(start.frame, t0 + SimDuration::from_micros(2432));
+/// assert!(end.deliveries[0].decoded);
+/// ```
+#[derive(Debug)]
+pub struct Medium {
+    radios: Vec<Radio>,
+    active: HashMap<FrameId, ActiveTx>,
+    next_frame: u64,
+    /// Independent per-delivery loss probability (failure injection).
+    drop_probability: f64,
+    drop_rng: Option<SimRng>,
+    capture: Option<CaptureModel>,
+    collisions: u64,
+    frames_sent: u64,
+}
+
+impl Medium {
+    /// Creates a medium for `hosts` transceivers, all idle.
+    pub fn new(hosts: usize) -> Self {
+        Medium {
+            radios: vec![Radio::default(); hosts],
+            active: HashMap::new(),
+            next_frame: 0,
+            drop_probability: 0.0,
+            drop_rng: None,
+            capture: None,
+            collisions: 0,
+            frames_sent: 0,
+        }
+    }
+
+    /// Adds independent random frame loss with probability `p` per
+    /// delivery — a failure-injection hook for robustness experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn with_drop_probability(mut self, p: f64, rng: SimRng) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.drop_probability = p;
+        self.drop_rng = Some(rng);
+        self
+    }
+
+    /// Enables physical-layer capture with the given linear SIR
+    /// threshold. Off by default (the paper's no-capture assumption).
+    pub fn with_capture(mut self, model: CaptureModel) -> Self {
+        self.capture = Some(model);
+        self
+    }
+
+    /// Number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.radios.len()
+    }
+
+    /// `true` when a foreign signal is in the air at `node`.
+    pub fn is_carrier_busy(&self, node: NodeId) -> bool {
+        self.radios[node.index()].carrier_busy()
+    }
+
+    /// `true` when `node` is currently transmitting.
+    pub fn is_transmitting(&self, node: NodeId) -> bool {
+        self.radios[node.index()].tx_end.is_some()
+    }
+
+    /// Total frames put on the air so far.
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent
+    }
+
+    /// Total frame deliveries lost to collisions or half-duplex so far.
+    pub fn collision_count(&self) -> u64 {
+        self.collisions
+    }
+
+    /// Puts a frame on the air from `source`, heard by `listeners`,
+    /// lasting until `end`.
+    ///
+    /// The listener set is captured now (receivers moving in or out of
+    /// range mid-frame are not re-evaluated; at the paper's speeds a host
+    /// moves millimeters per frame). The source must not appear in
+    /// `listeners`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source is already transmitting, if `end <= now`, or
+    /// if `listeners` contains `source`.
+    pub fn begin_transmission(
+        &mut self,
+        source: NodeId,
+        now: SimTime,
+        end: SimTime,
+        listeners: &[NodeId],
+    ) -> TxStart {
+        let listeners: Vec<Listener> = listeners
+            .iter()
+            .map(|&node| Listener { node, signal: 1.0 })
+            .collect();
+        self.begin_transmission_with_signals(source, now, end, &listeners)
+    }
+
+    /// Like [`begin_transmission`](Self::begin_transmission), but with a
+    /// per-listener received signal strength so a [`CaptureModel`] can
+    /// arbitrate overlaps.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as `begin_transmission`, plus non-positive signal
+    /// strengths.
+    pub fn begin_transmission_with_signals(
+        &mut self,
+        source: NodeId,
+        now: SimTime,
+        end: SimTime,
+        listeners: &[Listener],
+    ) -> TxStart {
+        assert!(end > now, "transmission must have positive duration");
+        assert!(
+            !self.is_transmitting(source),
+            "{source} is already transmitting"
+        );
+        assert!(
+            listeners.iter().all(|l| l.node != source),
+            "source {source} cannot listen to itself"
+        );
+        assert!(
+            listeners.iter().all(|l| l.signal.is_finite() && l.signal > 0.0),
+            "signal strengths must be positive and finite"
+        );
+        let frame = FrameId::new(self.next_frame);
+        self.next_frame += 1;
+        self.frames_sent += 1;
+
+        // Half-duplex: starting to transmit garbles everything the source
+        // was in the middle of receiving.
+        let src_radio = &mut self.radios[source.index()];
+        src_radio.tx_end = Some(end);
+        for inc in &mut src_radio.incoming {
+            inc.garbled = true;
+        }
+
+        let mut carrier_changes = Vec::new();
+        for listener in listeners {
+            let radio = &mut self.radios[listener.node.index()];
+            let was_busy = radio.carrier_busy();
+
+            // A listener that is itself transmitting misses the frame
+            // outright (half-duplex).
+            let mut garbled = radio.tx_end.is_some();
+            if !radio.incoming.is_empty() {
+                match self.capture {
+                    None => {
+                        // No capture: any overlap garbles everything
+                        // involved (paper §2.2.3).
+                        for other in &mut radio.incoming {
+                            other.garbled = true;
+                        }
+                        garbled = true;
+                    }
+                    Some(model) => {
+                        // SIR test: each frame survives only if its signal
+                        // beats the sum of all others by the threshold.
+                        let total: f64 = radio.incoming.iter().map(|f| f.signal).sum::<f64>()
+                            + listener.signal;
+                        for other in &mut radio.incoming {
+                            if other.signal < model.threshold * (total - other.signal) {
+                                other.garbled = true;
+                            }
+                        }
+                        if listener.signal < model.threshold * (total - listener.signal) {
+                            garbled = true;
+                        }
+                    }
+                }
+            }
+            // Injected channel loss (failure injection, not a collision).
+            let mut injected_loss = false;
+            if !garbled && self.drop_probability > 0.0 {
+                let rng = self
+                    .drop_rng
+                    .as_mut()
+                    .expect("drop probability set without rng");
+                if rng.gen_bool(self.drop_probability) {
+                    garbled = true;
+                    injected_loss = true;
+                }
+            }
+            radio.incoming.push(IncomingFrame {
+                frame,
+                signal: listener.signal,
+                garbled,
+                injected_loss,
+            });
+            if !was_busy {
+                carrier_changes.push(CarrierChange {
+                    node: listener.node,
+                    busy: true,
+                });
+            }
+        }
+
+        self.active.insert(
+            frame,
+            ActiveTx {
+                source,
+                listeners: listeners.iter().map(|l| l.node).collect(),
+                end,
+            },
+        );
+        TxStart {
+            frame,
+            carrier_changes,
+        }
+    }
+
+    /// Takes a frame off the air at its scheduled end time, reporting
+    /// which listeners decoded it and whose carrier sense went idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is unknown (already ended or never started) or if
+    /// `now` differs from the end passed to `begin_transmission`.
+    pub fn end_transmission(&mut self, frame: FrameId, now: SimTime) -> TxEnd {
+        let tx = self
+            .active
+            .remove(&frame)
+            .expect("ending a frame that is not on the air");
+        assert_eq!(tx.end, now, "frame ended at the wrong time");
+
+        let src_radio = &mut self.radios[tx.source.index()];
+        debug_assert_eq!(src_radio.tx_end, Some(now), "source lost its tx state");
+        src_radio.tx_end = None;
+
+        let mut deliveries = Vec::with_capacity(tx.listeners.len());
+        let mut carrier_changes = Vec::new();
+        for &listener in &tx.listeners {
+            let radio = &mut self.radios[listener.index()];
+            let idx = radio
+                .incoming
+                .iter()
+                .position(|inc| inc.frame == frame)
+                .expect("listener lost an incoming frame");
+            let inc = radio.incoming.swap_remove(idx);
+            if inc.garbled && !inc.injected_loss {
+                self.collisions += 1;
+            }
+            deliveries.push(Delivery {
+                to: listener,
+                decoded: !inc.garbled,
+            });
+            if !radio.carrier_busy() {
+                carrier_changes.push(CarrierChange {
+                    node: listener,
+                    busy: false,
+                });
+            }
+        }
+        TxEnd {
+            source: tx.source,
+            deliveries,
+            carrier_changes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_sim_engine::SimDuration;
+
+    const AIRTIME: SimDuration = SimDuration::from_micros(2_432);
+
+    fn ids(range: std::ops::Range<u32>) -> Vec<NodeId> {
+        range.map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn clean_frame_is_decoded_by_all_listeners() {
+        let mut m = Medium::new(4);
+        let t0 = SimTime::ZERO;
+        let start = m.begin_transmission(NodeId::new(0), t0, t0 + AIRTIME, &ids(1..4));
+        let end = m.end_transmission(start.frame, t0 + AIRTIME);
+        assert_eq!(end.deliveries.len(), 3);
+        assert!(end.deliveries.iter().all(|d| d.decoded));
+        assert_eq!(m.collision_count(), 0);
+    }
+
+    #[test]
+    fn overlapping_frames_garble_each_other() {
+        // a and c both reach b; their frames overlap -> b decodes neither.
+        let mut m = Medium::new(3);
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        let t0 = SimTime::ZERO;
+        let f1 = m.begin_transmission(a, t0, t0 + AIRTIME, &[b]);
+        let mid = t0 + AIRTIME / 2;
+        let f2 = m.begin_transmission(c, mid, mid + AIRTIME, &[b]);
+        let e1 = m.end_transmission(f1.frame, t0 + AIRTIME);
+        assert!(!e1.deliveries[0].decoded, "first frame garbled");
+        let e2 = m.end_transmission(f2.frame, mid + AIRTIME);
+        assert!(!e2.deliveries[0].decoded, "second frame garbled");
+        assert!(m.collision_count() >= 2);
+    }
+
+    #[test]
+    fn hidden_terminal_collision() {
+        // a -- b -- c: a and c cannot hear each other, both reach b.
+        // Simultaneous transmissions collide at b only.
+        let mut m = Medium::new(3);
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        let t0 = SimTime::ZERO;
+        let f1 = m.begin_transmission(a, t0, t0 + AIRTIME, &[b]);
+        let f2 = m.begin_transmission(c, t0, t0 + AIRTIME, &[b]);
+        assert!(!m.end_transmission(f1.frame, t0 + AIRTIME).deliveries[0].decoded);
+        assert!(!m.end_transmission(f2.frame, t0 + AIRTIME).deliveries[0].decoded);
+    }
+
+    #[test]
+    fn half_duplex_listener_misses_frame() {
+        // b is transmitting (to nobody in range) while a transmits to b.
+        let mut m = Medium::new(2);
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let t0 = SimTime::ZERO;
+        let fb = m.begin_transmission(b, t0, t0 + AIRTIME, &[]);
+        let fa = m.begin_transmission(a, t0, t0 + AIRTIME, &[b]);
+        assert!(!m.end_transmission(fa.frame, t0 + AIRTIME).deliveries[0].decoded);
+        m.end_transmission(fb.frame, t0 + AIRTIME);
+    }
+
+    #[test]
+    fn starting_tx_garbles_reception_in_progress() {
+        let mut m = Medium::new(2);
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let t0 = SimTime::ZERO;
+        let fa = m.begin_transmission(a, t0, t0 + AIRTIME, &[b]);
+        // b starts transmitting mid-reception.
+        let mid = t0 + AIRTIME / 2;
+        let fb = m.begin_transmission(b, mid, mid + AIRTIME, &[]);
+        assert!(!m.end_transmission(fa.frame, t0 + AIRTIME).deliveries[0].decoded);
+        m.end_transmission(fb.frame, mid + AIRTIME);
+    }
+
+    #[test]
+    fn carrier_sense_transitions() {
+        let mut m = Medium::new(3);
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let t0 = SimTime::ZERO;
+        assert!(!m.is_carrier_busy(b));
+        let start = m.begin_transmission(a, t0, t0 + AIRTIME, &[b]);
+        assert_eq!(
+            start.carrier_changes,
+            vec![CarrierChange { node: b, busy: true }]
+        );
+        assert!(m.is_carrier_busy(b));
+        let end = m.end_transmission(start.frame, t0 + AIRTIME);
+        assert_eq!(
+            end.carrier_changes,
+            vec![CarrierChange {
+                node: b,
+                busy: false
+            }]
+        );
+        assert!(!m.is_carrier_busy(b));
+    }
+
+    #[test]
+    fn carrier_stays_busy_under_overlap() {
+        let mut m = Medium::new(3);
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        let t0 = SimTime::ZERO;
+        let f1 = m.begin_transmission(a, t0, t0 + AIRTIME, &[b]);
+        let mid = t0 + AIRTIME / 2;
+        let f2 = m.begin_transmission(c, mid, mid + AIRTIME, &[b]);
+        // No new busy transition for b on the second frame.
+        assert!(f2.carrier_changes.is_empty());
+        // First frame ends: b still hears the second -> no idle transition.
+        let e1 = m.end_transmission(f1.frame, t0 + AIRTIME);
+        assert!(e1.carrier_changes.is_empty());
+        assert!(m.is_carrier_busy(b));
+        let e2 = m.end_transmission(f2.frame, mid + AIRTIME);
+        assert_eq!(e2.carrier_changes.len(), 1);
+        assert!(!m.is_carrier_busy(b));
+    }
+
+    #[test]
+    fn injected_loss_drops_roughly_p() {
+        let mut m =
+            Medium::new(2).with_drop_probability(0.3, SimRng::seed_from(9));
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let mut t = SimTime::ZERO;
+        let mut decoded = 0;
+        let trials = 2_000;
+        for _ in 0..trials {
+            let s = m.begin_transmission(a, t, t + AIRTIME, &[b]);
+            let e = m.end_transmission(s.frame, t + AIRTIME);
+            if e.deliveries[0].decoded {
+                decoded += 1;
+            }
+            t += AIRTIME;
+        }
+        let rate = decoded as f64 / trials as f64;
+        assert!((rate - 0.7).abs() < 0.05, "decode rate {rate}");
+    }
+
+    #[test]
+    fn frame_counters() {
+        let mut m = Medium::new(2);
+        let t0 = SimTime::ZERO;
+        let s = m.begin_transmission(NodeId::new(0), t0, t0 + AIRTIME, &[NodeId::new(1)]);
+        m.end_transmission(s.frame, t0 + AIRTIME);
+        assert_eq!(m.frames_sent(), 1);
+        assert_eq!(m.host_count(), 2);
+    }
+
+    #[test]
+    fn capture_lets_strong_frame_survive() {
+        // b hears a strong frame from a and a weak one from c; with a
+        // 4x SIR capture threshold the strong frame decodes.
+        let mut m = Medium::new(3).with_capture(CaptureModel::new(4.0));
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        let t0 = SimTime::ZERO;
+        let strong = m.begin_transmission_with_signals(
+            a,
+            t0,
+            t0 + AIRTIME,
+            &[Listener { node: b, signal: 100.0 }],
+        );
+        let weak = m.begin_transmission_with_signals(
+            c,
+            t0,
+            t0 + AIRTIME,
+            &[Listener { node: b, signal: 1.0 }],
+        );
+        assert!(
+            m.end_transmission(strong.frame, t0 + AIRTIME).deliveries[0].decoded,
+            "strong frame captures the receiver"
+        );
+        assert!(
+            !m.end_transmission(weak.frame, t0 + AIRTIME).deliveries[0].decoded,
+            "weak frame is lost"
+        );
+    }
+
+    #[test]
+    fn capture_garbles_comparable_frames() {
+        let mut m = Medium::new(3).with_capture(CaptureModel::new(4.0));
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        let t0 = SimTime::ZERO;
+        let f1 = m.begin_transmission_with_signals(
+            a,
+            t0,
+            t0 + AIRTIME,
+            &[Listener { node: b, signal: 2.0 }],
+        );
+        let f2 = m.begin_transmission_with_signals(
+            c,
+            t0,
+            t0 + AIRTIME,
+            &[Listener { node: b, signal: 1.5 }],
+        );
+        assert!(!m.end_transmission(f1.frame, t0 + AIRTIME).deliveries[0].decoded);
+        assert!(!m.end_transmission(f2.frame, t0 + AIRTIME).deliveries[0].decoded);
+    }
+
+    #[test]
+    fn capture_sums_interference() {
+        // One 10x frame against three 3x interferers: 10 < 4 * 9, so even
+        // the strongest frame is garbled under summed interference.
+        let mut m = Medium::new(5).with_capture(CaptureModel::new(4.0));
+        let b = NodeId::new(0);
+        let t0 = SimTime::ZERO;
+        let strong = m.begin_transmission_with_signals(
+            NodeId::new(1),
+            t0,
+            t0 + AIRTIME,
+            &[Listener { node: b, signal: 10.0 }],
+        );
+        let mut others = Vec::new();
+        for i in 2..5u32 {
+            others.push(m.begin_transmission_with_signals(
+                NodeId::new(i),
+                t0,
+                t0 + AIRTIME,
+                &[Listener { node: b, signal: 3.0 }],
+            ));
+        }
+        assert!(!m.end_transmission(strong.frame, t0 + AIRTIME).deliveries[0].decoded);
+        for tx in others {
+            assert!(!m.end_transmission(tx.frame, t0 + AIRTIME).deliveries[0].decoded);
+        }
+    }
+
+    #[test]
+    fn capture_does_not_help_half_duplex() {
+        let mut m = Medium::new(2).with_capture(CaptureModel::new(1.0));
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let t0 = SimTime::ZERO;
+        let fb = m.begin_transmission(b, t0, t0 + AIRTIME, &[]);
+        let fa = m.begin_transmission_with_signals(
+            a,
+            t0,
+            t0 + AIRTIME,
+            &[Listener { node: b, signal: 1_000.0 }],
+        );
+        assert!(!m.end_transmission(fa.frame, t0 + AIRTIME).deliveries[0].decoded);
+        m.end_transmission(fb.frame, t0 + AIRTIME);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_signal_panics() {
+        let mut m = Medium::new(2);
+        let t0 = SimTime::ZERO;
+        m.begin_transmission_with_signals(
+            NodeId::new(0),
+            t0,
+            t0 + AIRTIME,
+            &[Listener { node: NodeId::new(1), signal: 0.0 }],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already transmitting")]
+    fn double_tx_panics() {
+        let mut m = Medium::new(1);
+        let t0 = SimTime::ZERO;
+        m.begin_transmission(NodeId::new(0), t0, t0 + AIRTIME, &[]);
+        m.begin_transmission(NodeId::new(0), t0, t0 + AIRTIME, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot listen to itself")]
+    fn self_listener_panics() {
+        let mut m = Medium::new(1);
+        let t0 = SimTime::ZERO;
+        m.begin_transmission(NodeId::new(0), t0, t0 + AIRTIME, &[NodeId::new(0)]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Unit-disk topology queries over a position snapshot.
+//!
+//! The simulator evaluates host positions at an event's timestamp and asks
+//! this module who can hear whom: a host hears another iff their distance
+//! is at most the transmission radius (the paper's unit-disk model,
+//! r = 500 m).
+
+use manet_geom::Vec2;
+
+use crate::id::NodeId;
+
+/// All hosts within `radius` of `positions[of]`, excluding `of` itself.
+///
+/// # Examples
+///
+/// ```
+/// use manet_geom::Vec2;
+/// use manet_phy::{in_range_of, NodeId};
+///
+/// let positions = [Vec2::new(0.0, 0.0), Vec2::new(400.0, 0.0), Vec2::new(900.0, 0.0)];
+/// let heard = in_range_of(&positions, NodeId::new(0), 500.0);
+/// assert_eq!(heard, vec![NodeId::new(1)]);
+/// ```
+pub fn in_range_of(positions: &[Vec2], of: NodeId, radius: f64) -> Vec<NodeId> {
+    let center = positions[of.index()];
+    let r2 = radius * radius;
+    positions
+        .iter()
+        .enumerate()
+        .filter(|&(i, p)| i != of.index() && p.distance_squared_to(center) <= r2)
+        .map(|(i, _)| NodeId::new(i as u32))
+        .collect()
+}
+
+/// `true` when hosts `a` and `b` are within `radius` of each other.
+pub fn in_range(positions: &[Vec2], a: NodeId, b: NodeId, radius: f64) -> bool {
+    positions[a.index()].distance_squared_to(positions[b.index()]) <= radius * radius
+}
+
+/// The set of hosts reachable from `source` (directly or over multiple
+/// hops) in the unit-disk graph, **excluding** `source` itself.
+///
+/// This is the paper's `e` in `RE = r / e`: the hosts that *could* receive
+/// a broadcast issued by `source` at this instant, accounting for network
+/// partitions.
+pub fn reachable_from(positions: &[Vec2], source: NodeId, radius: f64) -> Vec<NodeId> {
+    let n = positions.len();
+    let r2 = radius * radius;
+    let mut visited = vec![false; n];
+    visited[source.index()] = true;
+    let mut stack = vec![source.index()];
+    let mut out = Vec::new();
+    while let Some(u) = stack.pop() {
+        let pu = positions[u];
+        for (v, pv) in positions.iter().enumerate() {
+            if !visited[v] && pv.distance_squared_to(pu) <= r2 {
+                visited[v] = true;
+                stack.push(v);
+                out.push(NodeId::new(v as u32));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// The connected components of the unit-disk graph, each sorted, largest
+/// first.
+pub fn components(positions: &[Vec2], radius: f64) -> Vec<Vec<NodeId>> {
+    let n = positions.len();
+    let mut seen = vec![false; n];
+    let mut comps = Vec::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        seen[start] = true;
+        let mut comp = vec![NodeId::new(start as u32)];
+        let mut rest = reachable_from(positions, NodeId::new(start as u32), radius);
+        for &node in &rest {
+            seen[node.index()] = true;
+        }
+        comp.append(&mut rest);
+        comp.sort();
+        comps.push(comp);
+    }
+    comps.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: f64 = 500.0;
+
+    fn line(n: usize, spacing: f64) -> Vec<Vec2> {
+        (0..n).map(|i| Vec2::new(i as f64 * spacing, 0.0)).collect()
+    }
+
+    #[test]
+    fn in_range_respects_radius_boundary() {
+        let pos = [Vec2::ZERO, Vec2::new(500.0, 0.0), Vec2::new(500.1, 0.0)];
+        assert_eq!(
+            in_range_of(&pos, NodeId::new(0), R),
+            vec![NodeId::new(1)],
+            "exactly at radius counts, just over does not"
+        );
+        assert!(in_range(&pos, NodeId::new(0), NodeId::new(1), R));
+        assert!(!in_range(&pos, NodeId::new(0), NodeId::new(2), R));
+    }
+
+    #[test]
+    fn chain_is_fully_reachable() {
+        let pos = line(10, 450.0);
+        let reach = reachable_from(&pos, NodeId::new(0), R);
+        assert_eq!(reach.len(), 9);
+    }
+
+    #[test]
+    fn gap_partitions_chain() {
+        // Hosts 0-4 spaced 450 apart, then a 1000 m gap, then 5-9.
+        let mut pos = line(5, 450.0);
+        let offset = pos.last().unwrap().x + 1_000.0;
+        pos.extend((0..5).map(|i| Vec2::new(offset + i as f64 * 450.0, 0.0)));
+        let reach = reachable_from(&pos, NodeId::new(0), R);
+        assert_eq!(reach.len(), 4, "only the first segment is reachable");
+        let comps = components(&pos, R);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].len(), 5);
+        assert_eq!(comps[1].len(), 5);
+    }
+
+    #[test]
+    fn isolated_host_reaches_nobody() {
+        let pos = [Vec2::ZERO, Vec2::new(10_000.0, 0.0)];
+        assert!(reachable_from(&pos, NodeId::new(0), R).is_empty());
+    }
+
+    #[test]
+    fn reachability_is_symmetric_set() {
+        let pos = line(6, 400.0);
+        for i in 0..6u32 {
+            let reach = reachable_from(&pos, NodeId::new(i), R);
+            assert_eq!(reach.len(), 5, "all hosts mutually reachable");
+            assert!(!reach.contains(&NodeId::new(i)), "excludes self");
+        }
+    }
+
+    #[test]
+    fn components_cover_all_nodes_once() {
+        let pos = [
+            Vec2::ZERO,
+            Vec2::new(400.0, 0.0),
+            Vec2::new(5_000.0, 0.0),
+            Vec2::new(5_400.0, 0.0),
+            Vec2::new(20_000.0, 0.0),
+        ];
+        let comps = components(&pos, R);
+        let total: usize = comps.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 5);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps.last().unwrap().len(), 1);
+    }
+}

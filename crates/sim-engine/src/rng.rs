@@ -1,0 +1,173 @@
+//! Seeded randomness helpers.
+//!
+//! All stochastic behaviour in the simulator flows through [`SimRng`], a
+//! thin wrapper over a fast, seedable PRNG. Constructing every component's
+//! RNG by [`SimRng::fork`]-ing a single root seed makes whole simulations
+//! reproducible from one `u64` while keeping streams statistically
+//! independent.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// A deterministic random number generator for simulation components.
+///
+/// # Examples
+///
+/// ```
+/// use manet_sim_engine::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.gen_range_u32(0..100), b.gen_range_u32(0..100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// The child's stream is a deterministic function of the parent's seed
+    /// and the `stream` label, so components can be created in any order
+    /// without perturbing each other's randomness.
+    pub fn fork(&self, stream: u64) -> SimRng {
+        // Mix the parent's seed material with the stream label through
+        // splitmix64 so adjacent labels produce uncorrelated seeds.
+        let mut base = self.clone();
+        let parent_word = base.inner.next_u64();
+        SimRng::seed_from(splitmix64(parent_word ^ splitmix64(stream)))
+    }
+
+    /// Uniform `u32` in `range` (half-open).
+    pub fn gen_range_u32(&mut self, range: std::ops::Range<u32>) -> u32 {
+        self.inner.gen_range(range)
+    }
+
+    /// Uniform `usize` in `range` (half-open).
+    pub fn gen_range_usize(&mut self, range: std::ops::Range<usize>) -> usize {
+        self.inner.gen_range(range)
+    }
+
+    /// Uniform `f64` in `range` (half-open).
+    pub fn gen_range_f64(&mut self, range: std::ops::Range<f64>) -> f64 {
+        self.inner.gen_range(range)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn gen_unit_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p)
+    }
+
+    /// A uniformly random duration in `[SimDuration::ZERO, max]` (inclusive).
+    pub fn gen_duration_up_to(&mut self, max: SimDuration) -> SimDuration {
+        if max.is_zero() {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos(self.inner.gen_range(0..=max.as_nanos()))
+    }
+
+    /// A uniformly random duration in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn gen_duration_between(&mut self, lo: SimDuration, hi: SimDuration) -> SimDuration {
+        assert!(lo <= hi, "empty duration range: {lo} > {hi}");
+        SimDuration::from_nanos(self.inner.gen_range(lo.as_nanos()..=hi.as_nanos()))
+    }
+
+    /// Access to the underlying [`rand::Rng`] for distributions not covered
+    /// by the convenience methods.
+    pub fn raw(&mut self) -> &mut impl Rng {
+        &mut self.inner
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range_u32(0..1000), b.gen_range_u32(0..1000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(8);
+        let same = (0..100)
+            .filter(|_| a.gen_range_u32(0..1000) == b.gen_range_u32(0..1000))
+            .count();
+        assert!(same < 10, "streams should diverge, {same} collisions");
+    }
+
+    #[test]
+    fn forks_are_deterministic_and_independent() {
+        let root = SimRng::seed_from(7);
+        let mut c1 = root.fork(1);
+        let mut c1_again = SimRng::seed_from(7).fork(1);
+        let mut c2 = root.fork(2);
+        assert_eq!(c1.gen_range_u32(0..1000), c1_again.gen_range_u32(0..1000));
+        let same = (0..100)
+            .filter(|_| c1.gen_range_u32(0..1000) == c2.gen_range_u32(0..1000))
+            .count();
+        assert!(same < 10, "forked streams should differ, {same} collisions");
+    }
+
+    #[test]
+    fn duration_ranges_respect_bounds() {
+        let mut rng = SimRng::seed_from(3);
+        let lo = SimDuration::from_millis(10);
+        let hi = SimDuration::from_millis(20);
+        for _ in 0..1000 {
+            let d = rng.gen_duration_between(lo, hi);
+            assert!(d >= lo && d <= hi);
+            let u = rng.gen_duration_up_to(hi);
+            assert!(u <= hi);
+        }
+        assert_eq!(
+            rng.gen_duration_up_to(SimDuration::ZERO),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = SimRng::seed_from(11);
+        for _ in 0..1000 {
+            let x = rng.gen_unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The simulation driver loop.
+//!
+//! A simulation is a pairing of an [`EventQueue`] with a model implementing
+//! [`EventHandler`]. The driver pops events in timestamp order and hands
+//! each to the handler, which may schedule or cancel further events through
+//! the queue it is given.
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// A model that reacts to events of type `E`.
+pub trait EventHandler<E> {
+    /// Processes one event.
+    ///
+    /// `now` is the event's timestamp; `queue` may be used to schedule
+    /// follow-up events (never in the past).
+    fn handle(&mut self, now: SimTime, event: E, queue: &mut EventQueue<E>);
+}
+
+/// Outcome of [`run`] / [`run_until`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The queue drained: no events remain.
+    Drained {
+        /// Timestamp of the last delivered event.
+        last_event: SimTime,
+    },
+    /// The horizon was reached with events still pending.
+    HorizonReached {
+        /// The horizon passed to [`run_until`].
+        horizon: SimTime,
+    },
+    /// The event budget was exhausted (runaway protection).
+    BudgetExhausted {
+        /// Time of the last event delivered before stopping.
+        stopped_at: SimTime,
+    },
+}
+
+/// Runs until the queue is empty.
+///
+/// Equivalent to [`run_until`] with an infinite horizon and budget.
+pub fn run<E, H: EventHandler<E>>(handler: &mut H, queue: &mut EventQueue<E>) -> RunOutcome {
+    run_until(handler, queue, SimTime::MAX, u64::MAX)
+}
+
+/// Runs until the queue drains, the next event would be after `horizon`,
+/// or `max_events` have been delivered — whichever comes first.
+///
+/// Events stamped exactly at `horizon` are still delivered.
+pub fn run_until<E, H: EventHandler<E>>(
+    handler: &mut H,
+    queue: &mut EventQueue<E>,
+    horizon: SimTime,
+    max_events: u64,
+) -> RunOutcome {
+    let mut delivered = 0u64;
+    let mut last = queue.now();
+    loop {
+        match queue.peek_time() {
+            None => return RunOutcome::Drained { last_event: last },
+            Some(t) if t > horizon => return RunOutcome::HorizonReached { horizon },
+            Some(_) => {}
+        }
+        if delivered >= max_events {
+            return RunOutcome::BudgetExhausted { stopped_at: last };
+        }
+        let (now, event) = queue.pop().expect("peeked event vanished");
+        last = now;
+        delivered += 1;
+        handler.handle(now, event, queue);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// A handler that re-schedules itself `remaining` times, one second apart.
+    struct Ticker {
+        ticks: Vec<SimTime>,
+        remaining: u32,
+    }
+
+    impl EventHandler<()> for Ticker {
+        fn handle(&mut self, now: SimTime, _event: (), queue: &mut EventQueue<()>) {
+            self.ticks.push(now);
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                queue.schedule(now + SimDuration::from_secs(1), ());
+            }
+        }
+    }
+
+    #[test]
+    fn runs_to_drain() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), ());
+        let mut t = Ticker {
+            ticks: vec![],
+            remaining: 3,
+        };
+        let outcome = run(&mut t, &mut q);
+        assert_eq!(
+            outcome,
+            RunOutcome::Drained {
+                last_event: SimTime::from_secs(4)
+            }
+        );
+        assert_eq!(t.ticks.len(), 4);
+    }
+
+    #[test]
+    fn horizon_stops_delivery_but_keeps_events() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), ());
+        let mut t = Ticker {
+            ticks: vec![],
+            remaining: 100,
+        };
+        let outcome = run_until(&mut t, &mut q, SimTime::from_secs(3), u64::MAX);
+        assert_eq!(
+            outcome,
+            RunOutcome::HorizonReached {
+                horizon: SimTime::from_secs(3)
+            }
+        );
+        // Events at 1, 2, 3 delivered; the one at 4 remains queued.
+        assert_eq!(t.ticks.len(), 3);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn budget_bounds_runaway_models() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), ());
+        let mut t = Ticker {
+            ticks: vec![],
+            remaining: u32::MAX,
+        };
+        let outcome = run_until(&mut t, &mut q, SimTime::MAX, 10);
+        assert!(matches!(outcome, RunOutcome::BudgetExhausted { .. }));
+        assert_eq!(t.ticks.len(), 10);
+    }
+}

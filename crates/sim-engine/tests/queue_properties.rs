@@ -1,0 +1,81 @@
+//! Property-based tests for the event queue: delivery order, cancellation,
+//! and clock monotonicity under arbitrary schedules.
+
+use manet_sim_engine::{EventQueue, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always come out sorted by (time, insertion order).
+    #[test]
+    fn delivery_is_sorted_and_stable(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut expected: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        expected.sort();
+        let mut actual = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            actual.push((t.as_nanos(), i));
+        }
+        prop_assert_eq!(actual, expected);
+    }
+
+    /// Cancelled events never surface; everything else still does, in order.
+    #[test]
+    fn cancellation_preserves_order_of_survivors(
+        times in prop::collection::vec(0u64..1_000_000, 1..200),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        let keys: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.schedule(SimTime::from_nanos(t), i))
+            .collect();
+        let mut survivors = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                q.cancel(*key);
+            } else {
+                survivors.push((times[i], i));
+            }
+        }
+        survivors.sort();
+        let mut actual = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            actual.push((t.as_nanos(), i));
+        }
+        prop_assert_eq!(actual, survivors);
+    }
+
+    /// The clock never moves backwards no matter the schedule.
+    #[test]
+    fn clock_is_monotone(times in prop::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.schedule(SimTime::from_nanos(t), ());
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            prop_assert_eq!(q.now(), t);
+            last = t;
+        }
+    }
+
+    /// peek_time always matches the next popped timestamp.
+    #[test]
+    fn peek_agrees_with_pop(times in prop::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.schedule(SimTime::from_nanos(t), ());
+        }
+        while let Some(peeked) = q.peek_time() {
+            let (popped, _) = q.pop().unwrap();
+            prop_assert_eq!(peeked, popped);
+        }
+        prop_assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,52 @@
+//! Convoy scenario: exercises the extension features — random-waypoint
+//! mobility, physical-layer capture, and latency percentiles.
+//!
+//! A supply convoy's escort vehicles roam between waypoints across a
+//! 7×7 map while command broadcasts orders. Real radios exhibit capture
+//! (a dominant signal survives interference), so we compare the paper's
+//! pessimistic no-capture channel with a 10 dB capture model, reporting
+//! tail latency rather than just the mean.
+//!
+//! ```text
+//! cargo run --release --example convoy
+//! ```
+
+use manet_broadcast::{
+    CaptureConfig, CounterThreshold, MobilitySpec, SchemeSpec, SimConfig, World,
+};
+
+fn run(label: &str, capture: Option<CaptureConfig>) {
+    let mut builder = SimConfig::builder(
+        7,
+        SchemeSpec::AdaptiveCounter(CounterThreshold::paper_recommended()),
+    )
+    .mobility(MobilitySpec::RandomWaypoint)
+    .max_speed_kmh(70.0)
+    .broadcasts(100)
+    .seed(1944);
+    if let Some(model) = capture {
+        builder = builder.capture(model);
+    }
+    let report = World::new(builder.build()).run();
+    let latency = report.latency_summary();
+    println!(
+        "  {label:<12} RE {:>5.1}%   SRB {:>5.1}%   latency mean {:>6.1} ms  p50 {:>6.1}  p95 {:>6.1}  max {:>6.1}",
+        report.reachability * 100.0,
+        report.saved_rebroadcasts * 100.0,
+        latency.mean_s * 1_000.0,
+        latency.p50_s * 1_000.0,
+        latency.p95_s * 1_000.0,
+        latency.max_s * 1_000.0,
+    );
+}
+
+fn main() {
+    println!("convoy: 100 vehicles, waypoint mobility at 70 km/h, adaptive counter scheme");
+    println!();
+    run("no capture", None);
+    run("capture 10dB", Some(CaptureConfig::typical()));
+    println!();
+    println!("capture rescues some frames that the pessimistic model garbles, so");
+    println!("reachability and tail latency improve slightly; the adaptive scheme's");
+    println!("behaviour does not depend on the channel optimism.");
+}

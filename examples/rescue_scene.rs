@@ -1,0 +1,65 @@
+//! Rescue-scene scenario: a sparse, fast-moving ad hoc network with no
+//! infrastructure — the motivating deployment of the paper's
+//! introduction ("rescue scenes", "soldiers on the march").
+//!
+//! Rescue teams spread over a ~5 km × 5 km area (the 9×9 map is very
+//! sparse for 100 radios) and move quickly. Broadcast alerts must reach
+//! everyone reachable, but battery and spectrum are scarce, so both
+//! rebroadcasts and HELLO beacons should be minimized.
+//!
+//! This example compares the neighbor-coverage scheme under
+//!
+//! 1. a slow fixed hello interval (cheap but stale),
+//! 2. a fast fixed hello interval (fresh but chatty), and
+//! 3. the paper's dynamic hello interval (NC-DHI),
+//!
+//! reporting alert reachability and beacon traffic for each.
+//!
+//! ```text
+//! cargo run --release --example rescue_scene
+//! ```
+
+use manet_broadcast::{
+    DynamicHelloParams, HelloIntervalPolicy, NeighborInfo, SchemeSpec, SimConfig,
+    SimDuration, World,
+};
+
+fn run(label: &str, policy: HelloIntervalPolicy) {
+    let config = SimConfig::builder(9, SchemeSpec::NeighborCoverage)
+        .broadcasts(80)
+        .max_speed_kmh(60.0) // vehicles and runners, not strollers
+        .neighbor_info(NeighborInfo::Hello(policy))
+        .warmup(SimDuration::from_secs(15))
+        .seed(404)
+        .build();
+    let report = World::new(config).run();
+    let hello_rate = report.hello_packets as f64 / (100.0 * report.sim_seconds);
+    println!(
+        "  {label:<22} alert RE {:>5.1}%   SRB {:>5.1}%   beacons/host/s {:>5.3}",
+        report.reachability * 100.0,
+        report.saved_rebroadcasts * 100.0,
+        hello_rate,
+    );
+}
+
+fn main() {
+    println!("rescue scene: 100 hosts, 4.5 km square, 60 km/h, neighbor-coverage scheme");
+    println!();
+    run(
+        "fixed hello 10 s",
+        HelloIntervalPolicy::Fixed(SimDuration::from_secs(10)),
+    );
+    run(
+        "fixed hello 1 s",
+        HelloIntervalPolicy::Fixed(SimDuration::from_secs(1)),
+    );
+    run(
+        "dynamic (NC-DHI)",
+        HelloIntervalPolicy::Dynamic(DynamicHelloParams::paper()),
+    );
+    println!();
+    println!("expectation (paper Figs 11-12): 10 s beacons go stale at 60 km/h and");
+    println!("cost reachability; 1 s beacons fix RE at maximum beacon cost; the");
+    println!("dynamic interval recovers the reachability at a traffic level set by");
+    println!("the actual neighborhood churn.");
+}

@@ -1,0 +1,77 @@
+//! Route-discovery scenario: broadcast as the substrate of on-demand
+//! routing.
+//!
+//! MANET routing protocols (DSR, AODV, ZRP, CBRP — refs [2], [8], [10],
+//! [18] of the paper) discover routes by **broadcasting** a route_request
+//! packet and letting rebroadcasts flood it toward the destination. Every
+//! redundant rebroadcast is pure overhead, and every collision can make a
+//! discovery fail — which is exactly the broadcast storm the paper
+//! attacks.
+//!
+//! This example treats each simulated broadcast as a route request and
+//! compares schemes by:
+//!
+//! * **discovery rate** — how often the request reaches *every* reachable
+//!   host (a superset of reaching any particular destination),
+//! * **expected destination coverage** — the probability a random
+//!   reachable destination hears the request (= RE),
+//! * **cost** — transmitted route-request frames per discovery.
+//!
+//! ```text
+//! cargo run --release --example route_discovery
+//! ```
+
+use manet_broadcast::{
+    AreaThreshold, CounterThreshold, SchemeSpec, SimConfig, World,
+};
+
+fn run(map_units: u32, scheme: SchemeSpec) {
+    let config = SimConfig::builder(map_units, scheme)
+        .broadcasts(100)
+        .seed(777)
+        .build();
+    let label = config.scheme.label();
+    let report = World::new(config).run();
+    let full_coverage = report
+        .per_broadcast
+        .iter()
+        .filter(|o| o.reachable > 0 && o.received >= o.reachable)
+        .count();
+    let defined = report
+        .per_broadcast
+        .iter()
+        .filter(|o| o.reachable > 0)
+        .count()
+        .max(1);
+    println!(
+        "  {label:<10} discovery {:>5.1}%   dest coverage {:>5.1}%   frames/request {:>6.1}",
+        100.0 * full_coverage as f64 / defined as f64,
+        report.reachability * 100.0,
+        report.data_frames as f64 / report.broadcasts as f64,
+    );
+}
+
+fn main() {
+    let schemes = || {
+        [
+            SchemeSpec::Flooding,
+            SchemeSpec::Counter(2),
+            SchemeSpec::AdaptiveCounter(CounterThreshold::paper_recommended()),
+            SchemeSpec::AdaptiveLocation(AreaThreshold::paper_recommended()),
+            SchemeSpec::NeighborCoverage,
+        ]
+    };
+    println!("route discovery on a dense campus (3x3 map):");
+    for scheme in schemes() {
+        run(3, scheme);
+    }
+    println!();
+    println!("route discovery on a sparse region (9x9 map):");
+    for scheme in schemes() {
+        run(9, scheme);
+    }
+    println!();
+    println!("reading: on the dense map the adaptive schemes cut route-request");
+    println!("traffic several-fold at equal discovery rates; on the sparse map they");
+    println!("keep discovery high where aggressive fixed suppression (C=2) fails.");
+}

@@ -1,0 +1,323 @@
+//! `manet-sim` — run one MANET broadcast simulation from the command
+//! line.
+//!
+//! ```text
+//! manet-sim --map 5 --scheme ac --broadcasts 500 --seed 42
+//! manet-sim --map 9 --scheme nc --hello dynamic --speed 60
+//! manet-sim --map 3 --scheme location:0.0134 --capture --per-broadcast out.csv
+//! manet-sim --help
+//! ```
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use manet_broadcast::{
+    AreaThreshold, CaptureConfig, CounterThreshold, DynamicHelloParams, HelloIntervalPolicy,
+    MobilitySpec, NeighborInfo, SchemeSpec, SimConfig, SimDuration, World,
+};
+
+const USAGE: &str = "\
+usage: manet-sim [options]
+
+options:
+  --map N               square map side in 500 m units (default 5)
+  --hosts N             number of hosts (default 100)
+  --broadcasts N        broadcast requests (default 200)
+  --seed N              RNG seed (default 1)
+  --speed KMH           max roaming speed; default = paper's per-map value
+  --scheme S            flooding | counter:C | ac | distance:D |
+                        location:A | al | nc        (default ac)
+  --hello P             fixed seconds (e.g. 1) | dynamic | oracle
+                        (default: fixed 1 s beacons)
+  --mobility M          turn | waypoint | none      (default turn)
+  --capture             enable 10 dB physical-layer capture
+  --drop P              inject per-delivery loss probability P
+  --per-broadcast FILE  write per-broadcast outcomes as CSV
+  -h, --help            show this help
+";
+
+/// Everything parsed from the command line.
+#[derive(Debug)]
+struct Options {
+    config: SimConfig,
+    per_broadcast: Option<String>,
+}
+
+fn parse_scheme(s: &str) -> Result<SchemeSpec, String> {
+    if let Some((kind, arg)) = s.split_once(':') {
+        return match kind {
+            "counter" => arg
+                .parse::<u32>()
+                .map(SchemeSpec::Counter)
+                .map_err(|e| format!("bad counter threshold '{arg}': {e}")),
+            "distance" => arg
+                .parse::<f64>()
+                .map(SchemeSpec::Distance)
+                .map_err(|e| format!("bad distance threshold '{arg}': {e}")),
+            "location" => arg
+                .parse::<f64>()
+                .map(SchemeSpec::Location)
+                .map_err(|e| format!("bad coverage threshold '{arg}': {e}")),
+            other => Err(format!("unknown parameterized scheme '{other}'")),
+        };
+    }
+    match s {
+        "flooding" => Ok(SchemeSpec::Flooding),
+        "ac" => Ok(SchemeSpec::AdaptiveCounter(
+            CounterThreshold::paper_recommended(),
+        )),
+        "al" => Ok(SchemeSpec::AdaptiveLocation(
+            AreaThreshold::paper_recommended(),
+        )),
+        "nc" => Ok(SchemeSpec::NeighborCoverage),
+        other => Err(format!(
+            "unknown scheme '{other}' (try flooding, counter:2, ac, al, nc)"
+        )),
+    }
+}
+
+fn parse_hello(s: &str) -> Result<NeighborInfo, String> {
+    match s {
+        "dynamic" => Ok(NeighborInfo::Hello(HelloIntervalPolicy::Dynamic(
+            DynamicHelloParams::paper(),
+        ))),
+        "oracle" => Ok(NeighborInfo::Oracle),
+        seconds => seconds
+            .parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .map(|v| {
+                NeighborInfo::Hello(HelloIntervalPolicy::Fixed(SimDuration::from_secs_f64(v)))
+            })
+            .ok_or_else(|| format!("bad hello policy '{seconds}' (seconds | dynamic | oracle)")),
+    }
+}
+
+fn parse_mobility(s: &str) -> Result<MobilitySpec, String> {
+    match s {
+        "turn" => Ok(MobilitySpec::RandomTurn),
+        "waypoint" => Ok(MobilitySpec::RandomWaypoint),
+        "none" => Ok(MobilitySpec::Stationary),
+        other => Err(format!("unknown mobility '{other}' (turn | waypoint | none)")),
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut map = 5u32;
+    let mut hosts = 100u32;
+    let mut broadcasts = 200u32;
+    let mut seed = 1u64;
+    let mut speed: Option<f64> = None;
+    let mut scheme = "ac".to_string();
+    let mut hello: Option<String> = None;
+    let mut mobility = "turn".to_string();
+    let mut capture = false;
+    let mut drop = 0.0f64;
+    let mut per_broadcast = None;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--map" => map = value("--map")?.parse().map_err(|e| format!("bad --map: {e}"))?,
+            "--hosts" => {
+                hosts = value("--hosts")?.parse().map_err(|e| format!("bad --hosts: {e}"))?
+            }
+            "--broadcasts" => {
+                broadcasts = value("--broadcasts")?
+                    .parse()
+                    .map_err(|e| format!("bad --broadcasts: {e}"))?
+            }
+            "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--speed" => {
+                speed = Some(value("--speed")?.parse().map_err(|e| format!("bad --speed: {e}"))?)
+            }
+            "--scheme" => scheme = value("--scheme")?,
+            "--hello" => hello = Some(value("--hello")?),
+            "--mobility" => mobility = value("--mobility")?,
+            "--capture" => capture = true,
+            "--drop" => {
+                drop = value("--drop")?.parse().map_err(|e| format!("bad --drop: {e}"))?
+            }
+            "--per-broadcast" => per_broadcast = Some(value("--per-broadcast")?),
+            "-h" | "--help" => return Ok(None),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+
+    let mut builder = SimConfig::builder(map, parse_scheme(&scheme)?)
+        .hosts(hosts)
+        .broadcasts(broadcasts)
+        .seed(seed)
+        .mobility(parse_mobility(&mobility)?)
+        .drop_probability(drop);
+    if let Some(kmh) = speed {
+        builder = builder.max_speed_kmh(kmh);
+    }
+    if let Some(policy) = hello {
+        builder = builder.neighbor_info(parse_hello(&policy)?);
+    }
+    if capture {
+        builder = builder.capture(CaptureConfig::typical());
+    }
+    let config = builder.build();
+    config.validate()?;
+    Ok(Some(Options {
+        config,
+        per_broadcast,
+    }))
+}
+
+fn per_broadcast_csv(report: &manet_broadcast::SimReport) -> String {
+    let mut out = String::from("packet,reachable,received,rebroadcast,re,srb,latency_s\n");
+    for o in &report.per_broadcast {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{:.6}",
+            o.packet,
+            o.reachable,
+            o.received,
+            o.rebroadcast,
+            o.reachability.map_or("-".into(), |v| format!("{v:.4}")),
+            o.saved_rebroadcasts.map_or("-".into(), |v| format!("{v:.4}")),
+            o.latency.as_secs_f64(),
+        );
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(Some(options)) => options,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let config = options.config;
+    println!(
+        "map {}x{}  hosts {}  scheme {}  broadcasts {}  seed {}",
+        config.map_units,
+        config.map_units,
+        config.hosts,
+        config.scheme.label(),
+        config.broadcasts,
+        config.seed,
+    );
+    let report = World::new(config).run();
+    let latency = report.latency_summary();
+    println!();
+    println!("reachability (RE)         {:>6.2}%", report.reachability * 100.0);
+    println!("saved rebroadcasts (SRB)  {:>6.2}%", report.saved_rebroadcasts * 100.0);
+    println!(
+        "latency mean/p50/p95/max  {:.4} / {:.4} / {:.4} / {:.4} s",
+        latency.mean_s, latency.p50_s, latency.p95_s, latency.max_s
+    );
+    println!(
+        "frames: {} data, {} hello; {} collisions over {:.0} simulated s",
+        report.data_frames, report.hello_packets, report.collisions, report.sim_seconds
+    );
+
+    if let Some(path) = options.per_broadcast {
+        if let Err(err) = std::fs::write(&path, per_broadcast_csv(&report)) {
+            eprintln!("error: cannot write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("per-broadcast outcomes written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn default_arguments_parse() {
+        let options = parse_args(&[]).expect("parses").expect("not help");
+        assert_eq!(options.config.map_units, 5);
+        assert_eq!(options.config.scheme.label(), "AC");
+    }
+
+    #[test]
+    fn parameterized_schemes_parse() {
+        assert_eq!(parse_scheme("counter:4").unwrap().label(), "C=4");
+        assert_eq!(parse_scheme("location:0.0134").unwrap().label(), "A=0.0134");
+        assert_eq!(parse_scheme("distance:250").unwrap().label(), "D=250");
+        assert!(parse_scheme("bogus").is_err());
+        assert!(parse_scheme("counter:x").is_err());
+    }
+
+    #[test]
+    fn hello_policies_parse() {
+        assert_eq!(parse_hello("oracle").unwrap(), NeighborInfo::Oracle);
+        assert!(matches!(
+            parse_hello("dynamic").unwrap(),
+            NeighborInfo::Hello(HelloIntervalPolicy::Dynamic(_))
+        ));
+        assert!(matches!(
+            parse_hello("2.5").unwrap(),
+            NeighborInfo::Hello(HelloIntervalPolicy::Fixed(d))
+                if d == SimDuration::from_millis(2_500)
+        ));
+        assert!(parse_hello("-1").is_err());
+        assert!(parse_hello("sometimes").is_err());
+    }
+
+    #[test]
+    fn full_command_line_parses() {
+        let options = parse_args(&args(&[
+            "--map", "9", "--hosts", "50", "--scheme", "nc", "--hello", "dynamic",
+            "--speed", "60", "--mobility", "waypoint", "--capture", "--drop", "0.1",
+            "--broadcasts", "10", "--seed", "7",
+        ]))
+        .expect("parses")
+        .expect("not help");
+        let c = &options.config;
+        assert_eq!(c.map_units, 9);
+        assert_eq!(c.hosts, 50);
+        assert_eq!(c.scheme.label(), "NC");
+        assert_eq!(c.mobility, MobilitySpec::RandomWaypoint);
+        assert!(c.capture.is_some());
+        assert_eq!(c.drop_probability, 0.1);
+        assert_eq!(c.effective_max_speed_kmh(), 60.0);
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert!(parse_args(&args(&["--help"])).unwrap().is_none());
+    }
+
+    #[test]
+    fn unknown_option_errors() {
+        assert!(parse_args(&args(&["--frobnicate"])).is_err());
+        assert!(parse_args(&args(&["--map"])).is_err(), "missing value");
+    }
+
+    #[test]
+    fn per_broadcast_csv_shape() {
+        let config = SimConfig::builder(3, SchemeSpec::Flooding)
+            .hosts(10)
+            .broadcasts(2)
+            .seed(3)
+            .build();
+        let report = World::new(config).run();
+        let csv = per_broadcast_csv(&report);
+        assert_eq!(csv.lines().count(), 3, "header + 2 broadcasts");
+        assert!(csv.starts_with("packet,reachable"));
+    }
+}

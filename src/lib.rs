@@ -1,0 +1,51 @@
+//! # manet-broadcast
+//!
+//! Facade crate for the MANET broadcast-storm suite — a Rust reproduction
+//! of *"Adaptive Approaches to Relieving Broadcast Storms in a Wireless
+//! Multihop Mobile Ad Hoc Network"* (Tseng, Ni, Shih; ICDCS 2001 /
+//! IEEE ToC 2003).
+//!
+//! Re-exports the public API of every layer so applications can depend on
+//! one crate:
+//!
+//! * [`core`] — schemes, thresholds, simulation world, metrics.
+//! * [`engine`] — the discrete-event engine.
+//! * [`geom`] — coverage geometry and the storm analyses.
+//! * [`mobility`] — maps and the random-turn roaming model.
+//! * [`phy`] — the radio medium and unit-disk topology.
+//! * [`mac`] — the IEEE 802.11 DCF broadcast MAC.
+//! * [`net`] — HELLO beaconing and neighbor tables.
+//!
+//! The most common entry points are re-exported at the top level.
+//!
+//! # Examples
+//!
+//! ```
+//! use manet_broadcast::{SchemeSpec, SimConfig, World};
+//!
+//! let report = World::new(
+//!     SimConfig::builder(3, SchemeSpec::Counter(3))
+//!         .hosts(25)
+//!         .broadcasts(5)
+//!         .seed(1)
+//!         .build(),
+//! )
+//! .run();
+//! assert!(report.reachability > 0.5);
+//! ```
+
+pub use broadcast_core as core;
+pub use manet_geom as geom;
+pub use manet_mac as mac;
+pub use manet_mobility as mobility;
+pub use manet_net as net;
+pub use manet_phy as phy;
+pub use manet_sim_engine as engine;
+
+pub use broadcast_core::{
+    AreaThreshold, CaptureConfig, CounterThreshold, DescentShape, LatencySummary, MobilitySpec,
+    NeighborInfo, PacketId, PlacementSpec, SchemeSpec, SimConfig, SimReport, World,
+};
+pub use manet_net::{DynamicHelloParams, HelloIntervalPolicy};
+pub use manet_phy::NodeId;
+pub use manet_sim_engine::{SimDuration, SimTime};
