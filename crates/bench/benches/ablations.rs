@@ -3,42 +3,36 @@
 //! These measure *cost*; the metric impact of each choice is printed by
 //! the `manet-experiments` harness (e.g. oracle vs HELLO reachability).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use broadcast_core::{
     AreaThreshold, CounterThreshold, DescentShape, NeighborInfo, SchemeSpec, World,
 };
+use manet_bench::harness::Suite;
 use manet_bench::mini_config;
 
 /// Coverage-grid resolution: accuracy/cost trade-off of the location
 /// schemes' incremental estimator.
-fn coverage_resolution(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_coverage_resolution");
+fn coverage_resolution(s: &mut Suite) {
     for resolution in [16usize, 48, 96] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(resolution),
-            &resolution,
-            |b, &resolution| {
-                b.iter(|| {
-                    let mut config = mini_config(
-                        5,
-                        SchemeSpec::AdaptiveLocation(AreaThreshold::paper_recommended()),
-                        11,
-                    );
-                    config.coverage_resolution = resolution;
-                    black_box(World::new(config).run())
-                })
+        s.bench(
+            &format!("ablation_coverage_resolution/{resolution}"),
+            || {
+                let mut config = mini_config(
+                    5,
+                    SchemeSpec::AdaptiveLocation(AreaThreshold::paper_recommended()),
+                    11,
+                );
+                config.coverage_resolution = resolution;
+                black_box(World::new(config).run())
             },
         );
     }
-    group.finish();
 }
 
 /// Oracle vs HELLO neighbor information for the adaptive counter scheme:
 /// HELLO beacons cost channel time and events.
-fn neighbor_info_source(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_neighbor_info");
+fn neighbor_info_source(s: &mut Suite) {
     for (name, info) in [
         ("oracle", NeighborInfo::Oracle),
         (
@@ -46,70 +40,49 @@ fn neighbor_info_source(c: &mut Criterion) {
             NeighborInfo::Hello(manet_net::HelloIntervalPolicy::fixed_1s()),
         ),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &info, |b, info| {
-            b.iter(|| {
-                let mut config = mini_config(
-                    5,
-                    SchemeSpec::AdaptiveCounter(CounterThreshold::paper_recommended()),
-                    12,
-                );
-                config.neighbor_info = info.clone();
-                black_box(World::new(config).run())
-            })
+        s.bench(&format!("ablation_neighbor_info/{name}"), || {
+            let mut config = mini_config(
+                5,
+                SchemeSpec::AdaptiveCounter(CounterThreshold::paper_recommended()),
+                12,
+            );
+            config.neighbor_info = info.clone();
+            black_box(World::new(config).run())
         });
     }
-    group.finish();
 }
 
 /// Injected channel loss: cost of the failure-injection path.
-fn channel_loss(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_channel_loss");
+fn channel_loss(s: &mut Suite) {
     for loss in [0.0f64, 0.1, 0.3] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("p{loss}")),
-            &loss,
-            |b, &loss| {
-                b.iter(|| {
-                    let mut config = mini_config(5, SchemeSpec::Counter(3), 13);
-                    config.drop_probability = loss;
-                    black_box(World::new(config).run())
-                })
-            },
-        );
+        s.bench(&format!("ablation_channel_loss/p{loss}"), || {
+            let mut config = mini_config(5, SchemeSpec::Counter(3), 13);
+            config.drop_probability = loss;
+            black_box(World::new(config).run())
+        });
     }
-    group.finish();
 }
 
 /// The three C(n) descent shapes cost the same to evaluate; this bench
 /// documents that the choice is purely about metrics, not speed.
-fn descent_shapes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_descent_shape");
+fn descent_shapes(s: &mut Suite) {
     for shape in [
         DescentShape::Convex,
         DescentShape::Linear,
         DescentShape::Concave,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{shape:?}")),
-            &shape,
-            |b, &shape| {
-                b.iter(|| {
-                    let scheme = SchemeSpec::AdaptiveCounter(CounterThreshold::with_descent(
-                        4, 12, shape,
-                    ));
-                    black_box(World::new(mini_config(7, scheme, 14)).run())
-                })
-            },
-        );
+        s.bench(&format!("ablation_descent_shape/{shape:?}"), || {
+            let scheme = SchemeSpec::AdaptiveCounter(CounterThreshold::with_descent(4, 12, shape));
+            black_box(World::new(mini_config(7, scheme, 14)).run())
+        });
     }
-    group.finish();
 }
 
-criterion_group!(
-    ablations,
-    coverage_resolution,
-    neighbor_info_source,
-    channel_loss,
-    descent_shapes,
-);
-criterion_main!(ablations);
+fn main() {
+    let mut suite = Suite::from_args("ablations");
+    coverage_resolution(&mut suite);
+    neighbor_info_source(&mut suite);
+    channel_loss(&mut suite);
+    descent_shapes(&mut suite);
+    suite.finish();
+}

@@ -1,152 +1,123 @@
-//! One Criterion benchmark per reproduced paper figure.
+//! One benchmark per reproduced paper figure.
 //!
 //! Each bench runs a *scaled-down* version of the computation behind the
 //! corresponding figure (fewer broadcasts, fewer hosts, one or two maps),
 //! so a benchmark suite pass stays in the minutes. The full-size
 //! regeneration is `manet-experiments <fig> --scale full`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use broadcast_core::{
-    AreaThreshold, CounterThreshold, NeighborInfo, SchemeSpec, SimConfig, World,
-};
+use broadcast_core::{AreaThreshold, CounterThreshold, NeighborInfo, SchemeSpec, SimConfig, World};
+use manet_bench::harness::Suite;
 use manet_bench::{mini_config, mini_run};
 use manet_geom::{contention_free_distribution, expected_additional_coverage};
 use manet_net::{DynamicHelloParams, HelloIntervalPolicy};
 use manet_sim_engine::{SimDuration, SimRng};
 
-fn fig01_eac(c: &mut Criterion) {
-    c.bench_function("fig01_eac_k6", |b| {
-        b.iter(|| {
-            let mut rng = SimRng::seed_from(1);
-            black_box(expected_additional_coverage(6, 50, 300, &mut rng))
-        })
+fn fig01_eac(s: &mut Suite) {
+    s.bench("fig01_eac_k6", || {
+        let mut rng = SimRng::seed_from(1);
+        black_box(expected_additional_coverage(6, 50, 300, &mut rng))
     });
 }
 
-fn fig02_contention(c: &mut Criterion) {
-    c.bench_function("fig02_cf_n8", |b| {
-        b.iter(|| {
-            let mut rng = SimRng::seed_from(2);
-            black_box(contention_free_distribution(8, 2_000, &mut rng))
-        })
+fn fig02_contention(s: &mut Suite) {
+    s.bench("fig02_cf_n8", || {
+        let mut rng = SimRng::seed_from(2);
+        black_box(contention_free_distribution(8, 2_000, &mut rng))
     });
 }
 
-fn fig05_tuning(c: &mut Criterion) {
+fn fig05_tuning(s: &mut Suite) {
     // One candidate C(n) on one sparse map: the unit of the Fig. 5 sweep.
-    c.bench_function("fig05_ac_candidate_7x7", |b| {
-        b.iter(|| {
-            black_box(mini_run(
-                7,
-                SchemeSpec::AdaptiveCounter(CounterThreshold::ramp(1)),
-                3,
-            ))
-        })
+    s.bench("fig05_ac_candidate_7x7", || {
+        black_box(mini_run(
+            7,
+            SchemeSpec::AdaptiveCounter(CounterThreshold::ramp(1)),
+            3,
+        ))
     });
 }
 
-fn fig07_ac(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig07");
-    group.bench_function("counter_fixed_c2_5x5", |b| {
-        b.iter(|| black_box(mini_run(5, SchemeSpec::Counter(2), 4)))
+fn fig07_ac(s: &mut Suite) {
+    s.bench("fig07/counter_fixed_c2_5x5", || {
+        black_box(mini_run(5, SchemeSpec::Counter(2), 4))
     });
-    group.bench_function("adaptive_counter_5x5", |b| {
-        b.iter(|| {
-            black_box(mini_run(
-                5,
-                SchemeSpec::AdaptiveCounter(CounterThreshold::paper_recommended()),
-                4,
-            ))
-        })
+    s.bench("fig07/adaptive_counter_5x5", || {
+        black_box(mini_run(
+            5,
+            SchemeSpec::AdaptiveCounter(CounterThreshold::paper_recommended()),
+            4,
+        ))
     });
-    group.finish();
 }
 
-fn fig10_al(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig10");
-    group.bench_function("location_fixed_5x5", |b| {
-        b.iter(|| black_box(mini_run(5, SchemeSpec::Location(0.0134), 5)))
+fn fig10_al(s: &mut Suite) {
+    s.bench("fig10/location_fixed_5x5", || {
+        black_box(mini_run(5, SchemeSpec::Location(0.0134), 5))
     });
-    group.bench_function("adaptive_location_5x5", |b| {
-        b.iter(|| {
-            black_box(mini_run(
-                5,
-                SchemeSpec::AdaptiveLocation(AreaThreshold::paper_recommended()),
-                5,
-            ))
-        })
+    s.bench("fig10/adaptive_location_5x5", || {
+        black_box(mini_run(
+            5,
+            SchemeSpec::AdaptiveLocation(AreaThreshold::paper_recommended()),
+            5,
+        ))
     });
-    group.finish();
 }
 
-fn fig11_hello_interval(c: &mut Criterion) {
+fn fig11_hello_interval(s: &mut Suite) {
     // NC with a long fixed hello interval on a sparse map: the unit of
     // the Fig. 11 staleness sweep.
-    c.bench_function("fig11_nc_hi10s_9x9", |b| {
-        b.iter(|| {
-            let mut config = mini_config(9, SchemeSpec::NeighborCoverage, 6);
-            config.neighbor_info = NeighborInfo::Hello(HelloIntervalPolicy::Fixed(
-                SimDuration::from_secs(10),
-            ));
-            black_box(World::new(config).run())
-        })
+    s.bench("fig11_nc_hi10s_9x9", || {
+        let mut config = mini_config(9, SchemeSpec::NeighborCoverage, 6);
+        config.neighbor_info =
+            NeighborInfo::Hello(HelloIntervalPolicy::Fixed(SimDuration::from_secs(10)));
+        black_box(World::new(config).run())
     });
 }
 
-fn fig12_dhi(c: &mut Criterion) {
-    c.bench_function("fig12_nc_dhi_7x7", |b| {
-        b.iter(|| {
-            let mut config = mini_config(7, SchemeSpec::NeighborCoverage, 7);
-            config.neighbor_info = NeighborInfo::Hello(HelloIntervalPolicy::Dynamic(
-                DynamicHelloParams::paper(),
-            ));
-            black_box(World::new(config).run())
-        })
+fn fig12_dhi(s: &mut Suite) {
+    s.bench("fig12_nc_dhi_7x7", || {
+        let mut config = mini_config(7, SchemeSpec::NeighborCoverage, 7);
+        config.neighbor_info =
+            NeighborInfo::Hello(HelloIntervalPolicy::Dynamic(DynamicHelloParams::paper()));
+        black_box(World::new(config).run())
     });
 }
 
-fn fig13_overall(c: &mut Criterion) {
+fn fig13_overall(s: &mut Suite) {
     // Flooding on the dense map is the most expensive cell of Fig. 13
     // (the storm itself); benchmark it plus the cheapest suppressor.
-    let mut group = c.benchmark_group("fig13");
-    group.sample_size(10);
-    group.bench_function("flooding_1x1", |b| {
-        b.iter(|| {
-            let config = SimConfig::builder(1, SchemeSpec::Flooding)
-                .hosts(60)
-                .broadcasts(12)
-                .seed(8)
-                .build();
-            black_box(World::new(config).run())
-        })
+    s.bench_with_samples("fig13/flooding_1x1", 10, || {
+        let config = SimConfig::builder(1, SchemeSpec::Flooding)
+            .hosts(60)
+            .broadcasts(12)
+            .seed(8)
+            .build();
+        black_box(World::new(config).run())
     });
-    group.bench_function("nc_dhi_1x1", |b| {
-        b.iter(|| {
-            let config = SimConfig::builder(1, SchemeSpec::NeighborCoverage)
-                .hosts(60)
-                .broadcasts(12)
-                .seed(8)
-                .neighbor_info(NeighborInfo::Hello(HelloIntervalPolicy::Dynamic(
-                    DynamicHelloParams::paper(),
-                )))
-                .build();
-            black_box(World::new(config).run())
-        })
+    s.bench_with_samples("fig13/nc_dhi_1x1", 10, || {
+        let config = SimConfig::builder(1, SchemeSpec::NeighborCoverage)
+            .hosts(60)
+            .broadcasts(12)
+            .seed(8)
+            .neighbor_info(NeighborInfo::Hello(HelloIntervalPolicy::Dynamic(
+                DynamicHelloParams::paper(),
+            )))
+            .build();
+        black_box(World::new(config).run())
     });
-    group.finish();
 }
 
-criterion_group!(
-    figures,
-    fig01_eac,
-    fig02_contention,
-    fig05_tuning,
-    fig07_ac,
-    fig10_al,
-    fig11_hello_interval,
-    fig12_dhi,
-    fig13_overall,
-);
-criterion_main!(figures);
+fn main() {
+    let mut suite = Suite::from_args("figures");
+    fig01_eac(&mut suite);
+    fig02_contention(&mut suite);
+    fig05_tuning(&mut suite);
+    fig07_ac(&mut suite);
+    fig10_al(&mut suite);
+    fig11_hello_interval(&mut suite);
+    fig12_dhi(&mut suite);
+    fig13_overall(&mut suite);
+    suite.finish();
+}

@@ -1,154 +1,145 @@
 //! Microbenchmarks of the simulation substrates.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use manet_bench::harness::Suite;
 use manet_geom::{CoverageGrid, Vec2};
 use manet_mac::{Dcf, FrameHandle, MacAction};
 use manet_mobility::{uniform_placement, Map, Mobility, RandomTurn, RandomTurnParams};
 use manet_phy::{in_range_of, reachable_from, Medium, NodeId};
 use manet_sim_engine::{EventQueue, SimDuration, SimRng, SimTime};
 
-fn event_queue_throughput(c: &mut Criterion) {
-    c.bench_function("event_queue_schedule_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            let mut rng = SimRng::seed_from(1);
-            for i in 0..10_000u64 {
-                q.schedule(SimTime::from_nanos(rng.gen_range_u32(0..1_000_000) as u64), i);
-            }
-            let mut count = 0u64;
-            while q.pop().is_some() {
-                count += 1;
-            }
-            black_box(count)
-        })
+fn event_queue_throughput(s: &mut Suite) {
+    s.bench("event_queue_schedule_pop_10k", || {
+        let mut q = EventQueue::new();
+        let mut rng = SimRng::seed_from(1);
+        for i in 0..10_000u64 {
+            q.schedule(
+                SimTime::from_nanos(rng.gen_range_u32(0..1_000_000) as u64),
+                i,
+            );
+        }
+        let mut count = 0u64;
+        while q.pop().is_some() {
+            count += 1;
+        }
+        black_box(count)
     });
 
-    c.bench_function("event_queue_with_half_cancelled_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            let mut keys = Vec::with_capacity(10_000);
-            for i in 0..10_000u64 {
-                keys.push(q.schedule(SimTime::from_nanos(i * 7 % 65_536), i));
-            }
-            for key in keys.iter().step_by(2) {
-                q.cancel(*key);
-            }
-            let mut count = 0u64;
-            while q.pop().is_some() {
-                count += 1;
-            }
-            black_box(count)
-        })
+    s.bench("event_queue_with_half_cancelled_10k", || {
+        let mut q = EventQueue::new();
+        let mut keys = Vec::with_capacity(10_000);
+        for i in 0..10_000u64 {
+            keys.push(q.schedule(SimTime::from_nanos(i * 7 % 65_536), i));
+        }
+        for key in keys.iter().step_by(2) {
+            q.cancel(*key);
+        }
+        let mut count = 0u64;
+        while q.pop().is_some() {
+            count += 1;
+        }
+        black_box(count)
     });
 }
 
-fn coverage_grid(c: &mut Criterion) {
+fn coverage_grid(s: &mut Suite) {
     let grid = CoverageGrid::new(48);
-    let heard: Vec<Vec2> = (0..6)
-        .map(|i| Vec2::from_angle(i as f64) * 300.0)
-        .collect();
-    c.bench_function("coverage_grid_48_six_hearers", |b| {
-        b.iter(|| black_box(grid.additional_fraction(Vec2::ZERO, 500.0, &heard)))
+    let heard: Vec<Vec2> = (0..6).map(|i| Vec2::from_angle(i as f64) * 300.0).collect();
+    s.bench("coverage_grid_48_six_hearers", || {
+        black_box(grid.additional_fraction(Vec2::ZERO, 500.0, &heard))
     });
-    c.bench_function("coverage_sample_points_48", |b| {
-        b.iter(|| black_box(grid.sample_points(Vec2::ZERO, 500.0).len()))
+    s.bench("coverage_sample_points_48", || {
+        black_box(grid.sample_points(Vec2::ZERO, 500.0).len())
     });
 }
 
-fn topology_queries(c: &mut Criterion) {
+fn topology_queries(s: &mut Suite) {
     let map = Map::square_units(7);
     let mut rng = SimRng::seed_from(3);
     let positions = uniform_placement(&map, 100, &mut rng);
-    c.bench_function("reachable_from_100_hosts", |b| {
-        b.iter(|| black_box(reachable_from(&positions, NodeId::new(0), 500.0).len()))
+    s.bench("reachable_from_100_hosts", || {
+        black_box(reachable_from(&positions, NodeId::new(0), 500.0).len())
     });
-    c.bench_function("in_range_of_100_hosts", |b| {
-        b.iter(|| black_box(in_range_of(&positions, NodeId::new(0), 500.0).len()))
+    s.bench("in_range_of_100_hosts", || {
+        black_box(in_range_of(&positions, NodeId::new(0), 500.0).len())
     });
 }
 
-fn mac_state_machine(c: &mut Criterion) {
-    c.bench_function("dcf_enqueue_tx_cycle", |b| {
-        b.iter(|| {
-            let mut mac = Dcf::new(SimRng::seed_from(4));
-            let mut now = SimTime::from_millis(1);
-            for i in 0..100u64 {
-                let actions = mac.enqueue(FrameHandle(i), 280, now);
-                for action in actions {
-                    if let MacAction::BeginTx { .. } = action {
-                        now += SimDuration::from_micros(2_432);
-                        let post = mac.on_tx_end(now);
-                        // Walk the post-backoff timers to idle.
-                        let mut pending = post;
-                        while let Some(MacAction::StartTimer { delay, generation }) =
-                            pending.first().copied()
-                        {
-                            now += delay;
-                            pending = mac.on_timer(generation, now);
-                        }
+fn mac_state_machine(s: &mut Suite) {
+    s.bench("dcf_enqueue_tx_cycle", || {
+        let mut mac = Dcf::new(SimRng::seed_from(4));
+        let mut now = SimTime::from_millis(1);
+        for i in 0..100u64 {
+            let actions = mac.enqueue(FrameHandle(i), 280, now);
+            for action in actions {
+                if let MacAction::BeginTx { .. } = action {
+                    now += SimDuration::from_micros(2_432);
+                    let post = mac.on_tx_end(now);
+                    // Walk the post-backoff timers to idle.
+                    let mut pending = post;
+                    while let Some(MacAction::StartTimer { delay, generation }) =
+                        pending.first().copied()
+                    {
+                        now += delay;
+                        pending = mac.on_timer(generation, now);
                     }
                 }
-                now += SimDuration::from_millis(1);
             }
-            black_box(mac.transmitted_count())
-        })
+            now += SimDuration::from_millis(1);
+        }
+        black_box(mac.transmitted_count())
     });
 }
 
-fn medium_collisions(c: &mut Criterion) {
-    c.bench_function("medium_100_overlapping_frames", |b| {
-        b.iter(|| {
-            let mut medium = Medium::new(100);
-            let listeners: Vec<NodeId> = (50..100).map(NodeId::new).collect();
-            let t0 = SimTime::ZERO;
-            let air = SimDuration::from_micros(2_432);
-            let mut frames = Vec::new();
-            for i in 0..50u32 {
-                let start = t0 + SimDuration::from_micros(u64::from(i) * 10);
-                frames.push((
-                    medium
-                        .begin_transmission(NodeId::new(i), start, start + air, &listeners)
-                        .frame,
-                    start + air,
-                ));
-            }
-            for (frame, end) in frames {
-                black_box(medium.end_transmission(frame, end).deliveries.len());
-            }
-            black_box(medium.collision_count())
-        })
+fn medium_collisions(s: &mut Suite) {
+    s.bench("medium_100_overlapping_frames", || {
+        let mut medium = Medium::new(100);
+        let listeners: Vec<NodeId> = (50..100).map(NodeId::new).collect();
+        let t0 = SimTime::ZERO;
+        let air = SimDuration::from_micros(2_432);
+        let mut frames = Vec::new();
+        for i in 0..50u32 {
+            let start = t0 + SimDuration::from_micros(u64::from(i) * 10);
+            frames.push((
+                medium
+                    .begin_transmission(NodeId::new(i), start, start + air, &listeners)
+                    .frame,
+                start + air,
+            ));
+        }
+        for (frame, end) in frames {
+            black_box(medium.end_transmission(frame, end).deliveries.len());
+        }
+        black_box(medium.collision_count())
     });
 }
 
-fn mobility_advance(c: &mut Criterion) {
-    c.bench_function("random_turn_1k_turns", |b| {
-        b.iter(|| {
-            let map = Map::square_units(5);
-            let mut host = RandomTurn::new(
-                map,
-                RandomTurnParams::paper(50.0),
-                map.bounds().center(),
-                SimTime::ZERO,
-                SimRng::seed_from(5),
-            );
-            for _ in 0..1_000 {
-                let t = host.next_change().expect("always moving");
-                black_box(host.position_at(t));
-                host.advance(t);
-            }
-        })
+fn mobility_advance(s: &mut Suite) {
+    s.bench("random_turn_1k_turns", || {
+        let map = Map::square_units(5);
+        let mut host = RandomTurn::new(
+            map,
+            RandomTurnParams::paper(50.0),
+            map.bounds().center(),
+            SimTime::ZERO,
+            SimRng::seed_from(5),
+        );
+        for _ in 0..1_000 {
+            let t = host.next_change().expect("always moving");
+            black_box(host.position_at(t));
+            host.advance(t);
+        }
     });
 }
 
-criterion_group!(
-    substrate,
-    event_queue_throughput,
-    coverage_grid,
-    topology_queries,
-    mac_state_machine,
-    medium_collisions,
-    mobility_advance,
-);
-criterion_main!(substrate);
+fn main() {
+    let mut suite = Suite::from_args("substrate");
+    event_queue_throughput(&mut suite);
+    coverage_grid(&mut suite);
+    topology_queries(&mut suite);
+    mac_state_machine(&mut suite);
+    medium_collisions(&mut suite);
+    mobility_advance(&mut suite);
+    suite.finish();
+}

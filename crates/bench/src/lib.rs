@@ -1,24 +1,30 @@
 //! # manet-bench
 //!
-//! Benchmark support for the broadcast-storm reproduction. The actual
-//! benchmarks live in `benches/`:
+//! Benchmark support for the broadcast-storm reproduction: the in-tree
+//! [`harness`] (warmup + timed samples, median/p95 statistics, JSON
+//! reports — the workspace's zero-dependency replacement for Criterion)
+//! plus shared helpers. The actual benchmarks live in `benches/`:
 //!
-//! * `figures` — one Criterion benchmark per reproduced paper figure,
-//!   running a scaled-down version of that figure's computation
-//!   (the full regeneration is the `manet-experiments` binary).
+//! * `figures` — one benchmark per reproduced paper figure, running a
+//!   scaled-down version of that figure's computation (the full
+//!   regeneration is the `manet-experiments` binary).
 //! * `substrate` — microbenchmarks of the building blocks: event queue,
 //!   coverage grid, reachability BFS, MAC state machine, mobility.
 //! * `ablations` — design-choice sweeps called out in DESIGN.md:
 //!   coverage-grid resolution, oracle vs HELLO neighbor information,
 //!   channel loss injection, and `C(n)` descent shapes.
 //!
-//! This library crate only hosts shared helpers.
+//! Run them with `cargo bench -p manet-bench --bench substrate`; append
+//! `-- --quick` for a seconds-long smoke pass that still writes
+//! `BENCH_substrate.json` at the workspace root.
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use broadcast_core::{SchemeSpec, SimConfig, SimReport, World};
 
-/// A miniature simulation sized so one run fits in a Criterion iteration
+/// A miniature simulation sized so one run fits in a bench iteration
 /// (tens of milliseconds): 40 hosts, 12 broadcasts.
 pub fn mini_run(map_units: u32, scheme: SchemeSpec, seed: u64) -> SimReport {
     World::new(mini_config(map_units, scheme, seed)).run()

@@ -76,8 +76,8 @@ pub use metrics::{
 };
 pub use policy::{DuplicateDecision, FirstDecision, HearContext, RebroadcastPolicy};
 pub use schemes::{
-    CounterScheme, DistanceScheme, Flooding, LocationScheme, NeighborCoverageScheme,
-    PacketPolicy, ProbabilisticScheme, SchemeSpec,
+    CounterScheme, DistanceScheme, Flooding, LocationScheme, NeighborCoverageScheme, PacketPolicy,
+    ProbabilisticScheme, SchemeSpec,
 };
 pub use threshold::{
     AreaThreshold, CounterThreshold, DescentShape, EAC2_FRACTION, MIN_COUNTER_THRESHOLD,

@@ -92,7 +92,10 @@ mod tests {
         assert_eq!(p.on_duplicate_hear(&sparse.ctx()), DuplicateDecision::Keep);
         // The neighborhood becomes crowded mid-wait: C(20) = 2 <= c = 3.
         sparse.neighbor_count = 20;
-        assert_eq!(p.on_duplicate_hear(&sparse.ctx()), DuplicateDecision::Cancel);
+        assert_eq!(
+            p.on_duplicate_hear(&sparse.ctx()),
+            DuplicateDecision::Cancel
+        );
     }
 
     #[test]

@@ -56,8 +56,7 @@ impl LocationScheme {
     /// Deletes the sample points covered by a transmitter at `pos`.
     fn subtract(&mut self, pos: Vec2, radius: f64) {
         let r2 = radius * radius;
-        self.uncovered
-            .retain(|p| p.distance_squared_to(pos) > r2);
+        self.uncovered.retain(|p| p.distance_squared_to(pos) > r2);
     }
 }
 

@@ -64,9 +64,7 @@ impl SchemeSpec {
             SchemeSpec::Counter(c) => {
                 PacketPolicy::Counter(CounterScheme::new(CounterThreshold::fixed(*c)))
             }
-            SchemeSpec::AdaptiveCounter(f) => {
-                PacketPolicy::Counter(CounterScheme::new(f.clone()))
-            }
+            SchemeSpec::AdaptiveCounter(f) => PacketPolicy::Counter(CounterScheme::new(f.clone())),
             SchemeSpec::Distance(d) => PacketPolicy::Distance(DistanceScheme::new(*d)),
             SchemeSpec::Location(a) => {
                 PacketPolicy::Location(LocationScheme::new(AreaThreshold::fixed(*a)))
@@ -186,8 +184,10 @@ mod tests {
 
     #[test]
     fn capability_flags() {
-        assert!(SchemeSpec::AdaptiveCounter(CounterThreshold::paper_recommended())
-            .needs_neighbor_count());
+        assert!(
+            SchemeSpec::AdaptiveCounter(CounterThreshold::paper_recommended())
+                .needs_neighbor_count()
+        );
         assert!(!SchemeSpec::Counter(2).needs_neighbor_count());
         assert!(SchemeSpec::NeighborCoverage.needs_two_hop_hellos());
         assert!(SchemeSpec::Location(0.1).needs_positions());

@@ -111,11 +111,11 @@ mod tests {
         };
         let mut p = NeighborCoverageScheme::new();
         assert_eq!(p.on_first_hear(&fx.ctx()), FirstDecision::Schedule); // T = {2, 3}
-        // A duplicate from host 2 (whose neighbors include nobody new):
+                                                                         // A duplicate from host 2 (whose neighbors include nobody new):
         fx.sender = id(2);
         fx.sender_neighbors = vec![];
         assert_eq!(p.on_duplicate_hear(&fx.ctx()), DuplicateDecision::Keep); // T = {3}
-        // A duplicate whose sender covers host 3:
+                                                                             // A duplicate whose sender covers host 3:
         fx.sender = id(7);
         fx.sender_neighbors = vec![id(3)];
         assert_eq!(p.on_duplicate_hear(&fx.ctx()), DuplicateDecision::Cancel);

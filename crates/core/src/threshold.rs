@@ -79,7 +79,10 @@ impl CounterThreshold {
     ///
     /// Panics if `c < 2`.
     pub fn fixed(c: u32) -> Self {
-        assert!(c >= MIN_COUNTER_THRESHOLD, "a threshold below 2 suppresses everything");
+        assert!(
+            c >= MIN_COUNTER_THRESHOLD,
+            "a threshold below 2 suppresses everything"
+        );
         CounterThreshold {
             sequence: vec![c],
             label: format!("C={c}"),
@@ -233,7 +236,10 @@ impl AreaThreshold {
     ///
     /// Panics if `a` is not in `[0, 1]`.
     pub fn fixed(a: f64) -> Self {
-        assert!((0.0..=1.0).contains(&a), "coverage fraction out of range: {a}");
+        assert!(
+            (0.0..=1.0).contains(&a),
+            "coverage fraction out of range: {a}"
+        );
         AreaThreshold {
             kind: AreaThresholdKind::Fixed(a),
             label: format!("A={a}"),
@@ -305,10 +311,7 @@ mod tests {
     #[test]
     fn ramp_sequences_match_paper_notation() {
         assert_eq!(CounterThreshold::ramp(1).sequence(), &[2, 3, 4, 5]);
-        assert_eq!(
-            CounterThreshold::ramp(2).sequence(),
-            &[2, 2, 3, 3, 4, 4, 5]
-        );
+        assert_eq!(CounterThreshold::ramp(2).sequence(), &[2, 2, 3, 3, 4, 4, 5]);
         assert_eq!(
             CounterThreshold::ramp(3).sequence(),
             &[2, 2, 2, 3, 3, 3, 4, 4, 4, 5]
@@ -320,10 +323,7 @@ mod tests {
         assert_eq!(CounterThreshold::ramp_to(2).sequence(), &[2, 3, 3]);
         assert_eq!(CounterThreshold::ramp_to(3).sequence(), &[2, 3, 4, 4]);
         assert_eq!(CounterThreshold::ramp_to(4).sequence(), &[2, 3, 4, 5, 5]);
-        assert_eq!(
-            CounterThreshold::ramp_to(5).sequence(),
-            &[2, 3, 4, 5, 6, 6]
-        );
+        assert_eq!(CounterThreshold::ramp_to(5).sequence(), &[2, 3, 4, 5, 6, 6]);
     }
 
     #[test]

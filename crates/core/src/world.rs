@@ -18,8 +18,8 @@ use manet_geom::{CoverageGrid, Vec2};
 use manet_mac::timing::SLOT;
 use manet_mac::{frame_airtime, Dcf, FrameHandle, MacAction};
 use manet_mobility::{
-    grid_placement, line_placement, uniform_placement, Map, Mobility, RandomTurn,
-    RandomTurnParams, RandomWaypoint, RandomWaypointParams, Stationary,
+    grid_placement, line_placement, uniform_placement, Map, Mobility, RandomTurn, RandomTurnParams,
+    RandomWaypoint, RandomWaypointParams, Stationary,
 };
 use manet_net::{HelloPayload, NeighborTable, VariationTracker};
 use manet_phy::{in_range_of, reachable_from, FrameId, Medium, NodeId};
@@ -77,7 +77,10 @@ enum PacketState {
     /// In the S2 assessment delay; `key` cancels the wakeup.
     Assessing { key: EventKey, policy: PacketPolicy },
     /// Submitted to the MAC; cancellable until it hits the air.
-    Queued { handle: FrameHandle, policy: PacketPolicy },
+    Queued {
+        handle: FrameHandle,
+        policy: PacketPolicy,
+    },
     /// Transmitted or inhibited; nothing more will happen.
     Done,
 }
@@ -241,7 +244,8 @@ impl World {
             }
             let hello_pending = hellos_enabled.then(|| {
                 // Random initial phase so beacons do not synchronize.
-                let first = proto_rng.gen_duration_up_to(manet_sim_engine::SimDuration::from_secs(1));
+                let first =
+                    proto_rng.gen_duration_up_to(manet_sim_engine::SimDuration::from_secs(1));
                 let at = SimTime::ZERO + first;
                 (queue.schedule(at, Event::HelloTimer { node: id }), at)
             });
@@ -264,13 +268,11 @@ impl World {
             medium: {
                 let mut medium = Medium::new(hosts);
                 if config.drop_probability > 0.0 {
-                    medium =
-                        medium.with_drop_probability(config.drop_probability, root.fork(3));
+                    medium = medium.with_drop_probability(config.drop_probability, root.fork(3));
                 }
                 if let Some(capture) = config.capture {
-                    medium = medium.with_capture(manet_phy::CaptureModel::new(
-                        capture.sir_threshold,
-                    ));
+                    medium =
+                        medium.with_capture(manet_phy::CaptureModel::new(capture.sir_threshold));
                 }
                 medium
             },
@@ -410,7 +412,8 @@ impl World {
 
         let positions = self.positions(now);
         let reachable = reachable_from(&positions, source, self.cfg.radio_radius).len() as u32;
-        self.metrics.broadcast_issued(packet, source, reachable, now);
+        self.metrics
+            .broadcast_issued(packet, source, reachable, now);
         observer.event(&TraceEvent::BroadcastIssued {
             packet,
             source,
@@ -428,7 +431,9 @@ impl World {
         self.process_mac_actions(source, actions, now, observer);
 
         if self.issued < self.cfg.broadcasts {
-            let gap = self.workload_rng.gen_duration_up_to(self.cfg.max_interarrival);
+            let gap = self
+                .workload_rng
+                .gen_duration_up_to(self.cfg.max_interarrival);
             self.queue.schedule(now + gap, Event::IssueBroadcast);
         } else {
             self.stop_at = now + self.cfg.grace;
@@ -472,8 +477,7 @@ impl World {
     fn hello_received(&mut self, node: NodeId, payload: &HelloPayload, now: SimTime) {
         self.refresh_table(node, now);
         let n = &mut self.nodes[node.index()];
-        if n
-            .table
+        if n.table
             .record_hello(payload.sender, now, payload.interval, &payload.neighbors)
             .is_some()
         {
@@ -558,7 +562,8 @@ impl World {
         } else {
             self.medium.begin_transmission(node, now, end, &listeners)
         };
-        self.queue.schedule(end, Event::TxEnd { frame: start.frame });
+        self.queue
+            .schedule(end, Event::TxEnd { frame: start.frame });
         self.in_flight.insert(
             start.frame,
             InFlight {
@@ -675,8 +680,10 @@ impl World {
                 let count = table.neighbor_count();
                 if needs_two_hop {
                     let neighbors = table.neighbor_ids();
-                    let sender_neighbors =
-                        table.neighbors_of(sender).map(<[NodeId]>::to_vec).unwrap_or_default();
+                    let sender_neighbors = table
+                        .neighbors_of(sender)
+                        .map(<[NodeId]>::to_vec)
+                        .unwrap_or_default();
                     (count, neighbors, sender_neighbors)
                 } else {
                     (count, Vec::new(), Vec::new())
@@ -687,8 +694,7 @@ impl World {
                 let neighbors = in_range_of(&positions, node, self.cfg.radio_radius);
                 let count = neighbors.len();
                 if needs_two_hop {
-                    let sender_neighbors =
-                        in_range_of(&positions, sender, self.cfg.radio_radius);
+                    let sender_neighbors = in_range_of(&positions, sender, self.cfg.radio_radius);
                     (count, neighbors, sender_neighbors)
                 } else {
                     (count, Vec::new(), Vec::new())
@@ -708,8 +714,7 @@ impl World {
     ) {
         self.metrics.packet_received(packet, node);
 
-        let (neighbor_count, neighbors, sender_neighbors) =
-            self.neighbor_view(node, sender, now);
+        let (neighbor_count, neighbors, sender_neighbors) = self.neighbor_view(node, sender, now);
         let own_position = self.nodes[node.index()].mobility.position_at(now);
 
         // Split borrows: context data is owned or from `self.coverage`,
@@ -760,10 +765,9 @@ impl World {
                         let slots = self.proto_rng.gen_range_u32(0..32);
                         let delay =
                             self.cfg.cs_delay + manet_mac::timing::DIFS + SLOT * u64::from(slots);
-                        let key = self.queue.schedule(
-                            now + delay,
-                            Event::AssessmentDone { node, packet },
-                        );
+                        let key = self
+                            .queue
+                            .schedule(now + delay, Event::AssessmentDone { node, packet });
                         observer.event(&TraceEvent::Decision {
                             node,
                             packet,

@@ -2,9 +2,7 @@
 //! statistics: beacon rates for fixed and dynamic intervals, and when
 //! beaconing runs at all.
 
-use broadcast_core::{
-    CounterThreshold, NeighborInfo, PlacementSpec, SchemeSpec, SimConfig, World,
-};
+use broadcast_core::{CounterThreshold, NeighborInfo, PlacementSpec, SchemeSpec, SimConfig, World};
 use manet_net::{DynamicHelloParams, HelloIntervalPolicy};
 use manet_sim_engine::SimDuration;
 

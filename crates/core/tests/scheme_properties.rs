@@ -1,16 +1,14 @@
 //! Property-based tests of the scheme decision state machines, driven as
 //! pure functions over arbitrary duplicate sequences.
 
-use broadcast_core::policy::{
-    DuplicateDecision, FirstDecision, HearContext, RebroadcastPolicy,
-};
+use broadcast_core::policy::{DuplicateDecision, FirstDecision, HearContext, RebroadcastPolicy};
 use broadcast_core::{
     AreaThreshold, CounterScheme, CounterThreshold, DistanceScheme, LocationScheme,
     NeighborCoverageScheme, SchemeSpec,
 };
 use manet_geom::{CoverageGrid, Vec2};
 use manet_phy::NodeId;
-use proptest::prelude::*;
+use manet_testkit::{prop_check, Gen};
 
 /// Builds a context for a sender at polar position (rho, theta) with a
 /// given neighbor count.
@@ -45,30 +43,27 @@ impl Fixture {
 }
 
 /// A random stream of duplicate arrivals: (sender id, rho, theta, n).
-fn arrivals() -> impl Strategy<Value = Vec<(u32, f64, f64, usize)>> {
-    prop::collection::vec(
+fn arrivals(g: &mut Gen) -> Vec<(u32, f64, f64, usize)> {
+    g.vec(1..12, |g| {
         (
-            0u32..20,
-            0.0f64..500.0,
-            0.0f64..std::f64::consts::TAU,
-            0usize..20,
-        ),
-        1..12,
-    )
+            g.u32_in(0..20),
+            g.f64_in(0.0..500.0),
+            g.f64_in(0.0..std::f64::consts::TAU),
+            g.usize_in(0..20),
+        )
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
+prop_check! {
     /// The counter scheme cancels exactly when the running count reaches
     /// the threshold evaluated at that moment.
-    #[test]
-    fn counter_cancels_exactly_at_threshold(seq in arrivals()) {
+    fn counter_cancels_exactly_at_threshold(g, cases = 64) {
+        let seq = arrivals(g);
         let fx = Fixture::new();
         let threshold = CounterThreshold::paper_recommended();
         let mut policy = CounterScheme::new(threshold.clone());
         let first = &seq[0];
-        prop_assert_eq!(
+        assert_eq!(
             policy.on_first_hear(&fx.ctx(first.3, first.0, first.1, first.2)),
             FirstDecision::Schedule
         );
@@ -81,7 +76,7 @@ proptest! {
             } else {
                 DuplicateDecision::Cancel
             };
-            prop_assert_eq!(decision, expected);
+            assert_eq!(decision, expected);
             if decision == DuplicateDecision::Cancel {
                 break;
             }
@@ -90,71 +85,67 @@ proptest! {
 
     /// The location scheme's coverage estimate never increases, and a
     /// Cancel decision implies it is below the threshold.
-    #[test]
-    fn location_coverage_is_monotone(seq in arrivals()) {
+    fn location_coverage_is_monotone(g, cases = 64) {
+        let seq = arrivals(g);
         let fx = Fixture::new();
         let threshold = AreaThreshold::fixed(0.05);
         let mut policy = LocationScheme::new(threshold);
         let first = &seq[0];
         let decision = policy.on_first_hear(&fx.ctx(first.3, first.0, first.1, first.2));
         if decision == FirstDecision::Inhibit {
-            prop_assert!(policy.additional_coverage() < 0.05);
-            return Ok(());
+            assert!(policy.additional_coverage() < 0.05);
+            return;
         }
         let mut prev = policy.additional_coverage();
         for dup in &seq[1..] {
             let decision = policy.on_duplicate_hear(&fx.ctx(dup.3, dup.0, dup.1, dup.2));
             let ac = policy.additional_coverage();
-            prop_assert!(ac <= prev + 1e-12, "coverage grew: {prev} -> {ac}");
+            assert!(ac <= prev + 1e-12, "coverage grew: {prev} -> {ac}");
             prev = ac;
             match decision {
                 DuplicateDecision::Cancel => {
-                    prop_assert!(ac < 0.05);
-                    return Ok(());
+                    assert!(ac < 0.05);
+                    return;
                 }
-                DuplicateDecision::Keep => prop_assert!(ac >= 0.05),
+                DuplicateDecision::Keep => assert!(ac >= 0.05),
             }
         }
     }
 
     /// The distance scheme's minimum distance never increases and the
     /// decision matches the threshold test.
-    #[test]
-    fn distance_minimum_is_monotone(seq in arrivals(), threshold in 0.0f64..400.0) {
+    fn distance_minimum_is_monotone(g, cases = 64) {
+        let seq = arrivals(g);
+        let threshold = g.f64_in(0.0..400.0);
         let fx = Fixture::new();
         let mut policy = DistanceScheme::new(threshold);
         let first = &seq[0];
         let decision = policy.on_first_hear(&fx.ctx(first.3, first.0, first.1, first.2));
-        prop_assert_eq!(
+        assert_eq!(
             decision == FirstDecision::Inhibit,
             policy.min_distance() < threshold
         );
         if decision == FirstDecision::Inhibit {
-            return Ok(());
+            return;
         }
         let mut prev = policy.min_distance();
         for dup in &seq[1..] {
             let decision = policy.on_duplicate_hear(&fx.ctx(dup.3, dup.0, dup.1, dup.2));
             let d = policy.min_distance();
-            prop_assert!(d <= prev + 1e-12);
+            assert!(d <= prev + 1e-12);
             prev = d;
-            prop_assert_eq!(decision == DuplicateDecision::Cancel, d < threshold);
+            assert_eq!(decision == DuplicateDecision::Cancel, d < threshold);
             if decision == DuplicateDecision::Cancel {
-                return Ok(());
+                return;
             }
         }
     }
 
     /// The neighbor-coverage pending set only shrinks, and cancellation
     /// happens exactly when it empties.
-    #[test]
-    fn neighbor_coverage_pending_shrinks(
-        neighbors in prop::collection::btree_set(0u32..30, 1..10),
-        senders in prop::collection::vec(
-            (0u32..30, prop::collection::btree_set(0u32..30, 0..6)),
-            1..8,
-        ),
-    ) {
+    fn neighbor_coverage_pending_shrinks(g, cases = 64) {
+        let neighbors = g.u32_set(0..30, 1..10);
+        let senders = g.vec(1..8, |g| (g.u32_in(0..30), g.u32_set(0..30, 0..6)));
         let mut fx = Fixture::new();
         fx.neighbors = neighbors.iter().map(|&i| NodeId::new(i)).collect();
         let mut policy = NeighborCoverageScheme::new();
@@ -174,15 +165,15 @@ proptest! {
         };
         let decision = policy.on_first_hear(&ctx);
         let mut pending: Vec<NodeId> = policy.pending().collect();
-        prop_assert_eq!(decision == FirstDecision::Inhibit, pending.is_empty());
+        assert_eq!(decision == FirstDecision::Inhibit, pending.is_empty());
         if pending.is_empty() {
-            return Ok(());
+            return;
         }
         // Pending is a subset of the announced neighborhood minus covered.
         for p in &pending {
-            prop_assert!(fx.neighbors.contains(p));
-            prop_assert!(*p != NodeId::new(*first_sender));
-            prop_assert!(!fx.sender_neighbors.contains(p));
+            assert!(fx.neighbors.contains(p));
+            assert!(*p != NodeId::new(*first_sender));
+            assert!(!fx.sender_neighbors.contains(p));
         }
         for (sender, known) in &senders[1..] {
             fx.sender_neighbors = known.iter().map(|&i| NodeId::new(i)).collect();
@@ -199,20 +190,21 @@ proptest! {
             };
             let decision = policy.on_duplicate_hear(&ctx);
             let next: Vec<NodeId> = policy.pending().collect();
-            prop_assert!(next.len() <= pending.len(), "pending set grew");
-            prop_assert!(next.iter().all(|p| pending.contains(p)));
-            prop_assert_eq!(decision == DuplicateDecision::Cancel, next.is_empty());
+            assert!(next.len() <= pending.len(), "pending set grew");
+            assert!(next.iter().all(|p| pending.contains(p)));
+            assert_eq!(decision == DuplicateDecision::Cancel, next.is_empty());
             pending = next;
             if pending.is_empty() {
-                return Ok(());
+                return;
             }
         }
     }
 
     /// Every scheme, built through SchemeSpec, survives an arbitrary
     /// arrival sequence without panicking and never un-cancels.
-    #[test]
-    fn all_schemes_are_total(seq in arrivals(), which in 0usize..7) {
+    fn all_schemes_are_total(g, cases = 64) {
+        let seq = arrivals(g);
+        let which = g.usize_in(0..7);
         let spec = match which {
             0 => SchemeSpec::Flooding,
             1 => SchemeSpec::Counter(3),
@@ -228,7 +220,7 @@ proptest! {
         let first = &seq[0];
         let decision = policy.on_first_hear(&fx.ctx(first.3, first.0, first.1, first.2));
         if decision == FirstDecision::Inhibit {
-            return Ok(());
+            return;
         }
         for dup in &seq[1..] {
             if policy.on_duplicate_hear(&fx.ctx(dup.3, dup.0, dup.1, dup.2))

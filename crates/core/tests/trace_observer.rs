@@ -1,9 +1,7 @@
 //! End-to-end tests of the trace observer: counters must agree with the
 //! run report, and packet timelines must be causally ordered.
 
-use broadcast_core::trace::{
-    DecisionKind, EventCounters, FrameKind, TraceEvent, TraceRecorder,
-};
+use broadcast_core::trace::{DecisionKind, EventCounters, FrameKind, TraceEvent, TraceRecorder};
 use broadcast_core::{CounterThreshold, SchemeSpec, SimConfig, World};
 use manet_sim_engine::SimTime;
 

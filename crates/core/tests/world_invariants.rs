@@ -2,43 +2,34 @@
 //! small configurations, the reported metrics must be internally
 //! consistent and runs must be reproducible.
 
-use broadcast_core::{
-    AreaThreshold, CounterThreshold, NeighborInfo, SchemeSpec, SimConfig, World,
-};
+use broadcast_core::{AreaThreshold, CounterThreshold, NeighborInfo, SchemeSpec, SimConfig, World};
 use manet_net::HelloIntervalPolicy;
 use manet_sim_engine::SimDuration;
-use proptest::prelude::*;
+use manet_testkit::{prop_check, Gen};
 
-fn scheme_strategy() -> impl Strategy<Value = SchemeSpec> {
-    prop_oneof![
-        Just(SchemeSpec::Flooding),
-        (2u32..8).prop_map(SchemeSpec::Counter),
-        Just(SchemeSpec::AdaptiveCounter(
-            CounterThreshold::paper_recommended()
-        )),
-        (0.0f64..0.3).prop_map(SchemeSpec::Location),
-        Just(SchemeSpec::AdaptiveLocation(
-            AreaThreshold::paper_recommended()
-        )),
-        Just(SchemeSpec::NeighborCoverage),
-        (0.0f64..200.0).prop_map(SchemeSpec::Distance),
-    ]
+fn scheme(g: &mut Gen) -> SchemeSpec {
+    match g.usize_in(0..7) {
+        0 => SchemeSpec::Flooding,
+        1 => SchemeSpec::Counter(g.u32_in(2..8)),
+        2 => SchemeSpec::AdaptiveCounter(CounterThreshold::paper_recommended()),
+        3 => SchemeSpec::Location(g.f64_in(0.0..0.3)),
+        4 => SchemeSpec::AdaptiveLocation(AreaThreshold::paper_recommended()),
+        5 => SchemeSpec::NeighborCoverage,
+        _ => SchemeSpec::Distance(g.f64_in(0.0..200.0)),
+    }
 }
 
-proptest! {
+prop_check! {
     // Whole-simulation cases are costly; a couple dozen random configs
     // per run is plenty on top of the deterministic integration tests.
-    #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Metrics are well-formed for arbitrary configurations.
-    #[test]
-    fn reports_are_internally_consistent(
-        scheme in scheme_strategy(),
-        map_units in 1u32..8,
-        hosts in 8u32..35,
-        seed in any::<u64>(),
-        oracle in any::<bool>(),
-    ) {
+    fn reports_are_internally_consistent(g, cases = 24) {
+        let scheme = scheme(g);
+        let map_units = g.u32_in(1..8);
+        let hosts = g.u32_in(8..35);
+        let seed = g.u64();
+        let oracle = g.bool();
         let info = if oracle {
             NeighborInfo::Oracle
         } else {
@@ -53,28 +44,31 @@ proptest! {
             .build();
         let report = World::new(config).run();
 
-        prop_assert_eq!(report.broadcasts, 4);
-        prop_assert_eq!(report.per_broadcast.len(), 4);
-        prop_assert!(report.reachability >= 0.0);
-        prop_assert!((0.0..=1.0).contains(&report.saved_rebroadcasts));
-        prop_assert!(report.avg_latency_s >= 0.0);
-        prop_assert!(report.data_frames >= u64::from(report.broadcasts),
-            "every broadcast puts at least the source frame on the air");
+        assert_eq!(report.broadcasts, 4);
+        assert_eq!(report.per_broadcast.len(), 4);
+        assert!(report.reachability >= 0.0);
+        assert!((0.0..=1.0).contains(&report.saved_rebroadcasts));
+        assert!(report.avg_latency_s >= 0.0);
+        assert!(
+            report.data_frames >= u64::from(report.broadcasts),
+            "every broadcast puts at least the source frame on the air"
+        );
         for outcome in &report.per_broadcast {
             // r and t never exceed the host population.
-            prop_assert!(outcome.received < hosts);
-            prop_assert!(outcome.rebroadcast <= outcome.received);
+            assert!(outcome.received < hosts);
+            assert!(outcome.rebroadcast <= outcome.received);
             if let Some(srb) = outcome.saved_rebroadcasts {
-                prop_assert!((0.0..=1.0).contains(&srb));
+                assert!((0.0..=1.0).contains(&srb));
             }
             // Latency cannot exceed the whole simulated span.
-            prop_assert!(outcome.latency.as_secs_f64() <= report.sim_seconds + 1e-9);
+            assert!(outcome.latency.as_secs_f64() <= report.sim_seconds + 1e-9);
         }
     }
 
     /// Same seed, same report — across every scheme.
-    #[test]
-    fn runs_are_reproducible(scheme in scheme_strategy(), seed in any::<u64>()) {
+    fn runs_are_reproducible(g, cases = 24) {
+        let scheme = scheme(g);
+        let seed = g.u64();
         let build = || {
             SimConfig::builder(4, scheme.clone())
                 .hosts(20)
@@ -85,21 +79,19 @@ proptest! {
         };
         let a = World::new(build()).run();
         let b = World::new(build()).run();
-        prop_assert_eq!(a.reachability, b.reachability);
-        prop_assert_eq!(a.saved_rebroadcasts, b.saved_rebroadcasts);
-        prop_assert_eq!(a.avg_latency_s, b.avg_latency_s);
-        prop_assert_eq!(a.data_frames, b.data_frames);
-        prop_assert_eq!(a.hello_packets, b.hello_packets);
-        prop_assert_eq!(a.collisions, b.collisions);
+        assert_eq!(a.reachability, b.reachability);
+        assert_eq!(a.saved_rebroadcasts, b.saved_rebroadcasts);
+        assert_eq!(a.avg_latency_s, b.avg_latency_s);
+        assert_eq!(a.data_frames, b.data_frames);
+        assert_eq!(a.hello_packets, b.hello_packets);
+        assert_eq!(a.collisions, b.collisions);
     }
 
     /// Flooding never saves a rebroadcast, whatever the configuration.
-    #[test]
-    fn flooding_srb_is_always_zero(
-        map_units in 1u32..8,
-        hosts in 8u32..30,
-        seed in any::<u64>(),
-    ) {
+    fn flooding_srb_is_always_zero(g, cases = 24) {
+        let map_units = g.u32_in(1..8);
+        let hosts = g.u32_in(8..30);
+        let seed = g.u64();
         let config = SimConfig::builder(map_units, SchemeSpec::Flooding)
             .hosts(hosts)
             .broadcasts(3)
@@ -112,7 +104,7 @@ proptest! {
                 // A host may still be "saved" if the run ends while its
                 // frame sits in the MAC queue; with a generous grace
                 // period that should never happen.
-                prop_assert!(srb <= 1e-9, "flooding saved {srb}");
+                assert!(srb <= 1e-9, "flooding saved {srb}");
             }
         }
     }

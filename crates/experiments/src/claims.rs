@@ -6,9 +6,7 @@
 //! PASS/FAIL verdict for each, giving `EXPERIMENTS.md` a mechanically
 //! verifiable backbone.
 
-use broadcast_core::{
-    AreaThreshold, CounterThreshold, NeighborInfo, SchemeSpec, SimConfig,
-};
+use broadcast_core::{AreaThreshold, CounterThreshold, NeighborInfo, SchemeSpec, SimConfig};
 use manet_geom::{contention_free_distribution, expected_additional_coverage};
 use manet_net::{DynamicHelloParams, HelloIntervalPolicy};
 use manet_sim_engine::{SimDuration, SimRng};
@@ -90,9 +88,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
         ("al-1", config(1, al(), scale)),
         ("nc-dhi-9", {
             let mut c = config(9, SchemeSpec::NeighborCoverage, scale);
-            c.neighbor_info = NeighborInfo::Hello(HelloIntervalPolicy::Dynamic(
-                DynamicHelloParams::paper(),
-            ));
+            c.neighbor_info =
+                NeighborInfo::Hello(HelloIntervalPolicy::Dynamic(DynamicHelloParams::paper()));
             c.warmup = SimDuration::from_secs(12);
             c
         }),
@@ -104,9 +101,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
         ("nc-hi30-9", {
             let mut c = config(9, SchemeSpec::NeighborCoverage, scale);
             c.max_speed_kmh = Some(60.0);
-            c.neighbor_info = NeighborInfo::Hello(HelloIntervalPolicy::Fixed(
-                SimDuration::from_secs(30),
-            ));
+            c.neighbor_info =
+                NeighborInfo::Hello(HelloIntervalPolicy::Fixed(SimDuration::from_secs(30)));
             c.warmup = SimDuration::from_secs(60);
             c
         }),
@@ -125,10 +121,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         id: "storm-latency",
         statement: "on the dense map, flooding's latency dwarfs counter-based (storm)",
         expected: "flooding > 3x C=2".into(),
-        measured: format!(
-            "{:.4}s vs {:.4}s",
-            flood1.avg_latency_s, c2_1.avg_latency_s
-        ),
+        measured: format!("{:.4}s vs {:.4}s", flood1.avg_latency_s, c2_1.avg_latency_s),
         pass: flood1.avg_latency_s > 3.0 * c2_1.avg_latency_s,
     });
     claims.push(Claim {
@@ -220,8 +213,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             get("al-1").saved_rebroadcasts * 100.0,
             get("a1871-1").saved_rebroadcasts * 100.0
         ),
-        pass: get("al-1").saved_rebroadcasts
-            >= get("a1871-1").saved_rebroadcasts - 0.05,
+        pass: get("al-1").saved_rebroadcasts >= get("a1871-1").saved_rebroadcasts - 0.05,
     });
 
     let nc_fresh = get("nc-hi1-9");
@@ -278,10 +270,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         ]);
     }
     let passed = claims.iter().filter(|c| c.pass).count();
-    let mut summary = Table::new(
-        "Claim summary",
-        vec!["passed".into(), "total".into()],
-    );
+    let mut summary = Table::new("Claim summary", vec!["passed".into(), "total".into()]);
     summary.row(vec![passed.to_string(), claims.len().to_string()]);
     vec![table, summary]
 }

@@ -20,7 +20,10 @@ pub fn run(scale: Scale) -> Vec<Table> {
         SchemeSpec::Counter(2),
         SchemeSpec::AdaptiveCounter(CounterThreshold::paper_recommended()),
     ];
-    let modes = [("no-capture", None), ("capture", Some(CaptureConfig::typical()))];
+    let modes = [
+        ("no-capture", None),
+        ("capture", Some(CaptureConfig::typical())),
+    ];
     let jobs: Vec<(usize, usize, u32)> = (0..schemes.len())
         .flat_map(|s| {
             (0..modes.len()).flat_map(move |m| PAPER_MAPS.iter().map(move |&map| (s, m, map)))

@@ -18,7 +18,10 @@ pub fn run(scale: Scale) -> Vec<Table> {
         SchemeSpec::NeighborCoverage,
     ];
     let infos = [
-        ("hello", NeighborInfo::Hello(manet_net::HelloIntervalPolicy::fixed_1s())),
+        (
+            "hello",
+            NeighborInfo::Hello(manet_net::HelloIntervalPolicy::fixed_1s()),
+        ),
         ("oracle", NeighborInfo::Oracle),
     ];
     let jobs: Vec<(usize, usize, u32)> = (0..schemes.len())

@@ -31,10 +31,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
     );
     for n in 1..=10usize {
         let dist = contention_free_distribution(n, trials(scale), &mut rng);
-        let cell = |k: usize| {
-            dist.get(k)
-                .map_or("-".to_string(), |p| format!("{p:.4}"))
-        };
+        let cell = |k: usize| dist.get(k).map_or("-".to_string(), |p| format!("{p:.4}"));
         table.row(vec![
             n.to_string(),
             cell(0),

@@ -21,10 +21,7 @@ pub fn run(_scale: Scale) -> Vec<Table> {
 
     let mut headers = vec!["n".to_string()];
     headers.extend(functions.iter().map(|(name, _)| format!("C(n) {name}")));
-    let mut table = Table::new(
-        "Fig. 6 - candidate C(n) functions (n1=4, n2=12)",
-        headers,
-    );
+    let mut table = Table::new("Fig. 6 - candidate C(n) functions (n1=4, n2=12)", headers);
     for n in 1..=16usize {
         let mut row = vec![n.to_string()];
         for (_, f) in &functions {

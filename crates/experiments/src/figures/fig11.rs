@@ -24,9 +24,9 @@ pub fn run(scale: Scale) -> Vec<Table> {
     let jobs: Vec<(u32, f64, u64)> = MAPS
         .iter()
         .flat_map(|&m| {
-            SPEEDS_KMH.iter().flat_map(move |&v| {
-                INTERVALS_MS.iter().map(move |&hi| (m, v, hi))
-            })
+            SPEEDS_KMH
+                .iter()
+                .flat_map(move |&v| INTERVALS_MS.iter().map(move |&hi| (m, v, hi)))
         })
         .collect();
     let reports = parallel_map(jobs.clone(), |&(map, speed, hi)| {
@@ -46,7 +46,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
     let mut tables = Vec::new();
     for &map in &MAPS {
         let mut headers = vec!["speed km/h".to_string()];
-        headers.extend(INTERVALS_MS.iter().map(|hi| format!("RE% hi={}s", hi / 1000)));
+        headers.extend(
+            INTERVALS_MS
+                .iter()
+                .map(|hi| format!("RE% hi={}s", hi / 1000)),
+        );
         let mut table = Table::new(
             format!("Fig. 11 - NC reachability vs hello interval, {map}x{map} map"),
             headers,

@@ -52,11 +52,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         headers_a,
     );
     let mut headers_b = vec!["map".to_string()];
-    headers_b.extend(
-        SPEEDS_KMH
-            .iter()
-            .map(|v| format!("hellos/host/s v={v:.0}")),
-    );
+    headers_b.extend(SPEEDS_KMH.iter().map(|v| format!("hellos/host/s v={v:.0}")));
     let mut b = Table::new(
         "Fig. 12b - NC-DHI hello traffic (hello packets per host per second)",
         headers_b,

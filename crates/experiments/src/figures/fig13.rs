@@ -8,9 +8,7 @@
 //! maps; NC is strongest on dense maps; AC/AL are strongest on sparse
 //! maps; the adaptive schemes hold RE ≈ 95 %+ everywhere.
 
-use broadcast_core::{
-    AreaThreshold, CounterThreshold, NeighborInfo, SchemeSpec,
-};
+use broadcast_core::{AreaThreshold, CounterThreshold, NeighborInfo, SchemeSpec};
 use manet_net::{DynamicHelloParams, HelloIntervalPolicy};
 use manet_sim_engine::SimDuration;
 
@@ -74,10 +72,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
                 .expect("job exists");
             let r = &reports[idx];
             let label = if matches!(scheme, SchemeSpec::NeighborCoverage)
-                && matches!(
-                    info,
-                    NeighborInfo::Hello(HelloIntervalPolicy::Dynamic(_))
-                ) {
+                && matches!(info, NeighborInfo::Hello(HelloIntervalPolicy::Dynamic(_)))
+            {
                 "NC-DHI".to_string()
             } else {
                 scheme.label()

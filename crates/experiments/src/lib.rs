@@ -20,6 +20,11 @@
 
 pub mod figures {
     //! One module per reproduced figure.
+    pub mod ext_capture;
+    pub mod ext_distance;
+    pub mod ext_load;
+    pub mod ext_mobility;
+    pub mod ext_oracle;
     pub mod fig01;
     pub mod fig02;
     pub mod fig05;
@@ -31,11 +36,6 @@ pub mod figures {
     pub mod fig11;
     pub mod fig12;
     pub mod fig13;
-    pub mod ext_capture;
-    pub mod ext_load;
-    pub mod ext_mobility;
-    pub mod ext_distance;
-    pub mod ext_oracle;
 }
 
 pub mod claims;

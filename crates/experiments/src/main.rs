@@ -75,22 +75,21 @@ fn main() -> ExitCode {
     }
 
     let registry = all_figures();
-    let selected: Vec<(&str, FigureRunner)> =
-        if wanted.iter().any(|w| w == "all") {
-            registry
-        } else {
-            let mut selected = Vec::new();
-            for want in &wanted {
-                match registry.iter().find(|(id, _)| id == want) {
-                    Some(entry) => selected.push(*entry),
-                    None => {
-                        eprintln!("unknown figure '{want}'\n\n{}", usage());
-                        return ExitCode::FAILURE;
-                    }
+    let selected: Vec<(&str, FigureRunner)> = if wanted.iter().any(|w| w == "all") {
+        registry
+    } else {
+        let mut selected = Vec::new();
+        for want in &wanted {
+            match registry.iter().find(|(id, _)| id == want) {
+                Some(entry) => selected.push(*entry),
+                None => {
+                    eprintln!("unknown figure '{want}'\n\n{}", usage());
+                    return ExitCode::FAILURE;
                 }
             }
-            selected
-        };
+        }
+        selected
+    };
 
     for (id, runner) in selected {
         let started = Instant::now();

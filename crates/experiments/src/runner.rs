@@ -194,7 +194,11 @@ pub fn run_grid(
         grid[s][m] = Some(report);
     }
     grid.into_iter()
-        .map(|row| row.into_iter().map(|r| r.expect("missing grid cell")).collect())
+        .map(|row| {
+            row.into_iter()
+                .map(|r| r.expect("missing grid cell"))
+                .collect()
+        })
         .collect()
 }
 

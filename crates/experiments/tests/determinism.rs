@@ -1,0 +1,93 @@
+//! Determinism regression: the experiment runner is a pure function of
+//! its arguments. Running the same figures twice with the same seed must
+//! produce byte-identical tables and CSV files.
+//!
+//! This is the end-to-end guarantee the in-tree PRNG and the
+//! single-threaded event queue promise; if it breaks, every figure in
+//! the paper reproduction becomes unrepeatable.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Runs the real `manet-experiments` binary and returns its stdout with
+/// the machine-specific `[csv] <path>` lines stripped (the CSV *bytes*
+/// are compared separately).
+fn run_once(csv_dir: &Path) -> String {
+    let output = Command::new(env!("CARGO_BIN_EXE_manet-experiments"))
+        .args(["fig1", "fig2", "fig6", "--scale", "quick", "--csv"])
+        .arg(csv_dir)
+        .output()
+        .expect("experiment binary runs");
+    assert!(
+        output.status.success(),
+        "runner failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout)
+        .expect("tables are UTF-8")
+        .lines()
+        .filter(|line| !line.starts_with("[csv]"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Reads every CSV in a directory into a name -> bytes map.
+fn csv_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut files = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("csv dir exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|ext| ext == "csv") {
+            let name = path
+                .file_name()
+                .expect("file name")
+                .to_string_lossy()
+                .into_owned();
+            files.insert(name, std::fs::read(&path).expect("csv readable"));
+        }
+    }
+    files
+}
+
+fn fresh_dir(label: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("manet-determinism-{}-{label}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("stale dir removable");
+    }
+    std::fs::create_dir_all(&dir).expect("temp dir creatable");
+    dir
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    let dir_a = fresh_dir("a");
+    let dir_b = fresh_dir("b");
+
+    let stdout_a = run_once(&dir_a);
+    let stdout_b = run_once(&dir_b);
+    assert!(
+        !stdout_a.is_empty(),
+        "runner printed no tables; the comparison below would be vacuous"
+    );
+    assert_eq!(stdout_a, stdout_b, "table output differs between runs");
+
+    let csv_a = csv_bytes(&dir_a);
+    let csv_b = csv_bytes(&dir_b);
+    assert!(!csv_a.is_empty(), "no CSV files were written");
+    assert_eq!(
+        csv_a.keys().collect::<Vec<_>>(),
+        csv_b.keys().collect::<Vec<_>>(),
+        "runs wrote different CSV file sets"
+    );
+    for (name, bytes_a) in &csv_a {
+        assert_eq!(
+            Some(bytes_a),
+            csv_b.get(name),
+            "CSV '{name}' differs between runs"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}

@@ -51,10 +51,20 @@ fn fig1_eac_is_decreasing_at_quick_scale() {
     let values: Vec<f64> = csv
         .lines()
         .skip(1)
-        .map(|l| l.split(',').nth(1).expect("two columns").parse().expect("a float"))
+        .map(|l| {
+            l.split(',')
+                .nth(1)
+                .expect("two columns")
+                .parse()
+                .expect("a float")
+        })
         .collect();
     assert_eq!(values.len(), 10);
-    assert!(values[0] > 0.35 && values[0] < 0.47, "EAC(1) = {}", values[0]);
+    assert!(
+        values[0] > 0.35 && values[0] < 0.47,
+        "EAC(1) = {}",
+        values[0]
+    );
     assert!(
         values.windows(2).all(|w| w[1] <= w[0] + 0.03),
         "EAC must trend down: {values:?}"

@@ -184,12 +184,7 @@ mod tests {
         // against direct numeric integration at several distances.
         for frac in [0.1, 0.3, 0.5, 0.8, 1.0, 1.5, 1.9] {
             let d = frac * R;
-            let numeric = simpson(
-                |x| (R * R - x * x).max(0.0).sqrt(),
-                d / 2.0,
-                R,
-                20_000,
-            ) * 4.0;
+            let numeric = simpson(|x| (R * R - x * x).max(0.0).sqrt(), d / 2.0, R, 20_000) * 4.0;
             let closed = intc(d, R);
             assert!(
                 (numeric - closed).abs() / (PI * R * R) < 1e-6,

@@ -1,58 +1,58 @@
 //! Property-based tests for the geometry layer.
 
-use manet_geom::{
-    additional_coverage_two, intc, sample_in_disk, CoverageGrid, Rect, Vec2,
-};
+use manet_geom::{additional_coverage_two, intc, sample_in_disk, CoverageGrid, Rect, Vec2};
 use manet_sim_engine::SimRng;
-use proptest::prelude::*;
+use manet_testkit::prop_check;
 use std::f64::consts::PI;
 
-proptest! {
+prop_check! {
     /// 0 <= INTC(d) <= πr² for all valid inputs.
-    #[test]
-    fn intc_is_bounded(d in 0.0f64..5_000.0, r in 1.0f64..2_000.0) {
+    fn intc_is_bounded(g) {
+        let d = g.f64_in(0.0..5_000.0);
+        let r = g.f64_in(1.0..2_000.0);
         let v = intc(d, r);
-        prop_assert!(v >= 0.0);
-        prop_assert!(v <= PI * r * r + 1e-6);
+        assert!(v >= 0.0);
+        assert!(v <= PI * r * r + 1e-6);
     }
 
     /// INTC scales with r²: INTC(s·d, s·r) = s²·INTC(d, r).
-    #[test]
-    fn intc_scales_quadratically(d in 0.0f64..1_000.0, s in 0.5f64..4.0) {
+    fn intc_scales_quadratically(g) {
+        let d = g.f64_in(0.0..1_000.0);
+        let s = g.f64_in(0.5..4.0);
         let r = 500.0;
         let base = intc(d, r);
         let scaled = intc(s * d, s * r);
-        prop_assert!((scaled - s * s * base).abs() < 1e-6 * s * s * PI * r * r);
+        assert!((scaled - s * s * base).abs() < 1e-6 * s * s * PI * r * r);
     }
 
     /// Additional coverage of two circles is within [0, πr²] and
     /// complementary to INTC.
-    #[test]
-    fn additional_coverage_complements_intc(d in 0.0f64..2_500.0) {
+    fn additional_coverage_complements_intc(g) {
+        let d = g.f64_in(0.0..2_500.0);
         let r = 500.0;
         let extra = additional_coverage_two(d, r);
-        prop_assert!(extra >= -1e-9);
-        prop_assert!(extra <= PI * r * r + 1e-9);
-        prop_assert!((extra + intc(d.min(2.0 * r), r) - PI * r * r).abs() < 1e-6);
+        assert!(extra >= -1e-9);
+        assert!(extra <= PI * r * r + 1e-9);
+        assert!((extra + intc(d.min(2.0 * r), r) - PI * r * r).abs() < 1e-6);
     }
 
     /// The grid coverage estimator stays in [0, 1] and agrees with the
     /// closed form for a single hearer.
-    #[test]
-    fn grid_estimator_bounded_and_accurate(d in 0.0f64..1_200.0) {
+    fn grid_estimator_bounded_and_accurate(g) {
+        let d = g.f64_in(0.0..1_200.0);
         let r = 500.0;
         let grid = CoverageGrid::new(96);
         let frac = grid.additional_fraction(Vec2::ZERO, r, &[Vec2::new(d, 0.0)]);
-        prop_assert!((0.0..=1.0).contains(&frac));
+        assert!((0.0..=1.0).contains(&frac));
         let exact = additional_coverage_two(d, r) / (PI * r * r);
-        prop_assert!((frac - exact).abs() < 0.015, "d={}: {} vs {}", d, frac, exact);
+        assert!((frac - exact).abs() < 0.015, "d={}: {} vs {}", d, frac, exact);
     }
 
     /// Adding one more heard transmitter can only shrink the uncovered area.
-    #[test]
-    fn coverage_is_monotone_in_hearers(
-        seeds in prop::collection::vec((0.0f64..1_000.0, 0.0f64..std::f64::consts::TAU), 1..6)
-    ) {
+    fn coverage_is_monotone_in_hearers(g) {
+        let seeds = g.vec(1..6, |g| {
+            (g.f64_in(0.0..1_000.0), g.f64_in(0.0..std::f64::consts::TAU))
+        });
         let r = 500.0;
         let grid = CoverageGrid::new(48);
         let mut heard: Vec<Vec2> = Vec::new();
@@ -60,46 +60,42 @@ proptest! {
         for (rho, theta) in seeds {
             heard.push(Vec2::from_angle(theta) * rho);
             let frac = grid.additional_fraction(Vec2::ZERO, r, &heard);
-            prop_assert!(frac <= prev + 1e-12);
+            assert!(frac <= prev + 1e-12);
             prev = frac;
         }
     }
 
     /// Disk samples land in the disk.
-    #[test]
-    fn disk_samples_in_disk(seed in any::<u64>()) {
+    fn disk_samples_in_disk(g) {
+        let seed = g.u64();
         let mut rng = SimRng::seed_from(seed);
         let c = Vec2::new(100.0, -50.0);
         for _ in 0..100 {
             let p = sample_in_disk(c, 500.0, &mut rng);
-            prop_assert!(c.distance_to(p) <= 500.0 + 1e-9);
+            assert!(c.distance_to(p) <= 500.0 + 1e-9);
         }
     }
 
     /// Reflection always lands inside the rectangle.
-    #[test]
-    fn reflect_lands_inside(
-        x in -10_000.0f64..10_000.0,
-        y in -10_000.0f64..10_000.0,
-        w in 1.0f64..6_000.0,
-        h in 1.0f64..6_000.0,
-    ) {
+    fn reflect_lands_inside(g) {
+        let x = g.f64_in(-10_000.0..10_000.0);
+        let y = g.f64_in(-10_000.0..10_000.0);
+        let w = g.f64_in(1.0..6_000.0);
+        let h = g.f64_in(1.0..6_000.0);
         let rect = Rect::new(w, h);
         let p = rect.reflect(Vec2::new(x, y));
-        prop_assert!(rect.contains(p), "({x}, {y}) reflected to {p} outside {w}x{h}");
+        assert!(rect.contains(p), "({x}, {y}) reflected to {p} outside {w}x{h}");
     }
 
     /// Reflection is the identity for interior points.
-    #[test]
-    fn reflect_fixes_interior(
-        fx in 0.0f64..=1.0,
-        fy in 0.0f64..=1.0,
-        w in 1.0f64..6_000.0,
-        h in 1.0f64..6_000.0,
-    ) {
+    fn reflect_fixes_interior(g) {
+        let fx = g.f64_in_incl(0.0, 1.0);
+        let fy = g.f64_in_incl(0.0, 1.0);
+        let w = g.f64_in(1.0..6_000.0);
+        let h = g.f64_in(1.0..6_000.0);
         let rect = Rect::new(w, h);
         let p = Vec2::new(fx * w, fy * h);
         let q = rect.reflect(p);
-        prop_assert!((p - q).length() < 1e-9);
+        assert!((p - q).length() < 1e-9);
     }
 }

@@ -236,7 +236,10 @@ impl Dcf {
                 match self.backoff_slots {
                     Some(0) => self.finish_backoff(now),
                     Some(slots) => {
-                        self.state = State::Backoff { started: now, slots };
+                        self.state = State::Backoff {
+                            started: now,
+                            slots,
+                        };
                         vec![self.arm_timer(SLOT * u64::from(slots))]
                     }
                     None => {

@@ -11,7 +11,7 @@
 
 use manet_mac::{frame_airtime, Dcf, FrameHandle, MacAction};
 use manet_sim_engine::{SimDuration, SimRng, SimTime};
-use proptest::prelude::*;
+use manet_testkit::{prop_check, Gen};
 
 /// One random environment step.
 #[derive(Debug, Clone, Copy)]
@@ -24,15 +24,12 @@ enum Step {
     Quiet(u64),
 }
 
-fn steps() -> impl Strategy<Value = Vec<Step>> {
-    prop::collection::vec(
-        prop_oneof![
-            Just(Step::Enqueue),
-            (100u64..5_000).prop_map(Step::Busy),
-            (100u64..5_000).prop_map(Step::Quiet),
-        ],
-        1..25,
-    )
+fn steps(g: &mut Gen) -> Vec<Step> {
+    g.vec(1..25, |g| match g.usize_in(0..3) {
+        0 => Step::Enqueue,
+        1 => Step::Busy(g.u64_in(100..5_000)),
+        _ => Step::Quiet(g.u64_in(100..5_000)),
+    })
 }
 
 /// Drives the MAC through `steps`, then lets the medium stay idle until
@@ -47,10 +44,10 @@ fn drive(seed: u64, steps: &[Step]) -> Vec<FrameHandle> {
     let mut timer: Option<(SimTime, u64)> = None;
 
     let apply = |mac: &mut Dcf,
-                     actions: Vec<MacAction>,
-                     now: &mut SimTime,
-                     timer: &mut Option<(SimTime, u64)>,
-                     transmitted: &mut Vec<FrameHandle>| {
+                 actions: Vec<MacAction>,
+                 now: &mut SimTime,
+                 timer: &mut Option<(SimTime, u64)>,
+                 transmitted: &mut Vec<FrameHandle>| {
         let mut pending = actions;
         while let Some(action) = pending.pop() {
             match action {
@@ -118,25 +115,25 @@ fn drive(seed: u64, steps: &[Step]) -> Vec<FrameHandle> {
     transmitted
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
+prop_check! {
     /// All enqueued frames transmit, exactly once, in FIFO order.
-    #[test]
-    fn frames_all_transmit_in_order(seed in any::<u64>(), steps in steps()) {
+    fn frames_all_transmit_in_order(g, cases = 256) {
+        let seed = g.u64();
+        let steps = steps(g);
         let enqueued = steps.iter().filter(|s| matches!(s, Step::Enqueue)).count();
         let transmitted = drive(seed, &steps);
-        prop_assert_eq!(transmitted.len(), enqueued);
+        assert_eq!(transmitted.len(), enqueued);
         for (i, handle) in transmitted.iter().enumerate() {
-            prop_assert_eq!(*handle, FrameHandle(i as u64), "FIFO violated");
+            assert_eq!(*handle, FrameHandle(i as u64), "FIFO violated");
         }
     }
 
     /// The machine is deterministic: same seed and steps, same behaviour.
-    #[test]
-    fn machine_is_deterministic(seed in any::<u64>(), steps in steps()) {
+    fn machine_is_deterministic(g, cases = 256) {
+        let seed = g.u64();
+        let steps = steps(g);
         let a = drive(seed, &steps);
         let b = drive(seed, &steps);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }

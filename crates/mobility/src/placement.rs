@@ -86,7 +86,10 @@ mod tests {
         // Rough uniformity: each quadrant holds between 15% and 35%.
         let half_w = map.bounds().width() / 2.0;
         let half_h = map.bounds().height() / 2.0;
-        let q1 = hosts.iter().filter(|p| p.x < half_w && p.y < half_h).count();
+        let q1 = hosts
+            .iter()
+            .filter(|p| p.x < half_w && p.y < half_h)
+            .count();
         assert!((75..=175).contains(&q1), "quadrant count {q1}");
     }
 

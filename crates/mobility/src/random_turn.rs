@@ -138,7 +138,9 @@ impl RandomTurn {
         // of all directions point inward from an edge).
         for attempt in 0..64 {
             let theta = self.rng.gen_range_f64(0.0..std::f64::consts::TAU);
-            let speed = self.rng.gen_range_f64(0.0..self.params.max_speed_mps.max(f64::MIN_POSITIVE));
+            let speed = self
+                .rng
+                .gen_range_f64(0.0..self.params.max_speed_mps.max(f64::MIN_POSITIVE));
             let interval = self
                 .rng
                 .gen_duration_between(self.params.min_interval, self.params.max_interval);

@@ -145,9 +145,13 @@ impl RandomWaypoint {
             self.seg_end = now + self.params.pause.max(SimDuration::from_millis(1));
             return;
         }
-        let speed = self
-            .rng
-            .gen_range_f64(self.params.min_speed_mps..self.params.max_speed_mps.max(self.params.min_speed_mps + f64::EPSILON));
+        let speed = self.rng.gen_range_f64(
+            self.params.min_speed_mps
+                ..self
+                    .params
+                    .max_speed_mps
+                    .max(self.params.min_speed_mps + f64::EPSILON),
+        );
         let travel = SimDuration::from_secs_f64(distance / speed);
         let velocity = (dest - self.origin) / (distance / speed);
         self.phase = Phase::Moving { velocity };

@@ -1,20 +1,16 @@
 //! Property-based tests for the mobility layer.
 
 use manet_geom::Vec2;
-use manet_mobility::{
-    uniform_placement, Map, Mobility, RandomTurn, RandomTurnParams,
-};
+use manet_mobility::{uniform_placement, Map, Mobility, RandomTurn, RandomTurnParams};
 use manet_sim_engine::{SimRng, SimTime};
-use proptest::prelude::*;
+use manet_testkit::prop_check;
 
-proptest! {
+prop_check! {
     /// Hosts never leave the map regardless of seed, map size, or speed.
-    #[test]
-    fn random_turn_stays_on_map(
-        seed in any::<u64>(),
-        units in 1u32..12,
-        kmh in 0.0f64..120.0,
-    ) {
+    fn random_turn_stays_on_map(g) {
+        let seed = g.u64();
+        let units = g.u32_in(1..12);
+        let kmh = g.f64_in(0.0..120.0);
         let map = Map::square_units(units);
         let mut host = RandomTurn::new(
             map,
@@ -25,15 +21,16 @@ proptest! {
         );
         for _ in 0..100 {
             let end = host.next_change().unwrap();
-            prop_assert!(map.contains(host.position_at(end)));
+            assert!(map.contains(host.position_at(end)));
             host.advance(end);
         }
     }
 
     /// Displacement over a segment never exceeds max_speed × elapsed time,
     /// and the instantaneous speed never exceeds the configured maximum.
-    #[test]
-    fn displacement_bounded_by_speed(seed in any::<u64>(), kmh in 1.0f64..100.0) {
+    fn displacement_bounded_by_speed(g) {
+        let seed = g.u64();
+        let kmh = g.f64_in(1.0..100.0);
         let map = Map::square_units(7);
         let params = RandomTurnParams::paper(kmh);
         let mut host = RandomTurn::new(
@@ -45,31 +42,30 @@ proptest! {
             let end_t = host.next_change().unwrap();
             let end_pos = host.position_at(end_t);
             let elapsed = (end_t - seg_start_t).as_secs_f64();
-            prop_assert!(
-                start_pos.distance_to(end_pos) <= params.max_speed_mps * elapsed + 1e-6
-            );
-            prop_assert!(host.velocity().length() <= params.max_speed_mps + 1e-9);
+            assert!(start_pos.distance_to(end_pos) <= params.max_speed_mps * elapsed + 1e-6);
+            assert!(host.velocity().length() <= params.max_speed_mps + 1e-9);
             host.advance(end_t);
             seg_start_t = end_t;
         }
     }
 
     /// Uniform placement always lands on the map and is deterministic per seed.
-    #[test]
-    fn placement_deterministic(seed in any::<u64>(), units in 1u32..12) {
+    fn placement_deterministic(g) {
+        let seed = g.u64();
+        let units = g.u32_in(1..12);
         let map = Map::square_units(units);
         let a = uniform_placement(&map, 50, &mut SimRng::seed_from(seed));
         let b = uniform_placement(&map, 50, &mut SimRng::seed_from(seed));
-        prop_assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), b.len());
         for (pa, pb) in a.iter().zip(b.iter()) {
-            prop_assert_eq!(*pa, *pb);
-            prop_assert!(map.contains(*pa));
+            assert_eq!(*pa, *pb);
+            assert!(map.contains(*pa));
         }
     }
 
     /// Hosts built from the same fork stream replay identically.
-    #[test]
-    fn same_fork_replays_identically(seed in any::<u64>()) {
+    fn same_fork_replays_identically(g) {
+        let seed = g.u64();
         let map = Map::square_units(5);
         let make = || {
             RandomTurn::new(
@@ -85,9 +81,9 @@ proptest! {
         for _ in 0..20 {
             let ta = a.next_change().unwrap();
             let tb = b.next_change().unwrap();
-            prop_assert_eq!(ta, tb);
+            assert_eq!(ta, tb);
             let (pa, pb): (Vec2, Vec2) = (a.position_at(ta), b.position_at(tb));
-            prop_assert_eq!(pa, pb);
+            assert_eq!(pa, pb);
             a.advance(ta);
             b.advance(tb);
         }

@@ -280,7 +280,9 @@ impl Medium {
             "source {source} cannot listen to itself"
         );
         assert!(
-            listeners.iter().all(|l| l.signal.is_finite() && l.signal > 0.0),
+            listeners
+                .iter()
+                .all(|l| l.signal.is_finite() && l.signal > 0.0),
             "signal strengths must be positive and finite"
         );
         let frame = FrameId::new(self.next_frame);
@@ -316,8 +318,8 @@ impl Medium {
                     Some(model) => {
                         // SIR test: each frame survives only if its signal
                         // beats the sum of all others by the threshold.
-                        let total: f64 = radio.incoming.iter().map(|f| f.signal).sum::<f64>()
-                            + listener.signal;
+                        let total: f64 =
+                            radio.incoming.iter().map(|f| f.signal).sum::<f64>() + listener.signal;
                         for other in &mut radio.incoming {
                             if other.signal < model.threshold * (total - other.signal) {
                                 other.garbled = true;
@@ -504,7 +506,10 @@ mod tests {
         let start = m.begin_transmission(a, t0, t0 + AIRTIME, &[b]);
         assert_eq!(
             start.carrier_changes,
-            vec![CarrierChange { node: b, busy: true }]
+            vec![CarrierChange {
+                node: b,
+                busy: true
+            }]
         );
         assert!(m.is_carrier_busy(b));
         let end = m.end_transmission(start.frame, t0 + AIRTIME);
@@ -539,8 +544,7 @@ mod tests {
 
     #[test]
     fn injected_loss_drops_roughly_p() {
-        let mut m =
-            Medium::new(2).with_drop_probability(0.3, SimRng::seed_from(9));
+        let mut m = Medium::new(2).with_drop_probability(0.3, SimRng::seed_from(9));
         let (a, b) = (NodeId::new(0), NodeId::new(1));
         let mut t = SimTime::ZERO;
         let mut decoded = 0;
@@ -578,13 +582,19 @@ mod tests {
             a,
             t0,
             t0 + AIRTIME,
-            &[Listener { node: b, signal: 100.0 }],
+            &[Listener {
+                node: b,
+                signal: 100.0,
+            }],
         );
         let weak = m.begin_transmission_with_signals(
             c,
             t0,
             t0 + AIRTIME,
-            &[Listener { node: b, signal: 1.0 }],
+            &[Listener {
+                node: b,
+                signal: 1.0,
+            }],
         );
         assert!(
             m.end_transmission(strong.frame, t0 + AIRTIME).deliveries[0].decoded,
@@ -605,13 +615,19 @@ mod tests {
             a,
             t0,
             t0 + AIRTIME,
-            &[Listener { node: b, signal: 2.0 }],
+            &[Listener {
+                node: b,
+                signal: 2.0,
+            }],
         );
         let f2 = m.begin_transmission_with_signals(
             c,
             t0,
             t0 + AIRTIME,
-            &[Listener { node: b, signal: 1.5 }],
+            &[Listener {
+                node: b,
+                signal: 1.5,
+            }],
         );
         assert!(!m.end_transmission(f1.frame, t0 + AIRTIME).deliveries[0].decoded);
         assert!(!m.end_transmission(f2.frame, t0 + AIRTIME).deliveries[0].decoded);
@@ -628,7 +644,10 @@ mod tests {
             NodeId::new(1),
             t0,
             t0 + AIRTIME,
-            &[Listener { node: b, signal: 10.0 }],
+            &[Listener {
+                node: b,
+                signal: 10.0,
+            }],
         );
         let mut others = Vec::new();
         for i in 2..5u32 {
@@ -636,7 +655,10 @@ mod tests {
                 NodeId::new(i),
                 t0,
                 t0 + AIRTIME,
-                &[Listener { node: b, signal: 3.0 }],
+                &[Listener {
+                    node: b,
+                    signal: 3.0,
+                }],
             ));
         }
         assert!(!m.end_transmission(strong.frame, t0 + AIRTIME).deliveries[0].decoded);
@@ -655,7 +677,10 @@ mod tests {
             a,
             t0,
             t0 + AIRTIME,
-            &[Listener { node: b, signal: 1_000.0 }],
+            &[Listener {
+                node: b,
+                signal: 1_000.0,
+            }],
         );
         assert!(!m.end_transmission(fa.frame, t0 + AIRTIME).deliveries[0].decoded);
         m.end_transmission(fb.frame, t0 + AIRTIME);
@@ -670,7 +695,10 @@ mod tests {
             NodeId::new(0),
             t0,
             t0 + AIRTIME,
-            &[Listener { node: NodeId::new(1), signal: 0.0 }],
+            &[Listener {
+                node: NodeId::new(1),
+                signal: 0.0,
+            }],
         );
     }
 

@@ -4,70 +4,79 @@
 
 use manet_phy::{Medium, NodeId};
 use manet_sim_engine::{SimDuration, SimTime};
-use proptest::prelude::*;
+use manet_testkit::{prop_check, Gen};
 
 const AIRTIME_US: u64 = 2_432;
 
 /// A random schedule: per transmission (source index, start offset µs).
-fn schedule() -> impl Strategy<Value = Vec<(u32, u64)>> {
-    prop::collection::vec((0u32..6, 0u64..20_000), 1..12)
+fn schedule(g: &mut Gen) -> Vec<(u32, u64)> {
+    g.vec(1..12, |g| (g.u32_in(0..6), g.u64_in(0..20_000)))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Core of `deliveries_are_conserved`, shared with the pinned regression.
+fn check_deliveries_conserved(raw: Vec<(u32, u64)>) {
+    let hosts = 10usize;
+    let mut medium = Medium::new(hosts);
+    // Sources 0..6 transmit to listeners 6..10; dedupe sources whose
+    // frames would overlap their own earlier frame.
+    let mut events: Vec<(u64, bool, usize)> = Vec::new(); // (time, is_start, idx)
+    let mut txs: Vec<(NodeId, SimTime, SimTime)> = Vec::new();
+    let mut busy_until = vec![0u64; hosts];
+    for (src, offset) in raw {
+        let start = offset;
+        if start < busy_until[src as usize] {
+            continue; // a host cannot start while already transmitting
+        }
+        busy_until[src as usize] = start + AIRTIME_US;
+        let idx = txs.len();
+        txs.push((
+            NodeId::new(src),
+            SimTime::from_micros(start),
+            SimTime::from_micros(start + AIRTIME_US),
+        ));
+        events.push((start, true, idx));
+        events.push((start + AIRTIME_US, false, idx));
+    }
+    events.sort_by_key(|&(t, is_start, _)| (t, is_start));
+    let listeners: Vec<NodeId> = (6..10).map(NodeId::new).collect();
 
+    let mut frames = vec![None; txs.len()];
+    let mut total_verdicts = 0usize;
+    for (_, is_start, idx) in events {
+        let (source, start, end) = txs[idx];
+        if is_start {
+            let tx = medium.begin_transmission(source, start, end, &listeners);
+            frames[idx] = Some(tx.frame);
+        } else {
+            let frame = frames[idx].take().expect("frame started");
+            let done = medium.end_transmission(frame, end);
+            assert_eq!(done.deliveries.len(), listeners.len());
+            total_verdicts += done.deliveries.len();
+            assert_eq!(done.source, source);
+        }
+    }
+    assert_eq!(total_verdicts, txs.len() * listeners.len());
+    assert_eq!(medium.frames_sent(), txs.len() as u64);
+}
+
+/// A shrunk failure proptest once found (kept from its regression file):
+/// one source whose second frame starts inside its first.
+#[test]
+fn regression_same_source_overlapping_frames() {
+    check_deliveries_conserved(vec![(3, 9_865), (3, 12_297)]);
+}
+
+prop_check! {
     /// Every listener of every frame gets exactly one delivery verdict,
     /// regardless of how transmissions overlap.
-    #[test]
-    fn deliveries_are_conserved(raw in schedule()) {
-        let hosts = 10usize;
-        let mut medium = Medium::new(hosts);
-        // Sources 0..6 transmit to listeners 6..10; dedupe sources whose
-        // frames would overlap their own earlier frame.
-        let mut events: Vec<(u64, bool, usize)> = Vec::new(); // (time, is_start, idx)
-        let mut txs: Vec<(NodeId, SimTime, SimTime)> = Vec::new();
-        let mut busy_until = vec![0u64; hosts];
-        for (src, offset) in raw {
-            let start = offset;
-            if start < busy_until[src as usize] {
-                continue; // a host cannot start while already transmitting
-            }
-            busy_until[src as usize] = start + AIRTIME_US;
-            let idx = txs.len();
-            txs.push((
-                NodeId::new(src),
-                SimTime::from_micros(start),
-                SimTime::from_micros(start + AIRTIME_US),
-            ));
-            events.push((start, true, idx));
-            events.push((start + AIRTIME_US, false, idx));
-        }
-        events.sort_by_key(|&(t, is_start, _)| (t, is_start));
-        let listeners: Vec<NodeId> = (6..10).map(NodeId::new).collect();
-
-        let mut frames = vec![None; txs.len()];
-        let mut total_verdicts = 0usize;
-        for (_, is_start, idx) in events {
-            let (source, start, end) = txs[idx];
-            if is_start {
-                let tx = medium.begin_transmission(source, start, end, &listeners);
-                frames[idx] = Some(tx.frame);
-            } else {
-                let frame = frames[idx].take().expect("frame started");
-                let done = medium.end_transmission(frame, end);
-                prop_assert_eq!(done.deliveries.len(), listeners.len());
-                total_verdicts += done.deliveries.len();
-                prop_assert_eq!(done.source, source);
-            }
-        }
-        prop_assert_eq!(total_verdicts, txs.len() * listeners.len());
-        prop_assert_eq!(medium.frames_sent(), txs.len() as u64);
+    fn deliveries_are_conserved(g, cases = 128) {
+        check_deliveries_conserved(schedule(g));
     }
 
     /// With the no-capture model, any two frames that overlap in time are
     /// both garbled at a common listener.
-    #[test]
-    fn overlap_garbles_both(gap_us in 0u64..5_000) {
+    fn overlap_garbles_both(g, cases = 128) {
+        let gap_us = g.u64_in(0..5_000);
         let mut medium = Medium::new(3);
         let listener = [NodeId::new(2)];
         let a_start = SimTime::from_micros(0);
@@ -81,20 +90,20 @@ proptest! {
             let fb = medium.begin_transmission(NodeId::new(1), b_start, b_end, &listener);
             let da = medium.end_transmission(fa.frame, a_end);
             let db = medium.end_transmission(fb.frame, b_end);
-            prop_assert!(!da.deliveries[0].decoded);
-            prop_assert!(!db.deliveries[0].decoded);
+            assert!(!da.deliveries[0].decoded);
+            assert!(!db.deliveries[0].decoded);
         } else {
             let da = medium.end_transmission(fa.frame, a_end);
             let fb = medium.begin_transmission(NodeId::new(1), b_start, b_end, &listener);
             let db = medium.end_transmission(fb.frame, b_end);
-            prop_assert!(da.deliveries[0].decoded);
-            prop_assert!(db.deliveries[0].decoded);
+            assert!(da.deliveries[0].decoded);
+            assert!(db.deliveries[0].decoded);
         }
     }
 
     /// Carrier-sense busy/idle transitions alternate at every host.
-    #[test]
-    fn carrier_transitions_alternate(raw in schedule()) {
+    fn carrier_transitions_alternate(g, cases = 128) {
+        let raw = schedule(g);
         let hosts = 8usize;
         let mut medium = Medium::new(hosts);
         let listeners: Vec<NodeId> = (6..8).map(NodeId::new).collect();
@@ -130,19 +139,19 @@ proptest! {
                     .carrier_changes
             };
             for change in changes {
-                prop_assert_ne!(
+                assert_ne!(
                     busy_state[change.node.index()],
                     change.busy,
                     "non-alternating carrier transition at {}",
                     change.node
                 );
                 busy_state[change.node.index()] = change.busy;
-                prop_assert_eq!(medium.is_carrier_busy(change.node), change.busy);
+                assert_eq!(medium.is_carrier_busy(change.node), change.busy);
             }
         }
         // After everything ends, the medium must be idle everywhere.
         for host in 0..hosts {
-            prop_assert!(!medium.is_carrier_busy(NodeId::new(host as u32)));
+            assert!(!medium.is_carrier_busy(NodeId::new(host as u32)));
         }
     }
 }

@@ -1,14 +1,13 @@
 //! Seeded randomness helpers.
 //!
 //! All stochastic behaviour in the simulator flows through [`SimRng`], a
-//! thin wrapper over a fast, seedable PRNG. Constructing every component's
-//! RNG by [`SimRng::fork`]-ing a single root seed makes whole simulations
-//! reproducible from one `u64` while keeping streams statistically
-//! independent.
+//! thin wrapper over the in-tree xoshiro256++ generator
+//! ([`prng::Xoshiro256pp`](crate::prng::Xoshiro256pp)). Constructing every
+//! component's RNG by [`SimRng::fork`]-ing a single root seed makes whole
+//! simulations reproducible from one `u64` while keeping streams
+//! statistically independent.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
+use crate::prng::{splitmix64, Xoshiro256pp};
 use crate::time::SimDuration;
 
 /// A deterministic random number generator for simulation components.
@@ -24,14 +23,14 @@ use crate::time::SimDuration;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    inner: Xoshiro256pp,
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            inner: Xoshiro256pp::seed_from(seed),
         }
     }
 
@@ -48,33 +47,78 @@ impl SimRng {
         SimRng::seed_from(splitmix64(parent_word ^ splitmix64(stream)))
     }
 
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform `u64` in `[lo, hi]` (inclusive; the full-width range is
+    /// allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn gen_u64_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.next_u64_inclusive(lo, hi)
+    }
+
     /// Uniform `u32` in `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is empty.
     pub fn gen_range_u32(&mut self, range: std::ops::Range<u32>) -> u32 {
-        self.inner.gen_range(range)
+        assert!(!range.is_empty(), "empty range");
+        range.start
+            + self
+                .inner
+                .next_u64_below(u64::from(range.end - range.start)) as u32
     }
 
     /// Uniform `usize` in `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is empty.
     pub fn gen_range_usize(&mut self, range: std::ops::Range<usize>) -> usize {
-        self.inner.gen_range(range)
+        assert!(!range.is_empty(), "empty range");
+        range.start + self.inner.next_u64_below((range.end - range.start) as u64) as usize
     }
 
     /// Uniform `f64` in `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is empty.
     pub fn gen_range_f64(&mut self, range: std::ops::Range<f64>) -> f64 {
-        self.inner.gen_range(range)
+        assert!(!range.is_empty(), "empty range");
+        let sample = range.start + self.inner.unit_f64() * (range.end - range.start);
+        // Floating-point rounding can land exactly on `end` when the span
+        // is much larger than `start`; stay inside the half-open contract.
+        if sample < range.end {
+            sample
+        } else {
+            range.end.next_down().max(range.start)
+        }
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn gen_unit_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        self.inner.unit_f64()
     }
 
     /// `true` with probability `p`.
+    ///
+    /// `gen_bool(0.0)` is always `false` and `gen_bool(1.0)` is always
+    /// `true`, exactly.
     ///
     /// # Panics
     ///
     /// Panics if `p` is not in `[0, 1]`.
     pub fn gen_bool(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p)
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        // unit_f64 is in [0, 1), so the comparison is exact at both ends.
+        self.inner.unit_f64() < p
     }
 
     /// A uniformly random duration in `[SimDuration::ZERO, max]` (inclusive).
@@ -82,7 +126,7 @@ impl SimRng {
         if max.is_zero() {
             return SimDuration::ZERO;
         }
-        SimDuration::from_nanos(self.inner.gen_range(0..=max.as_nanos()))
+        SimDuration::from_nanos(self.inner.next_u64_inclusive(0, max.as_nanos()))
     }
 
     /// A uniformly random duration in `[lo, hi]` (inclusive).
@@ -92,21 +136,8 @@ impl SimRng {
     /// Panics if `lo > hi`.
     pub fn gen_duration_between(&mut self, lo: SimDuration, hi: SimDuration) -> SimDuration {
         assert!(lo <= hi, "empty duration range: {lo} > {hi}");
-        SimDuration::from_nanos(self.inner.gen_range(lo.as_nanos()..=hi.as_nanos()))
+        SimDuration::from_nanos(self.inner.next_u64_inclusive(lo.as_nanos(), hi.as_nanos()))
     }
-
-    /// Access to the underlying [`rand::Rng`] for distributions not covered
-    /// by the convenience methods.
-    pub fn raw(&mut self) -> &mut impl Rng {
-        &mut self.inner
-    }
-}
-
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
 }
 
 #[cfg(test)]
@@ -146,6 +177,25 @@ mod tests {
     }
 
     #[test]
+    fn fork_streams_are_pairwise_divergent() {
+        // Any two of the first 16 fork labels produce streams that almost
+        // never collide on a 1000-bucket draw.
+        let root = SimRng::seed_from(99);
+        let mut streams: Vec<Vec<u32>> = (0..16)
+            .map(|label| {
+                let mut child = root.fork(label);
+                (0..100).map(|_| child.gen_range_u32(0..1000)).collect()
+            })
+            .collect();
+        while let Some(a) = streams.pop() {
+            for b in &streams {
+                let same = a.iter().zip(b).filter(|(x, y)| x == y).count();
+                assert!(same < 10, "fork streams collided {same}/100 times");
+            }
+        }
+    }
+
+    #[test]
     fn duration_ranges_respect_bounds() {
         let mut rng = SimRng::seed_from(3);
         let lo = SimDuration::from_millis(10);
@@ -156,10 +206,22 @@ mod tests {
             let u = rng.gen_duration_up_to(hi);
             assert!(u <= hi);
         }
-        assert_eq!(
-            rng.gen_duration_up_to(SimDuration::ZERO),
-            SimDuration::ZERO
-        );
+        assert_eq!(rng.gen_duration_up_to(SimDuration::ZERO), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_ranges_survive_u64_extremes() {
+        let mut rng = SimRng::seed_from(5);
+        let top = SimDuration::from_nanos(u64::MAX);
+        let near_top = SimDuration::from_nanos(u64::MAX - 1);
+        for _ in 0..1000 {
+            let d = rng.gen_duration_between(near_top, top);
+            assert!(d >= near_top && d <= top);
+            // The full-width range must not overflow or panic.
+            let _ = rng.gen_duration_up_to(top);
+            let same = rng.gen_duration_between(top, top);
+            assert_eq!(same, top);
+        }
     }
 
     #[test]
@@ -168,6 +230,55 @@ mod tests {
         for _ in 0..1000 {
             let x = rng.gen_unit_f64();
             assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_exact_at_the_extremes() {
+        let mut rng = SimRng::seed_from(13);
+        for _ in 0..10_000 {
+            assert!(!rng.gen_bool(0.0), "gen_bool(0.0) must always be false");
+            assert!(rng.gen_bool(1.0), "gen_bool(1.0) must always be true");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SimRng::seed_from(17);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "gen_bool(0.3) rate {rate}");
+    }
+
+    #[test]
+    fn output_bits_are_balanced() {
+        // Mean popcount of next_u64 over 10k draws is 32 ± a small margin
+        // (the binomial std dev of the mean is 4/sqrt(10_000) = 0.04).
+        let mut rng = SimRng::seed_from(19);
+        let total: u64 = (0..10_000)
+            .map(|_| u64::from(rng.next_u64().count_ones()))
+            .sum();
+        let mean = total as f64 / 10_000.0;
+        assert!((mean - 32.0).abs() < 0.25, "bit-balance mean {mean}");
+    }
+
+    #[test]
+    fn unit_f64_mean_is_centered() {
+        // Std dev of the mean over 100k uniform draws is ~0.0009.
+        let mut rng = SimRng::seed_from(23);
+        let total: f64 = (0..100_000).map(|_| rng.gen_unit_f64()).sum();
+        let mean = total / 100_000.0;
+        assert!((mean - 0.5).abs() < 0.005, "unit mean {mean}");
+    }
+
+    #[test]
+    fn float_ranges_stay_half_open() {
+        let mut rng = SimRng::seed_from(29);
+        for _ in 0..10_000 {
+            let x = rng.gen_range_f64(0.0..1e-300);
+            assert!((0.0..1e-300).contains(&x));
+            let y = rng.gen_range_f64(-3.0..7.5);
+            assert!((-3.0..7.5).contains(&y));
         }
     }
 }

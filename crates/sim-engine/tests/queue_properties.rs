@@ -2,12 +2,17 @@
 //! and clock monotonicity under arbitrary schedules.
 
 use manet_sim_engine::{EventQueue, SimTime};
-use proptest::prelude::*;
+use manet_testkit::{prop_check, Gen};
 
-proptest! {
+/// A random schedule: up to 200 timestamps in the first millisecond.
+fn times(g: &mut Gen) -> Vec<u64> {
+    g.vec(1..200, |g| g.u64_in(0..1_000_000))
+}
+
+prop_check! {
     /// Events always come out sorted by (time, insertion order).
-    #[test]
-    fn delivery_is_sorted_and_stable(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+    fn delivery_is_sorted_and_stable(g) {
+        let times = times(g);
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_nanos(t), i);
@@ -19,15 +24,13 @@ proptest! {
         while let Some((t, i)) = q.pop() {
             actual.push((t.as_nanos(), i));
         }
-        prop_assert_eq!(actual, expected);
+        assert_eq!(actual, expected);
     }
 
     /// Cancelled events never surface; everything else still does, in order.
-    #[test]
-    fn cancellation_preserves_order_of_survivors(
-        times in prop::collection::vec(0u64..1_000_000, 1..200),
-        cancel_mask in prop::collection::vec(any::<bool>(), 1..200),
-    ) {
+    fn cancellation_preserves_order_of_survivors(g) {
+        let times = times(g);
+        let cancel_mask = g.vec(1..200, |g| g.bool());
         let mut q = EventQueue::new();
         let keys: Vec<_> = times
             .iter()
@@ -47,35 +50,35 @@ proptest! {
         while let Some((t, i)) = q.pop() {
             actual.push((t.as_nanos(), i));
         }
-        prop_assert_eq!(actual, survivors);
+        assert_eq!(actual, survivors);
     }
 
     /// The clock never moves backwards no matter the schedule.
-    #[test]
-    fn clock_is_monotone(times in prop::collection::vec(0u64..1_000_000, 1..100)) {
+    fn clock_is_monotone(g) {
+        let times = g.vec(1..100, |g| g.u64_in(0..1_000_000));
         let mut q = EventQueue::new();
         for &t in &times {
             q.schedule(SimTime::from_nanos(t), ());
         }
         let mut last = SimTime::ZERO;
         while let Some((t, _)) = q.pop() {
-            prop_assert!(t >= last);
-            prop_assert_eq!(q.now(), t);
+            assert!(t >= last);
+            assert_eq!(q.now(), t);
             last = t;
         }
     }
 
     /// peek_time always matches the next popped timestamp.
-    #[test]
-    fn peek_agrees_with_pop(times in prop::collection::vec(0u64..1_000_000, 1..100)) {
+    fn peek_agrees_with_pop(g) {
+        let times = g.vec(1..100, |g| g.u64_in(0..1_000_000));
         let mut q = EventQueue::new();
         for &t in &times {
             q.schedule(SimTime::from_nanos(t), ());
         }
         while let Some(peeked) = q.peek_time() {
             let (popped, _) = q.pop().unwrap();
-            prop_assert_eq!(peeked, popped);
+            assert_eq!(peeked, popped);
         }
-        prop_assert!(q.pop().is_none());
+        assert!(q.pop().is_none());
     }
 }

@@ -1,0 +1,118 @@
+//! The value generator handed to every property body.
+
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::ops::Range;
+
+use manet_sim_engine::SimRng;
+
+/// A deterministic source of random test inputs.
+///
+/// Every draw is logged (with the generator call that produced it) so a
+/// failing property can print the exact inputs of the offending case.
+/// Composite generators such as [`Gen::vec`] log only the final composite
+/// value, not every element draw.
+#[derive(Debug)]
+pub struct Gen {
+    rng: SimRng,
+    trace: Vec<String>,
+    depth: u32,
+}
+
+impl Gen {
+    /// Creates a generator for one test case.
+    pub fn from_seed(seed: u64) -> Gen {
+        Gen {
+            rng: SimRng::seed_from(seed),
+            trace: Vec::new(),
+            depth: 0,
+        }
+    }
+
+    /// The inputs generated so far, most recent last.
+    pub fn trace(&self) -> &[String] {
+        &self.trace
+    }
+
+    fn record<T: Debug>(&mut self, call: &str, value: T) -> T {
+        if self.depth == 0 {
+            self.trace.push(format!("{call} -> {value:?}"));
+        }
+        value
+    }
+
+    /// Any `u64` (the full 64-bit space, like `any::<u64>()`).
+    pub fn u64(&mut self) -> u64 {
+        let v = self.rng.next_u64();
+        self.record("u64()", v)
+    }
+
+    /// Uniform `bool`.
+    pub fn bool(&mut self) -> bool {
+        let v = self.rng.next_u64() & 1 == 1;
+        self.record("bool()", v)
+    }
+
+    /// Uniform `u32` in a half-open range.
+    pub fn u32_in(&mut self, range: Range<u32>) -> u32 {
+        let call = format!("u32_in({range:?})");
+        let v = self.rng.gen_range_u32(range);
+        self.record(&call, v)
+    }
+
+    /// Uniform `u64` in a half-open range.
+    pub fn u64_in(&mut self, range: Range<u64>) -> u64 {
+        assert!(!range.is_empty(), "empty range");
+        let call = format!("u64_in({range:?})");
+        let v = self.rng.gen_u64_inclusive(range.start, range.end - 1);
+        self.record(&call, v)
+    }
+
+    /// Uniform `usize` in a half-open range.
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        let call = format!("usize_in({range:?})");
+        let v = self.rng.gen_range_usize(range);
+        self.record(&call, v)
+    }
+
+    /// Uniform `f64` in a half-open range.
+    pub fn f64_in(&mut self, range: Range<f64>) -> f64 {
+        let call = format!("f64_in({range:?})");
+        let v = self.rng.gen_range_f64(range);
+        self.record(&call, v)
+    }
+
+    /// Uniform `f64` in a closed range (both endpoints reachable).
+    pub fn f64_in_incl(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "empty range: {lo} > {hi}");
+        const DENOM: f64 = ((1u64 << 53) - 1) as f64;
+        let unit = (self.rng.next_u64() >> 11) as f64 / DENOM;
+        let v = lo + unit * (hi - lo);
+        self.record(&format!("f64_in_incl({lo:?}, {hi:?})"), v)
+    }
+
+    /// A vector whose length is uniform in `len`, elements drawn by `f`.
+    pub fn vec<T: Debug>(&mut self, len: Range<usize>, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let call = format!("vec({len:?})");
+        self.depth += 1;
+        let n = self.rng.gen_range_usize(len);
+        let out: Vec<T> = (0..n).map(|_| f(self)).collect();
+        self.depth -= 1;
+        self.record(&call, out)
+    }
+
+    /// A `u32` set whose size is uniform in `len` (capped at the size of
+    /// the value range), values uniform in `values`.
+    pub fn u32_set(&mut self, values: Range<u32>, len: Range<usize>) -> BTreeSet<u32> {
+        let call = format!("u32_set({values:?}, {len:?})");
+        self.depth += 1;
+        let space = (values.end - values.start) as usize;
+        let target = self.rng.gen_range_usize(len).min(space);
+        let mut set = BTreeSet::new();
+        while set.len() < target {
+            set.insert(self.rng.gen_range_u32(values.clone()));
+        }
+        self.depth -= 1;
+        self.record(&call, set)
+    }
+}

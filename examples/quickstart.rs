@@ -30,8 +30,14 @@ fn main() {
     let report = World::new(config).run();
 
     println!();
-    println!("reachability (RE)        {:>7.1}%", report.reachability * 100.0);
-    println!("saved rebroadcasts (SRB) {:>7.1}%", report.saved_rebroadcasts * 100.0);
+    println!(
+        "reachability (RE)        {:>7.1}%",
+        report.reachability * 100.0
+    );
+    println!(
+        "saved rebroadcasts (SRB) {:>7.1}%",
+        report.saved_rebroadcasts * 100.0
+    );
     println!("average latency          {:>9.4} s", report.avg_latency_s);
     println!();
     println!(

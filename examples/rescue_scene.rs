@@ -20,8 +20,8 @@
 //! ```
 
 use manet_broadcast::{
-    DynamicHelloParams, HelloIntervalPolicy, NeighborInfo, SchemeSpec, SimConfig,
-    SimDuration, World,
+    DynamicHelloParams, HelloIntervalPolicy, NeighborInfo, SchemeSpec, SimConfig, SimDuration,
+    World,
 };
 
 fn run(label: &str, policy: HelloIntervalPolicy) {

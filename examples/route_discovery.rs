@@ -21,9 +21,7 @@
 //! cargo run --release --example route_discovery
 //! ```
 
-use manet_broadcast::{
-    AreaThreshold, CounterThreshold, SchemeSpec, SimConfig, World,
-};
+use manet_broadcast::{AreaThreshold, CounterThreshold, SchemeSpec, SimConfig, World};
 
 fn run(map_units: u32, scheme: SchemeSpec) {
     let config = SimConfig::builder(map_units, scheme)

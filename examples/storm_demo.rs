@@ -14,9 +14,7 @@
 //! cargo run --release --example storm_demo
 //! ```
 
-use manet_broadcast::{
-    AreaThreshold, CounterThreshold, SchemeSpec, SimConfig, World,
-};
+use manet_broadcast::{AreaThreshold, CounterThreshold, SchemeSpec, SimConfig, World};
 
 fn run(map_units: u32, scheme: SchemeSpec, seed: u64) {
     let config = SimConfig::builder(map_units, scheme)

@@ -86,9 +86,7 @@ fn parse_hello(s: &str) -> Result<NeighborInfo, String> {
             .parse::<f64>()
             .ok()
             .filter(|v| v.is_finite() && *v > 0.0)
-            .map(|v| {
-                NeighborInfo::Hello(HelloIntervalPolicy::Fixed(SimDuration::from_secs_f64(v)))
-            })
+            .map(|v| NeighborInfo::Hello(HelloIntervalPolicy::Fixed(SimDuration::from_secs_f64(v))))
             .ok_or_else(|| format!("bad hello policy '{seconds}' (seconds | dynamic | oracle)")),
     }
 }
@@ -98,7 +96,9 @@ fn parse_mobility(s: &str) -> Result<MobilitySpec, String> {
         "turn" => Ok(MobilitySpec::RandomTurn),
         "waypoint" => Ok(MobilitySpec::RandomWaypoint),
         "none" => Ok(MobilitySpec::Stationary),
-        other => Err(format!("unknown mobility '{other}' (turn | waypoint | none)")),
+        other => Err(format!(
+            "unknown mobility '{other}' (turn | waypoint | none)"
+        )),
     }
 }
 
@@ -123,25 +123,41 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 .ok_or_else(|| format!("{name} needs a value"))
         };
         match arg.as_str() {
-            "--map" => map = value("--map")?.parse().map_err(|e| format!("bad --map: {e}"))?,
+            "--map" => {
+                map = value("--map")?
+                    .parse()
+                    .map_err(|e| format!("bad --map: {e}"))?
+            }
             "--hosts" => {
-                hosts = value("--hosts")?.parse().map_err(|e| format!("bad --hosts: {e}"))?
+                hosts = value("--hosts")?
+                    .parse()
+                    .map_err(|e| format!("bad --hosts: {e}"))?
             }
             "--broadcasts" => {
                 broadcasts = value("--broadcasts")?
                     .parse()
                     .map_err(|e| format!("bad --broadcasts: {e}"))?
             }
-            "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
             "--speed" => {
-                speed = Some(value("--speed")?.parse().map_err(|e| format!("bad --speed: {e}"))?)
+                speed = Some(
+                    value("--speed")?
+                        .parse()
+                        .map_err(|e| format!("bad --speed: {e}"))?,
+                )
             }
             "--scheme" => scheme = value("--scheme")?,
             "--hello" => hello = Some(value("--hello")?),
             "--mobility" => mobility = value("--mobility")?,
             "--capture" => capture = true,
             "--drop" => {
-                drop = value("--drop")?.parse().map_err(|e| format!("bad --drop: {e}"))?
+                drop = value("--drop")?
+                    .parse()
+                    .map_err(|e| format!("bad --drop: {e}"))?
             }
             "--per-broadcast" => per_broadcast = Some(value("--per-broadcast")?),
             "-h" | "--help" => return Ok(None),
@@ -183,7 +199,8 @@ fn per_broadcast_csv(report: &manet_broadcast::SimReport) -> String {
             o.received,
             o.rebroadcast,
             o.reachability.map_or("-".into(), |v| format!("{v:.4}")),
-            o.saved_rebroadcasts.map_or("-".into(), |v| format!("{v:.4}")),
+            o.saved_rebroadcasts
+                .map_or("-".into(), |v| format!("{v:.4}")),
             o.latency.as_secs_f64(),
         );
     }
@@ -217,8 +234,14 @@ fn main() -> ExitCode {
     let report = World::new(config).run();
     let latency = report.latency_summary();
     println!();
-    println!("reachability (RE)         {:>6.2}%", report.reachability * 100.0);
-    println!("saved rebroadcasts (SRB)  {:>6.2}%", report.saved_rebroadcasts * 100.0);
+    println!(
+        "reachability (RE)         {:>6.2}%",
+        report.reachability * 100.0
+    );
+    println!(
+        "saved rebroadcasts (SRB)  {:>6.2}%",
+        report.saved_rebroadcasts * 100.0
+    );
     println!(
         "latency mean/p50/p95/max  {:.4} / {:.4} / {:.4} / {:.4} s",
         latency.mean_s, latency.p50_s, latency.p95_s, latency.max_s
@@ -281,9 +304,25 @@ mod tests {
     #[test]
     fn full_command_line_parses() {
         let options = parse_args(&args(&[
-            "--map", "9", "--hosts", "50", "--scheme", "nc", "--hello", "dynamic",
-            "--speed", "60", "--mobility", "waypoint", "--capture", "--drop", "0.1",
-            "--broadcasts", "10", "--seed", "7",
+            "--map",
+            "9",
+            "--hosts",
+            "50",
+            "--scheme",
+            "nc",
+            "--hello",
+            "dynamic",
+            "--speed",
+            "60",
+            "--mobility",
+            "waypoint",
+            "--capture",
+            "--drop",
+            "0.1",
+            "--broadcasts",
+            "10",
+            "--seed",
+            "7",
         ]))
         .expect("parses")
         .expect("not help");

@@ -24,7 +24,10 @@ fn line_config(scheme: SchemeSpec, hosts: u32, broadcasts: u32) -> SimConfig {
 #[test]
 fn flooding_on_a_static_line_reaches_everyone() {
     let report = World::new(line_config(SchemeSpec::Flooding, 12, 4)).run();
-    assert_eq!(report.reachability, 1.0, "line propagation must be lossless");
+    assert_eq!(
+        report.reachability, 1.0,
+        "line propagation must be lossless"
+    );
     assert_eq!(
         report.saved_rebroadcasts, 0.0,
         "flooding never saves a rebroadcast"
@@ -99,11 +102,14 @@ fn dense_clique_suppresses_almost_everything() {
 #[test]
 fn same_seed_is_bit_identical_and_different_seeds_differ() {
     let config = |seed: u64| {
-        SimConfig::builder(5, SchemeSpec::AdaptiveCounter(CounterThreshold::paper_recommended()))
-            .hosts(40)
-            .broadcasts(20)
-            .seed(seed)
-            .build()
+        SimConfig::builder(
+            5,
+            SchemeSpec::AdaptiveCounter(CounterThreshold::paper_recommended()),
+        )
+        .hosts(40)
+        .broadcasts(20)
+        .seed(seed)
+        .build()
     };
     let a: SimReport = World::new(config(1)).run();
     let b: SimReport = World::new(config(1)).run();
@@ -136,7 +142,10 @@ fn injected_loss_degrades_reachability_monotonically() {
     let light = run(0.2);
     let heavy = run(0.6);
     assert!(clean > light, "loss must hurt: {clean} vs {light}");
-    assert!(light > heavy, "more loss must hurt more: {light} vs {heavy}");
+    assert!(
+        light > heavy,
+        "more loss must hurt more: {light} vs {heavy}"
+    );
     assert!(heavy > 0.0, "some packets still get through");
 }
 
@@ -152,7 +161,9 @@ fn adaptive_counter_beats_fixed_c2_on_sparse_maps() {
         World::new(config).run()
     };
     let fixed = run(SchemeSpec::Counter(2));
-    let adaptive = run(SchemeSpec::AdaptiveCounter(CounterThreshold::paper_recommended()));
+    let adaptive = run(SchemeSpec::AdaptiveCounter(
+        CounterThreshold::paper_recommended(),
+    ));
     assert!(
         adaptive.reachability > fixed.reachability + 0.05,
         "AC {} should clearly beat C=2 {} on a 9x9 map",
@@ -172,7 +183,9 @@ fn adaptive_location_beats_fixed_high_threshold_on_sparse_maps() {
         World::new(config).run()
     };
     let fixed = run(SchemeSpec::Location(0.1871));
-    let adaptive = run(SchemeSpec::AdaptiveLocation(AreaThreshold::paper_recommended()));
+    let adaptive = run(SchemeSpec::AdaptiveLocation(
+        AreaThreshold::paper_recommended(),
+    ));
     assert!(
         adaptive.reachability >= fixed.reachability,
         "AL {} must not lose to A=0.1871 {} on a sparse map",
@@ -224,7 +237,11 @@ fn oracle_and_hello_neighbor_info_both_work_for_nc() {
     let hello = run(NeighborInfo::Hello(
         manet_broadcast::HelloIntervalPolicy::fixed_1s(),
     ));
-    assert!(oracle.reachability > 0.9, "oracle RE {}", oracle.reachability);
+    assert!(
+        oracle.reachability > 0.9,
+        "oracle RE {}",
+        oracle.reachability
+    );
     assert!(hello.reachability > 0.85, "hello RE {}", hello.reachability);
     assert_eq!(oracle.hello_packets, 0, "oracle mode sends no hellos");
     assert!(hello.hello_packets > 0, "hello mode beacons");
