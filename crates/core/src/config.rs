@@ -127,6 +127,11 @@ pub struct SimConfig {
     /// Optional physical-layer capture model; `None` reproduces the
     /// paper's no-capture collisions.
     pub capture: Option<CaptureConfig>,
+    /// When `true`, the event loop measures wall-clock time per event
+    /// kind and attaches a [`LoopProfile`](manet_sim_engine::LoopProfile)
+    /// to the report. Off by default: the disabled path costs a single
+    /// branch per event.
+    pub profile_events: bool,
 }
 
 impl SimConfig {
@@ -153,6 +158,7 @@ impl SimConfig {
                 coverage_resolution: 48,
                 cs_delay: SimDuration::from_micros(15),
                 capture: None,
+                profile_events: false,
             },
         }
     }
@@ -320,6 +326,13 @@ impl SimConfigBuilder {
     /// Enables physical-layer capture (default: off, as in the paper).
     pub fn capture(mut self, capture: CaptureConfig) -> Self {
         self.config.capture = Some(capture);
+        self
+    }
+
+    /// Enables per-event-kind wall-clock profiling of the event loop
+    /// (default: off).
+    pub fn profile_events(mut self, enabled: bool) -> Self {
+        self.config.profile_events = enabled;
         self
     }
 

@@ -71,8 +71,14 @@ pub use config::{
     CaptureConfig, MobilitySpec, NeighborInfo, PlacementSpec, SimConfig, SimConfigBuilder,
 };
 pub use ids::PacketId;
+// Report-embedded types from the lower layers, re-exported so downstream
+// crates can consume a `SimReport` without depending on phy/mac directly.
+pub use manet_mac::MacStats;
+pub use manet_phy::{LossCause, LossCounters};
+pub use manet_sim_engine::{KindProfile, LoopProfile};
 pub use metrics::{
-    latency_summary, summarize, BroadcastOutcome, LatencySummary, MetricsCollector, SimReport,
+    latency_summary, summarize, BroadcastOutcome, LatencySummary, MetricsCollector, NetActivity,
+    SimReport, SuppressionCounts,
 };
 pub use policy::{DuplicateDecision, FirstDecision, HearContext, RebroadcastPolicy};
 pub use schemes::{

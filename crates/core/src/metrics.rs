@@ -12,10 +12,12 @@
 
 use std::collections::HashMap;
 
-use manet_phy::NodeId;
-use manet_sim_engine::{SimDuration, SimTime};
+use manet_mac::MacStats;
+use manet_phy::{LossCounters, NodeId};
+use manet_sim_engine::{LoopProfile, SimDuration, SimTime};
 
 use crate::ids::PacketId;
+use crate::trace::SuppressReason;
 
 /// Compact membership set over host indices.
 #[derive(Debug, Clone)]
@@ -101,12 +103,100 @@ pub struct SimReport {
     pub hello_packets: u64,
     /// Broadcast (data) frames put on the air, including sources.
     pub data_frames: u64,
-    /// Frame deliveries lost to collisions or half-duplex.
+    /// Frame deliveries lost to overlapping transmissions (overlap garbles
+    /// plus capture losses) — the paper-comparable contention figure.
+    /// Half-duplex misses and injected drops are in [`losses`](Self::losses)
+    /// but not here.
     pub collisions: u64,
+    /// All frame-delivery losses, split by cause.
+    pub losses: LossCounters,
+    /// MAC activity summed over all hosts (`max_queue_depth` is the
+    /// network-wide maximum).
+    pub mac: MacStats,
+    /// HELLO traffic and neighbor-table churn summed over all hosts.
+    pub net: NetActivity,
+    /// Scheme decisions tallied by kind and suppression reason.
+    pub suppression: SuppressionCounts,
+    /// Event-loop wall-time profile; `Some` only when the run was
+    /// configured with `profile_events(true)`.
+    pub profile: Option<LoopProfile>,
     /// Simulated seconds the run covered.
     pub sim_seconds: f64,
     /// Per-broadcast detail, in issue order.
     pub per_broadcast: Vec<BroadcastOutcome>,
+}
+
+/// Network-layer activity totals for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetActivity {
+    /// HELLO beacons put on the air.
+    pub hello_sent: u64,
+    /// HELLO beacons decoded by some listener.
+    pub hello_received: u64,
+    /// Neighbor-table joins across all hosts.
+    pub neighbor_joins: u64,
+    /// Neighbor-table expiries across all hosts.
+    pub neighbor_leaves: u64,
+}
+
+impl NetActivity {
+    /// Adds another run's totals into this one.
+    pub fn merge(&mut self, other: &NetActivity) {
+        self.hello_sent += other.hello_sent;
+        self.hello_received += other.hello_received;
+        self.neighbor_joins += other.neighbor_joins;
+        self.neighbor_leaves += other.neighbor_leaves;
+    }
+}
+
+/// Scheme-decision totals for one run, split by the S1/S5 outcome and by
+/// the suppression criterion that fired.
+///
+/// `scheduled + inhibited_first_hear` equals the number of first-hear
+/// decisions; `counter_threshold + coverage_threshold + neighbor_coverage
+/// + probabilistic` equals `inhibited_first_hear + cancelled`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SuppressionCounts {
+    /// S1 scheduled a rebroadcast.
+    pub scheduled: u64,
+    /// S1 declined on first hear.
+    pub inhibited_first_hear: u64,
+    /// S5 cancelled a pending rebroadcast after a duplicate.
+    pub cancelled: u64,
+    /// Suppressions where the counter threshold `C(n)` fired.
+    pub counter_threshold: u64,
+    /// Suppressions where expected additional coverage (or its distance
+    /// proxy) fell below threshold.
+    pub coverage_threshold: u64,
+    /// Suppressions where every known neighbor was already covered.
+    pub neighbor_coverage: u64,
+    /// Suppressions where the gossip draw declined.
+    pub probabilistic: u64,
+}
+
+impl SuppressionCounts {
+    /// Tallies one suppression under the criterion that fired. `None`
+    /// (flooding) tallies nothing.
+    pub fn record_reason(&mut self, reason: Option<SuppressReason>) {
+        match reason {
+            Some(SuppressReason::CounterThreshold) => self.counter_threshold += 1,
+            Some(SuppressReason::CoverageThreshold) => self.coverage_threshold += 1,
+            Some(SuppressReason::NeighborCoverage) => self.neighbor_coverage += 1,
+            Some(SuppressReason::Probabilistic) => self.probabilistic += 1,
+            None => {}
+        }
+    }
+
+    /// Adds another run's totals into this one.
+    pub fn merge(&mut self, other: &SuppressionCounts) {
+        self.scheduled += other.scheduled;
+        self.inhibited_first_hear += other.inhibited_first_hear;
+        self.cancelled += other.cancelled;
+        self.counter_threshold += other.counter_threshold;
+        self.coverage_threshold += other.coverage_threshold;
+        self.neighbor_coverage += other.neighbor_coverage;
+        self.probabilistic += other.probabilistic;
+    }
 }
 
 impl SimReport {

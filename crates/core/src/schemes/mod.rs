@@ -17,6 +17,7 @@ pub use probabilistic::ProbabilisticScheme;
 
 use crate::policy::{DuplicateDecision, FirstDecision, HearContext, RebroadcastPolicy};
 use crate::threshold::{AreaThreshold, CounterThreshold};
+use crate::trace::SuppressReason;
 
 /// Which broadcast scheme a simulation runs, with its parameters.
 ///
@@ -141,6 +142,28 @@ pub enum PacketPolicy {
     Probabilistic(ProbabilisticScheme),
 }
 
+impl PacketPolicy {
+    /// The reason this policy gives when it suppresses a rebroadcast
+    /// (S1 inhibit or S5 cancel). `None` for flooding, which never
+    /// suppresses.
+    ///
+    /// Distance-based suppression reports
+    /// [`SuppressReason::CoverageThreshold`]: the distance threshold is
+    /// the paper's computation-cheap proxy for expected additional
+    /// coverage.
+    pub fn suppress_reason(&self) -> Option<SuppressReason> {
+        match self {
+            PacketPolicy::Flooding(_) => None,
+            PacketPolicy::Counter(_) => Some(SuppressReason::CounterThreshold),
+            PacketPolicy::Distance(_) | PacketPolicy::Location(_) => {
+                Some(SuppressReason::CoverageThreshold)
+            }
+            PacketPolicy::NeighborCoverage(_) => Some(SuppressReason::NeighborCoverage),
+            PacketPolicy::Probabilistic(_) => Some(SuppressReason::Probabilistic),
+        }
+    }
+}
+
 impl RebroadcastPolicy for PacketPolicy {
     fn on_first_hear(&mut self, ctx: &HearContext<'_>) -> FirstDecision {
         match self {
@@ -192,6 +215,31 @@ mod tests {
         assert!(SchemeSpec::NeighborCoverage.needs_two_hop_hellos());
         assert!(SchemeSpec::Location(0.1).needs_positions());
         assert!(!SchemeSpec::Flooding.needs_positions());
+    }
+
+    #[test]
+    fn suppress_reasons_follow_the_scheme_family() {
+        assert_eq!(SchemeSpec::Flooding.build().suppress_reason(), None);
+        assert_eq!(
+            SchemeSpec::Counter(2).build().suppress_reason(),
+            Some(SuppressReason::CounterThreshold)
+        );
+        assert_eq!(
+            SchemeSpec::Distance(40.0).build().suppress_reason(),
+            Some(SuppressReason::CoverageThreshold)
+        );
+        assert_eq!(
+            SchemeSpec::Location(0.0134).build().suppress_reason(),
+            Some(SuppressReason::CoverageThreshold)
+        );
+        assert_eq!(
+            SchemeSpec::NeighborCoverage.build().suppress_reason(),
+            Some(SuppressReason::NeighborCoverage)
+        );
+        assert_eq!(
+            SchemeSpec::Probabilistic(0.7).build().suppress_reason(),
+            Some(SuppressReason::Probabilistic)
+        );
     }
 
     #[test]

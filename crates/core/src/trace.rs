@@ -51,6 +51,33 @@ pub enum DecisionKind {
     Cancelled,
 }
 
+/// Why a scheme suppressed a rebroadcast (the S1-inhibit or S5-cancel
+/// criterion that fired).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuppressReason {
+    /// Counter-based: the packet was heard `C(n)` or more times.
+    CounterThreshold,
+    /// Distance/location-based: expected additional coverage (or the
+    /// distance proxy for it) fell below the threshold.
+    CoverageThreshold,
+    /// Neighbor-coverage: every known neighbor is already covered.
+    NeighborCoverage,
+    /// Gossip: the probabilistic draw declined.
+    Probabilistic,
+}
+
+impl SuppressReason {
+    /// A short machine-readable label (used as a metrics key suffix).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SuppressReason::CounterThreshold => "counter_threshold",
+            SuppressReason::CoverageThreshold => "coverage_threshold",
+            SuppressReason::NeighborCoverage => "neighbor_coverage",
+            SuppressReason::Probabilistic => "probabilistic",
+        }
+    }
+}
+
 /// One protocol-level event.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TraceEvent {
@@ -106,6 +133,9 @@ pub enum TraceEvent {
         packet: PacketId,
         /// What was decided.
         kind: DecisionKind,
+        /// Why a suppressing decision suppressed; `None` for
+        /// [`DecisionKind::Scheduled`].
+        reason: Option<SuppressReason>,
         /// Simulation time.
         at: SimTime,
     },
@@ -166,6 +196,7 @@ impl fmt::Display for TraceEvent {
                 node,
                 packet,
                 kind,
+                reason,
                 at,
             } => {
                 let verb = match kind {
@@ -173,7 +204,11 @@ impl fmt::Display for TraceEvent {
                     DecisionKind::InhibitedOnFirstHear => "declines to rebroadcast",
                     DecisionKind::Cancelled => "cancels rebroadcast of",
                 };
-                write!(f, "{at} {node} {verb} {packet}")
+                write!(f, "{at} {node} {verb} {packet}")?;
+                if let Some(reason) = reason {
+                    write!(f, " ({})", reason.label())?;
+                }
+                Ok(())
             }
         }
     }
@@ -293,6 +328,14 @@ pub struct EventCounters {
     pub inhibited: u64,
     /// Rebroadcasts cancelled after duplicates (S5).
     pub cancelled: u64,
+    /// Suppressions (inhibits + cancels) by counter threshold.
+    pub suppressed_counter: u64,
+    /// Suppressions by coverage/distance threshold.
+    pub suppressed_coverage: u64,
+    /// Suppressions by neighbor-coverage early exit.
+    pub suppressed_neighbor: u64,
+    /// Suppressions by a declined gossip draw.
+    pub suppressed_probabilistic: u64,
 }
 
 impl SimObserver for EventCounters {
@@ -308,11 +351,20 @@ impl SimObserver for EventCounters {
                 self.losses += u64::from(*lost);
             }
             TraceEvent::FirstHeard { .. } => self.first_hears += 1,
-            TraceEvent::Decision { kind, .. } => match kind {
-                DecisionKind::Scheduled => self.scheduled += 1,
-                DecisionKind::InhibitedOnFirstHear => self.inhibited += 1,
-                DecisionKind::Cancelled => self.cancelled += 1,
-            },
+            TraceEvent::Decision { kind, reason, .. } => {
+                match kind {
+                    DecisionKind::Scheduled => self.scheduled += 1,
+                    DecisionKind::InhibitedOnFirstHear => self.inhibited += 1,
+                    DecisionKind::Cancelled => self.cancelled += 1,
+                }
+                match reason {
+                    Some(SuppressReason::CounterThreshold) => self.suppressed_counter += 1,
+                    Some(SuppressReason::CoverageThreshold) => self.suppressed_coverage += 1,
+                    Some(SuppressReason::NeighborCoverage) => self.suppressed_neighbor += 1,
+                    Some(SuppressReason::Probabilistic) => self.suppressed_probabilistic += 1,
+                    None => {}
+                }
+            }
         }
     }
 }
@@ -352,7 +404,15 @@ mod tests {
                 node: NodeId::new(1),
                 packet,
                 kind: DecisionKind::Scheduled,
+                reason: None,
                 at: SimTime::from_millis(4),
+            },
+            TraceEvent::Decision {
+                node: NodeId::new(2),
+                packet,
+                kind: DecisionKind::Cancelled,
+                reason: Some(SuppressReason::CounterThreshold),
+                at: SimTime::from_millis(5),
             },
             TraceEvent::FrameStarted {
                 node: NodeId::new(2),
@@ -369,9 +429,9 @@ mod tests {
         for event in sample_events() {
             recorder.event(&event);
         }
-        assert_eq!(recorder.events().len(), 6);
+        assert_eq!(recorder.events().len(), 7);
         let timeline = recorder.packet_timeline(PacketId::new(NodeId::new(0), 1));
-        assert_eq!(timeline.len(), 5, "hello not part of the packet timeline");
+        assert_eq!(timeline.len(), 6, "hello not part of the packet timeline");
         assert!(timeline.windows(2).all(|w| w[0].at() <= w[1].at()));
     }
 
@@ -382,7 +442,7 @@ mod tests {
             recorder.event(&event);
         }
         assert_eq!(recorder.events().len(), 2);
-        assert_eq!(recorder.dropped_count(), 4);
+        assert_eq!(recorder.dropped_count(), 5);
     }
 
     #[test]
@@ -398,6 +458,9 @@ mod tests {
         assert_eq!(counters.losses, 1);
         assert_eq!(counters.first_hears, 1);
         assert_eq!(counters.scheduled, 1);
+        assert_eq!(counters.cancelled, 1);
+        assert_eq!(counters.suppressed_counter, 1);
+        assert_eq!(counters.suppressed_coverage, 0);
     }
 
     #[test]
@@ -409,6 +472,7 @@ mod tests {
             .join("\n");
         assert!(rendered.contains("h0 issues h0#1 (e=5)"));
         assert!(rendered.contains("h1 schedules rebroadcast of h0#1"));
+        assert!(rendered.contains("h2 cancels rebroadcast of h0#1 (counter_threshold)"));
         assert!(rendered.contains("tx HELLO"));
     }
 }

@@ -16,18 +16,18 @@ use std::collections::HashMap;
 
 use manet_geom::{CoverageGrid, Vec2};
 use manet_mac::timing::SLOT;
-use manet_mac::{frame_airtime, Dcf, FrameHandle, MacAction};
+use manet_mac::{frame_airtime, Dcf, FrameHandle, MacAction, MacStats};
 use manet_mobility::{
     grid_placement, line_placement, uniform_placement, Map, Mobility, RandomTurn, RandomTurnParams,
     RandomWaypoint, RandomWaypointParams, Stationary,
 };
 use manet_net::{HelloPayload, NeighborTable, VariationTracker};
 use manet_phy::{in_range_of, reachable_from, FrameId, Medium, NodeId};
-use manet_sim_engine::{EventKey, EventQueue, SimRng, SimTime};
+use manet_sim_engine::{EventKey, EventQueue, LoopProfiler, SimRng, SimTime};
 
 use crate::config::{NeighborInfo, SimConfig};
 use crate::ids::PacketId;
-use crate::metrics::{summarize, MetricsCollector, SimReport};
+use crate::metrics::{summarize, MetricsCollector, NetActivity, SimReport, SuppressionCounts};
 use crate::policy::{DuplicateDecision, FirstDecision, HearContext, RebroadcastPolicy};
 use crate::schemes::PacketPolicy;
 use crate::trace::{DecisionKind, FrameKind, NoopObserver, SimObserver, TraceEvent};
@@ -50,6 +50,21 @@ enum Event {
     /// A delayed carrier-sense report reaches a host's MAC (models the
     /// CCA assessment latency).
     CarrierSense { node: NodeId, busy: bool },
+}
+
+impl Event {
+    /// Static label used to attribute event-loop wall time by kind.
+    fn kind(&self) -> &'static str {
+        match self {
+            Event::MobilityTurn { .. } => "mobility_turn",
+            Event::HelloTimer { .. } => "hello_timer",
+            Event::MacTimer { .. } => "mac_timer",
+            Event::TxEnd { .. } => "tx_end",
+            Event::AssessmentDone { .. } => "assessment_done",
+            Event::IssueBroadcast => "issue_broadcast",
+            Event::CarrierSense { .. } => "carrier_sense",
+        }
+    }
 }
 
 /// What a queued MAC frame carries.
@@ -178,6 +193,12 @@ pub struct World {
     stop_at: SimTime,
     hello_frames: u64,
     data_frames: u64,
+    /// HELLO beacons decoded by some listener.
+    hello_rx: u64,
+    /// Scheme decisions tallied as they happen.
+    suppression: SuppressionCounts,
+    /// Event-loop profiler; enabled via `SimConfig::profile_events`.
+    profiler: LoopProfiler,
 }
 
 impl World {
@@ -286,6 +307,13 @@ impl World {
             stop_at: SimTime::MAX,
             hello_frames: 0,
             data_frames: 0,
+            hello_rx: 0,
+            suppression: SuppressionCounts::default(),
+            profiler: if config.profile_events {
+                LoopProfiler::enabled()
+            } else {
+                LoopProfiler::disabled()
+            },
             nodes,
             cfg: config,
         }
@@ -301,13 +329,33 @@ impl World {
     /// [`TraceEvent`] in simulation order (see [`crate::trace`]).
     pub fn run_observed(mut self, observer: &mut dyn SimObserver) -> SimReport {
         let mut last = SimTime::ZERO;
+        // The profiler is moved out for the duration of the loop so the
+        // event handlers can borrow `self` freely.
+        let mut profiler = std::mem::replace(&mut self.profiler, LoopProfiler::disabled());
         while let Some((now, event)) = self.queue.pop() {
             if now > self.stop_at {
                 break;
             }
             last = now;
+            let kind = event.kind();
+            let started = profiler.begin();
             self.handle(now, event, observer);
+            profiler.record(kind, started);
         }
+
+        // Harvest the per-host stacks into run-wide totals.
+        let mut mac = MacStats::default();
+        let mut net = NetActivity {
+            hello_sent: self.hello_frames,
+            hello_received: self.hello_rx,
+            ..NetActivity::default()
+        };
+        for node in &self.nodes {
+            mac.merge(node.mac.stats());
+            net.neighbor_joins += node.table.join_count();
+            net.neighbor_leaves += node.table.leave_count();
+        }
+
         let outcomes = self.metrics.outcomes();
         let (re, srb, latency) = summarize(&outcomes);
         SimReport {
@@ -320,6 +368,11 @@ impl World {
             hello_packets: self.hello_frames,
             data_frames: self.data_frames,
             collisions: self.medium.collision_count(),
+            losses: self.medium.loss_counters(),
+            mac,
+            net,
+            suppression: self.suppression,
+            profile: profiler.is_enabled().then(|| profiler.profile()),
             sim_seconds: last.as_secs_f64(),
             per_broadcast: outcomes,
         }
@@ -475,6 +528,7 @@ impl World {
     }
 
     fn hello_received(&mut self, node: NodeId, payload: &HelloPayload, now: SimTime) {
+        self.hello_rx += 1;
         self.refresh_table(node, now);
         let n = &mut self.nodes[node.index()];
         if n.table
@@ -743,12 +797,16 @@ impl World {
                 let mut policy = self.cfg.scheme.build();
                 match policy.on_first_hear(&ctx) {
                     FirstDecision::Inhibit => {
+                        let reason = policy.suppress_reason();
                         observer.event(&TraceEvent::Decision {
                             node,
                             packet,
                             kind: DecisionKind::InhibitedOnFirstHear,
+                            reason,
                             at: now,
                         });
+                        self.suppression.inhibited_first_hear += 1;
+                        self.suppression.record_reason(reason);
                         self.metrics.rebroadcast_inhibited(packet, now);
                         self.nodes[node.index()]
                             .packets
@@ -772,8 +830,10 @@ impl World {
                             node,
                             packet,
                             kind: DecisionKind::Scheduled,
+                            reason: None,
                             at: now,
                         });
+                        self.suppression.scheduled += 1;
                         self.nodes[node.index()]
                             .packets
                             .insert(packet, PacketState::Assessing { key, policy });
@@ -783,13 +843,17 @@ impl World {
             Some(PacketState::Assessing { key, policy }) => {
                 if policy.on_duplicate_hear(&ctx) == DuplicateDecision::Cancel {
                     let key = *key;
+                    let reason = policy.suppress_reason();
                     self.queue.cancel(key);
                     observer.event(&TraceEvent::Decision {
                         node,
                         packet,
                         kind: DecisionKind::Cancelled,
+                        reason,
                         at: now,
                     });
+                    self.suppression.cancelled += 1;
+                    self.suppression.record_reason(reason);
                     self.metrics.rebroadcast_inhibited(packet, now);
                     self.nodes[node.index()]
                         .packets
@@ -799,6 +863,7 @@ impl World {
             Some(PacketState::Queued { handle, policy }) => {
                 if policy.on_duplicate_hear(&ctx) == DuplicateDecision::Cancel {
                     let handle = *handle;
+                    let reason = policy.suppress_reason();
                     let n = &mut self.nodes[node.index()];
                     let cancelled = n.mac.cancel(handle);
                     debug_assert!(cancelled, "queued frame must still be cancellable");
@@ -807,9 +872,13 @@ impl World {
                         node,
                         packet,
                         kind: DecisionKind::Cancelled,
+                        reason,
                         at: now,
                     });
+                    self.suppression.cancelled += 1;
+                    self.suppression.record_reason(reason);
                     self.metrics.rebroadcast_inhibited(packet, now);
+                    let n = &mut self.nodes[node.index()];
                     n.packets.insert(packet, PacketState::Done);
                 }
             }

@@ -24,7 +24,12 @@ fn counters_agree_with_the_report() {
     assert_eq!(counters.broadcasts, u64::from(report.broadcasts));
     assert_eq!(counters.data_frames, report.data_frames);
     assert_eq!(counters.hello_frames, report.hello_packets);
-    assert_eq!(counters.losses, report.collisions);
+    assert_eq!(counters.losses, report.losses.total());
+    assert_eq!(
+        report.collisions,
+        report.losses.overlap + report.losses.capture,
+        "the paper-comparable collision figure is the contention share"
+    );
     // Every scheduled rebroadcast either transmits or is cancelled; the
     // source frames are extra.
     assert!(counters.scheduled >= counters.cancelled);
@@ -52,6 +57,49 @@ fn counter_scheme_cancels_in_dense_networks() {
         counters.inhibited, 0,
         "the counter scheme never inhibits on first hear"
     );
+}
+
+#[test]
+fn report_suppression_and_profile_agree_with_the_observer() {
+    let cfg = SimConfig::builder(3, SchemeSpec::Counter(2))
+        .hosts(25)
+        .broadcasts(8)
+        .seed(77)
+        .profile_events(true)
+        .build();
+    let mut counters = EventCounters::default();
+    let report = World::new(cfg).run_observed(&mut counters);
+
+    assert_eq!(report.suppression.scheduled, counters.scheduled);
+    assert_eq!(report.suppression.inhibited_first_hear, counters.inhibited);
+    assert_eq!(report.suppression.cancelled, counters.cancelled);
+    assert_eq!(
+        report.suppression.counter_threshold,
+        counters.suppressed_counter
+    );
+    assert_eq!(
+        report.suppression.counter_threshold
+            + report.suppression.coverage_threshold
+            + report.suppression.neighbor_coverage
+            + report.suppression.probabilistic,
+        report.suppression.inhibited_first_hear + report.suppression.cancelled,
+        "every suppression carries its reason"
+    );
+    assert!(report.mac.backoff_draws > 0, "the run transmitted frames");
+    assert!(report.mac.enqueued >= report.data_frames);
+
+    let profile = report.profile.expect("profiling was enabled");
+    assert!(profile.events > 0);
+    assert!(
+        profile.kinds.iter().any(|k| k.kind == "tx_end"),
+        "wall time is attributed to event kinds"
+    );
+}
+
+#[test]
+fn profile_is_absent_by_default() {
+    let report = World::new(config(SchemeSpec::Flooding)).run();
+    assert!(report.profile.is_none());
 }
 
 #[test]

@@ -39,11 +39,14 @@ pub mod figures {
 }
 
 pub mod claims;
+mod metrics_out;
 mod runner;
 mod table;
 
+pub use metrics_out::render_metrics_json;
 pub use runner::{
-    parallel_map, run_averaged, run_grid, AveragedReport, Scale, BASE_SEED, PAPER_MAPS,
+    drain_metrics_capture, enable_metrics_capture, parallel_map, run_averaged, run_grid,
+    AveragedReport, MetricsRecord, RunMetricsSummary, Scale, BASE_SEED, PAPER_MAPS,
 };
 pub use table::{pct, secs, Table};
 

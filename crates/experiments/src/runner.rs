@@ -2,9 +2,13 @@
 //! runs, and a std-only parallel map over independent configurations.
 
 use std::num::NonZeroUsize;
+use std::sync::Mutex;
 use std::thread;
 
-use broadcast_core::{SimConfig, SimReport, World};
+use broadcast_core::{
+    LossCounters, MacStats, NetActivity, SimConfig, SimReport, SuppressionCounts, World,
+};
+use manet_sim_engine::{Histogram, HistogramSnapshot};
 
 /// How much work a figure reproduction does.
 ///
@@ -110,6 +114,105 @@ impl AveragedReport {
     }
 }
 
+/// Low-level counters and distributions summed over the repeats of one
+/// configuration — the payload of the `--metrics` JSON output.
+#[derive(Debug, Clone)]
+pub struct RunMetricsSummary {
+    /// Frame-delivery losses by cause, summed over repeats.
+    pub losses: LossCounters,
+    /// MAC activity summed over repeats (`max_queue_depth` is the max).
+    pub mac: MacStats,
+    /// HELLO traffic and neighbor churn summed over repeats.
+    pub net: NetActivity,
+    /// Scheme decisions summed over repeats.
+    pub suppression: SuppressionCounts,
+    /// Per-broadcast latency distribution, seconds.
+    pub latency_s: HistogramSnapshot,
+    /// Distribution of the MAC's backoff draws, in slots.
+    pub backoff_slots: HistogramSnapshot,
+}
+
+/// Bucket edges of the latency histogram, seconds. The paper's latencies
+/// live in the few-millisecond to few-hundred-millisecond range; the top
+/// bucket catches pathological stragglers.
+const LATENCY_BOUNDS_S: [f64; 12] = [
+    0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 5.0,
+];
+
+impl RunMetricsSummary {
+    fn from_reports(reports: &[SimReport]) -> Self {
+        let mut losses = LossCounters::default();
+        let mut mac = MacStats::default();
+        let mut net = NetActivity::default();
+        let mut suppression = SuppressionCounts::default();
+        let mut latency = Histogram::new(&LATENCY_BOUNDS_S);
+        for r in reports {
+            losses.merge(&r.losses);
+            mac.merge(&r.mac);
+            net.merge(&r.net);
+            suppression.merge(&r.suppression);
+            for b in &r.per_broadcast {
+                latency.record(b.latency.as_secs_f64());
+            }
+        }
+        // The DCF draws uniformly from 0..=CW_MIN slots; buckets are
+        // upper-inclusive (`v <= bound`), so bounds 0..=CW_MIN-1 give one
+        // bucket per slot with the largest slot in the overflow bucket.
+        let backoff_bounds: Vec<f64> = (0..mac.draw_counts.len() - 1).map(|s| s as f64).collect();
+        let mut backoff = Histogram::new(&backoff_bounds);
+        for (slots, &n) in mac.draw_counts.iter().enumerate() {
+            backoff.record_n(slots as f64, n);
+        }
+        RunMetricsSummary {
+            losses,
+            mac,
+            net,
+            suppression,
+            latency_s: latency.snapshot(),
+            backoff_slots: backoff.snapshot(),
+        }
+    }
+}
+
+/// One captured `(scheme, map)` data point, recorded by [`run_averaged`]
+/// while metrics capture is enabled.
+#[derive(Debug, Clone)]
+pub struct MetricsRecord {
+    /// Scheme label of the underlying runs.
+    pub scheme: String,
+    /// Map label of the underlying runs.
+    pub map: String,
+    /// Repeats summed into the metrics.
+    pub repeats: usize,
+    /// The summed counters and distributions.
+    pub metrics: RunMetricsSummary,
+}
+
+/// The capture sink: `None` while disabled (the common case — recording
+/// costs nothing when off). A plain `Mutex` rather than thread-locals
+/// because `run_grid` fans runs out over worker threads.
+static METRICS_SINK: Mutex<Option<Vec<MetricsRecord>>> = Mutex::new(None);
+
+fn sink_lock() -> std::sync::MutexGuard<'static, Option<Vec<MetricsRecord>>> {
+    // A worker that panicked mid-run poisons the lock; the sink's data is
+    // append-only and stays coherent, so recover rather than cascade.
+    METRICS_SINK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Starts capturing a [`MetricsRecord`] per [`run_averaged`] call,
+/// discarding anything captured earlier.
+pub fn enable_metrics_capture() {
+    *sink_lock() = Some(Vec::new());
+}
+
+/// Stops capturing and returns the captured records sorted by
+/// `(scheme, map)` — worker scheduling must not leak into the output.
+pub fn drain_metrics_capture() -> Vec<MetricsRecord> {
+    let mut records = sink_lock().take().unwrap_or_default();
+    records.sort_by(|a, b| (&a.scheme, &a.map).cmp(&(&b.scheme, &b.map)));
+    records
+}
+
 /// Runs `config` `repeats` times with seeds `seed, seed+1, …` and averages
 /// the headline metrics. The same seed is reused across schemes by the
 /// figure modules, giving paired comparisons (identical placements,
@@ -123,13 +226,28 @@ pub fn run_averaged(config: &SimConfig, repeats: u64) -> AveragedReport {
             World::new(c).run()
         })
         .collect();
-    AveragedReport::from_reports(&reports)
+    let averaged = AveragedReport::from_reports(&reports);
+    let mut sink = sink_lock();
+    if let Some(records) = sink.as_mut() {
+        records.push(MetricsRecord {
+            scheme: averaged.scheme.clone(),
+            map: averaged.map.clone(),
+            repeats: reports.len(),
+            metrics: RunMetricsSummary::from_reports(&reports),
+        });
+    }
+    drop(sink);
+    averaged
 }
 
 /// Evaluates `job` over `inputs` on up to `available_parallelism` OS
 /// threads, preserving input order. Plain `std::thread` — simulations are
 /// independent and CPU-bound, so this is all the parallelism the harness
 /// needs.
+///
+/// Workers collect into thread-local vectors (no shared lock that a
+/// panicking job would poison); a panic in `job` is re-raised on the
+/// caller with its original payload once every worker has stopped.
 pub fn parallel_map<I, O, F>(inputs: Vec<I>, job: F) -> Vec<O>
 where
     I: Send + Sync,
@@ -144,21 +262,48 @@ where
         return inputs.iter().map(&job).collect();
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, O)>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if idx >= inputs.len() {
+                            break;
+                        }
+                        local.push((idx, job(&inputs[idx])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        // Join everything first so no worker outlives the scope, then
+        // propagate the first panic with its original payload.
+        let joined: Vec<thread::Result<Vec<(usize, O)>>> =
+            handles.into_iter().map(|h| h.join()).collect();
+        let mut collected = Vec::with_capacity(workers);
+        let mut payload_hold = None;
+        for result in joined {
+            match result {
+                Ok(local) => collected.push(local),
+                Err(payload) => {
+                    if payload_hold.is_none() {
+                        payload_hold = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = payload_hold {
+            std::panic::resume_unwind(payload);
+        }
+        collected
+    });
     let mut slots: Vec<Option<O>> = Vec::new();
     slots.resize_with(inputs.len(), || None);
-    let slots_mutex = std::sync::Mutex::new(&mut slots);
-    thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if idx >= inputs.len() {
-                    break;
-                }
-                let out = job(&inputs[idx]);
-                slots_mutex.lock().expect("result mutex poisoned")[idx] = Some(out);
-            });
-        }
-    });
+    for (idx, out) in per_worker.into_iter().flatten() {
+        slots[idx] = Some(out);
+    }
     slots
         .into_iter()
         .map(|o| o.expect("worker skipped a slot"))
@@ -250,6 +395,63 @@ mod tests {
         assert!(avg.reachability_std >= 0.0);
         // Three distinct seeds virtually never agree to 15 decimal places.
         assert!(avg.reachability_std > 0.0 || avg.reachability == 1.0);
+    }
+
+    #[test]
+    fn parallel_map_propagates_worker_panics() {
+        // Quiet the default "thread panicked" spew for the expected panic.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map((0..64u64).collect::<Vec<_>>(), |&x| {
+                if x == 7 {
+                    panic!("boom at {x}");
+                }
+                x * 2
+            })
+        }));
+        std::panic::set_hook(prev);
+        let payload = result.expect_err("a worker panic must reach the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 7"), "original payload, got: {msg:?}");
+    }
+
+    #[test]
+    fn metrics_capture_records_and_drains_sorted() {
+        let config = broadcast_core::SimConfig::builder(3, SchemeSpec::Counter(2))
+            .hosts(20)
+            .broadcasts(4)
+            .seed(5)
+            .build();
+        let flooding = broadcast_core::SimConfig::builder(3, SchemeSpec::Flooding)
+            .hosts(20)
+            .broadcasts(4)
+            .seed(5)
+            .build();
+        enable_metrics_capture();
+        let _ = run_averaged(&flooding, 1);
+        let _ = run_averaged(&config, 2);
+        let records = drain_metrics_capture();
+        // Other tests may run run_averaged concurrently and add records of
+        // their own; assert on ours by (scheme, map) instead of by count.
+        let rec = records
+            .iter()
+            .find(|r| r.scheme == "C=2" && r.map == "3x3")
+            .expect("captured the C=2 record");
+        assert_eq!(rec.repeats, 2);
+        assert_eq!(rec.metrics.latency_s.count, 8, "4 broadcasts x 2 repeats");
+        assert_eq!(
+            rec.metrics.backoff_slots.count,
+            rec.metrics.mac.backoff_draws
+        );
+        assert!(rec.metrics.suppression.scheduled > 0);
+        // Drained records come back sorted by (scheme, map).
+        let c2 = records.iter().position(|r| r.scheme == "C=2").unwrap();
+        let fl = records.iter().position(|r| r.scheme == "flooding").unwrap();
+        assert!(c2 < fl, "records sorted by scheme label");
     }
 
     #[test]

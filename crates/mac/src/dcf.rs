@@ -51,6 +51,65 @@ pub enum MacAction {
     },
 }
 
+/// Counters one [`Dcf`] keeps about its own operation.
+///
+/// Pure bookkeeping — nothing here feeds back into the state machine, so
+/// the counters can be read (or merged across hosts) at any point without
+/// perturbing determinism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacStats {
+    /// Backoff counters drawn (post-transmission or deferral).
+    pub backoff_draws: u64,
+    /// Sum of all drawn backoff counters, in slots.
+    pub backoff_slots_total: u64,
+    /// Backoff countdowns frozen by the medium going busy.
+    pub freezes: u64,
+    /// Deferrals: transmission attempts pushed into backoff because the
+    /// medium was busy at enqueue or interrupted the DIFS wait.
+    pub deferrals: u64,
+    /// Frames accepted into the transmit queue.
+    pub enqueued: u64,
+    /// Frames removed from the queue by [`Dcf::cancel`] before airing.
+    pub cancelled: u64,
+    /// Largest transmit-queue depth observed.
+    pub max_queue_depth: u64,
+    /// Per-value draw counts: `draw_counts[s]` is how many backoff draws
+    /// came out as `s` slots, for `s` in `0..=CW_MIN`.
+    pub draw_counts: [u64; (CW_MIN + 1) as usize],
+}
+
+impl Default for MacStats {
+    fn default() -> Self {
+        MacStats {
+            backoff_draws: 0,
+            backoff_slots_total: 0,
+            freezes: 0,
+            deferrals: 0,
+            enqueued: 0,
+            cancelled: 0,
+            max_queue_depth: 0,
+            draw_counts: [0; (CW_MIN + 1) as usize],
+        }
+    }
+}
+
+impl MacStats {
+    /// Folds another host's counters into this one (max for
+    /// `max_queue_depth`, sums elsewhere).
+    pub fn merge(&mut self, other: &MacStats) {
+        self.backoff_draws += other.backoff_draws;
+        self.backoff_slots_total += other.backoff_slots_total;
+        self.freezes += other.freezes;
+        self.deferrals += other.deferrals;
+        self.enqueued += other.enqueued;
+        self.cancelled += other.cancelled;
+        self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
+        for (mine, theirs) in self.draw_counts.iter_mut().zip(&other.draw_counts) {
+            *mine += theirs;
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum State {
     /// Nothing to do.
@@ -100,6 +159,7 @@ pub struct Dcf {
     rng: SimRng,
     /// Frames handed to the air (statistics).
     transmitted: u64,
+    stats: MacStats,
 }
 
 impl Dcf {
@@ -114,12 +174,18 @@ impl Dcf {
             generation: 0,
             rng,
             transmitted: 0,
+            stats: MacStats::default(),
         }
     }
 
     /// Frames put on the air so far.
     pub fn transmitted_count(&self) -> u64 {
         self.transmitted
+    }
+
+    /// Operation counters accumulated so far.
+    pub fn stats(&self) -> &MacStats {
+        &self.stats
     }
 
     /// Frames waiting in the queue.
@@ -140,10 +206,13 @@ impl Dcf {
         now: SimTime,
     ) -> Vec<MacAction> {
         self.queue.push_back((handle, payload_bytes));
+        self.stats.enqueued += 1;
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len() as u64);
         match self.state {
             State::Idle => {
                 if self.medium_busy {
                     // Deferral: a busy medium at arrival forces a backoff.
+                    self.stats.deferrals += 1;
                     self.ensure_backoff();
                     self.state = State::WaitIdle;
                     vec![]
@@ -171,7 +240,11 @@ impl Dcf {
     pub fn cancel(&mut self, handle: FrameHandle) -> bool {
         let before = self.queue.len();
         self.queue.retain(|&(h, _)| h != handle);
-        before != self.queue.len()
+        let removed = before != self.queue.len();
+        if removed {
+            self.stats.cancelled += 1;
+        }
+        removed
     }
 
     /// Carrier sense reports the medium busy (a foreign frame started).
@@ -186,6 +259,7 @@ impl Dcf {
                 // DIFS interrupted: this counts as a deferral, so a backoff
                 // is required when the medium frees up.
                 self.generation += 1; // invalidate the DIFS timer
+                self.stats.deferrals += 1;
                 self.ensure_backoff();
                 self.state = State::WaitIdle;
                 vec![]
@@ -193,6 +267,7 @@ impl Dcf {
             State::Backoff { started, slots } => {
                 // Freeze: whole slots that elapsed are consumed.
                 self.generation += 1; // invalidate the countdown timer
+                self.stats.freezes += 1;
                 let elapsed = now.saturating_duration_since(started);
                 let consumed = (elapsed.as_nanos() / SLOT.as_nanos()) as u32;
                 self.backoff_slots = Some(slots.saturating_sub(consumed));
@@ -286,7 +361,11 @@ impl Dcf {
     /// Draws a post/deferral backoff counter if none is pending.
     fn ensure_backoff(&mut self) {
         if self.backoff_slots.is_none() {
-            self.backoff_slots = Some(self.rng.gen_range_u32(0..CW_MIN + 1));
+            let slots = self.rng.gen_range_u32(0..CW_MIN + 1);
+            self.stats.backoff_draws += 1;
+            self.stats.backoff_slots_total += u64::from(slots);
+            self.stats.draw_counts[slots as usize] += 1;
+            self.backoff_slots = Some(slots);
         }
     }
 
@@ -513,6 +592,69 @@ mod tests {
         assert!(m.is_transmitting());
         assert!(!m.cancel(FrameHandle(1)));
         assert_eq!(m.transmitted_count(), 1);
+    }
+
+    #[test]
+    fn stats_count_draws_deferrals_and_cancels() {
+        let mut m = mac();
+        let t0 = SimTime::from_millis(1);
+        m.on_medium_busy(t0);
+        // Busy at enqueue: a deferral that draws a backoff counter.
+        m.enqueue(FrameHandle(1), 280, t0);
+        let s = *m.stats();
+        assert_eq!(s.enqueued, 1);
+        assert_eq!(s.deferrals, 1);
+        assert_eq!(s.backoff_draws, 1);
+        assert_eq!(s.draw_counts.iter().sum::<u64>(), 1);
+        assert_eq!(s.max_queue_depth, 1);
+        // Cancel it while still queued.
+        assert!(m.cancel(FrameHandle(1)));
+        assert_eq!(m.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn stats_count_freezes() {
+        // Find a seed whose first draw has slots >= 2 so the countdown can
+        // actually be interrupted.
+        let mut m = Dcf::new(SimRng::seed_from(3));
+        let t0 = SimTime::from_millis(1);
+        m.on_medium_busy(t0);
+        m.enqueue(FrameHandle(1), 280, t0);
+        let t1 = t0 + SimDuration::from_micros(100);
+        let actions = m.on_medium_idle(t1);
+        let (actions, t2) = fire_timer(&mut m, &actions, t1);
+        if !matches!(actions[..], [MacAction::StartTimer { .. }]) {
+            return; // zero backoff with this seed
+        }
+        m.on_medium_busy(t2 + SLOT);
+        assert_eq!(m.stats().freezes, 1);
+    }
+
+    #[test]
+    fn stats_merge_sums_and_maxes() {
+        let mut a = MacStats {
+            backoff_draws: 1,
+            backoff_slots_total: 3,
+            max_queue_depth: 2,
+            ..MacStats::default()
+        };
+        a.draw_counts[3] = 1;
+        let mut b = MacStats {
+            backoff_draws: 2,
+            backoff_slots_total: 5,
+            freezes: 1,
+            max_queue_depth: 5,
+            ..MacStats::default()
+        };
+        b.draw_counts[3] = 1;
+        b.draw_counts[2] = 1;
+        a.merge(&b);
+        assert_eq!(a.backoff_draws, 3);
+        assert_eq!(a.backoff_slots_total, 8);
+        assert_eq!(a.freezes, 1);
+        assert_eq!(a.max_queue_depth, 5);
+        assert_eq!(a.draw_counts[3], 2);
+        assert_eq!(a.draw_counts[2], 1);
     }
 
     #[test]

@@ -39,5 +39,5 @@
 mod dcf;
 pub mod timing;
 
-pub use dcf::{Dcf, FrameHandle, MacAction};
+pub use dcf::{Dcf, FrameHandle, MacAction, MacStats};
 pub use timing::frame_airtime;

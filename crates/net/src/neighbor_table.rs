@@ -62,6 +62,10 @@ pub enum MembershipChange {
 #[derive(Debug, Clone, Default)]
 pub struct NeighborTable {
     entries: HashMap<NodeId, NeighborEntry>,
+    /// Lifetime join count (statistics; never reset).
+    joins: u64,
+    /// Lifetime expiry count (statistics; never reset).
+    leaves: u64,
 }
 
 impl NeighborTable {
@@ -91,6 +95,9 @@ impl NeighborTable {
                 },
             )
             .is_none();
+        if new {
+            self.joins += 1;
+        }
         new.then_some(MembershipChange::Joined(from))
     }
 
@@ -110,7 +117,19 @@ impl NeighborTable {
         leaves.sort_by_key(|change| match change {
             MembershipChange::Left(id) | MembershipChange::Joined(id) => *id,
         });
+        self.leaves += leaves.len() as u64;
         leaves
+    }
+
+    /// Hosts that have ever joined this table (lifetime churn statistic).
+    pub fn join_count(&self) -> u64 {
+        self.joins
+    }
+
+    /// Entries that have ever expired from this table (lifetime churn
+    /// statistic).
+    pub fn leave_count(&self) -> u64 {
+        self.leaves
     }
 
     /// Number of live neighbors — the `n` that parameterizes the adaptive
@@ -180,6 +199,39 @@ mod tests {
             t.expire(SimTime::from_millis(10_001)),
             vec![MembershipChange::Left(id(2))]
         );
+    }
+
+    #[test]
+    fn expiry_boundary_is_exclusive() {
+        // The deadline is last_heard + 2 * interval; an entry survives at
+        // *exactly* the deadline and expires one nanosecond later.
+        let mut t = NeighborTable::new();
+        t.record_hello(id(1), SimTime::ZERO, SEC, &[]);
+        assert!(
+            t.expire(SimTime::from_secs(2)).is_empty(),
+            "entry must survive at exactly the deadline"
+        );
+        assert!(t.contains(id(1)));
+        assert_eq!(
+            t.expire(SimTime::from_nanos(2_000_000_001)),
+            vec![MembershipChange::Left(id(1))],
+            "entry must expire just past the deadline"
+        );
+    }
+
+    #[test]
+    fn churn_counters_accumulate() {
+        let mut t = NeighborTable::new();
+        t.record_hello(id(1), SimTime::ZERO, SEC, &[]);
+        t.record_hello(id(2), SimTime::ZERO, SEC, &[]);
+        t.record_hello(id(1), SimTime::from_secs(1), SEC, &[]); // refresh, not a join
+        assert_eq!(t.join_count(), 2);
+        assert_eq!(t.leave_count(), 0);
+        t.expire(SimTime::from_secs(10));
+        assert_eq!(t.leave_count(), 2);
+        // Rejoining counts again: these are lifetime churn totals.
+        t.record_hello(id(1), SimTime::from_secs(10), SEC, &[]);
+        assert_eq!(t.join_count(), 3);
     }
 
     #[test]

@@ -45,7 +45,12 @@ impl VariationTracker {
     }
 
     /// Records one membership change (a join or a leave) at `now`.
+    ///
+    /// Trims aged-out events first, so the queue stays bounded by the
+    /// change rate times the window even on a host that records churn for
+    /// hours without ever being asked for [`variation`](Self::variation).
     pub fn record_change(&mut self, now: SimTime) {
+        self.trim(now);
         self.events.push_back(now);
     }
 
@@ -117,6 +122,29 @@ mod tests {
         // Exactly 10 s later the event is still (just) inside the window.
         assert_eq!(t.changes_in_window(SimTime::from_secs(15)), 1);
         assert_eq!(t.changes_in_window(SimTime::from_nanos(15_000_000_001)), 0);
+    }
+
+    #[test]
+    fn queue_stays_bounded_under_sustained_churn() {
+        // One change every 100 ms for 20 simulated minutes, with no
+        // variation() queries in between: the window holds at most
+        // 10 s / 100 ms + 1 = 101 events at any point.
+        let mut t = VariationTracker::new();
+        let step = SimDuration::from_millis(100);
+        let mut now = SimTime::ZERO;
+        for _ in 0..12_000 {
+            t.record_change(now);
+            assert!(
+                t.events.len() <= 101,
+                "window grew to {} events",
+                t.events.len()
+            );
+            now += step;
+        }
+        // And the window is still correct afterwards: `now` is one step
+        // past the last record, so events in (now - 10 s, now] span
+        // t = 1190.0 s ..= 1199.9 s — exactly 100 of them.
+        assert_eq!(t.changes_in_window(now), 100);
     }
 
     #[test]

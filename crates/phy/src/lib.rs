@@ -41,5 +41,8 @@ mod medium;
 mod topology;
 
 pub use id::{FrameId, NodeId};
-pub use medium::{CaptureModel, CarrierChange, Delivery, Listener, Medium, TxEnd, TxStart};
+pub use medium::{
+    CaptureModel, CarrierChange, Delivery, Listener, LossCause, LossCounters, Medium, TxEnd,
+    TxStart,
+};
 pub use topology::{components, in_range, in_range_of, reachable_from};

@@ -31,6 +31,64 @@ use manet_sim_engine::{SimRng, SimTime};
 
 use crate::id::{FrameId, NodeId};
 
+/// Why a frame delivery failed at one listener.
+///
+/// The first cause to strike a frame wins and is never overwritten: a
+/// half-duplex miss stays a half-duplex miss even if another frame later
+/// overlaps it, so the per-cause counters partition the losses exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossCause {
+    /// Garbled by an overlapping in-range frame under the paper's
+    /// no-capture assumption (§2.2.3) — a true collision.
+    Overlap,
+    /// The listener was itself transmitting during (part of) the frame's
+    /// airtime, so its half-duplex transceiver never saw it.
+    HalfDuplex,
+    /// Injected random channel loss ([`Medium::with_drop_probability`]) —
+    /// failure injection, not contention.
+    Injected,
+    /// Lost the capture arbitration: the frame's signal failed the SIR
+    /// test against summed interference under a [`CaptureModel`].
+    Capture,
+}
+
+/// Running totals of frame-delivery losses, split by [`LossCause`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LossCounters {
+    /// Losses to overlapping frames without capture (true collisions).
+    pub overlap: u64,
+    /// Losses because the listener was transmitting (half-duplex misses).
+    pub half_duplex: u64,
+    /// Losses injected by [`Medium::with_drop_probability`].
+    pub injected: u64,
+    /// Losses to capture arbitration (SIR below threshold under overlap).
+    pub capture: u64,
+}
+
+impl LossCounters {
+    /// Sum over all causes: every delivery with `decoded == false`.
+    pub fn total(&self) -> u64 {
+        self.overlap + self.half_duplex + self.injected + self.capture
+    }
+
+    /// Adds another set of counters into this one.
+    pub fn merge(&mut self, other: &LossCounters) {
+        self.overlap += other.overlap;
+        self.half_duplex += other.half_duplex;
+        self.injected += other.injected;
+        self.capture += other.capture;
+    }
+
+    fn tally(&mut self, cause: LossCause) {
+        match cause {
+            LossCause::Overlap => self.overlap += 1,
+            LossCause::HalfDuplex => self.half_duplex += 1,
+            LossCause::Injected => self.injected += 1,
+            LossCause::Capture => self.capture += 1,
+        }
+    }
+}
+
 /// A frame currently being received (or jammed) at one listener.
 #[derive(Debug, Clone)]
 struct IncomingFrame {
@@ -38,9 +96,17 @@ struct IncomingFrame {
     /// Received signal strength at this listener (arbitrary linear units;
     /// only ratios matter). 1.0 when the wiring does not model power.
     signal: f64,
-    garbled: bool,
-    /// Lost to injected channel loss rather than a collision.
-    injected_loss: bool,
+    /// Why this frame is already lost at this listener; `None` while it is
+    /// still decodable. First cause wins (see [`LossCause`]).
+    cause: Option<LossCause>,
+}
+
+impl IncomingFrame {
+    /// Marks the frame lost for `cause` unless an earlier cause already
+    /// struck it.
+    fn garble(&mut self, cause: LossCause) {
+        self.cause.get_or_insert(cause);
+    }
 }
 
 /// A listener of a transmission, with the signal strength it receives.
@@ -124,9 +190,11 @@ pub struct TxStart {
 pub struct Delivery {
     /// The listener.
     pub to: NodeId,
-    /// `true` when the frame was decoded; `false` when it was garbled by
-    /// a collision, half-duplex loss, or injected channel loss.
+    /// `true` when the frame was decoded; `false` when it was lost (see
+    /// [`cause`](Self::cause) for why).
     pub decoded: bool,
+    /// Why the frame was lost; `None` exactly when `decoded` is `true`.
+    pub cause: Option<LossCause>,
 }
 
 /// Result of a transmission ending.
@@ -165,7 +233,7 @@ pub struct Medium {
     drop_probability: f64,
     drop_rng: Option<SimRng>,
     capture: Option<CaptureModel>,
-    collisions: u64,
+    losses: LossCounters,
     frames_sent: u64,
 }
 
@@ -179,7 +247,7 @@ impl Medium {
             drop_probability: 0.0,
             drop_rng: None,
             capture: None,
-            collisions: 0,
+            losses: LossCounters::default(),
             frames_sent: 0,
         }
     }
@@ -224,9 +292,18 @@ impl Medium {
         self.frames_sent
     }
 
-    /// Total frame deliveries lost to collisions or half-duplex so far.
+    /// Total frame deliveries lost to *overlapping transmissions* so far:
+    /// no-capture overlap garbles plus capture-arbitration losses. This is
+    /// the paper-comparable contention figure; half-duplex misses and
+    /// injected drops are counted separately (see
+    /// [`loss_counters`](Self::loss_counters)).
     pub fn collision_count(&self) -> u64 {
-        self.collisions
+        self.losses.overlap + self.losses.capture
+    }
+
+    /// Per-cause loss totals across all deliveries so far.
+    pub fn loss_counters(&self) -> LossCounters {
+        self.losses
     }
 
     /// Puts a frame on the air from `source`, heard by `listeners`,
@@ -294,7 +371,7 @@ impl Medium {
         let src_radio = &mut self.radios[source.index()];
         src_radio.tx_end = Some(end);
         for inc in &mut src_radio.incoming {
-            inc.garbled = true;
+            inc.garble(LossCause::HalfDuplex);
         }
 
         let mut carrier_changes = Vec::new();
@@ -303,17 +380,19 @@ impl Medium {
             let was_busy = radio.carrier_busy();
 
             // A listener that is itself transmitting misses the frame
-            // outright (half-duplex).
-            let mut garbled = radio.tx_end.is_some();
+            // outright (half-duplex). This takes precedence over any
+            // overlap: the transceiver could not have received the frame
+            // even on a clear channel.
+            let mut cause = radio.tx_end.is_some().then_some(LossCause::HalfDuplex);
             if !radio.incoming.is_empty() {
                 match self.capture {
                     None => {
                         // No capture: any overlap garbles everything
                         // involved (paper §2.2.3).
                         for other in &mut radio.incoming {
-                            other.garbled = true;
+                            other.garble(LossCause::Overlap);
                         }
-                        garbled = true;
+                        cause.get_or_insert(LossCause::Overlap);
                     }
                     Some(model) => {
                         // SIR test: each frame survives only if its signal
@@ -322,32 +401,32 @@ impl Medium {
                             radio.incoming.iter().map(|f| f.signal).sum::<f64>() + listener.signal;
                         for other in &mut radio.incoming {
                             if other.signal < model.threshold * (total - other.signal) {
-                                other.garbled = true;
+                                other.garble(LossCause::Capture);
                             }
                         }
                         if listener.signal < model.threshold * (total - listener.signal) {
-                            garbled = true;
+                            cause.get_or_insert(LossCause::Capture);
                         }
                     }
                 }
             }
             // Injected channel loss (failure injection, not a collision).
-            let mut injected_loss = false;
-            if !garbled && self.drop_probability > 0.0 {
+            // The RNG is consulted only for frames still decodable, so the
+            // injected-loss stream is independent of how much garbling the
+            // contention model produced.
+            if cause.is_none() && self.drop_probability > 0.0 {
                 let rng = self
                     .drop_rng
                     .as_mut()
                     .expect("drop probability set without rng");
                 if rng.gen_bool(self.drop_probability) {
-                    garbled = true;
-                    injected_loss = true;
+                    cause = Some(LossCause::Injected);
                 }
             }
             radio.incoming.push(IncomingFrame {
                 frame,
                 signal: listener.signal,
-                garbled,
-                injected_loss,
+                cause,
             });
             if !was_busy {
                 carrier_changes.push(CarrierChange {
@@ -399,12 +478,13 @@ impl Medium {
                 .position(|inc| inc.frame == frame)
                 .expect("listener lost an incoming frame");
             let inc = radio.incoming.swap_remove(idx);
-            if inc.garbled && !inc.injected_loss {
-                self.collisions += 1;
+            if let Some(cause) = inc.cause {
+                self.losses.tally(cause);
             }
             deliveries.push(Delivery {
                 to: listener,
-                decoded: !inc.garbled,
+                decoded: inc.cause.is_none(),
+                cause: inc.cause,
             });
             if !radio.carrier_busy() {
                 carrier_changes.push(CarrierChange {
@@ -480,8 +560,143 @@ mod tests {
         let t0 = SimTime::ZERO;
         let fb = m.begin_transmission(b, t0, t0 + AIRTIME, &[]);
         let fa = m.begin_transmission(a, t0, t0 + AIRTIME, &[b]);
-        assert!(!m.end_transmission(fa.frame, t0 + AIRTIME).deliveries[0].decoded);
+        let delivery = m.end_transmission(fa.frame, t0 + AIRTIME).deliveries[0];
+        assert!(!delivery.decoded);
+        assert_eq!(delivery.cause, Some(LossCause::HalfDuplex));
         m.end_transmission(fb.frame, t0 + AIRTIME);
+        // A half-duplex miss is not a collision: it is counted separately.
+        assert_eq!(m.collision_count(), 0);
+        assert_eq!(m.loss_counters().half_duplex, 1);
+    }
+
+    #[test]
+    fn loss_causes_partition_total_losses() {
+        // One half-duplex miss (b transmitting) and one overlap pair at d.
+        let mut m = Medium::new(5);
+        let (a, b, c, d, e) = (
+            NodeId::new(0),
+            NodeId::new(1),
+            NodeId::new(2),
+            NodeId::new(3),
+            NodeId::new(4),
+        );
+        let t0 = SimTime::ZERO;
+        let fb = m.begin_transmission(b, t0, t0 + AIRTIME, &[]);
+        let fa = m.begin_transmission(a, t0, t0 + AIRTIME, &[b]);
+        let fc = m.begin_transmission(c, t0, t0 + AIRTIME, &[d]);
+        let fe = m.begin_transmission(e, t0, t0 + AIRTIME, &[d]);
+        for f in [fb.frame, fa.frame, fc.frame, fe.frame] {
+            m.end_transmission(f, t0 + AIRTIME);
+        }
+        let losses = m.loss_counters();
+        assert_eq!(losses.half_duplex, 1);
+        assert_eq!(losses.overlap, 2);
+        assert_eq!(losses.injected, 0);
+        assert_eq!(losses.capture, 0);
+        assert_eq!(losses.total(), 3);
+        assert_eq!(m.collision_count(), 2, "collisions are overlap-only");
+    }
+
+    #[test]
+    fn first_loss_cause_wins() {
+        // b starts receiving from a, then starts its own transmission
+        // (half-duplex), and a third frame later overlaps. The recorded
+        // cause stays HalfDuplex.
+        let mut m = Medium::new(3);
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        let t0 = SimTime::ZERO;
+        let fa = m.begin_transmission(a, t0, t0 + AIRTIME, &[b]);
+        let quarter = t0 + AIRTIME / 4;
+        let fb = m.begin_transmission(b, quarter, quarter + AIRTIME, &[]);
+        let mid = t0 + AIRTIME / 2;
+        let fc = m.begin_transmission(c, mid, mid + AIRTIME, &[b]);
+        let delivery = m.end_transmission(fa.frame, t0 + AIRTIME).deliveries[0];
+        assert_eq!(delivery.cause, Some(LossCause::HalfDuplex));
+        m.end_transmission(fb.frame, quarter + AIRTIME);
+        let late = m.end_transmission(fc.frame, mid + AIRTIME).deliveries[0];
+        // The late frame arrived while b was transmitting: half-duplex too.
+        assert_eq!(late.cause, Some(LossCause::HalfDuplex));
+        assert_eq!(m.loss_counters().half_duplex, 2);
+        assert_eq!(m.collision_count(), 0);
+    }
+
+    #[test]
+    fn injected_drop_rng_not_consumed_for_garbled_frames() {
+        // Two media share drop seed and probability. Medium `noisy` first
+        // suffers a capture episode in which BOTH overlapping frames are
+        // garbled (comparable signals), medium `clean` does not. The
+        // injected-loss RNG must not be consumed for the garbled frames,
+        // so the decode pattern of the subsequent clean frames is
+        // identical on both media.
+        let drop_p = 0.4;
+        let run = |with_weak_frame: bool| -> Vec<bool> {
+            let mut m = Medium::new(3)
+                .with_capture(CaptureModel::new(4.0))
+                .with_drop_probability(drop_p, SimRng::seed_from(77));
+            let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+            let mut t = SimTime::ZERO;
+            // The strong frame arrives on a clear channel, so it consumes
+            // one drop-RNG draw in BOTH runs.
+            let f1 = m.begin_transmission_with_signals(
+                a,
+                t,
+                t + AIRTIME,
+                &[Listener {
+                    node: b,
+                    signal: 100.0,
+                }],
+            );
+            let f2 = with_weak_frame.then(|| {
+                // The weak frame fails the SIR test the moment it arrives:
+                // already garbled, so it must NOT consume a draw.
+                m.begin_transmission_with_signals(
+                    c,
+                    t,
+                    t + AIRTIME,
+                    &[Listener {
+                        node: b,
+                        signal: 1.0,
+                    }],
+                )
+            });
+            m.end_transmission(f1.frame, t + AIRTIME);
+            if let Some(f2) = f2 {
+                let d2 = m.end_transmission(f2.frame, t + AIRTIME).deliveries[0];
+                assert_eq!(d2.cause, Some(LossCause::Capture));
+            }
+            t += AIRTIME;
+            (0..64)
+                .map(|_| {
+                    let s = m.begin_transmission(a, t, t + AIRTIME, &[b]);
+                    let d = m.end_transmission(s.frame, t + AIRTIME).deliveries[0];
+                    t += AIRTIME;
+                    d.decoded
+                })
+                .collect()
+        };
+        let with_weak_frame = run(true);
+        let without_weak_frame = run(false);
+        assert_eq!(
+            with_weak_frame, without_weak_frame,
+            "garbled frames must not consume the injected-drop RNG"
+        );
+        assert!(
+            with_weak_frame.iter().any(|&d| !d),
+            "some injected drops expected at p = {drop_p}"
+        );
+    }
+
+    #[test]
+    fn injected_loss_is_reported_as_injected() {
+        // p = 1: every otherwise-clean delivery is an injected drop.
+        let mut m = Medium::new(2).with_drop_probability(1.0, SimRng::seed_from(3));
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let t0 = SimTime::ZERO;
+        let s = m.begin_transmission(a, t0, t0 + AIRTIME, &[b]);
+        let d = m.end_transmission(s.frame, t0 + AIRTIME).deliveries[0];
+        assert_eq!(d.cause, Some(LossCause::Injected));
+        assert_eq!(m.loss_counters().injected, 1);
+        assert_eq!(m.collision_count(), 0);
     }
 
     #[test]

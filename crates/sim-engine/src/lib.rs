@@ -47,13 +47,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod metrics;
 pub mod prng;
 mod queue;
 mod rng;
 mod runner;
 mod time;
 
+pub use metrics::{
+    json_escape, json_f64, Counter, Gauge, Histogram, HistogramSnapshot, KindProfile, LoopProfile,
+    LoopProfiler, MetricsRegistry,
+};
 pub use queue::{EventKey, EventQueue};
 pub use rng::SimRng;
-pub use runner::{run, run_until, EventHandler, RunOutcome};
+pub use runner::{run, run_profiled, run_until, EventHandler, RunOutcome};
 pub use time::{SimDuration, SimTime};

@@ -5,6 +5,7 @@
 //! each to the handler, which may schedule or cancel further events through
 //! the queue it is given.
 
+use crate::metrics::LoopProfiler;
 use crate::queue::EventQueue;
 use crate::time::SimTime;
 
@@ -72,6 +73,42 @@ pub fn run_until<E, H: EventHandler<E>>(
     }
 }
 
+/// [`run_until`] with per-event profiling.
+///
+/// `kind_of` classifies each event under a static label before it is
+/// consumed; the profiler attributes the handler's wall time to that label
+/// (only when the profiler is enabled — a disabled profiler still counts
+/// events but never reads the clock, so this variant is safe to use
+/// unconditionally).
+pub fn run_profiled<E, H: EventHandler<E>>(
+    handler: &mut H,
+    queue: &mut EventQueue<E>,
+    horizon: SimTime,
+    max_events: u64,
+    profiler: &mut LoopProfiler,
+    kind_of: impl Fn(&E) -> &'static str,
+) -> RunOutcome {
+    let mut delivered = 0u64;
+    let mut last = queue.now();
+    loop {
+        match queue.peek_time() {
+            None => return RunOutcome::Drained { last_event: last },
+            Some(t) if t > horizon => return RunOutcome::HorizonReached { horizon },
+            Some(_) => {}
+        }
+        if delivered >= max_events {
+            return RunOutcome::BudgetExhausted { stopped_at: last };
+        }
+        let (now, event) = queue.pop().expect("peeked event vanished");
+        last = now;
+        delivered += 1;
+        let kind = kind_of(&event);
+        let t0 = profiler.begin();
+        handler.handle(now, event, queue);
+        profiler.record(kind, t0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,6 +166,36 @@ mod tests {
         // Events at 1, 2, 3 delivered; the one at 4 remains queued.
         assert_eq!(t.ticks.len(), 3);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn profiled_run_matches_plain_run_and_attributes_kinds() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), ());
+        let mut t = Ticker {
+            ticks: vec![],
+            remaining: 3,
+        };
+        let mut profiler = LoopProfiler::enabled();
+        let outcome = run_profiled(
+            &mut t,
+            &mut q,
+            SimTime::MAX,
+            u64::MAX,
+            &mut profiler,
+            |_| "tick",
+        );
+        assert_eq!(
+            outcome,
+            RunOutcome::Drained {
+                last_event: SimTime::from_secs(4)
+            }
+        );
+        assert_eq!(profiler.events_processed(), 4);
+        let profile = profiler.profile();
+        assert_eq!(profile.kinds.len(), 1);
+        assert_eq!(profile.kinds[0].kind, "tick");
+        assert_eq!(profile.kinds[0].count, 4);
     }
 
     #[test]

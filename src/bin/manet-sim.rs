@@ -33,6 +33,7 @@ options:
   --capture             enable 10 dB physical-layer capture
   --drop P              inject per-delivery loss probability P
   --per-broadcast FILE  write per-broadcast outcomes as CSV
+  --profile             measure event-loop wall time per event kind
   -h, --help            show this help
 ";
 
@@ -114,6 +115,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut capture = false;
     let mut drop = 0.0f64;
     let mut per_broadcast = None;
+    let mut profile = false;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -160,6 +162,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     .map_err(|e| format!("bad --drop: {e}"))?
             }
             "--per-broadcast" => per_broadcast = Some(value("--per-broadcast")?),
+            "--profile" => profile = true,
             "-h" | "--help" => return Ok(None),
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -170,7 +173,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         .broadcasts(broadcasts)
         .seed(seed)
         .mobility(parse_mobility(&mobility)?)
-        .drop_probability(drop);
+        .drop_probability(drop)
+        .profile_events(profile);
     if let Some(kmh) = speed {
         builder = builder.max_speed_kmh(kmh);
     }
@@ -250,6 +254,28 @@ fn main() -> ExitCode {
         "frames: {} data, {} hello; {} collisions over {:.0} simulated s",
         report.data_frames, report.hello_packets, report.collisions, report.sim_seconds
     );
+    println!(
+        "losses: {} overlap, {} capture, {} half-duplex, {} injected",
+        report.losses.overlap,
+        report.losses.capture,
+        report.losses.half_duplex,
+        report.losses.injected
+    );
+
+    if let Some(profile) = &report.profile {
+        println!();
+        println!("event loop: {} events", profile.events);
+        for kind in &profile.kinds {
+            println!(
+                "  {:<16} {:>9} events  {:>10} ns total  {:>7.0} ns mean  {:>8} ns max",
+                kind.kind,
+                kind.count,
+                kind.total_ns,
+                kind.mean_ns(),
+                kind.max_ns
+            );
+        }
+    }
 
     if let Some(path) = options.per_broadcast {
         if let Err(err) = std::fs::write(&path, per_broadcast_csv(&report)) {
