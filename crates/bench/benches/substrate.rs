@@ -6,7 +6,7 @@ use manet_bench::harness::Suite;
 use manet_geom::{CoverageGrid, Vec2};
 use manet_mac::{Dcf, FrameHandle, MacAction};
 use manet_mobility::{uniform_placement, Map, Mobility, RandomTurn, RandomTurnParams};
-use manet_phy::{in_range_of, reachable_from, Medium, NodeId};
+use manet_phy::{in_range_of, reachable_from, Medium, NeighborGrid, NodeId};
 use manet_sim_engine::{EventQueue, SimDuration, SimRng, SimTime};
 
 fn event_queue_throughput(s: &mut Suite) {
@@ -64,6 +64,33 @@ fn topology_queries(s: &mut Suite) {
     s.bench("in_range_of_100_hosts", || {
         black_box(in_range_of(&positions, NodeId::new(0), 500.0).len())
     });
+
+    // The grid-backed equivalents the world hot path now uses, including
+    // the incremental re-index after small per-step movements.
+    let bounds = map.bounds();
+    let mut grid = NeighborGrid::new(bounds.width(), bounds.height(), 500.0);
+    grid.update(&positions);
+    let mut out = Vec::new();
+    s.bench("grid_reachable_from_100_hosts", || {
+        grid.reachable_into(&positions, NodeId::new(0), 500.0, &mut out);
+        black_box(out.len())
+    });
+    s.bench("grid_in_range_of_100_hosts", || {
+        grid.in_range_into(&positions, NodeId::new(0), 500.0, &mut out);
+        black_box(out.len())
+    });
+    let mut moved = positions.clone();
+    let mut flip = 1.0f64;
+    s.bench("grid_update_100_hosts_small_moves", || {
+        // Oscillate so positions stay on the map however many iterations
+        // the harness runs; some hops cross cell boundaries, most do not.
+        flip = -flip;
+        for p in moved.iter_mut() {
+            *p = Vec2::new(p.x + 3.0 * flip, p.y);
+        }
+        grid.update(&moved);
+        black_box(moved[0].x)
+    });
 }
 
 fn mac_state_machine(s: &mut Suite) {
@@ -71,19 +98,13 @@ fn mac_state_machine(s: &mut Suite) {
         let mut mac = Dcf::new(SimRng::seed_from(4));
         let mut now = SimTime::from_millis(1);
         for i in 0..100u64 {
-            let actions = mac.enqueue(FrameHandle(i), 280, now);
-            for action in actions {
-                if let MacAction::BeginTx { .. } = action {
-                    now += SimDuration::from_micros(2_432);
-                    let post = mac.on_tx_end(now);
-                    // Walk the post-backoff timers to idle.
-                    let mut pending = post;
-                    while let Some(MacAction::StartTimer { delay, generation }) =
-                        pending.first().copied()
-                    {
-                        now += delay;
-                        pending = mac.on_timer(generation, now);
-                    }
+            if let Some(MacAction::BeginTx { .. }) = mac.enqueue(FrameHandle(i), 280, now) {
+                now += SimDuration::from_micros(2_432);
+                // Walk the post-backoff timers to idle.
+                let mut pending = mac.on_tx_end(now);
+                while let Some(MacAction::StartTimer { delay, generation }) = pending {
+                    now += delay;
+                    pending = mac.on_timer(generation, now);
                 }
             }
             now += SimDuration::from_millis(1);

@@ -1,0 +1,51 @@
+//! End-to-end simulation benchmarks: one full broadcast-storm run per
+//! iteration, at the paper's host density (100 hosts) on the 5×5 map.
+//!
+//! These are the numbers the hot-path work is judged by: they exercise
+//! the whole event loop — mobility, carrier sense, DCF, the shared
+//! medium, and the scheme layer — rather than any single substrate.
+//! `BENCH_world.json` at the workspace root records the trajectory;
+//! `BENCH_world_baseline.json` is the frozen pre-optimization snapshot
+//! from the PR that introduced this suite.
+
+use std::hint::black_box;
+
+use broadcast_core::{SchemeSpec, SimConfig, World};
+use manet_bench::harness::Suite;
+
+/// One broadcast-storm run: 100 hosts on the 5×5 map, 12 broadcast
+/// requests, fixed seed.
+fn storm_config(scheme: SchemeSpec) -> SimConfig {
+    SimConfig::builder(5, scheme)
+        .hosts(100)
+        .broadcasts(12)
+        .seed(11)
+        .build()
+}
+
+fn storm(s: &mut Suite, name: &str, scheme: SchemeSpec) {
+    s.bench(name, || {
+        let report = World::new(storm_config(scheme.clone())).run();
+        black_box((report.data_frames, report.collisions))
+    });
+}
+
+fn main() {
+    let mut suite = Suite::from_args("world");
+    storm(
+        &mut suite,
+        "world/flooding_5x5_100hosts",
+        SchemeSpec::Flooding,
+    );
+    storm(
+        &mut suite,
+        "world/counter_c3_5x5_100hosts",
+        SchemeSpec::Counter(3),
+    );
+    storm(
+        &mut suite,
+        "world/nc_5x5_100hosts",
+        SchemeSpec::NeighborCoverage,
+    );
+    suite.finish();
+}

@@ -1,0 +1,211 @@
+//! Per-host packet bookkeeping for the simulation hot path.
+//!
+//! Every host must remember, for every broadcast packet, whether it has
+//! heard it and what it decided — forever, because duplicate suppression
+//! ("rebroadcast at most once") must hold for the whole run. The seed
+//! implementation kept a `HashMap<PacketId, PacketState>` per host, which
+//! costs a hash on every delivery and an allocation per state change.
+//!
+//! [`PacketLedger`] exploits that packet sequence numbers are issued from
+//! one dense global counter: the long-lived part of the state (unheard /
+//! source / done) is a plain tag indexed by `seq`, and only the
+//! *transient* cancellable states — assessing and MAC-queued — carry data,
+//! living in a [`Slab`] whose slots free up the moment a packet settles.
+//! At any instant a host has at most a handful of packets in flight, so
+//! the slab stays tiny and steady-state transitions touch no allocator.
+
+use manet_mac::FrameHandle;
+use manet_sim_engine::{EventKey, Slab};
+
+use crate::schemes::PacketPolicy;
+
+/// A packet that was never heard by this host.
+const UNHEARD: u32 = u32::MAX;
+/// Transmitted or inhibited; nothing more will happen (terminal).
+const DONE: u32 = u32::MAX - 1;
+/// This host issued the packet; its original transmission is queued.
+const SOURCE: u32 = u32::MAX - 2;
+/// Largest usable slab slot; anything above collides with the sentinels.
+const MAX_SLOT: u32 = u32::MAX - 3;
+
+/// The live, still-cancellable progress of one packet at one host.
+#[derive(Debug)]
+pub(crate) enum ActivePacket {
+    /// In the S2 assessment delay; `key` cancels the wakeup.
+    Assessing {
+        /// Cancellation key of the pending `AssessmentDone` event.
+        key: EventKey,
+        /// The scheme state accumulated so far for this packet.
+        policy: PacketPolicy,
+    },
+    /// Submitted to the MAC; cancellable until it hits the air.
+    Queued {
+        /// MAC queue handle for cancellation.
+        handle: FrameHandle,
+        /// The scheme state accumulated so far for this packet.
+        policy: PacketPolicy,
+    },
+}
+
+/// What a host currently knows about one packet.
+#[derive(Debug)]
+pub(crate) enum PacketView<'a> {
+    /// First copy: no state exists yet.
+    Unheard,
+    /// This host is the packet's source (its original send is pending).
+    Source,
+    /// Terminal: transmitted or inhibited.
+    Done,
+    /// Assessing or MAC-queued; mutable so duplicate hears can update the
+    /// policy in place.
+    Active(&'a mut ActivePacket),
+}
+
+/// One host's packet states, keyed by the packet's dense sequence number.
+#[derive(Debug, Default)]
+pub(crate) struct PacketLedger {
+    /// Per-seq tag: a sentinel, or the slab slot of the active state.
+    tags: Vec<u32>,
+    active: Slab<ActivePacket>,
+}
+
+impl PacketLedger {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    fn tag(&self, seq: u32) -> u32 {
+        self.tags.get(seq as usize).copied().unwrap_or(UNHEARD)
+    }
+
+    fn set_tag(&mut self, seq: u32, tag: u32) {
+        let i = seq as usize;
+        if i >= self.tags.len() {
+            self.tags.resize(i + 1, UNHEARD);
+        }
+        self.tags[i] = tag;
+    }
+
+    /// Current state of packet `seq`, with mutable access to any active
+    /// scheme state.
+    pub(crate) fn view(&mut self, seq: u32) -> PacketView<'_> {
+        match self.tag(seq) {
+            UNHEARD => PacketView::Unheard,
+            DONE => PacketView::Done,
+            SOURCE => PacketView::Source,
+            slot => PacketView::Active(&mut self.active[slot]),
+        }
+    }
+
+    /// Records that this host issued packet `seq` itself.
+    pub(crate) fn mark_source(&mut self, seq: u32) {
+        debug_assert_eq!(self.tag(seq), UNHEARD, "source packet already known");
+        self.set_tag(seq, SOURCE);
+    }
+
+    /// Moves packet `seq` to the terminal state, releasing any active
+    /// slab entry (and dropping its policy).
+    pub(crate) fn mark_done(&mut self, seq: u32) {
+        let tag = self.tag(seq);
+        if tag <= MAX_SLOT {
+            self.active.remove(tag);
+        }
+        self.set_tag(seq, DONE);
+    }
+
+    /// Stores an active (assessing or queued) state for packet `seq`,
+    /// replacing and releasing any previous active state.
+    pub(crate) fn set_active(&mut self, seq: u32, state: ActivePacket) {
+        let tag = self.tag(seq);
+        if tag <= MAX_SLOT {
+            self.active.remove(tag);
+        }
+        let slot = self.active.insert(state);
+        assert!(slot <= MAX_SLOT, "packet slab exhausted the tag space");
+        self.set_tag(seq, slot);
+    }
+
+    /// Removes and returns the active state of packet `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the packet has no active state.
+    pub(crate) fn take_active(&mut self, seq: u32) -> ActivePacket {
+        let tag = self.tag(seq);
+        assert!(tag <= MAX_SLOT, "packet {seq} has no active state");
+        self.set_tag(seq, UNHEARD);
+        self.active.remove(tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> PacketPolicy {
+        crate::schemes::SchemeSpec::Flooding.build()
+    }
+
+    fn key() -> EventKey {
+        let mut q = manet_sim_engine::EventQueue::new();
+        q.schedule(manet_sim_engine::SimTime::ZERO, ())
+    }
+
+    #[test]
+    fn lifecycle_first_hear_to_done() {
+        let mut ledger = PacketLedger::new();
+        assert!(matches!(ledger.view(0), PacketView::Unheard));
+        ledger.set_active(
+            0,
+            ActivePacket::Assessing {
+                key: key(),
+                policy: policy(),
+            },
+        );
+        assert!(matches!(
+            ledger.view(0),
+            PacketView::Active(ActivePacket::Assessing { .. })
+        ));
+        ledger.set_active(
+            0,
+            ActivePacket::Queued {
+                handle: FrameHandle(4),
+                policy: policy(),
+            },
+        );
+        assert!(matches!(
+            ledger.view(0),
+            PacketView::Active(ActivePacket::Queued { .. })
+        ));
+        ledger.mark_done(0);
+        assert!(matches!(ledger.view(0), PacketView::Done));
+        assert!(ledger.active.is_empty(), "done releases the slab slot");
+    }
+
+    #[test]
+    fn source_and_sparse_seqs() {
+        let mut ledger = PacketLedger::new();
+        ledger.mark_source(7);
+        assert!(matches!(ledger.view(7), PacketView::Source));
+        assert!(matches!(ledger.view(3), PacketView::Unheard));
+        assert!(matches!(ledger.view(1_000), PacketView::Unheard));
+        ledger.mark_done(7);
+        assert!(matches!(ledger.view(7), PacketView::Done));
+    }
+
+    #[test]
+    fn take_active_releases_slot() {
+        let mut ledger = PacketLedger::new();
+        ledger.set_active(
+            2,
+            ActivePacket::Assessing {
+                key: key(),
+                policy: policy(),
+            },
+        );
+        let taken = ledger.take_active(2);
+        assert!(matches!(taken, ActivePacket::Assessing { .. }));
+        assert!(matches!(ledger.view(2), PacketView::Unheard));
+        assert!(ledger.active.is_empty());
+    }
+}

@@ -60,6 +60,7 @@
 
 mod config;
 mod ids;
+mod ledger;
 pub mod metrics;
 pub mod policy;
 pub mod schemes;

@@ -10,8 +10,6 @@
 //! * **Average latency** — from broadcast initiation until the last host
 //!   either finishes its rebroadcast or decides not to rebroadcast.
 
-use std::collections::HashMap;
-
 use manet_mac::MacStats;
 use manet_phy::{LossCounters, NodeId};
 use manet_sim_engine::{LoopProfile, SimDuration, SimTime};
@@ -208,11 +206,14 @@ impl SimReport {
 
 /// Collects per-broadcast events during a run and aggregates them into a
 /// [`SimReport`].
+/// Records are indexed directly by the packet's sequence number: the
+/// `World` issues packets from one dense global counter, so `seq` is the
+/// position of the broadcast in `records` and every per-delivery lookup
+/// is a plain array index instead of a hash.
 #[derive(Debug)]
 pub struct MetricsCollector {
     hosts: usize,
     records: Vec<(PacketId, BroadcastRecord)>,
-    index: HashMap<PacketId, usize>,
 }
 
 impl MetricsCollector {
@@ -221,11 +222,13 @@ impl MetricsCollector {
         MetricsCollector {
             hosts,
             records: Vec::new(),
-            index: HashMap::new(),
         }
     }
 
     /// A broadcast was issued by `source` with `reachable` hosts reachable.
+    ///
+    /// Broadcasts must be issued in sequence-number order starting from
+    /// zero (the `World` issues them from one dense counter).
     pub fn broadcast_issued(
         &mut self,
         packet: PacketId,
@@ -233,6 +236,11 @@ impl MetricsCollector {
         reachable: u32,
         now: SimTime,
     ) {
+        assert_eq!(
+            packet.seq as usize,
+            self.records.len(),
+            "broadcasts must be issued in dense sequence order"
+        );
         let record = BroadcastRecord {
             source,
             issued_at: now,
@@ -241,16 +249,15 @@ impl MetricsCollector {
             rebroadcasters: HostSet::new(self.hosts),
             last_decision: now,
         };
-        self.index.insert(packet, self.records.len());
         self.records.push((packet, record));
     }
 
     fn record_mut(&mut self, packet: PacketId) -> &mut BroadcastRecord {
-        let idx = *self
-            .index
-            .get(&packet)
-            .expect("event for an unknown broadcast");
-        &mut self.records[idx].1
+        &mut self
+            .records
+            .get_mut(packet.seq as usize)
+            .expect("event for an unknown broadcast")
+            .1
     }
 
     /// Host `node` decoded a copy of `packet`.
@@ -281,8 +288,12 @@ impl MetricsCollector {
 
     /// `true` when `node` already counted as a receiver of `packet`.
     pub fn has_received(&self, packet: PacketId, node: NodeId) -> bool {
-        let idx = self.index.get(&packet).expect("unknown broadcast");
-        self.records[*idx].1.received.contains(node)
+        self.records
+            .get(packet.seq as usize)
+            .expect("unknown broadcast")
+            .1
+            .received
+            .contains(node)
     }
 
     /// Aggregates everything collected into per-broadcast outcomes.

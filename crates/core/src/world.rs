@@ -12,24 +12,22 @@
 //! the *only* place where they are connected and where geometry (who is
 //! in range) is evaluated.
 
-use std::collections::HashMap;
-
 use manet_geom::{CoverageGrid, Vec2};
 use manet_mac::timing::SLOT;
 use manet_mac::{frame_airtime, Dcf, FrameHandle, MacAction, MacStats};
 use manet_mobility::{
     grid_placement, line_placement, uniform_placement, Map, Mobility, RandomTurn, RandomTurnParams,
-    RandomWaypoint, RandomWaypointParams, Stationary,
+    RandomWaypoint, RandomWaypointParams, Segment, Stationary,
 };
 use manet_net::{HelloPayload, NeighborTable, VariationTracker};
-use manet_phy::{in_range_of, reachable_from, FrameId, Medium, NodeId};
-use manet_sim_engine::{EventKey, EventQueue, LoopProfiler, SimRng, SimTime};
+use manet_phy::{CarrierChange, Delivery, FrameId, Medium, NeighborGrid, NodeId};
+use manet_sim_engine::{EventKey, EventQueue, LoopProfiler, SimRng, SimTime, Slab};
 
 use crate::config::{NeighborInfo, SimConfig};
 use crate::ids::PacketId;
+use crate::ledger::{ActivePacket, PacketLedger, PacketView};
 use crate::metrics::{summarize, MetricsCollector, NetActivity, SimReport, SuppressionCounts};
 use crate::policy::{DuplicateDecision, FirstDecision, HearContext, RebroadcastPolicy};
-use crate::schemes::PacketPolicy;
 use crate::trace::{DecisionKind, FrameKind, NoopObserver, SimObserver, TraceEvent};
 
 /// Events on the simulation queue.
@@ -47,9 +45,13 @@ enum Event {
     AssessmentDone { node: NodeId, packet: PacketId },
     /// The workload issues the next broadcast request.
     IssueBroadcast,
-    /// A delayed carrier-sense report reaches a host's MAC (models the
-    /// CCA assessment latency).
-    CarrierSense { node: NodeId, busy: bool },
+    /// A delayed carrier-sense report reaches the MACs of every host that
+    /// heard one frame's carrier transition (models the CCA assessment
+    /// latency). All of a frame's reports fire at the same instant with
+    /// consecutive sequence numbers, so one event carrying the hearer
+    /// list (parked in `World::carrier_batches`) delivers them in exactly
+    /// the order the per-host events would have.
+    CarrierBatch { slot: u32, busy: bool },
 }
 
 impl Event {
@@ -62,7 +64,7 @@ impl Event {
             Event::TxEnd { .. } => "tx_end",
             Event::AssessmentDone { .. } => "assessment_done",
             Event::IssueBroadcast => "issue_broadcast",
-            Event::CarrierSense { .. } => "carrier_sense",
+            Event::CarrierBatch { .. } => "carrier_sense",
         }
     }
 }
@@ -82,22 +84,6 @@ struct InFlight {
     /// Sender position at transmission start (carried in the packet for
     /// the location-based schemes).
     sent_from: Vec2,
-}
-
-/// Progress of one packet at one host.
-#[derive(Debug)]
-enum PacketState {
-    /// This host issued the packet; its original transmission is queued.
-    SourcePending,
-    /// In the S2 assessment delay; `key` cancels the wakeup.
-    Assessing { key: EventKey, policy: PacketPolicy },
-    /// Submitted to the MAC; cancellable until it hits the air.
-    Queued {
-        handle: FrameHandle,
-        policy: PacketPolicy,
-    },
-    /// Transmitted or inhibited; nothing more will happen.
-    Done,
 }
 
 /// The configured mobility model for one host.
@@ -132,6 +118,14 @@ impl Mobility for HostMobility {
             HostMobility::Fixed(m) => m.advance(now),
         }
     }
+
+    fn segment(&self) -> Segment {
+        match self {
+            HostMobility::Turn(m) => m.segment(),
+            HostMobility::Waypoint(m) => m.segment(),
+            HostMobility::Fixed(m) => m.segment(),
+        }
+    }
 }
 
 /// One mobile host.
@@ -141,20 +135,31 @@ struct Node {
     mac: Dcf,
     table: NeighborTable,
     tracker: VariationTracker,
-    packets: HashMap<PacketId, PacketState>,
-    /// Payloads of frames sitting in the MAC queue.
-    outgoing: HashMap<FrameHandle, Payload>,
-    next_handle: u64,
+    /// Per-packet scheme progress, seq-indexed (see [`PacketLedger`]).
+    packets: PacketLedger,
+    /// Payloads of frames sitting in the MAC queue. A [`FrameHandle`] is
+    /// its slab slot: unique among queued frames (all the MAC compares
+    /// against), recycled once dequeued or cancelled.
+    outgoing: Slab<Payload>,
     /// The scheduled next HELLO (cancellation key and fire time), so a
     /// dynamic-interval host can pull its beacon forward when churn rises.
     hello_pending: Option<(EventKey, SimTime)>,
 }
 
 impl Node {
-    fn new_handle(&mut self) -> FrameHandle {
-        let h = FrameHandle(self.next_handle);
-        self.next_handle += 1;
-        h
+    /// Hands `payload` to this host's MAC queue, returning its handle.
+    fn queue_payload(&mut self, payload: Payload) -> FrameHandle {
+        FrameHandle(u64::from(self.outgoing.insert(payload)))
+    }
+
+    /// Releases and returns the payload queued under `handle`.
+    fn take_payload(&mut self, handle: FrameHandle) -> Payload {
+        let slot = u32::try_from(handle.0).expect("frame handle out of range");
+        assert!(
+            self.outgoing.contains(slot),
+            "MAC referenced an unknown frame"
+        );
+        self.outgoing.remove(slot)
     }
 }
 
@@ -187,7 +192,49 @@ pub struct World {
     workload_rng: SimRng,
     /// Scheme-level randomness: assessment-slot draws, hello jitter.
     proto_rng: SimRng,
-    in_flight: HashMap<FrameId, InFlight>,
+    /// Frames on the air, indexed by [`FrameId`] slot (the medium recycles
+    /// ids, so a slot is reused only after its frame ends).
+    in_flight: Vec<Option<InFlight>>,
+    /// Spatial index over `snap_positions`, kept in lockstep by
+    /// [`refresh_positions`](Self::refresh_positions).
+    grid: NeighborGrid,
+    /// Cached host positions, valid at `snap_at`. Mobility is piecewise
+    /// deterministic, so every query at the same timestamp returns the
+    /// same snapshot; the buffer is reused across refreshes.
+    snap_positions: Vec<Vec2>,
+    snap_at: Option<SimTime>,
+    /// Dense copy of every host's current motion segment, refreshed on
+    /// mobility turns. Snapshot refreshes evaluate these in one pass —
+    /// identical arithmetic to each model's `position_at`, without the
+    /// per-host dispatch into the node structs.
+    segments: Vec<Segment>,
+    /// Timestamp the grid was last synced to `snap_positions` at; lags
+    /// `snap_at` because only grid-using queries pay for re-indexing (see
+    /// [`refresh_grid`](Self::refresh_grid)).
+    grid_at: Option<SimTime>,
+    // Reusable hot-path scratch buffers. Each is `mem::take`n for the
+    // duration of the call that fills it and restored afterwards, so
+    // accidental re-entry degrades to a fresh allocation instead of
+    // corruption. `begin` and `finish` use disjoint buffers because a
+    // finished transmission's post-backoff can immediately start the
+    // next one.
+    scratch_listeners: Vec<NodeId>,
+    scratch_signals: Vec<manet_phy::Listener>,
+    scratch_begin_carrier: Vec<CarrierChange>,
+    scratch_deliveries: Vec<Delivery>,
+    scratch_end_carrier: Vec<CarrierChange>,
+    scratch_neighbors: Vec<NodeId>,
+    scratch_sender_neighbors: Vec<NodeId>,
+    scratch_reachable: Vec<NodeId>,
+    /// Hearer lists of delayed carrier reports in flight, keyed by the
+    /// slot in their [`Event::CarrierBatch`]; `carrier_pool` recycles the
+    /// vectors so steady-state reports never allocate.
+    carrier_batches: Slab<Vec<NodeId>>,
+    carrier_pool: Vec<Vec<NodeId>>,
+    /// Recycled HELLO neighbor-list buffers: a beacon's list is built
+    /// here in [`send_hello`](Self::send_hello) and returned when its
+    /// frame leaves the air, so steady-state beaconing does not allocate.
+    hello_pool: Vec<Vec<NodeId>>,
     next_seq: u32,
     issued: u32,
     stop_at: SimTime,
@@ -275,13 +322,13 @@ impl World {
                 mac: Dcf::new(root.fork(10_000 + i as u64)),
                 table: NeighborTable::new(),
                 tracker: VariationTracker::new(),
-                packets: HashMap::new(),
-                outgoing: HashMap::new(),
-                next_handle: 0,
+                packets: PacketLedger::new(),
+                outgoing: Slab::new(),
                 hello_pending,
             });
         }
         queue.schedule(SimTime::ZERO + config.warmup, Event::IssueBroadcast);
+        let segments = nodes.iter().map(|n| n.mobility.segment()).collect();
 
         World {
             map,
@@ -301,7 +348,27 @@ impl World {
             coverage: CoverageGrid::new(config.coverage_resolution),
             workload_rng,
             proto_rng,
-            in_flight: HashMap::new(),
+            in_flight: Vec::new(),
+            grid: NeighborGrid::new(
+                map.bounds().width(),
+                map.bounds().height(),
+                config.radio_radius,
+            ),
+            snap_positions: Vec::new(),
+            snap_at: None,
+            grid_at: None,
+            segments,
+            scratch_listeners: Vec::new(),
+            scratch_signals: Vec::new(),
+            scratch_begin_carrier: Vec::new(),
+            scratch_deliveries: Vec::new(),
+            scratch_end_carrier: Vec::new(),
+            scratch_neighbors: Vec::new(),
+            scratch_sender_neighbors: Vec::new(),
+            scratch_reachable: Vec::new(),
+            carrier_batches: Slab::new(),
+            carrier_pool: Vec::new(),
+            hello_pool: Vec::new(),
             next_seq: 0,
             issued: 0,
             stop_at: SimTime::MAX,
@@ -383,38 +450,63 @@ impl World {
             Event::MobilityTurn { node } => {
                 let mobility = &mut self.nodes[node.index()].mobility;
                 mobility.advance(now);
-                if let Some(next) = mobility.next_change() {
+                self.segments[node.index()] = mobility.segment();
+                // The host's trajectory changed; drop the snapshot (and
+                // the grid synced to it) so a later query at this same
+                // timestamp re-evaluates it.
+                self.snap_at = None;
+                self.grid_at = None;
+                if let Some(next) = self.nodes[node.index()].mobility.next_change() {
                     self.queue.schedule(next, Event::MobilityTurn { node });
                 }
             }
             Event::HelloTimer { node } => self.send_hello(node, now, observer),
             Event::MacTimer { node, generation } => {
                 let actions = self.nodes[node.index()].mac.on_timer(generation, now);
-                self.process_mac_actions(node, actions, now, observer);
+                self.process_mac_action(node, actions, now, observer);
             }
             Event::TxEnd { frame } => self.finish_transmission(frame, now, observer),
             Event::AssessmentDone { node, packet } => {
                 self.assessment_done(node, packet, now, observer)
             }
             Event::IssueBroadcast => self.issue_broadcast(now, observer),
-            Event::CarrierSense { node, busy } => {
-                let mac = &mut self.nodes[node.index()].mac;
-                let actions = if busy {
-                    mac.on_medium_busy(now)
-                } else {
-                    mac.on_medium_idle(now)
-                };
-                self.process_mac_actions(node, actions, now, observer);
+            Event::CarrierBatch { slot, busy } => {
+                let hearers = self.carrier_batches.remove(slot);
+                for &node in &hearers {
+                    self.apply_carrier_change(node, busy, now, observer);
+                }
+                // Recycle the hearer list (keeping its capacity) for the
+                // next delayed report.
+                self.carrier_pool.push(hearers);
             }
         }
     }
 
-    /// Current positions of all hosts.
-    fn positions(&self, now: SimTime) -> Vec<Vec2> {
-        self.nodes
-            .iter()
-            .map(|n| n.mobility.position_at(now))
-            .collect()
+    /// Ensures `snap_positions` holds every host's position at `now`.
+    /// Mobility models are evaluated once per distinct timestamp; every
+    /// further query at the same `now` is free.
+    fn refresh_positions(&mut self, now: SimTime) {
+        if self.snap_at == Some(now) {
+            return;
+        }
+        let bounds = self.map.bounds();
+        self.snap_positions.clear();
+        self.snap_positions
+            .extend(self.segments.iter().map(|s| s.position_at(now, bounds)));
+        self.snap_at = Some(now);
+    }
+
+    /// Ensures the spatial grid indexes the position snapshot at `now`.
+    /// Re-indexing costs an O(hosts) pass, so only the multi-query
+    /// consumers (flood reachability, oracle neighbor views) sync the
+    /// grid; single-query paths scan the snapshot directly instead.
+    fn refresh_grid(&mut self, now: SimTime) {
+        self.refresh_positions(now);
+        if self.grid_at == Some(now) {
+            return;
+        }
+        self.grid.update(&self.snap_positions);
+        self.grid_at = Some(now);
     }
 
     /// Expires stale neighbors, feeding leave events to the variation
@@ -463,8 +555,16 @@ impl World {
         self.next_seq += 1;
         self.issued += 1;
 
-        let positions = self.positions(now);
-        let reachable = reachable_from(&positions, source, self.cfg.radio_radius).len() as u32;
+        self.refresh_grid(now);
+        let mut reachable_set = std::mem::take(&mut self.scratch_reachable);
+        self.grid.reachable_into(
+            &self.snap_positions,
+            source,
+            self.cfg.radio_radius,
+            &mut reachable_set,
+        );
+        let reachable = reachable_set.len() as u32;
+        self.scratch_reachable = reachable_set;
         self.metrics
             .broadcast_issued(packet, source, reachable, now);
         observer.event(&TraceEvent::BroadcastIssued {
@@ -476,12 +576,11 @@ impl World {
 
         // The source transmits unconditionally: queue straight to its MAC.
         let node = &mut self.nodes[source.index()];
-        let handle = node.new_handle();
-        node.outgoing.insert(handle, Payload::Broadcast(packet));
-        node.packets.insert(packet, PacketState::SourcePending);
+        let handle = node.queue_payload(Payload::Broadcast(packet));
+        node.packets.mark_source(packet.seq);
         let bytes = self.cfg.packet_bytes;
         let actions = node.mac.enqueue(handle, bytes, now);
-        self.process_mac_actions(source, actions, now, observer);
+        self.process_mac_action(source, actions, now, observer);
 
         if self.issued < self.cfg.broadcasts {
             let gap = self
@@ -502,23 +601,23 @@ impl World {
             NeighborInfo::Oracle => unreachable!("hello timer armed in oracle mode"),
         };
         let include_neighbors = self.cfg.scheme.needs_two_hop_hellos();
+        let mut neighbors = self.hello_pool.pop().unwrap_or_default();
+        neighbors.clear();
         let n = &mut self.nodes[node.index()];
         let neighbor_count = n.table.neighbor_count();
         let interval = interval_policy.current_interval(&mut n.tracker, neighbor_count, now);
+        if include_neighbors {
+            n.table.neighbor_ids_into(&mut neighbors);
+        }
         let payload = HelloPayload {
             sender: node,
             interval,
-            neighbors: if include_neighbors {
-                n.table.neighbor_ids()
-            } else {
-                Vec::new()
-            },
+            neighbors,
         };
         let bytes = payload.air_bytes();
-        let handle = n.new_handle();
-        n.outgoing.insert(handle, Payload::Hello(payload));
+        let handle = n.queue_payload(Payload::Hello(payload));
         let actions = n.mac.enqueue(handle, bytes, now);
-        self.process_mac_actions(node, actions, now, observer);
+        self.process_mac_action(node, actions, now, observer);
         // Re-arm with a small jitter so beacons do not phase-lock.
         let jitter_num = self.proto_rng.gen_range_u32(95..106);
         let next = interval * u64::from(jitter_num) / 100;
@@ -542,24 +641,23 @@ impl World {
 
     // ---- MAC / channel wiring --------------------------------------------
 
-    fn process_mac_actions(
+    fn process_mac_action(
         &mut self,
         node: NodeId,
-        actions: Vec<MacAction>,
+        action: Option<MacAction>,
         now: SimTime,
         observer: &mut dyn SimObserver,
     ) {
-        for action in actions {
-            match action {
-                MacAction::StartTimer { delay, generation } => {
-                    self.queue
-                        .schedule(now + delay, Event::MacTimer { node, generation });
-                }
-                MacAction::BeginTx {
-                    handle,
-                    payload_bytes,
-                } => self.begin_transmission(node, handle, payload_bytes, now, observer),
+        match action {
+            Some(MacAction::StartTimer { delay, generation }) => {
+                self.queue
+                    .schedule(now + delay, Event::MacTimer { node, generation });
             }
+            Some(MacAction::BeginTx {
+                handle,
+                payload_bytes,
+            }) => self.begin_transmission(node, handle, payload_bytes, now, observer),
+            None => {}
         }
     }
 
@@ -571,22 +669,26 @@ impl World {
         now: SimTime,
         observer: &mut dyn SimObserver,
     ) {
-        let payload = self.nodes[node.index()]
-            .outgoing
-            .remove(&handle)
-            .expect("MAC transmitted an unknown frame");
+        let payload = self.nodes[node.index()].take_payload(handle);
         match &payload {
             Payload::Broadcast(packet) => {
                 self.data_frames += 1;
                 // On the air: no longer cancellable.
-                self.nodes[node.index()]
-                    .packets
-                    .insert(*packet, PacketState::Done);
+                self.nodes[node.index()].packets.mark_done(packet.seq);
             }
             Payload::Hello(_) => self.hello_frames += 1,
         }
-        let positions = self.positions(now);
-        let listeners = in_range_of(&positions, node, self.cfg.radio_radius);
+        self.refresh_positions(now);
+        let mut listeners = std::mem::take(&mut self.scratch_listeners);
+        // A transmission start makes exactly one range query at this
+        // timestamp, so the O(hosts) snapshot scan beats re-indexing the
+        // grid (also O(hosts)) just to make one O(1) cell lookup.
+        manet_phy::in_range_into(
+            &self.snap_positions,
+            node,
+            self.cfg.radio_radius,
+            &mut listeners,
+        );
         observer.event(&TraceEvent::FrameStarted {
             node,
             kind: match &payload {
@@ -597,61 +699,99 @@ impl World {
             at: now,
         });
         let end = now + frame_airtime(payload_bytes);
-        let start = if let Some(capture) = self.cfg.capture {
+        let own = self.snap_positions[node.index()];
+        let mut carrier = std::mem::take(&mut self.scratch_begin_carrier);
+        let frame = if let Some(capture) = self.cfg.capture {
             // Received power falls off as (r / d)^alpha, normalized so a
             // listener at the coverage edge receives strength 1.
-            let own = positions[node.index()];
-            let with_signals: Vec<manet_phy::Listener> = listeners
-                .iter()
-                .map(|&l| {
-                    let d = positions[l.index()].distance_to(own).max(1.0);
-                    manet_phy::Listener {
-                        node: l,
-                        signal: (self.cfg.radio_radius / d).powf(capture.path_loss_exponent),
-                    }
-                })
-                .collect();
-            self.medium
-                .begin_transmission_with_signals(node, now, end, &with_signals)
+            let mut signals = std::mem::take(&mut self.scratch_signals);
+            signals.clear();
+            signals.extend(listeners.iter().map(|&l| {
+                let d = self.snap_positions[l.index()].distance_to(own).max(1.0);
+                manet_phy::Listener {
+                    node: l,
+                    signal: (self.cfg.radio_radius / d).powf(capture.path_loss_exponent),
+                }
+            }));
+            let frame = self.medium.begin_transmission_with_signals_into(
+                node,
+                now,
+                end,
+                &signals,
+                &mut carrier,
+            );
+            self.scratch_signals = signals;
+            frame
         } else {
-            self.medium.begin_transmission(node, now, end, &listeners)
+            self.medium
+                .begin_transmission_into(node, now, end, &listeners, &mut carrier)
         };
-        self.queue
-            .schedule(end, Event::TxEnd { frame: start.frame });
-        self.in_flight.insert(
-            start.frame,
-            InFlight {
-                sender: node,
-                payload,
-                sent_from: positions[node.index()],
-            },
-        );
-        for change in start.carrier_changes {
-            self.deliver_carrier_change(change.node, true, now, observer);
+        self.scratch_listeners = listeners;
+        self.queue.schedule(end, Event::TxEnd { frame });
+        let slot = usize::try_from(frame.as_u64()).expect("frame slot out of range");
+        if slot >= self.in_flight.len() {
+            self.in_flight.resize_with(slot + 1, || None);
+        }
+        debug_assert!(self.in_flight[slot].is_none(), "frame slot still occupied");
+        self.in_flight[slot] = Some(InFlight {
+            sender: node,
+            payload,
+            sent_from: own,
+        });
+        // Busy-carrier fan-out cannot re-enter this function: a MAC that
+        // senses carrier never starts a transmission in response (it only
+        // freezes backoff), so the scratch buffers above are settled.
+        self.deliver_carrier_changes(&carrier, true, now, observer);
+        self.scratch_begin_carrier = carrier;
+    }
+
+    /// Routes one frame's carrier-sense transitions to the hearers' MACs,
+    /// applying the configured CCA latency. With a nonzero delay the whole
+    /// fan-out rides a single [`Event::CarrierBatch`]: every per-host
+    /// report would fire at the same instant with consecutive sequence
+    /// numbers anyway, so one event delivering them in list order is
+    /// indistinguishable from scheduling them individually — at a fraction
+    /// of the event-queue traffic (carrier reports are over half of all
+    /// events in a storm).
+    fn deliver_carrier_changes(
+        &mut self,
+        changes: &[CarrierChange],
+        busy: bool,
+        now: SimTime,
+        observer: &mut dyn SimObserver,
+    ) {
+        if changes.is_empty() {
+            return;
+        }
+        if self.cfg.cs_delay.is_zero() {
+            for &CarrierChange { node, .. } in changes {
+                self.apply_carrier_change(node, busy, now, observer);
+            }
+        } else {
+            let mut hearers = self.carrier_pool.pop().unwrap_or_default();
+            hearers.clear();
+            hearers.extend(changes.iter().map(|c| c.node));
+            let slot = self.carrier_batches.insert(hearers);
+            self.queue
+                .schedule(now + self.cfg.cs_delay, Event::CarrierBatch { slot, busy });
         }
     }
 
-    /// Routes a carrier-sense transition to a host's MAC, applying the
-    /// configured CCA latency.
-    fn deliver_carrier_change(
+    /// Feeds one carrier transition to a host's MAC.
+    fn apply_carrier_change(
         &mut self,
         node: NodeId,
         busy: bool,
         now: SimTime,
         observer: &mut dyn SimObserver,
     ) {
-        if self.cfg.cs_delay.is_zero() {
-            let mac = &mut self.nodes[node.index()].mac;
-            let actions = if busy {
-                mac.on_medium_busy(now)
-            } else {
-                mac.on_medium_idle(now)
-            };
-            self.process_mac_actions(node, actions, now, observer);
+        let mac = &mut self.nodes[node.index()].mac;
+        let action = if busy {
+            mac.on_medium_busy(now)
         } else {
-            self.queue
-                .schedule(now + self.cfg.cs_delay, Event::CarrierSense { node, busy });
-        }
+            mac.on_medium_idle(now)
+        };
+        self.process_mac_action(node, action, now, observer);
     }
 
     fn finish_transmission(
@@ -660,34 +800,38 @@ impl World {
         now: SimTime,
         observer: &mut dyn SimObserver,
     ) {
-        let tx = self.medium.end_transmission(frame, now);
-        let in_flight = self
-            .in_flight
-            .remove(&frame)
-            .expect("unknown frame finished");
-        debug_assert_eq!(tx.source, in_flight.sender);
+        let mut deliveries = std::mem::take(&mut self.scratch_deliveries);
+        let mut carrier = std::mem::take(&mut self.scratch_end_carrier);
+        let source = self
+            .medium
+            .end_transmission_into(frame, now, &mut deliveries, &mut carrier);
+        let slot = usize::try_from(frame.as_u64()).expect("frame slot out of range");
+        let in_flight = self.in_flight[slot].take().expect("unknown frame finished");
+        debug_assert_eq!(source, in_flight.sender);
 
-        // The transmitter's MAC enters post-backoff.
-        let actions = self.nodes[tx.source.index()].mac.on_tx_end(now);
-        self.process_mac_actions(tx.source, actions, now, observer);
+        // The transmitter's MAC enters post-backoff. This may immediately
+        // start the host's next queued frame — which is why `begin` and
+        // `finish` use disjoint scratch buffers.
+        let actions = self.nodes[source.index()].mac.on_tx_end(now);
+        self.process_mac_action(source, actions, now, observer);
 
         if let Payload::Broadcast(packet) = in_flight.payload {
-            self.metrics.transmission_finished(packet, tx.source, now);
+            self.metrics.transmission_finished(packet, source, now);
         }
-        let decoded = tx.deliveries.iter().filter(|d| d.decoded).count() as u32;
+        let decoded = deliveries.iter().filter(|d| d.decoded).count() as u32;
         observer.event(&TraceEvent::FrameFinished {
-            node: tx.source,
+            node: source,
             kind: match &in_flight.payload {
                 Payload::Broadcast(packet) => FrameKind::Broadcast(*packet),
                 Payload::Hello(_) => FrameKind::Hello,
             },
             decoded,
-            lost: tx.deliveries.len() as u32 - decoded,
+            lost: deliveries.len() as u32 - decoded,
             at: now,
         });
 
         // Deliver decoded copies to the upper layer.
-        for delivery in &tx.deliveries {
+        for delivery in &deliveries {
             if !delivery.decoded {
                 continue;
             }
@@ -697,7 +841,7 @@ impl World {
                     self.packet_heard(
                         delivery.to,
                         *packet,
-                        tx.source,
+                        source,
                         in_flight.sent_from,
                         now,
                         observer,
@@ -706,26 +850,32 @@ impl World {
             }
         }
 
-        // Carrier-sense idle transitions may resume frozen backoffs.
-        for change in tx.carrier_changes {
-            self.deliver_carrier_change(change.node, false, now, observer);
+        // A beacon's neighbor list goes back to the pool for the next one.
+        if let Payload::Hello(hello) = in_flight.payload {
+            self.hello_pool.push(hello.neighbors);
         }
+
+        // Carrier-sense idle transitions may resume frozen backoffs.
+        self.deliver_carrier_changes(&carrier, false, now, observer);
+        self.scratch_deliveries = deliveries;
+        self.scratch_end_carrier = carrier;
     }
 
     // ---- scheme-level packet handling ------------------------------------
 
     /// Gathers the neighbor information the configured scheme needs for a
-    /// decision at `node` about a packet heard from `sender`.
-    fn neighbor_view(
-        &mut self,
-        node: NodeId,
-        sender: NodeId,
-        now: SimTime,
-    ) -> (usize, Vec<NodeId>, Vec<NodeId>) {
+    /// decision at `node` about a packet heard from `sender`, filling
+    /// `scratch_neighbors` / `scratch_sender_neighbors` and returning the
+    /// neighbor count. The scratch lists are left empty unless the scheme
+    /// needs the two-hop sets, mirroring what the scheme is entitled to
+    /// see.
+    fn neighbor_view(&mut self, node: NodeId, sender: NodeId, now: SimTime) -> usize {
+        self.scratch_neighbors.clear();
+        self.scratch_sender_neighbors.clear();
         let needs_count = self.cfg.scheme.needs_neighbor_count();
         let needs_two_hop = self.cfg.scheme.needs_two_hop_hellos();
         if !needs_count && !needs_two_hop {
-            return (0, Vec::new(), Vec::new());
+            return 0;
         }
         match self.cfg.neighbor_info {
             NeighborInfo::Hello(_) => {
@@ -733,26 +883,33 @@ impl World {
                 let table = &self.nodes[node.index()].table;
                 let count = table.neighbor_count();
                 if needs_two_hop {
-                    let neighbors = table.neighbor_ids();
-                    let sender_neighbors = table
-                        .neighbors_of(sender)
-                        .map(<[NodeId]>::to_vec)
-                        .unwrap_or_default();
-                    (count, neighbors, sender_neighbors)
-                } else {
-                    (count, Vec::new(), Vec::new())
+                    table.neighbor_ids_into(&mut self.scratch_neighbors);
+                    if let Some(known) = table.neighbors_of(sender) {
+                        self.scratch_sender_neighbors.extend_from_slice(known);
+                    }
                 }
+                count
             }
             NeighborInfo::Oracle => {
-                let positions = self.positions(now);
-                let neighbors = in_range_of(&positions, node, self.cfg.radio_radius);
-                let count = neighbors.len();
+                self.refresh_grid(now);
+                self.grid.in_range_into(
+                    &self.snap_positions,
+                    node,
+                    self.cfg.radio_radius,
+                    &mut self.scratch_neighbors,
+                );
+                let count = self.scratch_neighbors.len();
                 if needs_two_hop {
-                    let sender_neighbors = in_range_of(&positions, sender, self.cfg.radio_radius);
-                    (count, neighbors, sender_neighbors)
+                    self.grid.in_range_into(
+                        &self.snap_positions,
+                        sender,
+                        self.cfg.radio_radius,
+                        &mut self.scratch_sender_neighbors,
+                    );
                 } else {
-                    (count, Vec::new(), Vec::new())
+                    self.scratch_neighbors.clear();
                 }
+                count
             }
         }
     }
@@ -768,26 +925,59 @@ impl World {
     ) {
         self.metrics.packet_received(packet, node);
 
-        let (neighbor_count, neighbors, sender_neighbors) = self.neighbor_view(node, sender, now);
-        let own_position = self.nodes[node.index()].mobility.position_at(now);
+        let neighbor_count = self.neighbor_view(node, sender, now);
+        let own_position = self.segments[node.index()].position_at(now, self.map.bounds());
 
-        // Split borrows: context data is owned or from `self.coverage`,
-        // the policy lives in the node's packet map.
+        // Split borrows: context data is owned or from the world's own
+        // scratch/coverage fields, the policy lives in the node's ledger.
+        // The random draw happens for every heard copy, decision or not,
+        // to keep the protocol RNG stream independent of scheme choices.
         let ctx = HearContext {
             neighbor_count,
             own_position,
             sender,
             sender_position: sender_pos,
-            neighbors: &neighbors,
-            sender_neighbors: &sender_neighbors,
+            neighbors: &self.scratch_neighbors,
+            sender_neighbors: &self.scratch_sender_neighbors,
             coverage: &self.coverage,
             radio_radius: self.cfg.radio_radius,
             random_unit: self.proto_rng.gen_unit_f64(),
         };
 
-        let entry = self.nodes[node.index()].packets.get_mut(&packet);
-        match entry {
-            None => {
+        /// What the duplicate-hear consultation decided, captured so the
+        /// ledger borrow is released before the world reacts.
+        enum Outcome {
+            Ignore,
+            FirstHear,
+            CancelAssessment(EventKey, Option<crate::trace::SuppressReason>),
+            CancelQueued(FrameHandle, Option<crate::trace::SuppressReason>),
+        }
+        let outcome = match self.nodes[node.index()].packets.view(packet.seq) {
+            PacketView::Unheard => Outcome::FirstHear,
+            // The source never reacts to copies of its own broadcast, and
+            // finished packets stay finished ("rebroadcast at most once").
+            PacketView::Source | PacketView::Done => Outcome::Ignore,
+            PacketView::Active(active) => match active {
+                ActivePacket::Assessing { key, policy } => {
+                    if policy.on_duplicate_hear(&ctx) == DuplicateDecision::Cancel {
+                        Outcome::CancelAssessment(*key, policy.suppress_reason())
+                    } else {
+                        Outcome::Ignore
+                    }
+                }
+                ActivePacket::Queued { handle, policy } => {
+                    if policy.on_duplicate_hear(&ctx) == DuplicateDecision::Cancel {
+                        Outcome::CancelQueued(*handle, policy.suppress_reason())
+                    } else {
+                        Outcome::Ignore
+                    }
+                }
+            },
+        };
+
+        match outcome {
+            Outcome::Ignore => {}
+            Outcome::FirstHear => {
                 // S1: first copy.
                 observer.event(&TraceEvent::FirstHeard {
                     node,
@@ -808,9 +998,7 @@ impl World {
                         self.suppression.inhibited_first_hear += 1;
                         self.suppression.record_reason(reason);
                         self.metrics.rebroadcast_inhibited(packet, now);
-                        self.nodes[node.index()]
-                            .packets
-                            .insert(packet, PacketState::Done);
+                        self.nodes[node.index()].packets.mark_done(packet.seq);
                     }
                     FirstDecision::Schedule => {
                         // S2: random assessment delay of 0-31 slots. The
@@ -836,55 +1024,41 @@ impl World {
                         self.suppression.scheduled += 1;
                         self.nodes[node.index()]
                             .packets
-                            .insert(packet, PacketState::Assessing { key, policy });
+                            .set_active(packet.seq, ActivePacket::Assessing { key, policy });
                     }
                 }
             }
-            Some(PacketState::Assessing { key, policy }) => {
-                if policy.on_duplicate_hear(&ctx) == DuplicateDecision::Cancel {
-                    let key = *key;
-                    let reason = policy.suppress_reason();
-                    self.queue.cancel(key);
-                    observer.event(&TraceEvent::Decision {
-                        node,
-                        packet,
-                        kind: DecisionKind::Cancelled,
-                        reason,
-                        at: now,
-                    });
-                    self.suppression.cancelled += 1;
-                    self.suppression.record_reason(reason);
-                    self.metrics.rebroadcast_inhibited(packet, now);
-                    self.nodes[node.index()]
-                        .packets
-                        .insert(packet, PacketState::Done);
-                }
+            Outcome::CancelAssessment(key, reason) => {
+                self.queue.cancel(key);
+                observer.event(&TraceEvent::Decision {
+                    node,
+                    packet,
+                    kind: DecisionKind::Cancelled,
+                    reason,
+                    at: now,
+                });
+                self.suppression.cancelled += 1;
+                self.suppression.record_reason(reason);
+                self.metrics.rebroadcast_inhibited(packet, now);
+                self.nodes[node.index()].packets.mark_done(packet.seq);
             }
-            Some(PacketState::Queued { handle, policy }) => {
-                if policy.on_duplicate_hear(&ctx) == DuplicateDecision::Cancel {
-                    let handle = *handle;
-                    let reason = policy.suppress_reason();
-                    let n = &mut self.nodes[node.index()];
-                    let cancelled = n.mac.cancel(handle);
-                    debug_assert!(cancelled, "queued frame must still be cancellable");
-                    n.outgoing.remove(&handle);
-                    observer.event(&TraceEvent::Decision {
-                        node,
-                        packet,
-                        kind: DecisionKind::Cancelled,
-                        reason,
-                        at: now,
-                    });
-                    self.suppression.cancelled += 1;
-                    self.suppression.record_reason(reason);
-                    self.metrics.rebroadcast_inhibited(packet, now);
-                    let n = &mut self.nodes[node.index()];
-                    n.packets.insert(packet, PacketState::Done);
-                }
+            Outcome::CancelQueued(handle, reason) => {
+                let n = &mut self.nodes[node.index()];
+                let cancelled = n.mac.cancel(handle);
+                debug_assert!(cancelled, "queued frame must still be cancellable");
+                n.take_payload(handle);
+                observer.event(&TraceEvent::Decision {
+                    node,
+                    packet,
+                    kind: DecisionKind::Cancelled,
+                    reason,
+                    at: now,
+                });
+                self.suppression.cancelled += 1;
+                self.suppression.record_reason(reason);
+                self.metrics.rebroadcast_inhibited(packet, now);
+                self.nodes[node.index()].packets.mark_done(packet.seq);
             }
-            // The source never reacts to copies of its own broadcast, and
-            // finished packets stay finished ("rebroadcast at most once").
-            Some(PacketState::SourcePending) | Some(PacketState::Done) => {}
         }
     }
 
@@ -896,20 +1070,15 @@ impl World {
         observer: &mut dyn SimObserver,
     ) {
         let n = &mut self.nodes[node.index()];
-        let state = n
-            .packets
-            .remove(&packet)
-            .expect("assessment fired for unknown packet");
-        match state {
-            PacketState::Assessing { policy, .. } => {
+        match n.packets.take_active(packet.seq) {
+            ActivePacket::Assessing { policy, .. } => {
                 // S2 continued: submit to the MAC.
-                let handle = n.new_handle();
-                n.outgoing.insert(handle, Payload::Broadcast(packet));
+                let handle = n.queue_payload(Payload::Broadcast(packet));
                 n.packets
-                    .insert(packet, PacketState::Queued { handle, policy });
+                    .set_active(packet.seq, ActivePacket::Queued { handle, policy });
                 let bytes = self.cfg.packet_bytes;
                 let actions = n.mac.enqueue(handle, bytes, now);
-                self.process_mac_actions(node, actions, now, observer);
+                self.process_mac_action(node, actions, now, observer);
             }
             other => unreachable!("assessment fired in state {other:?}"),
         }

@@ -45,8 +45,8 @@ mod table;
 
 pub use metrics_out::render_metrics_json;
 pub use runner::{
-    drain_metrics_capture, enable_metrics_capture, parallel_map, run_averaged, run_grid,
-    AveragedReport, MetricsRecord, RunMetricsSummary, Scale, BASE_SEED, PAPER_MAPS,
+    drain_metrics_capture, enable_metrics_capture, metrics_record, parallel_map, run_averaged,
+    run_grid, AveragedReport, MetricsRecord, RunMetricsSummary, Scale, BASE_SEED, PAPER_MAPS,
 };
 pub use table::{pct, secs, Table};
 

@@ -56,7 +56,7 @@ impl Scale {
 }
 
 /// Mean RE / SRB / latency over the repeats of one configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AveragedReport {
     /// Scheme label of the underlying runs.
     pub scheme: String,
@@ -116,7 +116,7 @@ impl AveragedReport {
 
 /// Low-level counters and distributions summed over the repeats of one
 /// configuration — the payload of the `--metrics` JSON output.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunMetricsSummary {
     /// Frame-delivery losses by cause, summed over repeats.
     pub losses: LossCounters,
@@ -176,7 +176,7 @@ impl RunMetricsSummary {
 
 /// One captured `(scheme, map)` data point, recorded by [`run_averaged`]
 /// while metrics capture is enabled.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetricsRecord {
     /// Scheme label of the underlying runs.
     pub scheme: String,
@@ -219,25 +219,40 @@ pub fn drain_metrics_capture() -> Vec<MetricsRecord> {
 /// trajectories, and workloads).
 pub fn run_averaged(config: &SimConfig, repeats: u64) -> AveragedReport {
     assert!(repeats > 0, "need at least one repeat");
-    let reports: Vec<SimReport> = (0..repeats)
-        .map(|i| {
-            let mut c = config.clone();
-            c.seed = config.seed.wrapping_add(i);
-            World::new(c).run()
-        })
-        .collect();
+    // Repeats are independent — repeat `i` owns seed `seed + i` and nothing
+    // else — so they fan out over worker threads like the figure sweeps do.
+    // `parallel_map` returns outputs in input order, so the averages and
+    // the summed metrics below fold the reports in exactly the sequential
+    // order regardless of worker scheduling (bit-identical output).
+    let reports: Vec<SimReport> = parallel_map((0..repeats).collect(), |&i| {
+        let mut c = config.clone();
+        c.seed = config.seed.wrapping_add(i);
+        World::new(c).run()
+    });
     let averaged = AveragedReport::from_reports(&reports);
     let mut sink = sink_lock();
     if let Some(records) = sink.as_mut() {
-        records.push(MetricsRecord {
-            scheme: averaged.scheme.clone(),
-            map: averaged.map.clone(),
-            repeats: reports.len(),
-            metrics: RunMetricsSummary::from_reports(&reports),
-        });
+        records.push(metrics_record(&reports));
     }
     drop(sink);
     averaged
+}
+
+/// Builds the `--metrics` record for reports that already ran — the same
+/// summation [`run_averaged`] feeds the capture sink, exposed so single-run
+/// front ends (`manet-sim --metrics`) can emit the identical document.
+///
+/// # Panics
+///
+/// Panics when `reports` is empty.
+pub fn metrics_record(reports: &[SimReport]) -> MetricsRecord {
+    assert!(!reports.is_empty(), "need at least one report");
+    MetricsRecord {
+        scheme: reports[0].scheme.clone(),
+        map: reports[0].map.clone(),
+        repeats: reports.len(),
+        metrics: RunMetricsSummary::from_reports(reports),
+    }
 }
 
 /// Evaluates `job` over `inputs` on up to `available_parallelism` OS
@@ -452,6 +467,43 @@ mod tests {
         let c2 = records.iter().position(|r| r.scheme == "C=2").unwrap();
         let fl = records.iter().position(|r| r.scheme == "flooding").unwrap();
         assert!(c2 < fl, "records sorted by scheme label");
+    }
+
+    #[test]
+    fn parallel_repeats_match_sequential() {
+        // The exact loop `run_averaged` ran before repeats were fanned out
+        // over workers; the parallel version must reproduce it bit for bit,
+        // both in the averaged report and in the captured metrics record.
+        let config = broadcast_core::SimConfig::builder(3, SchemeSpec::Counter(3))
+            .hosts(20)
+            .broadcasts(5)
+            .seed(77)
+            .build();
+        let repeats = 4u64;
+        let seq_reports: Vec<SimReport> = (0..repeats)
+            .map(|i| {
+                let mut c = config.clone();
+                c.seed = config.seed.wrapping_add(i);
+                World::new(c).run()
+            })
+            .collect();
+        let seq_avg = AveragedReport::from_reports(&seq_reports);
+        let seq_metrics = RunMetricsSummary::from_reports(&seq_reports);
+
+        enable_metrics_capture();
+        let par_avg = run_averaged(&config, repeats);
+        let records = drain_metrics_capture();
+
+        assert_eq!(par_avg, seq_avg, "averaged report must be bit-identical");
+        let rec = records
+            .iter()
+            .find(|r| r.scheme == seq_avg.scheme && r.map == seq_avg.map)
+            .expect("captured the parallel run's metrics record");
+        assert_eq!(rec.repeats, repeats as usize);
+        assert_eq!(
+            rec.metrics, seq_metrics,
+            "summed metrics must be bit-identical"
+        );
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! The DCF broadcast state machine.
 //!
 //! One [`Dcf`] instance models one host's MAC. It is a *pure* state
-//! machine: every input carries the current time and returns a list of
-//! [`MacAction`]s for the simulation wiring to execute (arm a timer, put a
+//! machine: every input carries the current time and returns at most one
+//! [`MacAction`] for the simulation wiring to execute (arm a timer, put a
 //! frame on the air). The machine never talks to a channel directly, which
-//! makes every DCF rule unit-testable in isolation.
+//! makes every DCF rule unit-testable in isolation. Carrier-sense and
+//! timer inputs run hundreds of thousands of times per simulation, so the
+//! return type is a plain `Option` — no per-call allocation.
 //!
 //! ## Rules implemented (paper §2.2.3 / IEEE 802.11 DCF, broadcast only)
 //!
@@ -141,8 +143,8 @@ enum State {
 /// let mut mac = Dcf::new(SimRng::seed_from(1));
 /// // Medium idle since time zero: an enqueue after DIFS transmits at once.
 /// let now = SimTime::from_millis(1);
-/// let actions = mac.enqueue(FrameHandle(0), 280, now);
-/// assert!(matches!(actions[0], MacAction::BeginTx { .. }));
+/// let action = mac.enqueue(FrameHandle(0), 280, now);
+/// assert!(matches!(action, Some(MacAction::BeginTx { .. })));
 /// ```
 #[derive(Debug)]
 pub struct Dcf {
@@ -204,7 +206,7 @@ impl Dcf {
         handle: FrameHandle,
         payload_bytes: usize,
         now: SimTime,
-    ) -> Vec<MacAction> {
+    ) -> Option<MacAction> {
         self.queue.push_back((handle, payload_bytes));
         self.stats.enqueued += 1;
         self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len() as u64);
@@ -215,21 +217,21 @@ impl Dcf {
                     self.stats.deferrals += 1;
                     self.ensure_backoff();
                     self.state = State::WaitIdle;
-                    vec![]
+                    None
                 } else {
                     debug_assert!(self.backoff_slots.is_none());
                     let idle_for = now.saturating_duration_since(self.idle_since);
                     if idle_for >= DIFS {
-                        self.begin_tx(now)
+                        Some(self.begin_tx(now))
                     } else {
                         // Wait out the remainder of DIFS.
                         self.state = State::Difs;
-                        vec![self.arm_timer(DIFS - idle_for)]
+                        Some(self.arm_timer(DIFS - idle_for))
                     }
                 }
             }
             // Machinery already running; the frame waits its turn.
-            State::WaitIdle | State::Difs | State::Backoff { .. } | State::Transmitting => vec![],
+            State::WaitIdle | State::Difs | State::Backoff { .. } | State::Transmitting => None,
         }
     }
 
@@ -248,13 +250,13 @@ impl Dcf {
     }
 
     /// Carrier sense reports the medium busy (a foreign frame started).
-    pub fn on_medium_busy(&mut self, now: SimTime) -> Vec<MacAction> {
+    pub fn on_medium_busy(&mut self, now: SimTime) -> Option<MacAction> {
         if self.medium_busy {
-            return vec![]; // duplicate report; wiring coalesces, but be safe
+            return None; // duplicate report; wiring coalesces, but be safe
         }
         self.medium_busy = true;
         match self.state {
-            State::Idle | State::WaitIdle | State::Transmitting => vec![],
+            State::Idle | State::WaitIdle | State::Transmitting => None,
             State::Difs => {
                 // DIFS interrupted: this counts as a deferral, so a backoff
                 // is required when the medium frees up.
@@ -262,7 +264,7 @@ impl Dcf {
                 self.stats.deferrals += 1;
                 self.ensure_backoff();
                 self.state = State::WaitIdle;
-                vec![]
+                None
             }
             State::Backoff { started, slots } => {
                 // Freeze: whole slots that elapsed are consumed.
@@ -272,25 +274,25 @@ impl Dcf {
                 let consumed = (elapsed.as_nanos() / SLOT.as_nanos()) as u32;
                 self.backoff_slots = Some(slots.saturating_sub(consumed));
                 self.state = State::WaitIdle;
-                vec![]
+                None
             }
         }
     }
 
     /// Carrier sense reports the medium idle (the last foreign frame
     /// ended).
-    pub fn on_medium_idle(&mut self, now: SimTime) -> Vec<MacAction> {
+    pub fn on_medium_idle(&mut self, now: SimTime) -> Option<MacAction> {
         if !self.medium_busy {
-            return vec![];
+            return None;
         }
         self.medium_busy = false;
         self.idle_since = now;
         match self.state {
             State::WaitIdle => {
                 self.state = State::Difs;
-                vec![self.arm_timer(DIFS)]
+                Some(self.arm_timer(DIFS))
             }
-            State::Idle | State::Transmitting => vec![],
+            State::Idle | State::Transmitting => None,
             State::Difs | State::Backoff { .. } => {
                 unreachable!("timer states imply an idle medium")
             }
@@ -300,10 +302,10 @@ impl Dcf {
     /// A timer armed by a previous [`MacAction::StartTimer`] fired.
     ///
     /// Stale generations (from timers superseded by a state change) are
-    /// ignored and return no actions.
-    pub fn on_timer(&mut self, generation: u64, now: SimTime) -> Vec<MacAction> {
+    /// ignored and return no action.
+    pub fn on_timer(&mut self, generation: u64, now: SimTime) -> Option<MacAction> {
         if generation != self.generation {
-            return vec![];
+            return None;
         }
         match self.state {
             State::Difs => {
@@ -315,14 +317,14 @@ impl Dcf {
                             started: now,
                             slots,
                         };
-                        vec![self.arm_timer(SLOT * u64::from(slots))]
+                        Some(self.arm_timer(SLOT * u64::from(slots)))
                     }
                     None => {
                         if self.queue.is_empty() {
                             self.state = State::Idle;
-                            vec![]
+                            None
                         } else {
-                            self.begin_tx(now)
+                            Some(self.begin_tx(now))
                         }
                     }
                 }
@@ -338,7 +340,7 @@ impl Dcf {
     }
 
     /// The frame started by [`MacAction::BeginTx`] finished its airtime.
-    pub fn on_tx_end(&mut self, now: SimTime) -> Vec<MacAction> {
+    pub fn on_tx_end(&mut self, now: SimTime) -> Option<MacAction> {
         assert_eq!(
             self.state,
             State::Transmitting,
@@ -348,13 +350,13 @@ impl Dcf {
         self.ensure_backoff();
         if self.medium_busy {
             self.state = State::WaitIdle;
-            vec![]
+            None
         } else {
             // Own transmission is not carrier: the idle period (for DIFS
             // accounting) starts now.
             self.idle_since = now;
             self.state = State::Difs;
-            vec![self.arm_timer(DIFS)]
+            Some(self.arm_timer(DIFS))
         }
     }
 
@@ -370,27 +372,27 @@ impl Dcf {
     }
 
     /// Backoff counter hit zero with the medium idle.
-    fn finish_backoff(&mut self, now: SimTime) -> Vec<MacAction> {
+    fn finish_backoff(&mut self, now: SimTime) -> Option<MacAction> {
         self.backoff_slots = None;
         if self.queue.is_empty() {
             self.state = State::Idle;
-            vec![]
+            None
         } else {
-            self.begin_tx(now)
+            Some(self.begin_tx(now))
         }
     }
 
-    fn begin_tx(&mut self, _now: SimTime) -> Vec<MacAction> {
+    fn begin_tx(&mut self, _now: SimTime) -> MacAction {
         let (handle, payload_bytes) = self
             .queue
             .pop_front()
             .expect("begin_tx requires a queued frame");
         self.state = State::Transmitting;
         self.transmitted += 1;
-        vec![MacAction::BeginTx {
+        MacAction::BeginTx {
             handle,
             payload_bytes,
-        }]
+        }
     }
 
     fn arm_timer(&mut self, delay: SimDuration) -> MacAction {
@@ -412,14 +414,18 @@ mod tests {
     }
 
     /// Drives a single timer action to completion, returning the follow-up
-    /// actions and the fire time.
-    fn fire_timer(mac: &mut Dcf, actions: &[MacAction], now: SimTime) -> (Vec<MacAction>, SimTime) {
-        match actions {
-            [MacAction::StartTimer { delay, generation }] => {
-                let at = now + *delay;
-                (mac.on_timer(*generation, at), at)
+    /// action and the fire time.
+    fn fire_timer(
+        mac: &mut Dcf,
+        action: Option<MacAction>,
+        now: SimTime,
+    ) -> (Option<MacAction>, SimTime) {
+        match action {
+            Some(MacAction::StartTimer { delay, generation }) => {
+                let at = now + delay;
+                (mac.on_timer(generation, at), at)
             }
-            other => panic!("expected a single StartTimer, got {other:?}"),
+            other => panic!("expected a StartTimer, got {other:?}"),
         }
     }
 
@@ -427,13 +433,13 @@ mod tests {
     fn idle_long_enough_transmits_immediately() {
         let mut m = mac();
         let now = SimTime::from_millis(5); // idle since 0 >> DIFS
-        let actions = m.enqueue(FrameHandle(1), 280, now);
+        let action = m.enqueue(FrameHandle(1), 280, now);
         assert_eq!(
-            actions,
-            vec![MacAction::BeginTx {
+            action,
+            Some(MacAction::BeginTx {
                 handle: FrameHandle(1),
                 payload_bytes: 280
-            }]
+            })
         );
         assert!(m.is_transmitting());
     }
@@ -446,16 +452,16 @@ mod tests {
         let t_idle = SimTime::from_millis(1);
         m.on_medium_idle(t_idle);
         let t_enq = t_idle + SimDuration::from_micros(10);
-        let actions = m.enqueue(FrameHandle(1), 280, t_enq);
+        let action = m.enqueue(FrameHandle(1), 280, t_enq);
         // 10 of the 50 µs DIFS have elapsed; wait the remaining 40.
-        match actions[..] {
-            [MacAction::StartTimer { delay, generation }] => {
+        match action {
+            Some(MacAction::StartTimer { delay, generation }) => {
                 assert_eq!(delay, SimDuration::from_micros(40));
                 let fire = t_enq + delay;
                 let next = m.on_timer(generation, fire);
-                assert!(matches!(next[..], [MacAction::BeginTx { .. }]));
+                assert!(matches!(next, Some(MacAction::BeginTx { .. })));
             }
-            ref other => panic!("unexpected actions {other:?}"),
+            other => panic!("unexpected action {other:?}"),
         }
     }
 
@@ -464,24 +470,24 @@ mod tests {
         let mut m = mac();
         let t0 = SimTime::from_millis(1);
         m.on_medium_busy(t0);
-        let actions = m.enqueue(FrameHandle(1), 280, t0);
-        assert!(actions.is_empty(), "must wait for idle");
+        let action = m.enqueue(FrameHandle(1), 280, t0);
+        assert!(action.is_none(), "must wait for idle");
         // Medium goes idle: DIFS first.
         let t1 = t0 + SimDuration::from_micros(500);
-        let actions = m.on_medium_idle(t1);
-        let (actions, t2) = fire_timer(&mut m, &actions, t1);
+        let action = m.on_medium_idle(t1);
+        let (action, t2) = fire_timer(&mut m, action, t1);
         // After DIFS, a backoff countdown runs (deferral draws a counter).
-        match actions[..] {
-            [MacAction::StartTimer { delay, generation }] => {
+        match action {
+            Some(MacAction::StartTimer { delay, generation }) => {
                 assert_eq!(delay.as_nanos() % SLOT.as_nanos(), 0, "whole slots");
                 let fire = t2 + delay;
                 let next = m.on_timer(generation, fire);
-                assert!(matches!(next[..], [MacAction::BeginTx { .. }]));
+                assert!(matches!(next, Some(MacAction::BeginTx { .. })));
             }
-            [MacAction::BeginTx { .. }] => {
+            Some(MacAction::BeginTx { .. }) => {
                 // Counter happened to be zero: legal.
             }
-            ref other => panic!("unexpected actions {other:?}"),
+            other => panic!("unexpected action {other:?}"),
         }
     }
 
@@ -493,10 +499,10 @@ mod tests {
         m.on_medium_busy(t0);
         m.enqueue(FrameHandle(1), 280, t0);
         let t1 = t0 + SimDuration::from_micros(100);
-        let actions = m.on_medium_idle(t1);
-        let (actions, t2) = fire_timer(&mut m, &actions, t1); // DIFS done
-        let (total_slots, gen) = match actions[..] {
-            [MacAction::StartTimer { delay, generation }] => {
+        let action = m.on_medium_idle(t1);
+        let (action, t2) = fire_timer(&mut m, action, t1); // DIFS done
+        let (total_slots, gen) = match action {
+            Some(MacAction::StartTimer { delay, generation }) => {
                 ((delay.as_nanos() / SLOT.as_nanos()) as u32, generation)
             }
             _ => return, // zero backoff: nothing to freeze, covered elsewhere
@@ -506,19 +512,19 @@ mod tests {
         }
         // Medium goes busy after exactly one slot: freeze with slots-1 left.
         let t3 = t2 + SLOT;
-        assert!(m.on_medium_busy(t3).is_empty());
+        assert!(m.on_medium_busy(t3).is_none());
         // The frozen timer must now be stale.
-        assert!(m.on_timer(gen, t3 + SLOT).is_empty());
+        assert!(m.on_timer(gen, t3 + SLOT).is_none());
         // Idle again: DIFS, then the *remaining* slots.
         let t4 = t3 + SimDuration::from_micros(300);
-        let actions = m.on_medium_idle(t4);
-        let (actions, _t5) = fire_timer(&mut m, &actions, t4);
-        match actions[..] {
-            [MacAction::StartTimer { delay, .. }] => {
+        let action = m.on_medium_idle(t4);
+        let (action, _t5) = fire_timer(&mut m, action, t4);
+        match action {
+            Some(MacAction::StartTimer { delay, .. }) => {
                 let remaining = (delay.as_nanos() / SLOT.as_nanos()) as u32;
                 assert_eq!(remaining, total_slots - 1, "one slot was consumed");
             }
-            ref other => panic!("unexpected actions {other:?}"),
+            other => panic!("unexpected action {other:?}"),
         }
     }
 
@@ -526,12 +532,12 @@ mod tests {
     fn post_backoff_runs_after_tx() {
         let mut m = mac();
         let t0 = SimTime::from_millis(5);
-        let actions = m.enqueue(FrameHandle(1), 280, t0);
-        assert!(matches!(actions[..], [MacAction::BeginTx { .. }]));
+        let action = m.enqueue(FrameHandle(1), 280, t0);
+        assert!(matches!(action, Some(MacAction::BeginTx { .. })));
         let t1 = t0 + frame_airtime(280);
-        let actions = m.on_tx_end(t1);
+        let action = m.on_tx_end(t1);
         // Post-backoff: DIFS timer starts even with an empty queue.
-        assert!(matches!(actions[..], [MacAction::StartTimer { .. }]));
+        assert!(matches!(action, Some(MacAction::StartTimer { .. })));
         assert!(!m.is_transmitting());
     }
 
@@ -541,20 +547,20 @@ mod tests {
         let t0 = SimTime::from_millis(5);
         m.enqueue(FrameHandle(1), 280, t0);
         let t1 = t0 + frame_airtime(280);
-        let difs_actions = m.on_tx_end(t1);
+        let difs_action = m.on_tx_end(t1);
         // Enqueue during post-backoff DIFS: no immediate transmission.
-        let actions = m.enqueue(FrameHandle(2), 280, t1);
-        assert!(actions.is_empty());
+        let action = m.enqueue(FrameHandle(2), 280, t1);
+        assert!(action.is_none());
         // Run DIFS then (possibly zero) backoff; frame 2 eventually sends.
-        let (actions, t2) = fire_timer(&mut m, &difs_actions, t1);
-        let final_actions = match actions[..] {
-            [MacAction::StartTimer { delay, generation }] => m.on_timer(generation, t2 + delay),
-            [MacAction::BeginTx { .. }] => actions.clone(),
-            ref other => panic!("unexpected {other:?}"),
+        let (action, t2) = fire_timer(&mut m, difs_action, t1);
+        let final_action = match action {
+            Some(MacAction::StartTimer { delay, generation }) => m.on_timer(generation, t2 + delay),
+            Some(MacAction::BeginTx { .. }) => action,
+            other => panic!("unexpected {other:?}"),
         };
-        match final_actions[..] {
-            [MacAction::BeginTx { handle, .. }] => assert_eq!(handle, FrameHandle(2)),
-            ref other => panic!("expected BeginTx, got {other:?}"),
+        match final_action {
+            Some(MacAction::BeginTx { handle, .. }) => assert_eq!(handle, FrameHandle(2)),
+            other => panic!("expected BeginTx, got {other:?}"),
         }
     }
 
@@ -570,16 +576,15 @@ mod tests {
         assert!(!m.cancel(FrameHandle(7)), "double cancel is false");
         // Medium idles; DIFS+backoff complete with nothing to send.
         let t1 = t0 + SimDuration::from_micros(100);
-        let actions = m.on_medium_idle(t1);
-        let (actions, t2) = fire_timer(&mut m, &actions, t1);
-        match actions[..] {
-            [] => {} // no backoff pending and queue empty
-            [MacAction::StartTimer { delay, generation }] => {
+        let action = m.on_medium_idle(t1);
+        let (action, t2) = fire_timer(&mut m, action, t1);
+        match action {
+            None => {} // no backoff pending and queue empty
+            Some(MacAction::StartTimer { delay, generation }) => {
                 let after = m.on_timer(generation, t2 + delay);
-                assert!(after.is_empty(), "nothing to transmit after cancel");
+                assert!(after.is_none(), "nothing to transmit after cancel");
             }
-            [MacAction::BeginTx { .. }] => panic!("cancelled frame transmitted"),
-            ref other => panic!("unexpected {other:?}"),
+            Some(MacAction::BeginTx { .. }) => panic!("cancelled frame transmitted"),
         }
         assert_eq!(m.transmitted_count(), 0);
     }
@@ -621,9 +626,9 @@ mod tests {
         m.on_medium_busy(t0);
         m.enqueue(FrameHandle(1), 280, t0);
         let t1 = t0 + SimDuration::from_micros(100);
-        let actions = m.on_medium_idle(t1);
-        let (actions, t2) = fire_timer(&mut m, &actions, t1);
-        if !matches!(actions[..], [MacAction::StartTimer { .. }]) {
+        let action = m.on_medium_idle(t1);
+        let (action, t2) = fire_timer(&mut m, action, t1);
+        if !matches!(action, Some(MacAction::StartTimer { .. })) {
             return; // zero backoff with this seed
         }
         m.on_medium_busy(t2 + SLOT);
@@ -660,16 +665,16 @@ mod tests {
     #[test]
     fn stale_timers_are_ignored() {
         let mut m = mac();
-        assert!(m.on_timer(999, SimTime::from_millis(1)).is_empty());
+        assert!(m.on_timer(999, SimTime::from_millis(1)).is_none());
     }
 
     #[test]
     fn duplicate_carrier_reports_are_harmless() {
         let mut m = mac();
         let t0 = SimTime::from_millis(1);
-        assert!(m.on_medium_busy(t0).is_empty());
-        assert!(m.on_medium_busy(t0).is_empty());
-        assert!(m.on_medium_idle(t0 + SLOT).is_empty());
-        assert!(m.on_medium_idle(t0 + SLOT).is_empty());
+        assert!(m.on_medium_busy(t0).is_none());
+        assert!(m.on_medium_busy(t0).is_none());
+        assert!(m.on_medium_idle(t0 + SLOT).is_none());
+        assert!(m.on_medium_idle(t0 + SLOT).is_none());
     }
 }

@@ -20,9 +20,8 @@
 //!
 //! let mut mac = Dcf::new(SimRng::seed_from(7));
 //! let now = SimTime::from_millis(1); // medium idle since t=0 (> DIFS)
-//! let actions = mac.enqueue(FrameHandle(1), 280, now);
-//! match actions[..] {
-//!     [MacAction::BeginTx { handle, payload_bytes }] => {
+//! match mac.enqueue(FrameHandle(1), 280, now) {
+//!     Some(MacAction::BeginTx { handle, payload_bytes }) => {
 //!         assert_eq!(handle, FrameHandle(1));
 //!         // The wiring puts the frame on the air for its airtime…
 //!         let done = now + frame_airtime(payload_bytes);

@@ -44,12 +44,12 @@ fn drive(seed: u64, steps: &[Step]) -> Vec<FrameHandle> {
     let mut timer: Option<(SimTime, u64)> = None;
 
     let apply = |mac: &mut Dcf,
-                 actions: Vec<MacAction>,
+                 action: Option<MacAction>,
                  now: &mut SimTime,
                  timer: &mut Option<(SimTime, u64)>,
                  transmitted: &mut Vec<FrameHandle>| {
-        let mut pending = actions;
-        while let Some(action) = pending.pop() {
+        let mut pending = action;
+        while let Some(action) = pending.take() {
             match action {
                 MacAction::StartTimer { delay, generation } => {
                     assert!(!delay.is_zero(), "zero-delay timer");
@@ -64,8 +64,7 @@ fn drive(seed: u64, steps: &[Step]) -> Vec<FrameHandle> {
                     // The frame occupies the air; finish it immediately
                     // (the machine only needs the completion callback).
                     *now += frame_airtime(payload_bytes);
-                    let follow_up = mac.on_tx_end(*now);
-                    pending.extend(follow_up);
+                    pending = mac.on_tx_end(*now);
                 }
             }
         }

@@ -49,7 +49,7 @@ mod random_turn;
 mod waypoint;
 
 pub use map::{kmh_to_mps, Map, PAPER_RADIO_RADIUS_M};
-pub use model::{Mobility, Stationary};
+pub use model::{Mobility, Segment, Stationary};
 pub use placement::{grid_placement, line_placement, uniform_placement};
 pub use random_turn::{RandomTurn, RandomTurnParams};
 pub use waypoint::{RandomWaypoint, RandomWaypointParams};

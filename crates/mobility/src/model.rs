@@ -12,8 +12,49 @@
 //! Keeping motion piecewise-linear lets the simulator query exact positions
 //! at arbitrary event timestamps in `O(1)` without integrating trajectories.
 
-use manet_geom::Vec2;
+use manet_geom::{Rect, Vec2};
 use manet_sim_engine::SimTime;
+
+/// One host's motion over its current piecewise-linear segment, in the
+/// canonical form every mobility model reduces to: a start point, a
+/// velocity, and the segment's time window.
+///
+/// [`Mobility::segment`] exports this so a driver holding many hosts can
+/// evaluate all their positions in one dense pass instead of dispatching
+/// through the trait per host — the evaluation reproduces each model's
+/// own `position_at` arithmetic operation for operation, so the results
+/// are bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Position at `seg_start` (and the exact result for non-moving
+    /// segments).
+    pub origin: Vec2,
+    /// Straight-line velocity in map units per second; zero while paused.
+    pub velocity: Vec2,
+    /// When this segment began.
+    pub seg_start: SimTime,
+    /// When this segment ends ([`Mobility::next_change`]).
+    pub seg_end: SimTime,
+    /// `true` for moving segments, which interpolate and clamp into the
+    /// map; `false` for paused or stationary hosts, which return `origin`
+    /// verbatim (exactly what their `position_at` does).
+    pub moving: bool,
+}
+
+impl Segment {
+    /// The segment's position at `t`, clamping `t` into the segment's
+    /// window — the same tolerance for same-timestamp queries ordered
+    /// before the segment-change event that the models themselves allow.
+    #[inline]
+    pub fn position_at(&self, t: SimTime, bounds: Rect) -> Vec2 {
+        if !self.moving {
+            return self.origin;
+        }
+        let t = t.clamp(self.seg_start, self.seg_end);
+        let dt = (t - self.seg_start).as_secs_f64();
+        bounds.clamp(self.origin + self.velocity * dt)
+    }
+}
 
 /// A single host's motion over time.
 pub trait Mobility {
@@ -35,6 +76,10 @@ pub trait Mobility {
     /// Called by the simulation driver when `now ==`
     /// [`next_change`](Self::next_change).
     fn advance(&mut self, now: SimTime);
+
+    /// The current motion segment in canonical form (see [`Segment`]).
+    /// Valid until the next [`advance`](Self::advance).
+    fn segment(&self) -> Segment;
 }
 
 /// A host that never moves.
@@ -72,6 +117,16 @@ impl Mobility for Stationary {
     }
 
     fn advance(&mut self, _now: SimTime) {}
+
+    fn segment(&self) -> Segment {
+        Segment {
+            origin: self.position,
+            velocity: Vec2::ZERO,
+            seg_start: SimTime::ZERO,
+            seg_end: SimTime::ZERO,
+            moving: false,
+        }
+    }
 }
 
 #[cfg(test)]

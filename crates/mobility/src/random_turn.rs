@@ -17,7 +17,7 @@ use manet_geom::Vec2;
 use manet_sim_engine::{SimDuration, SimRng, SimTime};
 
 use crate::map::Map;
-use crate::model::Mobility;
+use crate::model::{Mobility, Segment};
 
 /// `a <= b` with a small absolute tolerance for accumulated float error.
 fn approx_le(a: f64, b: f64) -> bool {
@@ -202,6 +202,16 @@ impl Mobility for RandomTurn {
 
     fn advance(&mut self, now: SimTime) {
         self.take_turn(now);
+    }
+
+    fn segment(&self) -> Segment {
+        Segment {
+            origin: self.origin,
+            velocity: self.velocity,
+            seg_start: self.seg_start,
+            seg_end: self.seg_end,
+            moving: true,
+        }
     }
 }
 

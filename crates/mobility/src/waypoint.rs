@@ -10,7 +10,7 @@ use manet_geom::Vec2;
 use manet_sim_engine::{SimDuration, SimRng, SimTime};
 
 use crate::map::Map;
-use crate::model::Mobility;
+use crate::model::{Mobility, Segment};
 
 /// Parameters of the random-waypoint model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -185,6 +185,20 @@ impl Mobility for RandomWaypoint {
                 self.seg_end = now + self.params.pause;
             }
             _ => self.pick_waypoint(now),
+        }
+    }
+
+    fn segment(&self) -> Segment {
+        let (velocity, moving) = match self.phase {
+            Phase::Pausing => (Vec2::ZERO, false),
+            Phase::Moving { velocity } => (velocity, true),
+        };
+        Segment {
+            origin: self.origin,
+            velocity,
+            seg_start: self.seg_start,
+            seg_end: self.seg_end,
+            moving,
         }
     }
 }

@@ -12,9 +12,34 @@
 //! `N_{x,h}`, "the set of neighbors of h known by host x".
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use manet_phy::NodeId;
 use manet_sim_engine::{SimDuration, SimTime};
+
+/// Multiplicative hasher for [`NodeId`] keys. Host ids are small dense
+/// integers, so Fibonacci hashing spreads them across buckets at the cost
+/// of one multiply — the table is touched on every decoded HELLO, where
+/// SipHash is measurable. Every iteration consumer sorts its output, so
+/// the bucket order this changes never reaches an observable result.
+#[derive(Debug, Default)]
+struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("NodeId hashes via write_u32");
+    }
+
+    fn write_u32(&mut self, value: u32) {
+        self.0 = u64::from(value).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type IdMap<V> = HashMap<NodeId, V, BuildHasherDefault<IdHasher>>;
 
 /// What a host knows about one of its neighbors.
 #[derive(Debug, Clone)]
@@ -61,7 +86,13 @@ pub enum MembershipChange {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct NeighborTable {
-    entries: HashMap<NodeId, NeighborEntry>,
+    entries: IdMap<NeighborEntry>,
+    /// Lower bound on the earliest entry deadline (`last_heard` plus two
+    /// intervals). [`expire`](Self::expire) is a no-op until the clock
+    /// passes it, which keeps the per-event expiry check O(1); refreshes
+    /// only push deadlines later, so a stale bound merely costs one
+    /// harmless rescan. `None` while the table is empty.
+    min_deadline: Option<SimTime>,
     /// Lifetime join count (statistics; never reset).
     joins: u64,
     /// Lifetime expiry count (statistics; never reset).
@@ -84,36 +115,55 @@ impl NeighborTable {
         interval: SimDuration,
         neighbors: &[NodeId],
     ) -> Option<MembershipChange> {
-        let new = self
-            .entries
-            .insert(
-                from,
-                NeighborEntry {
+        let deadline = now + interval * 2;
+        self.min_deadline = Some(self.min_deadline.map_or(deadline, |d| d.min(deadline)));
+        match self.entries.entry(from) {
+            std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                // Refresh in place, reusing the entry's neighbor buffer —
+                // this runs once per decoded HELLO and must not allocate
+                // in steady state.
+                let entry = occupied.get_mut();
+                entry.last_heard = now;
+                entry.interval = interval;
+                entry.neighbors.clear();
+                entry.neighbors.extend_from_slice(neighbors);
+                None
+            }
+            std::collections::hash_map::Entry::Vacant(vacant) => {
+                vacant.insert(NeighborEntry {
                     last_heard: now,
                     interval,
                     neighbors: neighbors.to_vec(),
-                },
-            )
-            .is_none();
-        if new {
-            self.joins += 1;
+                });
+                self.joins += 1;
+                Some(MembershipChange::Joined(from))
+            }
         }
-        new.then_some(MembershipChange::Joined(from))
     }
 
     /// Drops every neighbor whose last HELLO is more than two of its own
     /// hello intervals old, returning the leave events.
     pub fn expire(&mut self, now: SimTime) -> Vec<MembershipChange> {
+        match self.min_deadline {
+            // Nothing can have expired yet: every deadline is at or past
+            // the cached bound.
+            Some(bound) if now <= bound => return Vec::new(),
+            None => return Vec::new(),
+            Some(_) => {}
+        }
         let mut leaves = Vec::new();
+        let mut next_bound: Option<SimTime> = None;
         self.entries.retain(|&id, entry| {
             let deadline = entry.last_heard + entry.interval * 2;
             if now > deadline {
                 leaves.push(MembershipChange::Left(id));
                 false
             } else {
+                next_bound = Some(next_bound.map_or(deadline, |d| d.min(deadline)));
                 true
             }
         });
+        self.min_deadline = next_bound;
         leaves.sort_by_key(|change| match change {
             MembershipChange::Left(id) | MembershipChange::Joined(id) => *id,
         });
@@ -145,9 +195,19 @@ impl NeighborTable {
 
     /// The current one-hop set `N_x`, sorted.
     pub fn neighbor_ids(&self) -> Vec<NodeId> {
-        let mut ids: Vec<NodeId> = self.entries.keys().copied().collect();
-        ids.sort();
+        let mut ids = Vec::new();
+        self.neighbor_ids_into(&mut ids);
         ids
+    }
+
+    /// Writes the current one-hop set `N_x`, sorted, into `out` (cleared
+    /// first). Allocation-free once `out` has grown to the peak
+    /// neighborhood size — the hot-path variant of
+    /// [`neighbor_ids`](Self::neighbor_ids).
+    pub fn neighbor_ids_into(&self, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(self.entries.keys().copied());
+        out.sort_unstable();
     }
 
     /// The two-hop knowledge `N_{x,h}`: what `h` last claimed its

@@ -1,0 +1,365 @@
+//! Uniform-cell spatial index over host positions.
+//!
+//! The brute-force queries in [`topology`](crate::in_range_of) scan every
+//! host per call — O(n) for `in_range_of`, O(n²) for `reachable_from` —
+//! and the `World` hot path issues one such scan per transmission start
+//! and end. [`NeighborGrid`] replaces those scans with a hash-free bucket
+//! grid: hosts are binned into square cells whose edge equals the radio
+//! radius, so every host within range of a query point lives in the 3×3
+//! block of cells around it.
+//!
+//! Exactness, not approximation: the cell scan only *pre-filters*
+//! candidates; membership is still decided by the exact squared-distance
+//! test on the true positions. The 3×3 block is sufficient because the
+//! query radius never exceeds the cell edge ([`NeighborGrid::in_range_into`]
+//! asserts this) and cell assignment clamps positions into the map
+//! rectangle — clamping is non-expansive, so two hosts within one radius
+//! of each other land in cells at most one apart on each axis. Results
+//! are sorted ascending by [`NodeId`], matching the brute-force functions
+//! byte for byte; the property tests in `crates/phy/tests` hold the two
+//! implementations equal under random placements.
+//!
+//! [`NeighborGrid::update`] is incremental: only hosts whose cell changed
+//! since the last call are re-binned, and each cell's member vector keeps
+//! its capacity, so steady-state updates and queries perform no heap
+//! allocation.
+
+use manet_geom::Vec2;
+
+use crate::id::NodeId;
+
+/// Marks a host not yet placed in any cell.
+const NO_CELL: u32 = u32::MAX;
+
+/// A uniform-cell spatial index answering unit-disk neighborhood and
+/// reachability queries without scanning every host.
+///
+/// # Examples
+///
+/// ```
+/// use manet_geom::Vec2;
+/// use manet_phy::{in_range_of, NeighborGrid, NodeId};
+///
+/// let positions = [Vec2::ZERO, Vec2::new(450.0, 0.0), Vec2::new(900.0, 0.0)];
+/// let mut grid = NeighborGrid::new(2_500.0, 2_500.0, 500.0);
+/// grid.update(&positions);
+///
+/// let mut heard = Vec::new();
+/// grid.in_range_into(&positions, NodeId::new(0), 500.0, &mut heard);
+/// assert_eq!(heard, in_range_of(&positions, NodeId::new(0), 500.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NeighborGrid {
+    /// Cell edge length; also the maximum supported query radius.
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    /// Members of each cell, in arbitrary order (queries sort output).
+    cells: Vec<Vec<u32>>,
+    /// Flat cell index of each host, `NO_CELL` before first placement.
+    cell_of: Vec<u32>,
+    /// Index of each host inside its cell's member vector.
+    slot_of: Vec<u32>,
+    /// BFS visited stamps; a host is visited when `mark[i] == epoch`.
+    mark: Vec<u32>,
+    epoch: u32,
+    /// BFS work stack, reused across queries.
+    stack: Vec<u32>,
+}
+
+impl NeighborGrid {
+    /// Creates a grid covering a `width` × `height` map with square cells
+    /// of edge `cell` (normally the radio radius). Positions outside the
+    /// rectangle are clamped into it for cell assignment only — queries
+    /// always test true positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cell`, `width`, and `height` are finite and
+    /// positive.
+    pub fn new(width: f64, height: f64, cell: f64) -> Self {
+        assert!(
+            cell.is_finite() && cell > 0.0,
+            "cell edge must be positive and finite"
+        );
+        assert!(
+            width.is_finite() && width > 0.0 && height.is_finite() && height > 0.0,
+            "map extent must be positive and finite"
+        );
+        let cols = (width / cell).ceil().max(1.0) as usize;
+        let rows = (height / cell).ceil().max(1.0) as usize;
+        NeighborGrid {
+            cell,
+            cols,
+            rows,
+            cells: vec![Vec::new(); cols * rows],
+            cell_of: Vec::new(),
+            slot_of: Vec::new(),
+            mark: Vec::new(),
+            epoch: 0,
+            stack: Vec::new(),
+        }
+    }
+
+    /// Flat index of the cell containing `p`, clamped into the grid.
+    fn cell_index(&self, p: Vec2) -> u32 {
+        let cx = axis_cell(p.x, self.cell, self.cols);
+        let cy = axis_cell(p.y, self.cell, self.rows);
+        (cy * self.cols + cx) as u32
+    }
+
+    /// Re-bins hosts whose position moved to a different cell since the
+    /// previous call. The first call (or a call with a different host
+    /// count) places every host.
+    pub fn update(&mut self, positions: &[Vec2]) {
+        if self.cell_of.len() != positions.len() {
+            for members in &mut self.cells {
+                members.clear();
+            }
+            self.cell_of.clear();
+            self.cell_of.resize(positions.len(), NO_CELL);
+            self.slot_of.clear();
+            self.slot_of.resize(positions.len(), 0);
+            self.mark.clear();
+            self.mark.resize(positions.len(), 0);
+            self.epoch = 0;
+        }
+        for (i, &p) in positions.iter().enumerate() {
+            let new_cell = self.cell_index(p);
+            let old_cell = self.cell_of[i];
+            if new_cell == old_cell {
+                continue;
+            }
+            if old_cell != NO_CELL {
+                self.evict(i as u32, old_cell);
+            }
+            let members = &mut self.cells[new_cell as usize];
+            self.slot_of[i] = members.len() as u32;
+            members.push(i as u32);
+            self.cell_of[i] = new_cell;
+        }
+    }
+
+    /// Removes `host` from `cell` by swap-remove, fixing the slot of the
+    /// member that took its place.
+    fn evict(&mut self, host: u32, cell: u32) {
+        let members = &mut self.cells[cell as usize];
+        let slot = self.slot_of[host as usize] as usize;
+        members.swap_remove(slot);
+        if let Some(&moved) = members.get(slot) {
+            self.slot_of[moved as usize] = slot as u32;
+        }
+    }
+
+    /// All hosts within `radius` of `positions[of]`, excluding `of`
+    /// itself, written into `out` in ascending [`NodeId`] order — exactly
+    /// the result of [`in_range_of`](crate::in_range_of). `out` is
+    /// cleared first and never shrunk, so a reused buffer settles at its
+    /// peak capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `radius` exceeds the cell edge (the 3×3 scan would
+    /// miss hosts) or when `positions` disagrees with the last
+    /// [`update`](Self::update).
+    pub fn in_range_into(
+        &self,
+        positions: &[Vec2],
+        of: NodeId,
+        radius: f64,
+        out: &mut Vec<NodeId>,
+    ) {
+        self.check_query(positions, radius);
+        out.clear();
+        let center = positions[of.index()];
+        let r2 = radius * radius;
+        let me = of.index() as u32;
+        self.for_each_candidate(self.cell_of[of.index()], |host| {
+            if host != me && positions[host as usize].distance_squared_to(center) <= r2 {
+                out.push(NodeId::new(host));
+            }
+        });
+        out.sort_unstable();
+    }
+
+    /// All hosts reachable from `source` over one or more unit-disk hops,
+    /// excluding `source`, written into `out` in ascending [`NodeId`]
+    /// order — exactly the result of
+    /// [`reachable_from`](crate::reachable_from). BFS scratch (visited
+    /// stamps and work stack) lives inside the grid, so repeated queries
+    /// allocate nothing once warm.
+    ///
+    /// # Panics
+    ///
+    /// As for [`in_range_into`](Self::in_range_into).
+    pub fn reachable_into(
+        &mut self,
+        positions: &[Vec2],
+        source: NodeId,
+        radius: f64,
+        out: &mut Vec<NodeId>,
+    ) {
+        self.check_query(positions, radius);
+        out.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.mark.fill(0);
+            self.epoch = 1;
+        }
+        let epoch = self.epoch;
+        let r2 = radius * radius;
+        self.mark[source.index()] = epoch;
+        let mut stack = std::mem::take(&mut self.stack);
+        stack.clear();
+        stack.push(source.index() as u32);
+        while let Some(u) = stack.pop() {
+            let pu = positions[u as usize];
+            // Split borrows: `mark` is mutated inside the candidate walk,
+            // which only reads `cells`.
+            let mut mark = std::mem::take(&mut self.mark);
+            self.for_each_candidate(self.cell_of[u as usize], |v| {
+                if mark[v as usize] != epoch && positions[v as usize].distance_squared_to(pu) <= r2
+                {
+                    mark[v as usize] = epoch;
+                    stack.push(v);
+                    out.push(NodeId::new(v));
+                }
+            });
+            self.mark = mark;
+        }
+        self.stack = stack;
+        out.sort_unstable();
+    }
+
+    /// Runs `visit` over every member of the 3×3 cell block around the
+    /// flat cell index `center`.
+    fn for_each_candidate(&self, center: u32, mut visit: impl FnMut(u32)) {
+        let cx = center as usize % self.cols;
+        let cy = center as usize / self.cols;
+        let x0 = cx.saturating_sub(1);
+        let x1 = (cx + 1).min(self.cols - 1);
+        let y0 = cy.saturating_sub(1);
+        let y1 = (cy + 1).min(self.rows - 1);
+        for y in y0..=y1 {
+            let row = y * self.cols;
+            for members in &self.cells[row + x0..=row + x1] {
+                for &host in members {
+                    visit(host);
+                }
+            }
+        }
+    }
+
+    fn check_query(&self, positions: &[Vec2], radius: f64) {
+        assert!(
+            radius <= self.cell,
+            "query radius {radius} exceeds cell edge {} — the 3×3 scan would miss hosts",
+            self.cell
+        );
+        assert_eq!(
+            positions.len(),
+            self.cell_of.len(),
+            "positions slice disagrees with the last update()"
+        );
+    }
+}
+
+/// Cell coordinate of `coord` along one axis, clamped into `0..count`.
+fn axis_cell(coord: f64, cell: f64, count: usize) -> usize {
+    let idx = (coord / cell).floor();
+    if idx <= 0.0 {
+        0
+    } else {
+        (idx as usize).min(count - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{in_range_of, reachable_from};
+
+    const R: f64 = 500.0;
+
+    fn query_both(grid: &mut NeighborGrid, positions: &[Vec2], of: u32) {
+        let mut near = Vec::new();
+        grid.in_range_into(positions, NodeId::new(of), R, &mut near);
+        assert_eq!(near, in_range_of(positions, NodeId::new(of), R));
+        let mut reach = Vec::new();
+        grid.reachable_into(positions, NodeId::new(of), R, &mut reach);
+        assert_eq!(reach, reachable_from(positions, NodeId::new(of), R));
+    }
+
+    #[test]
+    fn matches_brute_force_on_a_line() {
+        let positions: Vec<Vec2> = (0..12).map(|i| Vec2::new(i as f64 * 450.0, 0.0)).collect();
+        let mut grid = NeighborGrid::new(5_500.0, 500.0, R);
+        grid.update(&positions);
+        for i in 0..positions.len() as u32 {
+            query_both(&mut grid, &positions, i);
+        }
+    }
+
+    #[test]
+    fn exact_on_cell_boundaries_and_radius_edge() {
+        // Hosts sitting exactly on cell edges and exactly at distance R.
+        let positions = [
+            Vec2::new(500.0, 500.0),
+            Vec2::new(1_000.0, 500.0),
+            Vec2::new(500.0, 1_000.0),
+            Vec2::new(1_000.1, 500.0),
+            Vec2::ZERO,
+        ];
+        let mut grid = NeighborGrid::new(1_500.0, 1_500.0, R);
+        grid.update(&positions);
+        for i in 0..positions.len() as u32 {
+            query_both(&mut grid, &positions, i);
+        }
+    }
+
+    #[test]
+    fn coincident_and_out_of_bounds_positions() {
+        let positions = [
+            Vec2::new(250.0, 250.0),
+            Vec2::new(250.0, 250.0),
+            Vec2::new(-40.0, 990.0),
+            Vec2::new(1_600.0, 1_600.0), // outside the 1500×1500 map
+            Vec2::new(1_400.0, 1_400.0),
+        ];
+        let mut grid = NeighborGrid::new(1_500.0, 1_500.0, R);
+        grid.update(&positions);
+        for i in 0..positions.len() as u32 {
+            query_both(&mut grid, &positions, i);
+        }
+    }
+
+    #[test]
+    fn incremental_update_tracks_moves() {
+        let mut positions = vec![
+            Vec2::new(100.0, 100.0),
+            Vec2::new(600.0, 100.0),
+            Vec2::new(1_100.0, 100.0),
+        ];
+        let mut grid = NeighborGrid::new(1_500.0, 1_500.0, R);
+        grid.update(&positions);
+        query_both(&mut grid, &positions, 0);
+        // Walk host 0 across two cell boundaries.
+        for step in 0..8 {
+            positions[0] = Vec2::new(100.0 + step as f64 * 180.0, 100.0);
+            grid.update(&positions);
+            for i in 0..positions.len() as u32 {
+                query_both(&mut grid, &positions, i);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds cell edge")]
+    fn oversized_radius_is_rejected() {
+        let positions = [Vec2::ZERO];
+        let mut grid = NeighborGrid::new(1_000.0, 1_000.0, R);
+        grid.update(&positions);
+        let mut out = Vec::new();
+        grid.in_range_into(&positions, NodeId::new(0), R * 1.5, &mut out);
+    }
+}

@@ -41,8 +41,10 @@ impl fmt::Display for NodeId {
     }
 }
 
-/// Identifies one transmission (one frame on the air). Unique over a
-/// [`Medium`](crate::Medium)'s lifetime.
+/// Identifies one transmission (one frame on the air). Unique among the
+/// frames currently on a [`Medium`](crate::Medium); ids are recycled once
+/// a frame ends, so they must not be used as long-lived keys across a
+/// frame's end.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FrameId(u64);
 

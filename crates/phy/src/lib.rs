@@ -36,13 +36,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod grid;
 mod id;
 mod medium;
 mod topology;
 
+pub use grid::NeighborGrid;
 pub use id::{FrameId, NodeId};
 pub use medium::{
     CaptureModel, CarrierChange, Delivery, Listener, LossCause, LossCounters, Medium, TxEnd,
     TxStart,
 };
-pub use topology::{components, in_range, in_range_of, reachable_from};
+pub use topology::{components, in_range, in_range_into, in_range_of, reachable_from};

@@ -25,9 +25,7 @@
 //! host; a host's own transmission is not carrier (the MAC knows about its
 //! own frames).
 
-use std::collections::HashMap;
-
-use manet_sim_engine::{SimRng, SimTime};
+use manet_sim_engine::{SimRng, SimTime, Slab};
 
 use crate::id::{FrameId, NodeId};
 
@@ -227,8 +225,15 @@ pub struct TxEnd {
 #[derive(Debug)]
 pub struct Medium {
     radios: Vec<Radio>,
-    active: HashMap<FrameId, ActiveTx>,
-    next_frame: u64,
+    /// Frames on the air, keyed by slot: a [`FrameId`] *is* its slab slot,
+    /// so ids are recycled once a frame ends. Uniqueness holds among live
+    /// frames — all any caller may key on — while lookup and removal stay
+    /// hash-free.
+    active: Slab<ActiveTx>,
+    /// Listener vectors recycled between frames: ended frames return
+    /// theirs here and starting frames take one back, so steady-state
+    /// frame turnover performs no allocation.
+    listener_pool: Vec<Vec<NodeId>>,
     /// Independent per-delivery loss probability (failure injection).
     drop_probability: f64,
     drop_rng: Option<SimRng>,
@@ -242,8 +247,8 @@ impl Medium {
     pub fn new(hosts: usize) -> Self {
         Medium {
             radios: vec![Radio::default(); hosts],
-            active: HashMap::new(),
-            next_frame: 0,
+            active: Slab::new(),
+            listener_pool: Vec::new(),
             drop_probability: 0.0,
             drop_rng: None,
             capture: None,
@@ -325,11 +330,33 @@ impl Medium {
         end: SimTime,
         listeners: &[NodeId],
     ) -> TxStart {
-        let listeners: Vec<Listener> = listeners
-            .iter()
-            .map(|&node| Listener { node, signal: 1.0 })
-            .collect();
-        self.begin_transmission_with_signals(source, now, end, &listeners)
+        let mut carrier_changes = Vec::new();
+        let frame = self.begin_transmission_into(source, now, end, listeners, &mut carrier_changes);
+        TxStart {
+            frame,
+            carrier_changes,
+        }
+    }
+
+    /// Allocation-free variant of
+    /// [`begin_transmission`](Self::begin_transmission): carrier-sense
+    /// transitions are appended to the caller's reusable `carrier_changes`
+    /// buffer (cleared first) and only the new [`FrameId`] is returned.
+    pub fn begin_transmission_into(
+        &mut self,
+        source: NodeId,
+        now: SimTime,
+        end: SimTime,
+        listeners: &[NodeId],
+        carrier_changes: &mut Vec<CarrierChange>,
+    ) -> FrameId {
+        self.begin_tx_inner(
+            source,
+            now,
+            end,
+            listeners.iter().map(|&node| Listener { node, signal: 1.0 }),
+            carrier_changes,
+        )
     }
 
     /// Like [`begin_transmission`](Self::begin_transmission), but with a
@@ -347,24 +374,67 @@ impl Medium {
         end: SimTime,
         listeners: &[Listener],
     ) -> TxStart {
+        let mut carrier_changes = Vec::new();
+        let frame = self.begin_transmission_with_signals_into(
+            source,
+            now,
+            end,
+            listeners,
+            &mut carrier_changes,
+        );
+        TxStart {
+            frame,
+            carrier_changes,
+        }
+    }
+
+    /// Allocation-free variant of
+    /// [`begin_transmission_with_signals`](Self::begin_transmission_with_signals);
+    /// see [`begin_transmission_into`](Self::begin_transmission_into).
+    pub fn begin_transmission_with_signals_into(
+        &mut self,
+        source: NodeId,
+        now: SimTime,
+        end: SimTime,
+        listeners: &[Listener],
+        carrier_changes: &mut Vec<CarrierChange>,
+    ) -> FrameId {
+        self.begin_tx_inner(source, now, end, listeners.iter().copied(), carrier_changes)
+    }
+
+    /// Shared transmission-start path. Generic over the listener iterator
+    /// so the plain-`NodeId` entry point can adapt on the fly instead of
+    /// materializing a `Vec<Listener>`. Single pass: per-listener
+    /// validation happens inline, in listener order, before any state for
+    /// that listener is touched — and crucially before any drop-RNG draw,
+    /// keeping the injected-loss stream identical to the old two-pass
+    /// implementation.
+    fn begin_tx_inner(
+        &mut self,
+        source: NodeId,
+        now: SimTime,
+        end: SimTime,
+        listeners: impl Iterator<Item = Listener>,
+        carrier_changes: &mut Vec<CarrierChange>,
+    ) -> FrameId {
         assert!(end > now, "transmission must have positive duration");
         assert!(
             !self.is_transmitting(source),
             "{source} is already transmitting"
         );
-        assert!(
-            listeners.iter().all(|l| l.node != source),
-            "source {source} cannot listen to itself"
-        );
-        assert!(
-            listeners
-                .iter()
-                .all(|l| l.signal.is_finite() && l.signal > 0.0),
-            "signal strengths must be positive and finite"
-        );
-        let frame = FrameId::new(self.next_frame);
-        self.next_frame += 1;
         self.frames_sent += 1;
+
+        // Reserve the frame's slot up front so listeners can be tagged
+        // with it as they are processed; the listener list is filled in
+        // below, reusing a pooled vector.
+        let mut tx_listeners = self.listener_pool.pop().unwrap_or_default();
+        tx_listeners.clear();
+        let slot = self.active.insert(ActiveTx {
+            source,
+            listeners: tx_listeners,
+            end,
+        });
+        let frame = FrameId::new(u64::from(slot));
 
         // Half-duplex: starting to transmit garbles everything the source
         // was in the middle of receiving.
@@ -374,8 +444,16 @@ impl Medium {
             inc.garble(LossCause::HalfDuplex);
         }
 
-        let mut carrier_changes = Vec::new();
+        carrier_changes.clear();
         for listener in listeners {
+            assert!(
+                listener.node != source,
+                "source {source} cannot listen to itself"
+            );
+            assert!(
+                listener.signal.is_finite() && listener.signal > 0.0,
+                "signal strengths must be positive and finite"
+            );
             let radio = &mut self.radios[listener.node.index()];
             let was_busy = radio.carrier_busy();
 
@@ -434,20 +512,9 @@ impl Medium {
                     busy: true,
                 });
             }
+            self.active[slot].listeners.push(listener.node);
         }
-
-        self.active.insert(
-            frame,
-            ActiveTx {
-                source,
-                listeners: listeners.iter().map(|l| l.node).collect(),
-                end,
-            },
-        );
-        TxStart {
-            frame,
-            carrier_changes,
-        }
+        frame
     }
 
     /// Takes a frame off the air at its scheduled end time, reporting
@@ -458,18 +525,43 @@ impl Medium {
     /// Panics if `frame` is unknown (already ended or never started) or if
     /// `now` differs from the end passed to `begin_transmission`.
     pub fn end_transmission(&mut self, frame: FrameId, now: SimTime) -> TxEnd {
-        let tx = self
-            .active
-            .remove(&frame)
-            .expect("ending a frame that is not on the air");
+        let mut deliveries = Vec::new();
+        let mut carrier_changes = Vec::new();
+        let source = self.end_transmission_into(frame, now, &mut deliveries, &mut carrier_changes);
+        TxEnd {
+            source,
+            deliveries,
+            carrier_changes,
+        }
+    }
+
+    /// Allocation-free variant of
+    /// [`end_transmission`](Self::end_transmission): per-listener outcomes
+    /// and idle carrier-sense transitions are appended to the caller's
+    /// reusable buffers (cleared first) and the transmitting host is
+    /// returned. The frame's listener vector goes back into the internal
+    /// pool for the next transmission.
+    pub fn end_transmission_into(
+        &mut self,
+        frame: FrameId,
+        now: SimTime,
+        deliveries: &mut Vec<Delivery>,
+        carrier_changes: &mut Vec<CarrierChange>,
+    ) -> NodeId {
+        let slot = u32::try_from(frame.as_u64()).expect("frame slot out of range");
+        assert!(
+            self.active.contains(slot),
+            "ending a frame that is not on the air"
+        );
+        let tx = self.active.remove(slot);
         assert_eq!(tx.end, now, "frame ended at the wrong time");
 
         let src_radio = &mut self.radios[tx.source.index()];
         debug_assert_eq!(src_radio.tx_end, Some(now), "source lost its tx state");
         src_radio.tx_end = None;
 
-        let mut deliveries = Vec::with_capacity(tx.listeners.len());
-        let mut carrier_changes = Vec::new();
+        deliveries.clear();
+        carrier_changes.clear();
         for &listener in &tx.listeners {
             let radio = &mut self.radios[listener.index()];
             let idx = radio
@@ -493,11 +585,9 @@ impl Medium {
                 });
             }
         }
-        TxEnd {
-            source: tx.source,
-            deliveries,
-            carrier_changes,
-        }
+        let source = tx.source;
+        self.listener_pool.push(tx.listeners);
+        source
     }
 }
 

@@ -32,6 +32,22 @@ pub fn in_range_of(positions: &[Vec2], of: NodeId, radius: f64) -> Vec<NodeId> {
         .collect()
 }
 
+/// Writes the hosts within `radius` of `of` (excluding `of` itself) into
+/// `out` in ascending [`NodeId`] order, clearing it first — the
+/// allocation-free variant of [`in_range_of`] for callers that issue a
+/// single range query per position snapshot (where a linear scan beats
+/// maintaining a spatial index).
+pub fn in_range_into(positions: &[Vec2], of: NodeId, radius: f64, out: &mut Vec<NodeId>) {
+    out.clear();
+    let center = positions[of.index()];
+    let r2 = radius * radius;
+    for (i, p) in positions.iter().enumerate() {
+        if i != of.index() && p.distance_squared_to(center) <= r2 {
+            out.push(NodeId::new(i as u32));
+        }
+    }
+}
+
 /// `true` when hosts `a` and `b` are within `radius` of each other.
 pub fn in_range(positions: &[Vec2], a: NodeId, b: NodeId, radius: f64) -> bool {
     positions[a.index()].distance_squared_to(positions[b.index()]) <= radius * radius

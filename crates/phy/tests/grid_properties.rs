@@ -1,0 +1,114 @@
+//! Property tests pinning the spatial [`NeighborGrid`] to the brute-force
+//! topology oracle: for any placement, any radius not exceeding the cell
+//! edge, and any sequence of incremental moves, the grid's range queries
+//! and flood-reachability must agree with `in_range_of`/`reachable_from`
+//! element for element (both return ascending `NodeId` lists).
+
+use manet_geom::Vec2;
+use manet_phy::{in_range_of, reachable_from, NeighborGrid, NodeId};
+use manet_testkit::{prop_check, Gen};
+
+const WIDTH: f64 = 1500.0;
+const HEIGHT: f64 = 1500.0;
+
+/// Random placement; some positions intentionally coincide and some sit
+/// outside the map rectangle (roaming hosts can momentarily overshoot —
+/// the grid must clamp them, not lose them).
+fn placement(g: &mut Gen, n: usize) -> Vec<Vec2> {
+    (0..n)
+        .map(|_| {
+            if g.u32_in(0..8) == 0 {
+                // Off-map or exactly-on-corner positions.
+                Vec2::new(
+                    g.f64_in(-200.0..WIDTH + 200.0),
+                    g.f64_in(-200.0..HEIGHT + 200.0),
+                )
+            } else {
+                Vec2::new(g.f64_in(0.0..WIDTH), g.f64_in(0.0..HEIGHT))
+            }
+        })
+        .collect()
+}
+
+prop_check! {
+    /// `in_range_into` matches the O(n) oracle for every node.
+    fn grid_in_range_matches_oracle(g, cases = 128) {
+        let n = g.usize_in(1..40);
+        let cell = g.f64_in(100.0..800.0);
+        let radius = cell * g.f64_in_incl(0.05, 1.0);
+        let mut positions = placement(g, n);
+        // Duplicate a position to cover the coincident-hosts edge case.
+        if n >= 2 {
+            positions[n - 1] = positions[0];
+        }
+        let mut grid = NeighborGrid::new(WIDTH, HEIGHT, cell);
+        grid.update(&positions);
+        let mut got = Vec::new();
+        for i in 0..n {
+            let of = NodeId::new(i as u32);
+            grid.in_range_into(&positions, of, radius, &mut got);
+            assert_eq!(got, in_range_of(&positions, of, radius), "node {i}");
+        }
+    }
+
+    /// `reachable_into` matches the flood oracle from every source.
+    fn grid_reachable_matches_oracle(g, cases = 96) {
+        let n = g.usize_in(1..32);
+        let cell = g.f64_in(150.0..700.0);
+        let radius = cell * g.f64_in_incl(0.1, 1.0);
+        let positions = placement(g, n);
+        let mut grid = NeighborGrid::new(WIDTH, HEIGHT, cell);
+        grid.update(&positions);
+        let mut got = Vec::new();
+        for i in 0..n {
+            let source = NodeId::new(i as u32);
+            grid.reachable_into(&positions, source, radius, &mut got);
+            assert_eq!(got, reachable_from(&positions, source, radius), "source {i}");
+        }
+    }
+
+    /// Incremental updates (a few hosts move, possibly across cell
+    /// boundaries) leave the grid exactly as consistent as a rebuild.
+    fn grid_incremental_updates_match_oracle(g, cases = 96) {
+        let n = g.usize_in(2..24);
+        let cell = g.f64_in(200.0..600.0);
+        let radius = cell * g.f64_in_incl(0.2, 1.0);
+        let mut positions = placement(g, n);
+        let mut grid = NeighborGrid::new(WIDTH, HEIGHT, cell);
+        grid.update(&positions);
+        let rounds = g.usize_in(1..5);
+        let mut got = Vec::new();
+        for _ in 0..rounds {
+            let movers = g.usize_in(1..n.max(2));
+            for _ in 0..movers {
+                let who = g.usize_in(0..n);
+                positions[who] = Vec2::new(
+                    g.f64_in(-100.0..WIDTH + 100.0),
+                    g.f64_in(-100.0..HEIGHT + 100.0),
+                );
+            }
+            grid.update(&positions);
+            for i in 0..n {
+                let of = NodeId::new(i as u32);
+                grid.in_range_into(&positions, of, radius, &mut got);
+                assert_eq!(got, in_range_of(&positions, of, radius), "node {i}");
+            }
+        }
+    }
+
+    /// Radii that land exactly on a cell edge (the boundary the 3x3 scan
+    /// proof depends on) stay exact.
+    fn grid_exact_cell_edge_radius(g, cases = 64) {
+        let n = g.usize_in(1..30);
+        let cell = g.f64_in(100.0..800.0);
+        let positions = placement(g, n);
+        let mut grid = NeighborGrid::new(WIDTH, HEIGHT, cell);
+        grid.update(&positions);
+        let mut got = Vec::new();
+        for i in 0..n {
+            let of = NodeId::new(i as u32);
+            grid.in_range_into(&positions, of, cell, &mut got);
+            assert_eq!(got, in_range_of(&positions, of, cell), "node {i}");
+        }
+    }
+}

@@ -52,6 +52,7 @@ pub mod prng;
 mod queue;
 mod rng;
 mod runner;
+mod slab;
 mod time;
 
 pub use metrics::{
@@ -61,4 +62,5 @@ pub use metrics::{
 pub use queue::{EventKey, EventQueue};
 pub use rng::SimRng;
 pub use runner::{run, run_profiled, run_until, EventHandler, RunOutcome};
+pub use slab::Slab;
 pub use time::{SimDuration, SimTime};

@@ -33,6 +33,8 @@ options:
   --capture             enable 10 dB physical-layer capture
   --drop P              inject per-delivery loss probability P
   --per-broadcast FILE  write per-broadcast outcomes as CSV
+  --metrics FILE        write run counters and histograms as JSON
+                        (schema manet-broadcast-metrics/1)
   --profile             measure event-loop wall time per event kind
   -h, --help            show this help
 ";
@@ -42,6 +44,7 @@ options:
 struct Options {
     config: SimConfig,
     per_broadcast: Option<String>,
+    metrics: Option<String>,
 }
 
 fn parse_scheme(s: &str) -> Result<SchemeSpec, String> {
@@ -115,6 +118,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut capture = false;
     let mut drop = 0.0f64;
     let mut per_broadcast = None;
+    let mut metrics = None;
     let mut profile = false;
 
     let mut iter = args.iter();
@@ -162,6 +166,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     .map_err(|e| format!("bad --drop: {e}"))?
             }
             "--per-broadcast" => per_broadcast = Some(value("--per-broadcast")?),
+            "--metrics" => metrics = Some(value("--metrics")?),
             "--profile" => profile = true,
             "-h" | "--help" => return Ok(None),
             other => return Err(format!("unknown option '{other}'")),
@@ -189,6 +194,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     Ok(Some(Options {
         config,
         per_broadcast,
+        metrics,
     }))
 }
 
@@ -284,6 +290,20 @@ fn main() -> ExitCode {
         }
         println!("per-broadcast outcomes written to {path}");
     }
+
+    if let Some(path) = options.metrics {
+        // The same schema manet-experiments emits, with this one run as a
+        // single-record "figure" so downstream tooling needs no special
+        // case for single runs.
+        let record = manet_experiments::metrics_record(std::slice::from_ref(&report));
+        let json =
+            manet_experiments::render_metrics_json("single", &[("manet-sim".into(), vec![record])]);
+        if let Err(err) = std::fs::write(&path, json) {
+            eprintln!("error: cannot write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("run metrics written to {path}");
+    }
     ExitCode::SUCCESS
 }
 
@@ -360,6 +380,15 @@ mod tests {
         assert!(c.capture.is_some());
         assert_eq!(c.drop_probability, 0.1);
         assert_eq!(c.effective_max_speed_kmh(), 60.0);
+    }
+
+    #[test]
+    fn metrics_flag_parses() {
+        let options = parse_args(&args(&["--metrics", "out.json"]))
+            .expect("parses")
+            .expect("not help");
+        assert_eq!(options.metrics.as_deref(), Some("out.json"));
+        assert!(parse_args(&args(&["--metrics"])).is_err(), "missing value");
     }
 
     #[test]
