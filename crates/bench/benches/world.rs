@@ -30,6 +30,23 @@ fn storm(s: &mut Suite, name: &str, scheme: SchemeSpec) {
     });
 }
 
+/// The large-scale point: 1000 hosts on the same map (10× the paper's
+/// density, ~125 neighbors each). Oracle neighbor info keeps the run
+/// about the event loop rather than HELLO parsing, and fewer broadcasts
+/// keep one iteration in the same ballpark as the 100-host runs.
+fn large_storm(s: &mut Suite) {
+    s.bench("world/counter_c3_5x5_1000hosts", || {
+        let config = SimConfig::builder(5, SchemeSpec::Counter(3))
+            .hosts(1_000)
+            .broadcasts(4)
+            .neighbor_info(broadcast_core::NeighborInfo::Oracle)
+            .seed(11)
+            .build();
+        let report = World::new(config).run();
+        black_box((report.data_frames, report.collisions))
+    });
+}
+
 fn main() {
     let mut suite = Suite::from_args("world");
     storm(
@@ -47,5 +64,6 @@ fn main() {
         "world/nc_5x5_100hosts",
         SchemeSpec::NeighborCoverage,
     );
+    large_storm(&mut suite);
     suite.finish();
 }

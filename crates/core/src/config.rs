@@ -8,6 +8,7 @@
 
 use manet_mobility::{Map, PAPER_RADIO_RADIUS_M};
 use manet_net::HelloIntervalPolicy;
+use manet_scenario::Scenario;
 use manet_sim_engine::SimDuration;
 
 use crate::schemes::SchemeSpec;
@@ -132,6 +133,10 @@ pub struct SimConfig {
     /// to the report. Off by default: the disabled path costs a single
     /// branch per event.
     pub profile_events: bool,
+    /// Optional scripted scenario: host churn and fault windows compiled
+    /// into world events (see the `manet-scenario` crate). `None`
+    /// reproduces the paper's fault-free fixed population.
+    pub scenario: Option<Scenario>,
 }
 
 impl SimConfig {
@@ -159,6 +164,7 @@ impl SimConfig {
                 cs_delay: SimDuration::from_micros(15),
                 capture: None,
                 profile_events: false,
+                scenario: None,
             },
         }
     }
@@ -216,6 +222,11 @@ impl SimConfig {
                     capture.path_loss_exponent
                 ));
             }
+        }
+        if let Some(scenario) = &self.scenario {
+            scenario
+                .validate(self.hosts)
+                .map_err(|e| format!("scenario: {e}"))?;
         }
         if let PlacementSpec::Line { spacing_m } = self.placement {
             let length = f64::from(spacing_m) * f64::from(self.hosts - 1);
@@ -339,6 +350,13 @@ impl SimConfigBuilder {
     /// Carrier-sense latency (default 15 µs; zero = instant sensing).
     pub fn cs_delay(mut self, delay: SimDuration) -> Self {
         self.config.cs_delay = delay;
+        self
+    }
+
+    /// Attaches a scripted scenario (churn and fault windows); validated
+    /// against the run's host count at [`build`](Self::build).
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.config.scenario = Some(scenario);
         self
     }
 

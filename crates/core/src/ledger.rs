@@ -136,6 +136,34 @@ impl PacketLedger {
         self.set_tag(seq, UNHEARD);
         self.active.remove(tag)
     }
+
+    /// Abandons every active (assessing or MAC-queued) state, marking the
+    /// affected packets done and appending the cancellation tokens —
+    /// assessment event keys and MAC frame handles — to the caller's
+    /// buffers (not cleared first). Used when a host leaves the network:
+    /// the owner must cancel those events/frames itself.
+    ///
+    /// Cold path (host churn): walks the whole tag array, which is
+    /// `O(packets issued so far)`.
+    pub(crate) fn drain_active(
+        &mut self,
+        keys: &mut Vec<EventKey>,
+        handles: &mut Vec<FrameHandle>,
+    ) {
+        if self.active.is_empty() {
+            return;
+        }
+        for tag in &mut self.tags {
+            if *tag <= MAX_SLOT {
+                match self.active.remove(*tag) {
+                    ActivePacket::Assessing { key, .. } => keys.push(key),
+                    ActivePacket::Queued { handle, .. } => handles.push(handle),
+                }
+                *tag = DONE;
+            }
+        }
+        debug_assert!(self.active.is_empty(), "tag walk missed a slab entry");
+    }
 }
 
 #[cfg(test)]

@@ -76,10 +76,11 @@ pub use ids::PacketId;
 // crates can consume a `SimReport` without depending on phy/mac directly.
 pub use manet_mac::MacStats;
 pub use manet_phy::{LossCause, LossCounters};
+pub use manet_scenario::{ChurnKind, Region, Scenario, ScenarioError, WorldAction};
 pub use manet_sim_engine::{KindProfile, LoopProfile};
 pub use metrics::{
     latency_summary, summarize, BroadcastOutcome, LatencySummary, MetricsCollector, NetActivity,
-    SimReport, SuppressionCounts,
+    ScenarioCounts, SimReport, SuppressionCounts,
 };
 pub use policy::{DuplicateDecision, FirstDecision, HearContext, RebroadcastPolicy};
 pub use schemes::{

@@ -61,6 +61,19 @@ struct BroadcastRecord {
     rebroadcasters: HostSet,
     /// Time of the last rebroadcast completion or inhibit decision.
     last_decision: SimTime,
+    /// Hosts eligible to count toward `r`/`t`: the reachable set at issue
+    /// time. `None` (the non-scenario fast path) means every host counts,
+    /// preserving the original accounting exactly. Under churn a host that
+    /// was down (or partitioned off) when the broadcast was issued may
+    /// still decode a late copy after rejoining; scoping keeps the
+    /// invariant `received ⊆ reachable-at-issue-time` that RE depends on.
+    eligible: Option<HostSet>,
+}
+
+impl BroadcastRecord {
+    fn counts(&self, node: NodeId) -> bool {
+        node != self.source && self.eligible.as_ref().is_none_or(|set| set.contains(node))
+    }
 }
 
 /// The outcome of one broadcast, after the run settles.
@@ -122,6 +135,49 @@ pub struct SimReport {
     pub sim_seconds: f64,
     /// Per-broadcast detail, in issue order.
     pub per_broadcast: Vec<BroadcastOutcome>,
+    /// Scenario-subsystem activity (churn applied, faults injected);
+    /// `None` unless the run was configured with a scenario.
+    pub scenario: Option<ScenarioCounts>,
+}
+
+/// What the scenario subsystem did to one run: churn events applied and
+/// frame deliveries it destroyed, split by fault kind. The drop counters
+/// tally *successful* injections — a delivery already garbled by a
+/// collision stays attributed to the collision (first cause wins).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScenarioCounts {
+    /// Graceful departures applied.
+    pub leaves: u64,
+    /// Returns from graceful departures.
+    pub joins: u64,
+    /// Crashes applied (protocol state lost).
+    pub crashes: u64,
+    /// Reboots after crashes.
+    pub recoveries: u64,
+    /// Deliveries destroyed by link blackout windows.
+    pub blackout_drops: u64,
+    /// Deliveries destroyed by crossing an active partition boundary.
+    pub partition_drops: u64,
+    /// Deliveries destroyed by ambient noise bursts.
+    pub noise_drops: u64,
+}
+
+impl ScenarioCounts {
+    /// Adds another run's totals into this one.
+    pub fn merge(&mut self, other: &ScenarioCounts) {
+        self.leaves += other.leaves;
+        self.joins += other.joins;
+        self.crashes += other.crashes;
+        self.recoveries += other.recoveries;
+        self.blackout_drops += other.blackout_drops;
+        self.partition_drops += other.partition_drops;
+        self.noise_drops += other.noise_drops;
+    }
+
+    /// Total deliveries destroyed by injected faults of any kind.
+    pub fn injected_drops(&self) -> u64 {
+        self.blackout_drops + self.partition_drops + self.noise_drops
+    }
 }
 
 /// Network-layer activity totals for one run.
@@ -248,8 +304,33 @@ impl MetricsCollector {
             received: HostSet::new(self.hosts),
             rebroadcasters: HostSet::new(self.hosts),
             last_decision: now,
+            eligible: None,
         };
         self.records.push((packet, record));
+    }
+
+    /// Like [`broadcast_issued`](Self::broadcast_issued), but scopes the
+    /// broadcast to an explicit reachable set: only the listed hosts count
+    /// toward `r` and `t`, so late receptions by hosts that were down or
+    /// partitioned off at issue time cannot inflate reachability. Used by
+    /// scenario (churn) runs; `reachable` is the set's size.
+    pub fn broadcast_issued_scoped(
+        &mut self,
+        packet: PacketId,
+        source: NodeId,
+        reachable_set: &[NodeId],
+        now: SimTime,
+    ) {
+        self.broadcast_issued(packet, source, reachable_set.len() as u32, now);
+        let mut eligible = HostSet::new(self.hosts);
+        for &id in reachable_set {
+            eligible.insert(id);
+        }
+        self.records
+            .last_mut()
+            .expect("record just pushed")
+            .1
+            .eligible = Some(eligible);
     }
 
     fn record_mut(&mut self, packet: PacketId) -> &mut BroadcastRecord {
@@ -263,7 +344,7 @@ impl MetricsCollector {
     /// Host `node` decoded a copy of `packet`.
     pub fn packet_received(&mut self, packet: PacketId, node: NodeId) {
         let record = self.record_mut(packet);
-        if node != record.source {
+        if record.counts(node) {
             record.received.insert(node);
         }
     }
@@ -273,7 +354,7 @@ impl MetricsCollector {
     /// counted in `t`.
     pub fn transmission_finished(&mut self, packet: PacketId, node: NodeId, now: SimTime) {
         let record = self.record_mut(packet);
-        if node != record.source {
+        if record.counts(node) {
             record.rebroadcasters.insert(node);
         }
         record.last_decision = record.last_decision.max(now);
@@ -489,6 +570,44 @@ mod tests {
         let summary = latency_summary(&[]);
         assert_eq!(summary.mean_s, 0.0);
         assert_eq!(summary.max_s, 0.0);
+    }
+
+    #[test]
+    fn scoped_broadcast_ignores_ineligible_hosts() {
+        let mut m = MetricsCollector::new(8);
+        // Hosts 1 and 2 were reachable at issue time; host 3 was down.
+        m.broadcast_issued_scoped(pid(0), id(0), &[id(1), id(2)], SimTime::ZERO);
+        m.packet_received(pid(0), id(1));
+        m.packet_received(pid(0), id(3)); // rejoined later: must not count
+        m.transmission_finished(pid(0), id(3), SimTime::from_millis(5));
+        let o = &m.outcomes()[0];
+        assert_eq!(o.reachable, 2);
+        assert_eq!(o.received, 1, "ineligible reception ignored");
+        assert_eq!(o.rebroadcast, 0, "ineligible rebroadcast ignored");
+        assert_eq!(o.reachability, Some(0.5));
+        assert!(
+            o.received <= o.reachable,
+            "delivered ⊆ reachable-at-send-time"
+        );
+    }
+
+    #[test]
+    fn scenario_counts_merge_and_total() {
+        let mut a = ScenarioCounts {
+            leaves: 1,
+            blackout_drops: 2,
+            noise_drops: 3,
+            ..ScenarioCounts::default()
+        };
+        let b = ScenarioCounts {
+            joins: 4,
+            partition_drops: 5,
+            ..ScenarioCounts::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.leaves, 1);
+        assert_eq!(a.joins, 4);
+        assert_eq!(a.injected_drops(), 10);
     }
 
     #[test]

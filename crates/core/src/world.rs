@@ -21,12 +21,15 @@ use manet_mobility::{
 };
 use manet_net::{HelloPayload, NeighborTable, VariationTracker};
 use manet_phy::{CarrierChange, Delivery, FrameId, Medium, NeighborGrid, NodeId};
-use manet_sim_engine::{EventKey, EventQueue, LoopProfiler, SimRng, SimTime, Slab};
+use manet_scenario::{Region, WorldAction};
+use manet_sim_engine::{EventKey, EventQueue, LoopProfiler, SimRng, SimTime, Slab, Timeline};
 
 use crate::config::{NeighborInfo, SimConfig};
 use crate::ids::PacketId;
 use crate::ledger::{ActivePacket, PacketLedger, PacketView};
-use crate::metrics::{summarize, MetricsCollector, NetActivity, SimReport, SuppressionCounts};
+use crate::metrics::{
+    summarize, MetricsCollector, NetActivity, ScenarioCounts, SimReport, SuppressionCounts,
+};
 use crate::policy::{DuplicateDecision, FirstDecision, HearContext, RebroadcastPolicy};
 use crate::trace::{DecisionKind, FrameKind, NoopObserver, SimObserver, TraceEvent};
 
@@ -37,8 +40,15 @@ enum Event {
     MobilityTurn { node: NodeId },
     /// Time for a host to emit its next HELLO beacon.
     HelloTimer { node: NodeId },
-    /// A DCF timer (DIFS or backoff countdown) fired.
-    MacTimer { node: NodeId, generation: u64 },
+    /// A DCF timer (DIFS or backoff countdown) fired. `epoch` is the
+    /// host's churn epoch at scheduling time: a timer armed by a MAC that
+    /// has since been deactivated (and later replaced) must not reach the
+    /// replacement, whose `generation` counter restarted from zero.
+    MacTimer {
+        node: NodeId,
+        generation: u64,
+        epoch: u32,
+    },
     /// A frame's airtime ended.
     TxEnd { frame: FrameId },
     /// A host's scheme-level assessment delay (S2's 0–31 slots) elapsed.
@@ -52,6 +62,9 @@ enum Event {
     /// list (parked in `World::carrier_batches`) delivers them in exactly
     /// the order the per-host events would have.
     CarrierBatch { slot: u32, busy: bool },
+    /// The scenario timeline's next world action (host churn or a fault
+    /// window edge) takes effect; `index` addresses the compiled timeline.
+    Scenario { index: u32 },
 }
 
 impl Event {
@@ -65,6 +78,7 @@ impl Event {
             Event::AssessmentDone { .. } => "assessment_done",
             Event::IssueBroadcast => "issue_broadcast",
             Event::CarrierBatch { .. } => "carrier_sense",
+            Event::Scenario { .. } => "scenario",
         }
     }
 }
@@ -84,6 +98,10 @@ struct InFlight {
     /// Sender position at transmission start (carried in the packet for
     /// the location-based schemes).
     sent_from: Vec2,
+    /// Sender's churn epoch at transmission start. If the sender
+    /// deactivated mid-flight, its (possibly replaced) MAC must not see
+    /// the `on_tx_end` for this frame.
+    sender_epoch: u32,
 }
 
 /// The configured mobility model for one host.
@@ -160,6 +178,51 @@ impl Node {
             "MAC referenced an unknown frame"
         );
         self.outgoing.remove(slot)
+    }
+}
+
+/// Runtime state of the configured scenario (churn + fault injection).
+/// Absent on ordinary runs, which therefore pay nothing for the feature.
+#[derive(Debug)]
+struct ScenarioState {
+    /// The compiled world-action timeline; `Event::Scenario { index }`
+    /// addresses into it.
+    timeline: Timeline<WorldAction>,
+    /// Per-host membership: `false` while a host is left or crashed.
+    active: Vec<bool>,
+    /// Hosts currently active (validation guarantees it never hits zero).
+    active_count: u32,
+    /// Per-host churn epoch, bumped on every deactivation. Timers and
+    /// in-flight frames carry the epoch they were created under; a
+    /// mismatch at delivery time means the event outlived its MAC.
+    node_epoch: Vec<u32>,
+    /// Currently open link blackouts, as unordered host pairs.
+    blackouts: Vec<(u32, u32)>,
+    /// Drop probabilities of the currently open noise bursts.
+    noise: Vec<f64>,
+    /// Currently open partition regions.
+    partitions: Vec<Region>,
+    /// Scenario randomness: noise-burst drop draws, in delivery order.
+    rng: SimRng,
+    /// Base stream for per-respawn MACs and hello phases; never drawn
+    /// from directly, only forked with `respawn_seq`.
+    respawn_rng: SimRng,
+    /// Fork counter so every respawned MAC gets a distinct stream.
+    respawn_seq: u64,
+    /// What the scenario did, reported in [`SimReport::scenario`].
+    counts: ScenarioCounts,
+    /// MAC stats of replaced (crashed/left) MAC instances, folded into
+    /// the final report alongside the live MACs'.
+    retired_mac: MacStats,
+    /// Neighbor-table join/leave totals of tables reset by crashes.
+    retired_joins: u64,
+    retired_leaves: u64,
+}
+
+impl ScenarioState {
+    /// `true` when any fault window is currently open.
+    fn any_fault_open(&self) -> bool {
+        !(self.blackouts.is_empty() && self.noise.is_empty() && self.partitions.is_empty())
     }
 }
 
@@ -246,6 +309,9 @@ pub struct World {
     suppression: SuppressionCounts,
     /// Event-loop profiler; enabled via `SimConfig::profile_events`.
     profiler: LoopProfiler,
+    /// Churn and fault-injection state; `None` unless the config carries
+    /// a scenario.
+    scenario: Option<ScenarioState>,
 }
 
 impl World {
@@ -330,6 +396,29 @@ impl World {
         queue.schedule(SimTime::ZERO + config.warmup, Event::IssueBroadcast);
         let segments = nodes.iter().map(|n| n.mobility.segment()).collect();
 
+        let scenario = config.scenario.as_ref().map(|scenario| {
+            let timeline = scenario.compile();
+            timeline.schedule_into(&mut queue, |index| Event::Scenario {
+                index: u32::try_from(index).expect("scenario timeline too long"),
+            });
+            ScenarioState {
+                timeline,
+                active: vec![true; hosts],
+                active_count: config.hosts,
+                node_epoch: vec![0; hosts],
+                blackouts: Vec::new(),
+                noise: Vec::new(),
+                partitions: Vec::new(),
+                rng: root.fork(4),
+                respawn_rng: root.fork(5),
+                respawn_seq: 0,
+                counts: ScenarioCounts::default(),
+                retired_mac: MacStats::default(),
+                retired_joins: 0,
+                retired_leaves: 0,
+            }
+        });
+
         World {
             map,
             queue,
@@ -381,9 +470,25 @@ impl World {
             } else {
                 LoopProfiler::disabled()
             },
+            scenario,
             nodes,
             cfg: config,
         }
+    }
+
+    /// `true` when `node` is currently part of the network. Always `true`
+    /// without a scenario.
+    fn is_active(&self, node: NodeId) -> bool {
+        self.scenario
+            .as_ref()
+            .is_none_or(|st| st.active[node.index()])
+    }
+
+    /// The host's current churn epoch (0 without a scenario).
+    fn current_epoch(&self, node: NodeId) -> u32 {
+        self.scenario
+            .as_ref()
+            .map_or(0, |st| st.node_epoch[node.index()])
     }
 
     /// Runs the simulation to completion and returns the aggregated
@@ -422,6 +527,12 @@ impl World {
             net.neighbor_joins += node.table.join_count();
             net.neighbor_leaves += node.table.leave_count();
         }
+        let scenario_counts = self.scenario.as_ref().map(|st| {
+            mac.merge(&st.retired_mac);
+            net.neighbor_joins += st.retired_joins;
+            net.neighbor_leaves += st.retired_leaves;
+            st.counts
+        });
 
         let outcomes = self.metrics.outcomes();
         let (re, srb, latency) = summarize(&outcomes);
@@ -442,6 +553,7 @@ impl World {
             profile: profiler.is_enabled().then(|| profiler.profile()),
             sim_seconds: last.as_secs_f64(),
             per_broadcast: outcomes,
+            scenario: scenario_counts,
         }
     }
 
@@ -461,7 +573,16 @@ impl World {
                 }
             }
             Event::HelloTimer { node } => self.send_hello(node, now, observer),
-            Event::MacTimer { node, generation } => {
+            Event::MacTimer {
+                node,
+                generation,
+                epoch,
+            } => {
+                // A timer that outlived its MAC (host deactivated since it
+                // was armed) must not reach the replacement MAC.
+                if epoch != self.current_epoch(node) {
+                    return;
+                }
                 let actions = self.nodes[node.index()].mac.on_timer(generation, now);
                 self.process_mac_action(node, actions, now, observer);
             }
@@ -479,6 +600,7 @@ impl World {
                 // next delayed report.
                 self.carrier_pool.push(hearers);
             }
+            Event::Scenario { index } => self.apply_scenario_action(index, now, observer),
         }
     }
 
@@ -550,23 +672,57 @@ impl World {
     // ---- workload -------------------------------------------------------
 
     fn issue_broadcast(&mut self, now: SimTime, observer: &mut dyn SimObserver) {
-        let source = NodeId::new(self.workload_rng.gen_range_u32(0..self.cfg.hosts));
+        // Under a scenario only active hosts can originate traffic: the
+        // draw selects among them by rank so the workload stream stays
+        // deterministic for a given membership history. Without a scenario
+        // the original draw is preserved bit-for-bit.
+        let source = if let Some(st) = &self.scenario {
+            let rank = self.workload_rng.gen_range_u32(0..st.active_count);
+            let id = st
+                .active
+                .iter()
+                .enumerate()
+                .filter(|(_, &up)| up)
+                .nth(rank as usize)
+                .expect("active_count matches the membership vector")
+                .0;
+            NodeId::new(id as u32)
+        } else {
+            NodeId::new(self.workload_rng.gen_range_u32(0..self.cfg.hosts))
+        };
         let packet = PacketId::new(source, self.next_seq);
         self.next_seq += 1;
         self.issued += 1;
 
         self.refresh_grid(now);
         let mut reachable_set = std::mem::take(&mut self.scratch_reachable);
-        self.grid.reachable_into(
-            &self.snap_positions,
-            source,
-            self.cfg.radio_radius,
-            &mut reachable_set,
-        );
+        if let Some(st) = &self.scenario {
+            // Hosts that are down cannot relay or receive: reachability
+            // (`e` in the RE metric) is computed over the live topology.
+            self.grid.reachable_masked_into(
+                &self.snap_positions,
+                source,
+                self.cfg.radio_radius,
+                &st.active,
+                &mut reachable_set,
+            );
+        } else {
+            self.grid.reachable_into(
+                &self.snap_positions,
+                source,
+                self.cfg.radio_radius,
+                &mut reachable_set,
+            );
+        }
         let reachable = reachable_set.len() as u32;
+        if self.scenario.is_some() {
+            self.metrics
+                .broadcast_issued_scoped(packet, source, &reachable_set, now);
+        } else {
+            self.metrics
+                .broadcast_issued(packet, source, reachable, now);
+        }
         self.scratch_reachable = reachable_set;
-        self.metrics
-            .broadcast_issued(packet, source, reachable, now);
         observer.event(&TraceEvent::BroadcastIssued {
             packet,
             source,
@@ -650,8 +806,15 @@ impl World {
     ) {
         match action {
             Some(MacAction::StartTimer { delay, generation }) => {
-                self.queue
-                    .schedule(now + delay, Event::MacTimer { node, generation });
+                let epoch = self.current_epoch(node);
+                self.queue.schedule(
+                    now + delay,
+                    Event::MacTimer {
+                        node,
+                        generation,
+                        epoch,
+                    },
+                );
             }
             Some(MacAction::BeginTx {
                 handle,
@@ -689,6 +852,11 @@ impl World {
             self.cfg.radio_radius,
             &mut listeners,
         );
+        if let Some(st) = &self.scenario {
+            // Hosts that are down have no radio: they neither sense this
+            // frame's carrier nor receive it.
+            listeners.retain(|l| st.active[l.index()]);
+        }
         observer.event(&TraceEvent::FrameStarted {
             node,
             kind: match &payload {
@@ -726,6 +894,15 @@ impl World {
             self.medium
                 .begin_transmission_into(node, now, end, &listeners, &mut carrier)
         };
+        // Scenario link faults destroy individual deliveries the moment
+        // the frame starts (the loss is decided per-link, not per-frame).
+        if self
+            .scenario
+            .as_ref()
+            .is_some_and(ScenarioState::any_fault_open)
+        {
+            self.apply_link_faults(frame, node, &listeners);
+        }
         self.scratch_listeners = listeners;
         self.queue.schedule(end, Event::TxEnd { frame });
         let slot = usize::try_from(frame.as_u64()).expect("frame slot out of range");
@@ -737,6 +914,7 @@ impl World {
             sender: node,
             payload,
             sent_from: own,
+            sender_epoch: self.current_epoch(node),
         });
         // Busy-carrier fan-out cannot re-enter this function: a MAC that
         // senses carrier never starts a transmission in response (it only
@@ -785,6 +963,11 @@ impl World {
         now: SimTime,
         observer: &mut dyn SimObserver,
     ) {
+        // A host that deactivated after the report was scheduled has no
+        // radio; its replacement MAC syncs its own carrier view on rejoin.
+        if !self.is_active(node) {
+            return;
+        }
         let mac = &mut self.nodes[node.index()].mac;
         let action = if busy {
             mac.on_medium_busy(now)
@@ -811,9 +994,12 @@ impl World {
 
         // The transmitter's MAC enters post-backoff. This may immediately
         // start the host's next queued frame — which is why `begin` and
-        // `finish` use disjoint scratch buffers.
-        let actions = self.nodes[source.index()].mac.on_tx_end(now);
-        self.process_mac_action(source, actions, now, observer);
+        // `finish` use disjoint scratch buffers. A sender that deactivated
+        // mid-flight is skipped: its current MAC never started this frame.
+        if in_flight.sender_epoch == self.current_epoch(source) {
+            let actions = self.nodes[source.index()].mac.on_tx_end(now);
+            self.process_mac_action(source, actions, now, observer);
+        }
 
         if let Payload::Broadcast(packet) = in_flight.payload {
             self.metrics.transmission_finished(packet, source, now);
@@ -830,9 +1016,10 @@ impl World {
             at: now,
         });
 
-        // Deliver decoded copies to the upper layer.
+        // Deliver decoded copies to the upper layer. A listener that went
+        // down while the frame was airing has no radio left to decode it.
         for delivery in &deliveries {
-            if !delivery.decoded {
+            if !delivery.decoded || !self.is_active(delivery.to) {
                 continue;
             }
             match &in_flight.payload {
@@ -1081,6 +1268,231 @@ impl World {
                 self.process_mac_action(node, actions, now, observer);
             }
             other => unreachable!("assessment fired in state {other:?}"),
+        }
+    }
+
+    // ---- scenario: host churn & fault injection --------------------------
+
+    fn scenario_mut(&mut self) -> &mut ScenarioState {
+        self.scenario
+            .as_mut()
+            .expect("scenario event without scenario state")
+    }
+
+    /// Whether this run beacons HELLOs at all (mirrors the construction-
+    /// time decision in [`World::new`]).
+    fn hellos_enabled(&self) -> bool {
+        matches!(self.cfg.neighbor_info, NeighborInfo::Hello(_))
+            && (self.cfg.scheme.needs_neighbor_count() || self.cfg.scheme.needs_two_hop_hellos())
+    }
+
+    /// Applies the scenario timeline entry at `index`.
+    fn apply_scenario_action(&mut self, index: u32, now: SimTime, observer: &mut dyn SimObserver) {
+        let action = *self.scenario_mut().timeline.get(index as usize).1;
+        match action {
+            WorldAction::Leave { host } => self.deactivate_host(host, false),
+            WorldAction::Crash { host } => self.deactivate_host(host, true),
+            WorldAction::Join { host } => self.reactivate_host(index, host, false, now, observer),
+            WorldAction::Recover { host } => self.reactivate_host(index, host, true, now, observer),
+            WorldAction::BlackoutStart { a, b } => self.scenario_mut().blackouts.push((a, b)),
+            WorldAction::BlackoutEnd { a, b } => {
+                let st = self.scenario_mut();
+                let pos = st
+                    .blackouts
+                    .iter()
+                    .position(|&open| open == (a, b))
+                    .expect("blackout end without a matching start");
+                st.blackouts.remove(pos);
+            }
+            WorldAction::NoiseStart { drop_probability } => {
+                self.scenario_mut().noise.push(drop_probability)
+            }
+            WorldAction::NoiseEnd { drop_probability } => {
+                let st = self.scenario_mut();
+                let pos = st
+                    .noise
+                    .iter()
+                    .position(|open| open.to_bits() == drop_probability.to_bits())
+                    .expect("noise end without a matching start");
+                st.noise.remove(pos);
+            }
+            WorldAction::PartitionStart { region } => self.scenario_mut().partitions.push(region),
+            WorldAction::PartitionEnd { region } => {
+                let st = self.scenario_mut();
+                let pos = st
+                    .partitions
+                    .iter()
+                    .position(|open| *open == region)
+                    .expect("partition end without a matching start");
+                st.partitions.remove(pos);
+            }
+        }
+    }
+
+    /// Takes a host off the air: its radio stops hearing and sending, all
+    /// of its cancellable protocol activity is abandoned, and (on a crash)
+    /// its protocol state is wiped. Mobility continues — a parked radio
+    /// still moves with its host.
+    fn deactivate_host(&mut self, host: u32, crash: bool) {
+        let idx = NodeId::new(host).index();
+        {
+            let st = self.scenario_mut();
+            debug_assert!(st.active[idx], "deactivating a host that is already down");
+            st.active[idx] = false;
+            st.active_count -= 1;
+            st.node_epoch[idx] += 1;
+            if crash {
+                st.counts.crashes += 1;
+            } else {
+                st.counts.leaves += 1;
+            }
+        }
+        // Silence the beacon.
+        if let Some((key, _)) = self.nodes[idx].hello_pending.take() {
+            self.queue.cancel(key);
+        }
+        // Abandon per-packet scheme state: pending assessment wakeups are
+        // cancelled; MAC-queued rebroadcasts are handled by the queue
+        // sweep below (their handles land in `handles`, which the sweep
+        // supersedes because it also covers HELLO frames).
+        let mut keys = Vec::new();
+        let mut handles = Vec::new();
+        self.nodes[idx]
+            .packets
+            .drain_active(&mut keys, &mut handles);
+        for key in keys {
+            let cancelled = self.queue.cancel(key);
+            debug_assert!(cancelled, "assessment key was already spent");
+        }
+        // Sweep the MAC queue: every payload still in `outgoing` belongs
+        // to a queued (not yet airing) frame — `begin_transmission` takes
+        // the payload out the moment a frame hits the air.
+        let slots: Vec<u32> = self.nodes[idx]
+            .outgoing
+            .iter()
+            .map(|(slot, _)| slot)
+            .collect();
+        for slot in slots {
+            let n = &mut self.nodes[idx];
+            let cancelled = n.mac.cancel(FrameHandle(u64::from(slot)));
+            debug_assert!(cancelled, "orphan payload was not queued in the MAC");
+            if let Payload::Hello(hello) = n.outgoing.remove(slot) {
+                self.hello_pool.push(hello.neighbors);
+            }
+        }
+        // A crash loses everything above the radio; a graceful leave
+        // keeps the host's memory for its return.
+        if crash {
+            let n = &mut self.nodes[idx];
+            let joins = n.table.join_count();
+            let leaves = n.table.leave_count();
+            n.table = NeighborTable::new();
+            n.tracker = VariationTracker::new();
+            n.packets = PacketLedger::new();
+            let st = self.scenario_mut();
+            st.retired_joins += joins;
+            st.retired_leaves += leaves;
+        }
+    }
+
+    /// Puts a host back on the air with a factory-fresh radio/MAC, syncing
+    /// its carrier view with whatever is currently airing around it.
+    fn reactivate_host(
+        &mut self,
+        index: u32,
+        host: u32,
+        recover: bool,
+        now: SimTime,
+        observer: &mut dyn SimObserver,
+    ) {
+        let node = NodeId::new(host);
+        let idx = node.index();
+        // The host's final frame may still be draining out of its old
+        // radio (a transmission cannot be recalled once started). Let it
+        // finish before the replacement radio powers up; the retry is
+        // deterministic and terminates because the downed MAC cannot
+        // start anything new.
+        if self.medium.is_transmitting(node) {
+            self.queue.schedule(
+                now + manet_sim_engine::SimDuration::from_millis(5),
+                Event::Scenario { index },
+            );
+            return;
+        }
+        let (mac_rng, phase) = {
+            let st = self.scenario_mut();
+            debug_assert!(!st.active[idx], "reactivating a host that is already up");
+            st.active[idx] = true;
+            st.active_count += 1;
+            if recover {
+                st.counts.recoveries += 1;
+            } else {
+                st.counts.joins += 1;
+            }
+            st.respawn_seq += 1;
+            let mut rng = st.respawn_rng.fork(st.respawn_seq);
+            let phase = rng.gen_duration_up_to(manet_sim_engine::SimDuration::from_secs(1));
+            (rng, phase)
+        };
+        let old = std::mem::replace(&mut self.nodes[idx].mac, Dcf::new(mac_rng));
+        self.scenario_mut().retired_mac.merge(old.stats());
+        // The fresh MAC boots believing the medium is idle; correct that
+        // if a neighbor's frame is airing over this host right now.
+        if self.medium.is_carrier_busy(node) {
+            let action = self.nodes[idx].mac.on_medium_busy(now);
+            self.process_mac_action(node, action, now, observer);
+        }
+        if self.hellos_enabled() {
+            let at = now + phase;
+            let key = self.queue.schedule(at, Event::HelloTimer { node });
+            self.nodes[idx].hello_pending = Some((key, at));
+        }
+    }
+
+    /// Destroys individual deliveries of the frame that just started, per
+    /// the open fault windows: a link blackout beats a partition-boundary
+    /// crossing beats an ambient-noise draw (the draw is only made when no
+    /// deterministic fault already applies). Injection respects the
+    /// medium's first-cause-wins rule, so a delivery already garbled by a
+    /// collision stays a collision.
+    fn apply_link_faults(&mut self, frame: FrameId, sender: NodeId, listeners: &[NodeId]) {
+        enum FaultKind {
+            Blackout,
+            Partition,
+            Noise,
+        }
+        let st = self.scenario.as_mut().expect("faults without a scenario");
+        let s = sender.index() as u32;
+        let sender_pos = self.snap_positions[sender.index()];
+        // Independent overlapping bursts compose: survive all or drop.
+        let noise_drop = 1.0 - st.noise.iter().fold(1.0, |acc, &p| acc * (1.0 - p));
+        for &listener in listeners {
+            let l = listener.index() as u32;
+            let kind = if st
+                .blackouts
+                .iter()
+                .any(|&(a, b)| (a == s && b == l) || (a == l && b == s))
+            {
+                Some(FaultKind::Blackout)
+            } else if st.partitions.iter().any(|region| {
+                let lp = self.snap_positions[listener.index()];
+                region.contains(sender_pos.x, sender_pos.y) != region.contains(lp.x, lp.y)
+            }) {
+                Some(FaultKind::Partition)
+            } else if noise_drop > 0.0 && st.rng.gen_unit_f64() < noise_drop {
+                Some(FaultKind::Noise)
+            } else {
+                None
+            };
+            if let Some(kind) = kind {
+                if self.medium.inject_loss(frame, listener) {
+                    match kind {
+                        FaultKind::Blackout => st.counts.blackout_drops += 1,
+                        FaultKind::Partition => st.counts.partition_drops += 1,
+                        FaultKind::Noise => st.counts.noise_drops += 1,
+                    }
+                }
+            }
         }
     }
 }

@@ -2,10 +2,93 @@
 //! small configurations, the reported metrics must be internally
 //! consistent and runs must be reproducible.
 
-use broadcast_core::{AreaThreshold, CounterThreshold, NeighborInfo, SchemeSpec, SimConfig, World};
+use broadcast_core::{
+    AreaThreshold, ChurnKind, CounterThreshold, NeighborInfo, Region, Scenario, SchemeSpec,
+    SimConfig, World,
+};
 use manet_net::HelloIntervalPolicy;
-use manet_sim_engine::SimDuration;
+use manet_sim_engine::{SimDuration, SimTime};
 use manet_testkit::{prop_check, Gen};
+
+/// A random but always-valid churn-plus-faults scenario for `hosts` hosts
+/// (hosts must be at least 8 so the churners stay a strict minority).
+fn churn_scenario(g: &mut Gen, hosts: u32) -> Scenario {
+    let mut s = Scenario::new("prop").with_hosts(hosts);
+    for i in 0..g.u32_in(1..4) {
+        // Distinct hosts so per-host down/up alternation always holds.
+        let host = i * 2;
+        let down = g.u64_in(1..8);
+        let up = down + g.u64_in(1..6);
+        let (down_kind, up_kind) = if g.bool() {
+            (ChurnKind::Crash, ChurnKind::Recover)
+        } else {
+            (ChurnKind::Leave, ChurnKind::Join)
+        };
+        s = s.churn(SimTime::from_secs(down), down_kind, host).churn(
+            SimTime::from_secs(up),
+            up_kind,
+            host,
+        );
+    }
+    if g.bool() {
+        let from = g.u64_in(1..6);
+        s = s.blackout(
+            SimTime::from_secs(from),
+            SimTime::from_secs(from + g.u64_in(1..8)),
+            hosts - 1,
+            hosts - 2,
+        );
+    }
+    if g.bool() {
+        let from = g.u64_in(1..6);
+        s = s.noise(
+            SimTime::from_secs(from),
+            SimTime::from_secs(from + g.u64_in(1..8)),
+            g.f64_in(0.05..0.6),
+        );
+    }
+    if g.bool() {
+        let from = g.u64_in(1..6);
+        s = s.partition(
+            SimTime::from_secs(from),
+            SimTime::from_secs(from + g.u64_in(1..8)),
+            Region {
+                x0: 0.0,
+                y0: 0.0,
+                x1: g.f64_in(100.0..600.0),
+                y1: g.f64_in(100.0..600.0),
+            },
+        );
+    }
+    s
+}
+
+/// A blacked-out link drops deliveries and tallies them under its own
+/// cause. Dense map (everyone in everyone's range) so the pair is in
+/// contact for the whole window.
+#[test]
+fn blackout_drops_are_attributed() {
+    let scenario = Scenario::new("blackout").with_hosts(10).blackout(
+        SimTime::from_secs(0),
+        SimTime::from_secs(3_600),
+        0,
+        1,
+    );
+    let config = SimConfig::builder(1, SchemeSpec::Flooding)
+        .hosts(10)
+        .broadcasts(8)
+        .warmup(SimDuration::from_secs(1))
+        .scenario(scenario)
+        .seed(7)
+        .build();
+    let report = World::new(config).run();
+    let counts = report.scenario.expect("scenario runs report their counts");
+    assert!(
+        counts.blackout_drops > 0,
+        "hosts 0 and 1 exchanged frames on a 500 m map for the whole run: {counts:?}"
+    );
+    assert_eq!(report.losses.injected, counts.injected_drops());
+}
 
 fn scheme(g: &mut Gen) -> SchemeSpec {
     match g.usize_in(0..7) {
@@ -85,6 +168,52 @@ prop_check! {
         assert_eq!(a.data_frames, b.data_frames);
         assert_eq!(a.hello_packets, b.hello_packets);
         assert_eq!(a.collisions, b.collisions);
+    }
+
+    /// Under arbitrary churn and fault injection, the reachability
+    /// accounting stays sound (`delivered ⊆ reachable-at-send-time`),
+    /// injected faults are attributed to their own loss cause, and runs
+    /// remain reproducible.
+    fn churn_preserves_invariants(g, cases = 16) {
+        let scheme = scheme(g);
+        let hosts = g.u32_in(10..24);
+        let seed = g.u64();
+        let scenario = churn_scenario(g, hosts);
+        let build = || {
+            SimConfig::builder(4, scheme.clone())
+                .hosts(hosts)
+                .broadcasts(4)
+                .warmup(SimDuration::from_secs(2))
+                .scenario(scenario.clone())
+                .seed(seed)
+                .build()
+        };
+        let report = World::new(build()).run();
+
+        let counts = report.scenario.expect("scenario runs report their counts");
+        // Every applied reactivation pairs with an earlier deactivation
+        // (the tail of the timeline may fall past the end of the run).
+        assert!(counts.joins + counts.recoveries <= counts.leaves + counts.crashes);
+        // No drop_probability is configured, so every injected loss in the
+        // medium's ledger came from the scenario, attributed by kind.
+        assert_eq!(report.losses.injected, counts.injected_drops());
+        assert!(report.collisions >= report.losses.overlap);
+        for outcome in &report.per_broadcast {
+            assert!(
+                outcome.received <= outcome.reachable,
+                "delivered ({}) must be within reach at send time ({})",
+                outcome.received,
+                outcome.reachable,
+            );
+            assert!(outcome.rebroadcast <= outcome.received);
+        }
+
+        let again = World::new(build()).run();
+        assert_eq!(report.reachability, again.reachability);
+        assert_eq!(report.saved_rebroadcasts, again.saved_rebroadcasts);
+        assert_eq!(report.data_frames, again.data_frames);
+        assert_eq!(report.losses, again.losses);
+        assert_eq!(report.scenario, again.scenario);
     }
 
     /// Flooding never saves a rebroadcast, whatever the configuration.

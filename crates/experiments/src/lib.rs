@@ -21,7 +21,9 @@
 pub mod figures {
     //! One module per reproduced figure.
     pub mod ext_capture;
+    pub mod ext_churn;
     pub mod ext_distance;
+    pub mod ext_hosts;
     pub mod ext_load;
     pub mod ext_mobility;
     pub mod ext_oracle;
@@ -43,9 +45,11 @@ mod metrics_out;
 mod runner;
 mod table;
 
+pub use manet_sim_engine::DEFAULT_LATENCY_BOUNDS_S;
 pub use metrics_out::render_metrics_json;
 pub use runner::{
-    drain_metrics_capture, enable_metrics_capture, metrics_record, parallel_map, run_averaged,
+    drain_metrics_capture, enable_metrics_capture, enable_metrics_capture_with_bounds,
+    metrics_record, metrics_record_with_bounds, parallel_map, record_metrics, run_averaged,
     run_grid, AveragedReport, MetricsRecord, RunMetricsSummary, Scale, BASE_SEED, PAPER_MAPS,
 };
 pub use table::{pct, secs, Table};
@@ -75,6 +79,8 @@ pub fn all_figures() -> Vec<(&'static str, FigureRunner)> {
         ("ext-capture", figures::ext_capture::run),
         ("ext-mobility", figures::ext_mobility::run),
         ("ext-load", figures::ext_load::run),
+        ("ext-hosts", figures::ext_hosts::run),
+        ("ext-churn", figures::ext_churn::run),
         ("claims", claims::run),
     ]
 }

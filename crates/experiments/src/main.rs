@@ -20,7 +20,7 @@ fn usage() -> &'static str {
      \n\
      figures: fig1 fig2 fig5a fig5b fig5c fig5d fig6 fig7 fig8 fig9\n\
      \x20        fig10 fig11 fig12 fig13 ext-distance ext-oracle ext-capture\n\
-     \x20        ext-mobility ext-load claims | all\n\
+     \x20        ext-mobility ext-load ext-hosts ext-churn claims | all\n\
      \n\
      options:\n\
      \x20 --scale quick|default|full   work per data point (default: default)\n\

@@ -76,6 +76,19 @@ fn registry_for(record: &MetricsRecord) -> MetricsRegistry {
     );
     reg.set_counter("suppression.probabilistic", m.suppression.probabilistic);
 
+    // Scenario counters appear only on scenario (churn/fault) runs, so
+    // non-scenario documents stay byte-identical to earlier versions.
+    if let Some(sc) = &m.scenario {
+        reg.set_counter("scenario.leaves", sc.leaves);
+        reg.set_counter("scenario.joins", sc.joins);
+        reg.set_counter("scenario.crashes", sc.crashes);
+        reg.set_counter("scenario.recoveries", sc.recoveries);
+        reg.set_counter("scenario.blackout_drops", sc.blackout_drops);
+        reg.set_counter("scenario.partition_drops", sc.partition_drops);
+        reg.set_counter("scenario.noise_drops", sc.noise_drops);
+        reg.set_counter("scenario.injected_drops", sc.injected_drops());
+    }
+
     reg.set_histogram("latency_s", m.latency_s.clone());
     reg.set_histogram("backoff_slots", m.backoff_slots.clone());
     reg

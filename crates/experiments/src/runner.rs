@@ -6,9 +6,10 @@ use std::sync::Mutex;
 use std::thread;
 
 use broadcast_core::{
-    LossCounters, MacStats, NetActivity, SimConfig, SimReport, SuppressionCounts, World,
+    LossCounters, MacStats, NetActivity, ScenarioCounts, SimConfig, SimReport, SuppressionCounts,
+    World,
 };
-use manet_sim_engine::{Histogram, HistogramSnapshot};
+use manet_sim_engine::{Histogram, HistogramSnapshot, DEFAULT_LATENCY_BOUNDS_S};
 
 /// How much work a figure reproduction does.
 ///
@@ -130,27 +131,38 @@ pub struct RunMetricsSummary {
     pub latency_s: HistogramSnapshot,
     /// Distribution of the MAC's backoff draws, in slots.
     pub backoff_slots: HistogramSnapshot,
+    /// Scenario activity summed over repeats; `None` when no run carried
+    /// a scenario.
+    pub scenario: Option<ScenarioCounts>,
 }
-
-/// Bucket edges of the latency histogram, seconds. The paper's latencies
-/// live in the few-millisecond to few-hundred-millisecond range; the top
-/// bucket catches pathological stragglers.
-const LATENCY_BOUNDS_S: [f64; 12] = [
-    0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 5.0,
-];
 
 impl RunMetricsSummary {
     fn from_reports(reports: &[SimReport]) -> Self {
+        Self::from_reports_with_bounds(reports, &DEFAULT_LATENCY_BOUNDS_S)
+    }
+
+    /// Sums `reports` with explicit latency-histogram bucket edges in
+    /// seconds (strictly increasing; see [`Histogram::new`]). The default
+    /// edges ([`DEFAULT_LATENCY_BOUNDS_S`]) suit the paper's
+    /// few-millisecond to few-hundred-millisecond range; sweeps whose
+    /// latencies live elsewhere (large maps, heavy churn) pass their own.
+    pub fn from_reports_with_bounds(reports: &[SimReport], latency_bounds_s: &[f64]) -> Self {
         let mut losses = LossCounters::default();
         let mut mac = MacStats::default();
         let mut net = NetActivity::default();
         let mut suppression = SuppressionCounts::default();
-        let mut latency = Histogram::new(&LATENCY_BOUNDS_S);
+        let mut scenario: Option<ScenarioCounts> = None;
+        let mut latency = Histogram::new(latency_bounds_s);
         for r in reports {
             losses.merge(&r.losses);
             mac.merge(&r.mac);
             net.merge(&r.net);
             suppression.merge(&r.suppression);
+            if let Some(counts) = &r.scenario {
+                scenario
+                    .get_or_insert_with(ScenarioCounts::default)
+                    .merge(counts);
+            }
             for b in &r.per_broadcast {
                 latency.record(b.latency.as_secs_f64());
             }
@@ -170,6 +182,7 @@ impl RunMetricsSummary {
             suppression,
             latency_s: latency.snapshot(),
             backoff_slots: backoff.snapshot(),
+            scenario,
         }
     }
 }
@@ -188,27 +201,47 @@ pub struct MetricsRecord {
     pub metrics: RunMetricsSummary,
 }
 
+/// What an enabled capture sink holds: the records so far plus the
+/// latency-histogram bucket edges every record is summed with.
+#[derive(Debug)]
+struct CaptureState {
+    latency_bounds_s: Vec<f64>,
+    records: Vec<MetricsRecord>,
+}
+
 /// The capture sink: `None` while disabled (the common case — recording
 /// costs nothing when off). A plain `Mutex` rather than thread-locals
 /// because `run_grid` fans runs out over worker threads.
-static METRICS_SINK: Mutex<Option<Vec<MetricsRecord>>> = Mutex::new(None);
+static METRICS_SINK: Mutex<Option<CaptureState>> = Mutex::new(None);
 
-fn sink_lock() -> std::sync::MutexGuard<'static, Option<Vec<MetricsRecord>>> {
+fn sink_lock() -> std::sync::MutexGuard<'static, Option<CaptureState>> {
     // A worker that panicked mid-run poisons the lock; the sink's data is
     // append-only and stays coherent, so recover rather than cascade.
     METRICS_SINK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Starts capturing a [`MetricsRecord`] per [`run_averaged`] call,
-/// discarding anything captured earlier.
+/// Starts capturing a [`MetricsRecord`] per [`run_averaged`] call with the
+/// default latency buckets, discarding anything captured earlier.
 pub fn enable_metrics_capture() {
-    *sink_lock() = Some(Vec::new());
+    enable_metrics_capture_with_bounds(&DEFAULT_LATENCY_BOUNDS_S);
+}
+
+/// Starts capturing with explicit latency-histogram bucket edges, seconds
+/// (strictly increasing). Existing captures are discarded.
+pub fn enable_metrics_capture_with_bounds(latency_bounds_s: &[f64]) {
+    *sink_lock() = Some(CaptureState {
+        latency_bounds_s: latency_bounds_s.to_vec(),
+        records: Vec::new(),
+    });
 }
 
 /// Stops capturing and returns the captured records sorted by
 /// `(scheme, map)` — worker scheduling must not leak into the output.
 pub fn drain_metrics_capture() -> Vec<MetricsRecord> {
-    let mut records = sink_lock().take().unwrap_or_default();
+    let mut records = sink_lock()
+        .take()
+        .map(|state| state.records)
+        .unwrap_or_default();
     records.sort_by(|a, b| (&a.scheme, &a.map).cmp(&(&b.scheme, &b.map)));
     records
 }
@@ -230,12 +263,21 @@ pub fn run_averaged(config: &SimConfig, repeats: u64) -> AveragedReport {
         World::new(c).run()
     });
     let averaged = AveragedReport::from_reports(&reports);
-    let mut sink = sink_lock();
-    if let Some(records) = sink.as_mut() {
-        records.push(metrics_record(&reports));
-    }
-    drop(sink);
+    record_metrics(&reports);
     averaged
+}
+
+/// Feeds already-run reports into the capture sink as one record (a no-op
+/// while capture is disabled). [`run_averaged`] calls this itself; figures
+/// that drive [`World`] directly — because they need the full
+/// [`SimReport`], e.g. per-cause loss splits — call it so their runs still
+/// land in the `--metrics` document.
+pub fn record_metrics(reports: &[SimReport]) {
+    let mut sink = sink_lock();
+    if let Some(state) = sink.as_mut() {
+        let record = metrics_record_with_bounds(reports, &state.latency_bounds_s);
+        state.records.push(record);
+    }
 }
 
 /// Builds the `--metrics` record for reports that already ran — the same
@@ -252,6 +294,25 @@ pub fn metrics_record(reports: &[SimReport]) -> MetricsRecord {
         map: reports[0].map.clone(),
         repeats: reports.len(),
         metrics: RunMetricsSummary::from_reports(reports),
+    }
+}
+
+/// [`metrics_record`] with explicit latency-histogram bucket edges.
+///
+/// # Panics
+///
+/// Panics when `reports` is empty or the edges are not strictly
+/// increasing.
+pub fn metrics_record_with_bounds(
+    reports: &[SimReport],
+    latency_bounds_s: &[f64],
+) -> MetricsRecord {
+    assert!(!reports.is_empty(), "need at least one report");
+    MetricsRecord {
+        scheme: reports[0].scheme.clone(),
+        map: reports[0].map.clone(),
+        repeats: reports.len(),
+        metrics: RunMetricsSummary::from_reports_with_bounds(reports, latency_bounds_s),
     }
 }
 
@@ -504,6 +565,33 @@ mod tests {
             rec.metrics, seq_metrics,
             "summed metrics must be bit-identical"
         );
+    }
+
+    #[test]
+    fn custom_latency_bounds_reach_the_capture_sink() {
+        let config = broadcast_core::SimConfig::builder(3, SchemeSpec::Counter(4))
+            .hosts(18)
+            .broadcasts(4)
+            .seed(21)
+            .build();
+        let coarse = [0.01, 1.0];
+        enable_metrics_capture_with_bounds(&coarse);
+        let _ = run_averaged(&config, 1);
+        let records = drain_metrics_capture();
+        let rec = records
+            .iter()
+            .find(|r| r.scheme == "C=4" && r.map == "3x3")
+            .expect("captured the C=4 record");
+        assert_eq!(
+            rec.metrics.latency_s.bounds,
+            coarse.to_vec(),
+            "sink uses the configured bucket edges"
+        );
+        // The default-bounds path is byte-identical to the old constant.
+        let reports = vec![World::new(config).run()];
+        let default_rec = metrics_record(&reports);
+        let explicit = metrics_record_with_bounds(&reports, &DEFAULT_LATENCY_BOUNDS_S);
+        assert_eq!(default_rec, explicit);
     }
 
     #[test]

@@ -143,6 +143,14 @@ impl NeighborTable {
 
     /// Drops every neighbor whose last HELLO is more than two of its own
     /// hello intervals old, returning the leave events.
+    ///
+    /// An expired host is also purged from every surviving entry's two-hop
+    /// list: first-hand silence supersedes a relay's stale claim that the
+    /// departed host is still around. (A later HELLO re-listing the host
+    /// reinstates it — the relay may legitimately still hear it.) Without
+    /// this, a host that left the network lingers in `N_{x,h}` sets until
+    /// each relay happens to re-beacon, and the neighbor-coverage scheme
+    /// keeps "covering" a ghost.
     pub fn expire(&mut self, now: SimTime) -> Vec<MembershipChange> {
         match self.min_deadline {
             // Nothing can have expired yet: every deadline is at or past
@@ -167,6 +175,20 @@ impl NeighborTable {
         leaves.sort_by_key(|change| match change {
             MembershipChange::Left(id) | MembershipChange::Joined(id) => *id,
         });
+        if !leaves.is_empty() {
+            // Expiry is rare relative to HELLO traffic, so a linear sweep
+            // over the surviving two-hop lists is fine here.
+            let departed = |id: &NodeId| {
+                leaves
+                    .binary_search_by_key(id, |change| match change {
+                        MembershipChange::Left(id) | MembershipChange::Joined(id) => *id,
+                    })
+                    .is_ok()
+            };
+            for entry in self.entries.values_mut() {
+                entry.neighbors.retain(|id| !departed(id));
+            }
+        }
         self.leaves += leaves.len() as u64;
         leaves
     }
@@ -277,6 +299,35 @@ mod tests {
             vec![MembershipChange::Left(id(1))],
             "entry must expire just past the deadline"
         );
+    }
+
+    #[test]
+    fn expiry_purges_departed_hosts_from_two_hop_lists() {
+        // Relay 2 (slow 5 s interval) claims 1 and 9 as neighbors; host 1
+        // is also a direct neighbor on a 1 s interval. When host 1's own
+        // entry expires, it must vanish from the relay's two-hop list too
+        // — with the same exclusive boundary as one-hop expiry.
+        let mut t = NeighborTable::new();
+        t.record_hello(id(1), SimTime::ZERO, SEC, &[]);
+        t.record_hello(id(2), SimTime::ZERO, SEC * 5, &[id(1), id(9)]);
+        assert!(t.expire(SimTime::from_secs(2)).is_empty());
+        assert_eq!(
+            t.neighbors_of(id(2)),
+            Some(&[id(1), id(9)][..]),
+            "two-hop claim intact at exactly host 1's deadline"
+        );
+        assert_eq!(
+            t.expire(SimTime::from_nanos(2_000_000_001)),
+            vec![MembershipChange::Left(id(1))]
+        );
+        assert_eq!(
+            t.neighbors_of(id(2)),
+            Some(&[id(9)][..]),
+            "departed host purged from the surviving relay's list"
+        );
+        // A fresh HELLO re-listing host 1 reinstates the claim.
+        t.record_hello(id(2), SimTime::from_secs(3), SEC * 5, &[id(1), id(9)]);
+        assert_eq!(t.neighbors_of(id(2)), Some(&[id(1), id(9)][..]));
     }
 
     #[test]

@@ -199,6 +199,42 @@ impl NeighborGrid {
         radius: f64,
         out: &mut Vec<NodeId>,
     ) {
+        self.reachable_inner(positions, source, radius, None, out);
+    }
+
+    /// As [`reachable_into`](Self::reachable_into), restricted to active
+    /// hosts: a host with `active[i] == false` neither relays nor appears
+    /// in `out`. Used under scenario churn, where departed hosts still
+    /// occupy position slots but cannot forward or receive.
+    ///
+    /// # Panics
+    ///
+    /// As for [`in_range_into`](Self::in_range_into), plus when `active`
+    /// disagrees in length with `positions`.
+    pub fn reachable_masked_into(
+        &mut self,
+        positions: &[Vec2],
+        source: NodeId,
+        radius: f64,
+        active: &[bool],
+        out: &mut Vec<NodeId>,
+    ) {
+        assert_eq!(
+            active.len(),
+            positions.len(),
+            "active mask disagrees with positions"
+        );
+        self.reachable_inner(positions, source, radius, Some(active), out);
+    }
+
+    fn reachable_inner(
+        &mut self,
+        positions: &[Vec2],
+        source: NodeId,
+        radius: f64,
+        active: Option<&[bool]>,
+        out: &mut Vec<NodeId>,
+    ) {
         self.check_query(positions, radius);
         out.clear();
         self.epoch = self.epoch.wrapping_add(1);
@@ -218,7 +254,9 @@ impl NeighborGrid {
             // which only reads `cells`.
             let mut mark = std::mem::take(&mut self.mark);
             self.for_each_candidate(self.cell_of[u as usize], |v| {
-                if mark[v as usize] != epoch && positions[v as usize].distance_squared_to(pu) <= r2
+                if mark[v as usize] != epoch
+                    && active.is_none_or(|m| m[v as usize])
+                    && positions[v as usize].distance_squared_to(pu) <= r2
                 {
                     mark[v as usize] = epoch;
                     stack.push(v);
@@ -351,6 +389,37 @@ mod tests {
                 query_both(&mut grid, &positions, i);
             }
         }
+    }
+
+    #[test]
+    fn masked_reachability_removes_relays_and_targets() {
+        // A chain 0-1-2-3: masking out host 1 severs everything past it.
+        let positions: Vec<Vec2> = (0..4).map(|i| Vec2::new(i as f64 * 450.0, 0.0)).collect();
+        let mut grid = NeighborGrid::new(2_000.0, 500.0, R);
+        grid.update(&positions);
+        let mut out = Vec::new();
+        grid.reachable_masked_into(&positions, NodeId::new(0), R, &[true; 4], &mut out);
+        assert_eq!(out, [NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
+        grid.reachable_masked_into(
+            &positions,
+            NodeId::new(0),
+            R,
+            &[true, false, true, true],
+            &mut out,
+        );
+        assert_eq!(out, [], "host 1 was the only relay");
+        grid.reachable_masked_into(
+            &positions,
+            NodeId::new(0),
+            R,
+            &[true, true, true, false],
+            &mut out,
+        );
+        assert_eq!(
+            out,
+            [NodeId::new(1), NodeId::new(2)],
+            "a masked leaf just disappears"
+        );
     }
 
     #[test]

@@ -311,6 +311,34 @@ impl Medium {
         self.losses
     }
 
+    /// Scripted fault injection: marks `frame` as lost at `listener` with
+    /// [`LossCause::Injected`] unless an earlier cause already struck it.
+    ///
+    /// This is the hook the scenario subsystem drives for link blackouts,
+    /// region partitions, and noise bursts. The frame stays on the air —
+    /// carrier sense and overlap accounting are unaffected (deep-fade
+    /// semantics) — it just arrives undecodable. Returns whether the
+    /// injection applied: `false` means an earlier cause (overlap,
+    /// half-duplex miss, channel drop) already claimed the frame, and the
+    /// usual first-cause-wins accounting stands.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `frame` is not on the air at `listener`.
+    pub fn inject_loss(&mut self, frame: FrameId, listener: NodeId) -> bool {
+        let incoming = self.radios[listener.index()]
+            .incoming
+            .iter_mut()
+            .find(|inc| inc.frame == frame)
+            .expect("inject_loss: frame is not on the air at listener");
+        if incoming.cause.is_none() {
+            incoming.cause = Some(LossCause::Injected);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Puts a frame on the air from `source`, heard by `listeners`,
     /// lasting until `end`.
     ///
@@ -611,6 +639,41 @@ mod tests {
         assert_eq!(end.deliveries.len(), 3);
         assert!(end.deliveries.iter().all(|d| d.decoded));
         assert_eq!(m.collision_count(), 0);
+    }
+
+    #[test]
+    fn injected_loss_garbles_one_listener_without_touching_carrier() {
+        let mut m = Medium::new(4);
+        let t0 = SimTime::ZERO;
+        let start = m.begin_transmission(NodeId::new(0), t0, t0 + AIRTIME, &ids(1..4));
+        assert!(
+            m.inject_loss(start.frame, NodeId::new(2)),
+            "first cause wins"
+        );
+        assert!(
+            !m.inject_loss(start.frame, NodeId::new(2)),
+            "already garbled: injection must report not-applied"
+        );
+        assert!(
+            m.is_carrier_busy(NodeId::new(2)),
+            "fault is a deep fade, not silence"
+        );
+        let end = m.end_transmission(start.frame, t0 + AIRTIME);
+        let outcomes: Vec<(bool, Option<LossCause>)> = end
+            .deliveries
+            .iter()
+            .map(|d| (d.decoded, d.cause))
+            .collect();
+        assert_eq!(
+            outcomes,
+            vec![
+                (true, None),
+                (false, Some(LossCause::Injected)),
+                (true, None)
+            ]
+        );
+        assert_eq!(m.loss_counters().injected, 1);
+        assert_eq!(m.collision_count(), 0, "injected loss is not a collision");
     }
 
     #[test]

@@ -1,0 +1,510 @@
+//! JSON encoding of a scenario (`manet-scenario/1`).
+//!
+//! The document mirrors the text format but carries times as integer
+//! nanoseconds, which keeps round-trips exact without a decimal-seconds
+//! convention:
+//!
+//! ```json
+//! {
+//!   "schema": "manet-scenario/1",
+//!   "name": "churn_quick",
+//!   "hosts": 100,
+//!   "churn": [{"at_ns": 12500000000, "kind": "leave", "host": 5}],
+//!   "blackouts": [{"from_ns": 0, "until_ns": 5000000000, "a": 3, "b": 9}],
+//!   "noise": [{"from_ns": 0, "until_ns": 5000000000, "drop_probability": 0.25}],
+//!   "partitions": [{"from_ns": 0, "until_ns": 1000000000,
+//!                   "x0": 0, "y0": 0, "x1": 1000, "y1": 2500}]
+//! }
+//! ```
+//!
+//! The parser below is a minimal in-tree recursive-descent JSON reader
+//! (the workspace has no third-party dependencies). It accepts arbitrary
+//! well-formed JSON; scenario extraction then checks the schema. Number
+//! literals are kept as source text so integer nanoseconds parse through
+//! `u64`, never losing precision in an `f64`.
+
+use manet_sim_engine::{json_escape, SimTime};
+
+use crate::{ChurnKind, LinkBlackout, NoiseBurst, Partition, Region, Scenario, ScenarioError};
+
+/// A parsed JSON value. Object member order is preserved but irrelevant to
+/// scenario extraction.
+enum Json {
+    Null,
+    // The payload is carried for completeness but the scenario schema has
+    // no boolean fields, so nothing outside tests reads it.
+    Bool(#[allow(dead_code)] bool),
+    /// The literal source text of the number (exact-precision extraction).
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn err(&self, message: impl Into<String>) -> ScenarioError {
+        ScenarioError::new(format!("JSON offset {}: {}", self.pos, message.into()))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ScenarioError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ScenarioError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ScenarioError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ScenarioError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ScenarioError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            // Surrogate pairs are not needed by this schema;
+                            // reject rather than mis-decode.
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| self.err("unsupported \\u code point"))?;
+                            self.pos += 4;
+                            out.push(c);
+                        }
+                        other => return Err(self.err(format!("bad escape '\\{}'", other as char))),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ScenarioError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        if text.parse::<f64>().map(f64::is_finite) != Ok(true) {
+            return Err(self.err(format!("bad number {text:?}")));
+        }
+        Ok(Json::Num(text.to_string()))
+    }
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(text) => text.parse().ok(),
+            _ => None,
+        }
+    }
+
+    fn as_u32(&self) -> Option<u32> {
+        match self {
+            Json::Num(text) => text.parse().ok(),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(text) => text.parse().ok().filter(|v: &f64| v.is_finite()),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn field<'a>(item: &'a Json, section: &str, key: &str) -> Result<&'a Json, ScenarioError> {
+    item.get(key)
+        .ok_or_else(|| ScenarioError::new(format!("{section} entry is missing {key:?}")))
+}
+
+fn time_field(item: &Json, section: &str, key: &str) -> Result<SimTime, ScenarioError> {
+    field(item, section, key)?
+        .as_u64()
+        .map(SimTime::from_nanos)
+        .ok_or_else(|| ScenarioError::new(format!("{section}.{key} must be integer nanoseconds")))
+}
+
+fn u32_field(item: &Json, section: &str, key: &str) -> Result<u32, ScenarioError> {
+    field(item, section, key)?
+        .as_u32()
+        .ok_or_else(|| ScenarioError::new(format!("{section}.{key} must be a u32")))
+}
+
+fn f64_field(item: &Json, section: &str, key: &str) -> Result<f64, ScenarioError> {
+    field(item, section, key)?
+        .as_f64()
+        .ok_or_else(|| ScenarioError::new(format!("{section}.{key} must be a finite number")))
+}
+
+fn section<'a>(root: &'a Json, key: &str) -> Result<&'a [Json], ScenarioError> {
+    match root.get(key) {
+        None => Ok(&[]),
+        Some(value) => value
+            .as_arr()
+            .ok_or_else(|| ScenarioError::new(format!("{key:?} must be an array"))),
+    }
+}
+
+/// Parses the JSON encoding.
+pub(crate) fn parse_scenario(input: &str) -> Result<Scenario, ScenarioError> {
+    let mut reader = Reader {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let root = reader.value()?;
+    reader.skip_ws();
+    if reader.pos != reader.bytes.len() {
+        return Err(reader.err("trailing garbage after document"));
+    }
+
+    let schema = root
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ScenarioError::new("missing \"schema\" field"))?;
+    if schema != crate::SCHEMA {
+        return Err(ScenarioError::new(format!(
+            "unsupported schema {schema:?} (expected {:?})",
+            crate::SCHEMA
+        )));
+    }
+    let mut scenario = Scenario::new(
+        root.get("name")
+            .and_then(Json::as_str)
+            .unwrap_or("scenario"),
+    );
+    if let Some(hosts) = root.get("hosts") {
+        scenario.hosts = Some(
+            hosts
+                .as_u32()
+                .ok_or_else(|| ScenarioError::new("\"hosts\" must be a u32"))?,
+        );
+    }
+    for item in section(&root, "churn")? {
+        let label = field(item, "churn", "kind")?
+            .as_str()
+            .ok_or_else(|| ScenarioError::new("churn.kind must be a string"))?;
+        let kind = ChurnKind::from_label(label)
+            .ok_or_else(|| ScenarioError::new(format!("unknown churn kind {label:?}")))?;
+        scenario.churn.push(crate::ChurnEvent {
+            at: time_field(item, "churn", "at_ns")?,
+            kind,
+            host: u32_field(item, "churn", "host")?,
+        });
+    }
+    for item in section(&root, "blackouts")? {
+        scenario.blackouts.push(LinkBlackout {
+            from: time_field(item, "blackouts", "from_ns")?,
+            until: time_field(item, "blackouts", "until_ns")?,
+            a: u32_field(item, "blackouts", "a")?,
+            b: u32_field(item, "blackouts", "b")?,
+        });
+    }
+    for item in section(&root, "noise")? {
+        scenario.noise.push(NoiseBurst {
+            from: time_field(item, "noise", "from_ns")?,
+            until: time_field(item, "noise", "until_ns")?,
+            drop_probability: f64_field(item, "noise", "drop_probability")?,
+        });
+    }
+    for item in section(&root, "partitions")? {
+        scenario.partitions.push(Partition {
+            from: time_field(item, "partitions", "from_ns")?,
+            until: time_field(item, "partitions", "until_ns")?,
+            region: Region {
+                x0: f64_field(item, "partitions", "x0")?,
+                y0: f64_field(item, "partitions", "y0")?,
+                x1: f64_field(item, "partitions", "x1")?,
+                y1: f64_field(item, "partitions", "y1")?,
+            },
+        });
+    }
+    Ok(scenario)
+}
+
+/// Renders the JSON encoding (stable member order, one line).
+pub(crate) fn render_scenario(scenario: &Scenario) -> String {
+    use crate::text::render_f64 as num;
+
+    let mut out = format!(
+        "{{\"schema\":\"{}\",\"name\":\"{}\"",
+        crate::SCHEMA,
+        json_escape(&scenario.name)
+    );
+    if let Some(hosts) = scenario.hosts {
+        out.push_str(&format!(",\"hosts\":{hosts}"));
+    }
+    let churn: Vec<String> = scenario
+        .churn
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"at_ns\":{},\"kind\":\"{}\",\"host\":{}}}",
+                e.at.as_nanos(),
+                e.kind.label(),
+                e.host
+            )
+        })
+        .collect();
+    let blackouts: Vec<String> = scenario
+        .blackouts
+        .iter()
+        .map(|w| {
+            format!(
+                "{{\"from_ns\":{},\"until_ns\":{},\"a\":{},\"b\":{}}}",
+                w.from.as_nanos(),
+                w.until.as_nanos(),
+                w.a,
+                w.b
+            )
+        })
+        .collect();
+    let noise: Vec<String> = scenario
+        .noise
+        .iter()
+        .map(|b| {
+            format!(
+                "{{\"from_ns\":{},\"until_ns\":{},\"drop_probability\":{}}}",
+                b.from.as_nanos(),
+                b.until.as_nanos(),
+                num(b.drop_probability)
+            )
+        })
+        .collect();
+    let partitions: Vec<String> = scenario
+        .partitions
+        .iter()
+        .map(|w| {
+            format!(
+                "{{\"from_ns\":{},\"until_ns\":{},\"x0\":{},\"y0\":{},\"x1\":{},\"y1\":{}}}",
+                w.from.as_nanos(),
+                w.until.as_nanos(),
+                num(w.region.x0),
+                num(w.region.y0),
+                num(w.region.x1),
+                num(w.region.y1)
+            )
+        })
+        .collect();
+    out.push_str(&format!(
+        ",\"churn\":[{}],\"blackouts\":[{}],\"noise\":[{}],\"partitions\":[{}]}}",
+        churn.join(","),
+        blackouts.join(","),
+        noise.join(","),
+        partitions.join(",")
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_handles_nesting_strings_and_numbers() {
+        let mut r = Reader {
+            bytes: br#" {"a": [1, -2.5e1, "x\nA"], "b": {"c": true, "d": null}} "#,
+            pos: 0,
+        };
+        let v = r.value().unwrap();
+        let arr = v.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(-25.0));
+        assert_eq!(arr[2].as_str(), Some("x\nA"));
+        assert!(matches!(
+            v.get("b").and_then(|b| b.get("c")),
+            Some(Json::Bool(true))
+        ));
+        assert!(matches!(
+            v.get("b").and_then(|b| b.get("d")),
+            Some(Json::Null)
+        ));
+    }
+
+    #[test]
+    fn reader_rejects_malformed_documents() {
+        for bad in [
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "{\"a\":nul}",
+            "01x",
+        ] {
+            let mut r = Reader {
+                bytes: bad.as_bytes(),
+                pos: 0,
+            };
+            let all_consumed = r.value().is_ok() && r.pos == r.bytes.len();
+            assert!(!all_consumed, "{bad:?} should not parse cleanly");
+        }
+    }
+
+    #[test]
+    fn nanosecond_times_survive_u64_precision() {
+        // 2^53 + 1 ns is not representable as f64; the raw-text number
+        // path must still recover it exactly.
+        let ns = (1u64 << 53) + 1;
+        let doc = format!(
+            "{{\"schema\":\"manet-scenario/1\",\"name\":\"t\",\"churn\":[{{\"at_ns\":{ns},\"kind\":\"leave\",\"host\":0}}]}}"
+        );
+        let s = parse_scenario(&doc).unwrap();
+        assert_eq!(s.churn[0].at.as_nanos(), ns);
+    }
+
+    #[test]
+    fn schema_field_is_required_and_checked() {
+        assert!(parse_scenario("{\"name\":\"x\"}").is_err());
+        assert!(parse_scenario("{\"schema\":\"manet-scenario/2\",\"name\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn missing_sections_default_to_empty() {
+        let s = parse_scenario("{\"schema\":\"manet-scenario/1\",\"name\":\"bare\"}").unwrap();
+        assert_eq!(s.event_count(), 0);
+        assert_eq!(s.hosts, None);
+    }
+}

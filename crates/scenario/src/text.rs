@@ -1,0 +1,312 @@
+//! Line-based text encoding of a scenario (`manet-scenario/1`).
+//!
+//! The format is deliberately diff-friendly: one declaration per line,
+//! `#` comments, blank lines ignored. The first significant line must be
+//! the schema identifier. Directives:
+//!
+//! ```text
+//! manet-scenario/1
+//! name churn_quick
+//! hosts 100
+//! at 12.5 leave 5
+//! at 14 join 5
+//! at 8 crash 7
+//! at 20.25 recover 7
+//! from 5 until 15 blackout 3 9
+//! from 5 until 15 noise 0.25
+//! from 30 until 60 partition 0 0 1000 2500
+//! ```
+//!
+//! Times are decimal seconds with at most nine fractional digits, parsed
+//! exactly (digit by digit, not through `f64`) so that serialize → parse
+//! round-trips to the same nanosecond value.
+
+use manet_sim_engine::SimTime;
+
+use crate::{ChurnKind, LinkBlackout, NoiseBurst, Partition, Region, Scenario, ScenarioError};
+
+/// Parses the text encoding.
+pub(crate) fn parse_scenario(input: &str) -> Result<Scenario, ScenarioError> {
+    let mut scenario = Scenario::new("scenario");
+    let mut saw_schema = false;
+    for (index, raw) in input.lines().enumerate() {
+        let line_no = index + 1;
+        let line = match raw.find('#') {
+            Some(at) => &raw[..at],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !saw_schema {
+            if line != crate::SCHEMA {
+                return Err(ScenarioError::at_line(
+                    line_no,
+                    format!("expected schema header {:?}, got {line:?}", crate::SCHEMA),
+                ));
+            }
+            saw_schema = true;
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields[0] {
+            "name" => {
+                let [_, name] = fields[..] else {
+                    return Err(ScenarioError::at_line(line_no, "usage: name <token>"));
+                };
+                scenario.name = name.to_string();
+            }
+            "hosts" => {
+                let [_, count] = fields[..] else {
+                    return Err(ScenarioError::at_line(line_no, "usage: hosts <count>"));
+                };
+                scenario.hosts = Some(parse_u32(count, line_no)?);
+            }
+            "at" => {
+                let [_, at, kind, host] = fields[..] else {
+                    return Err(ScenarioError::at_line(
+                        line_no,
+                        "usage: at <time> <join|leave|crash|recover> <host>",
+                    ));
+                };
+                let kind = ChurnKind::from_label(kind).ok_or_else(|| {
+                    ScenarioError::at_line(line_no, format!("unknown churn kind {kind:?}"))
+                })?;
+                scenario.churn.push(crate::ChurnEvent {
+                    at: parse_time(at, line_no)?,
+                    kind,
+                    host: parse_u32(host, line_no)?,
+                });
+            }
+            "from" => {
+                if fields.len() < 5 || fields[2] != "until" {
+                    return Err(ScenarioError::at_line(
+                        line_no,
+                        "usage: from <time> until <time> <blackout|noise|partition> ...",
+                    ));
+                }
+                let from = parse_time(fields[1], line_no)?;
+                let until = parse_time(fields[3], line_no)?;
+                match (fields[4], &fields[5..]) {
+                    ("blackout", [a, b]) => scenario.blackouts.push(LinkBlackout {
+                        from,
+                        until,
+                        a: parse_u32(a, line_no)?,
+                        b: parse_u32(b, line_no)?,
+                    }),
+                    ("noise", [p]) => scenario.noise.push(NoiseBurst {
+                        from,
+                        until,
+                        drop_probability: parse_f64(p, line_no)?,
+                    }),
+                    ("partition", [x0, y0, x1, y1]) => scenario.partitions.push(Partition {
+                        from,
+                        until,
+                        region: Region {
+                            x0: parse_f64(x0, line_no)?,
+                            y0: parse_f64(y0, line_no)?,
+                            x1: parse_f64(x1, line_no)?,
+                            y1: parse_f64(y1, line_no)?,
+                        },
+                    }),
+                    (fault, _) => {
+                        return Err(ScenarioError::at_line(
+                            line_no,
+                            format!(
+                                "bad fault window: {fault:?} with {} operand(s)",
+                                fields.len() - 5
+                            ),
+                        ));
+                    }
+                }
+            }
+            directive => {
+                return Err(ScenarioError::at_line(
+                    line_no,
+                    format!("unknown directive {directive:?}"),
+                ));
+            }
+        }
+    }
+    if !saw_schema {
+        return Err(ScenarioError::new(format!(
+            "empty scenario: missing schema header {:?}",
+            crate::SCHEMA
+        )));
+    }
+    Ok(scenario)
+}
+
+/// Renders the canonical text encoding.
+pub(crate) fn render_scenario(scenario: &Scenario) -> String {
+    let mut out = String::new();
+    out.push_str(crate::SCHEMA);
+    out.push('\n');
+    out.push_str(&format!("name {}\n", scenario.name));
+    if let Some(hosts) = scenario.hosts {
+        out.push_str(&format!("hosts {hosts}\n"));
+    }
+    for event in &scenario.churn {
+        out.push_str(&format!(
+            "at {} {} {}\n",
+            render_time(event.at),
+            event.kind.label(),
+            event.host
+        ));
+    }
+    for window in &scenario.blackouts {
+        out.push_str(&format!(
+            "from {} until {} blackout {} {}\n",
+            render_time(window.from),
+            render_time(window.until),
+            window.a,
+            window.b
+        ));
+    }
+    for burst in &scenario.noise {
+        out.push_str(&format!(
+            "from {} until {} noise {}\n",
+            render_time(burst.from),
+            render_time(burst.until),
+            render_f64(burst.drop_probability)
+        ));
+    }
+    for window in &scenario.partitions {
+        let r = window.region;
+        out.push_str(&format!(
+            "from {} until {} partition {} {} {} {}\n",
+            render_time(window.from),
+            render_time(window.until),
+            render_f64(r.x0),
+            render_f64(r.y0),
+            render_f64(r.x1),
+            render_f64(r.y1)
+        ));
+    }
+    out
+}
+
+/// Parses decimal seconds (`"12"`, `"12.5"`, `"0.000000001"`) exactly into
+/// nanosecond-resolution [`SimTime`]. At most nine fractional digits.
+fn parse_time(token: &str, line_no: usize) -> Result<SimTime, ScenarioError> {
+    let bad = |why: &str| ScenarioError::at_line(line_no, format!("bad time {token:?}: {why}"));
+    let (whole, frac) = match token.split_once('.') {
+        Some((_, "")) => return Err(bad("trailing decimal point")),
+        Some((whole, frac)) => (whole, frac),
+        None => (token, ""),
+    };
+    if whole.is_empty() || !whole.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(bad("expected decimal seconds"));
+    }
+    if frac.len() > 9 || !frac.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(bad("at most nine fractional digits"));
+    }
+    let secs: u64 = whole
+        .parse()
+        .map_err(|_| bad("whole seconds out of range"))?;
+    let mut nanos = 0u64;
+    for b in frac.bytes() {
+        nanos = nanos * 10 + u64::from(b - b'0');
+    }
+    nanos *= 10u64.pow(9 - frac.len() as u32);
+    secs.checked_mul(1_000_000_000)
+        .and_then(|n| n.checked_add(nanos))
+        .map(SimTime::from_nanos)
+        .ok_or_else(|| bad("overflows the simulation clock"))
+}
+
+/// Renders a [`SimTime`] as decimal seconds, trimming trailing zeros, so
+/// [`parse_time`] recovers the exact nanosecond value.
+pub(crate) fn render_time(at: SimTime) -> String {
+    let nanos = at.as_nanos();
+    let (secs, rem) = (nanos / 1_000_000_000, nanos % 1_000_000_000);
+    if rem == 0 {
+        return secs.to_string();
+    }
+    let mut frac = format!("{rem:09}");
+    while frac.ends_with('0') {
+        frac.pop();
+    }
+    format!("{secs}.{frac}")
+}
+
+fn parse_u32(token: &str, line_no: usize) -> Result<u32, ScenarioError> {
+    token
+        .parse()
+        .map_err(|_| ScenarioError::at_line(line_no, format!("bad integer {token:?}")))
+}
+
+fn parse_f64(token: &str, line_no: usize) -> Result<f64, ScenarioError> {
+    match token.parse::<f64>() {
+        Ok(v) if v.is_finite() => Ok(v),
+        _ => Err(ScenarioError::at_line(
+            line_no,
+            format!("bad number {token:?}"),
+        )),
+    }
+}
+
+/// Renders an `f64` via `Display`, which is shortest-round-trip in Rust:
+/// parsing the output recovers the exact bit pattern.
+pub(crate) fn render_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_round_trips_exactly() {
+        for nanos in [0, 1, 999_999_999, 12_500_000_000, 3_000_000_001] {
+            let at = SimTime::from_nanos(nanos);
+            assert_eq!(parse_time(&render_time(at), 1).unwrap(), at);
+        }
+        assert_eq!(render_time(SimTime::from_nanos(12_500_000_000)), "12.5");
+        assert_eq!(
+            parse_time("0.000000001", 1).unwrap(),
+            SimTime::from_nanos(1)
+        );
+    }
+
+    #[test]
+    fn bad_times_are_rejected_with_line() {
+        for bad in ["", ".", "1.", ".5", "-1", "1e3", "1.0000000001", "x"] {
+            let err = parse_time(bad, 7).unwrap_err();
+            assert_eq!(err.line, Some(7), "{bad:?} should fail with a line tag");
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let s = parse_scenario(
+            "# leading comment\n\nmanet-scenario/1\nname t # trailing\n\nat 1 leave 0 # bye\n",
+        )
+        .unwrap();
+        assert_eq!(s.name, "t");
+        assert_eq!(s.churn.len(), 1);
+    }
+
+    #[test]
+    fn missing_or_wrong_header_fails() {
+        assert!(parse_scenario("").is_err());
+        let err = parse_scenario("manet-scenario/2\n").unwrap_err();
+        assert_eq!(err.line, Some(1));
+    }
+
+    #[test]
+    fn unknown_directive_reports_line() {
+        let err = parse_scenario("manet-scenario/1\nfoo bar\n").unwrap_err();
+        assert_eq!(err.line, Some(2));
+        assert!(err.message.contains("foo"));
+    }
+
+    #[test]
+    fn malformed_fault_window_fails() {
+        let err = parse_scenario("manet-scenario/1\nfrom 1 until 2 blackout 3\n").unwrap_err();
+        assert_eq!(err.line, Some(2));
+        let err = parse_scenario("manet-scenario/1\nfrom 1 til 2 noise 0.5\n").unwrap_err();
+        assert_eq!(err.line, Some(2));
+    }
+}

@@ -54,13 +54,15 @@ mod rng;
 mod runner;
 mod slab;
 mod time;
+mod timeline;
 
 pub use metrics::{
     json_escape, json_f64, Counter, Gauge, Histogram, HistogramSnapshot, KindProfile, LoopProfile,
-    LoopProfiler, MetricsRegistry,
+    LoopProfiler, MetricsRegistry, DEFAULT_LATENCY_BOUNDS_S,
 };
 pub use queue::{EventKey, EventQueue};
 pub use rng::SimRng;
 pub use runner::{run, run_profiled, run_until, EventHandler, RunOutcome};
 pub use slab::Slab;
 pub use time::{SimDuration, SimTime};
+pub use timeline::Timeline;

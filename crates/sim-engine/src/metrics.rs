@@ -14,6 +14,16 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
+/// Default upper bucket bounds (seconds) for end-to-end latency
+/// histograms.
+///
+/// Consumers that build latency histograms (the experiments metrics
+/// pipeline) use these bounds unless explicitly configured otherwise, so
+/// snapshots from differently sourced runs merge exactly by default.
+pub const DEFAULT_LATENCY_BOUNDS_S: [f64; 12] = [
+    0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 5.0,
+];
+
 /// A monotonically increasing `u64` counter.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(u64);

@@ -155,6 +155,21 @@ impl<T> Slab<T> {
     pub fn contains(&self, key: u32) -> bool {
         matches!(self.entries.get(key as usize), Some(Entry::Occupied(_)))
     }
+
+    /// Iterates occupied slots as `(key, &value)` in ascending key order.
+    ///
+    /// Walks every slot including vacant ones, so this is `O(capacity)`
+    /// rather than `O(len)` — fine for the cold paths (teardown, host
+    /// deactivation) it exists for, not for per-event work.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| match e {
+                Entry::Occupied(value) => Some((i as u32, value)),
+                Entry::Vacant { .. } => None,
+            })
+    }
 }
 
 impl<T> Index<u32> for Slab<T> {

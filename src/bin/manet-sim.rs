@@ -13,7 +13,7 @@ use std::process::ExitCode;
 
 use manet_broadcast::{
     AreaThreshold, CaptureConfig, CounterThreshold, DynamicHelloParams, HelloIntervalPolicy,
-    MobilitySpec, NeighborInfo, SchemeSpec, SimConfig, SimDuration, World,
+    MobilitySpec, NeighborInfo, Scenario, SchemeSpec, SimConfig, SimDuration, World,
 };
 
 const USAGE: &str = "\
@@ -32,6 +32,9 @@ options:
   --mobility M          turn | waypoint | none      (default turn)
   --capture             enable 10 dB physical-layer capture
   --drop P              inject per-delivery loss probability P
+  --scenario FILE       replay a churn/fault script (manet-scenario/1,
+                        text or JSON); its host count is the default
+                        when --hosts is not given
   --per-broadcast FILE  write per-broadcast outcomes as CSV
   --metrics FILE        write run counters and histograms as JSON
                         (schema manet-broadcast-metrics/1)
@@ -108,7 +111,7 @@ fn parse_mobility(s: &str) -> Result<MobilitySpec, String> {
 
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut map = 5u32;
-    let mut hosts = 100u32;
+    let mut hosts: Option<u32> = None;
     let mut broadcasts = 200u32;
     let mut seed = 1u64;
     let mut speed: Option<f64> = None;
@@ -117,6 +120,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut mobility = "turn".to_string();
     let mut capture = false;
     let mut drop = 0.0f64;
+    let mut scenario_path: Option<String> = None;
     let mut per_broadcast = None;
     let mut metrics = None;
     let mut profile = false;
@@ -135,9 +139,11 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     .map_err(|e| format!("bad --map: {e}"))?
             }
             "--hosts" => {
-                hosts = value("--hosts")?
-                    .parse()
-                    .map_err(|e| format!("bad --hosts: {e}"))?
+                hosts = Some(
+                    value("--hosts")?
+                        .parse()
+                        .map_err(|e| format!("bad --hosts: {e}"))?,
+                )
             }
             "--broadcasts" => {
                 broadcasts = value("--broadcasts")?
@@ -165,12 +171,34 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     .parse()
                     .map_err(|e| format!("bad --drop: {e}"))?
             }
+            "--scenario" => scenario_path = Some(value("--scenario")?),
             "--per-broadcast" => per_broadcast = Some(value("--per-broadcast")?),
             "--metrics" => metrics = Some(value("--metrics")?),
             "--profile" => profile = true,
             "-h" | "--help" => return Ok(None),
             other => return Err(format!("unknown option '{other}'")),
         }
+    }
+
+    let scenario = match &scenario_path {
+        Some(path) => {
+            let input = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read scenario {path}: {e}"))?;
+            Some(Scenario::parse(&input).map_err(|e| format!("bad scenario {path}: {e}"))?)
+        }
+        None => None,
+    };
+    // Population: explicit --hosts, then the host count the scenario script
+    // declares, then the paper's 100. A script's `hosts` line is a contract,
+    // so a conflicting --hosts is an error (caught here for a clean message
+    // rather than a panic out of SimConfig::build).
+    let hosts = hosts
+        .or_else(|| scenario.as_ref().and_then(|s| s.hosts))
+        .unwrap_or(100);
+    if let Some(scenario) = &scenario {
+        scenario
+            .validate(hosts)
+            .map_err(|e| format!("bad scenario: {e}"))?;
     }
 
     let mut builder = SimConfig::builder(map, parse_scheme(&scheme)?)
@@ -180,6 +208,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         .mobility(parse_mobility(&mobility)?)
         .drop_probability(drop)
         .profile_events(profile);
+    if let Some(scenario) = scenario {
+        builder = builder.scenario(scenario);
+    }
     if let Some(kmh) = speed {
         builder = builder.max_speed_kmh(kmh);
     }
@@ -267,6 +298,16 @@ fn main() -> ExitCode {
         report.losses.half_duplex,
         report.losses.injected
     );
+    if let Some(sc) = &report.scenario {
+        println!(
+            "scenario: {} leaves, {} joins, {} crashes, {} recoveries",
+            sc.leaves, sc.joins, sc.crashes, sc.recoveries
+        );
+        println!(
+            "scenario drops: {} blackout, {} partition, {} noise",
+            sc.blackout_drops, sc.partition_drops, sc.noise_drops
+        );
+    }
 
     if let Some(profile) = &report.profile {
         println!();
@@ -389,6 +430,47 @@ mod tests {
             .expect("not help");
         assert_eq!(options.metrics.as_deref(), Some("out.json"));
         assert!(parse_args(&args(&["--metrics"])).is_err(), "missing value");
+    }
+
+    #[test]
+    fn scenario_flag_loads_script_and_defaults_hosts() {
+        let path = std::env::temp_dir().join("manet_sim_test_scenario.txt");
+        std::fs::write(
+            &path,
+            "manet-scenario/1\nname cli-test\nhosts 42\nat 1 crash 3\nat 2 recover 3\n",
+        )
+        .unwrap();
+        let options = parse_args(&args(&["--scenario", path.to_str().unwrap()]))
+            .expect("parses")
+            .expect("not help");
+        assert_eq!(
+            options.config.hosts, 42,
+            "scenario host count is the default"
+        );
+        assert!(options.config.scenario.is_some());
+
+        // A matching --hosts is fine; a conflicting one is a clean error
+        // (the script's `hosts` line is a contract, not a default).
+        let options = parse_args(&args(&[
+            "--scenario",
+            path.to_str().unwrap(),
+            "--hosts",
+            "42",
+        ]))
+        .expect("parses")
+        .expect("not help");
+        assert_eq!(options.config.hosts, 42);
+        let err = parse_args(&args(&[
+            "--scenario",
+            path.to_str().unwrap(),
+            "--hosts",
+            "50",
+        ]))
+        .expect_err("conflicting --hosts is rejected");
+        assert!(err.contains("42 hosts"), "{err}");
+        std::fs::remove_file(&path).ok();
+
+        assert!(parse_args(&args(&["--scenario", "/nonexistent/sc.txt"])).is_err());
     }
 
     #[test]

@@ -43,8 +43,9 @@ pub use manet_phy as phy;
 pub use manet_sim_engine as engine;
 
 pub use broadcast_core::{
-    AreaThreshold, CaptureConfig, CounterThreshold, DescentShape, LatencySummary, MobilitySpec,
-    NeighborInfo, PacketId, PlacementSpec, SchemeSpec, SimConfig, SimReport, World,
+    AreaThreshold, CaptureConfig, ChurnKind, CounterThreshold, DescentShape, LatencySummary,
+    MobilitySpec, NeighborInfo, PacketId, PlacementSpec, Region, Scenario, ScenarioCounts,
+    ScenarioError, SchemeSpec, SimConfig, SimReport, World, WorldAction,
 };
 pub use manet_net::{DynamicHelloParams, HelloIntervalPolicy};
 pub use manet_phy::NodeId;
