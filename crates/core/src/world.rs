@@ -824,6 +824,7 @@ impl World {
         }
     }
 
+    #[cfg_attr(simlint, hot_path)]
     fn begin_transmission(
         &mut self,
         node: NodeId,
@@ -931,6 +932,7 @@ impl World {
     /// indistinguishable from scheduling them individually — at a fraction
     /// of the event-queue traffic (carrier reports are over half of all
     /// events in a storm).
+    #[cfg_attr(simlint, hot_path)]
     fn deliver_carrier_changes(
         &mut self,
         changes: &[CarrierChange],
@@ -956,6 +958,7 @@ impl World {
     }
 
     /// Feeds one carrier transition to a host's MAC.
+    #[cfg_attr(simlint, hot_path)]
     fn apply_carrier_change(
         &mut self,
         node: NodeId,
@@ -977,6 +980,7 @@ impl World {
         self.process_mac_action(node, action, now, observer);
     }
 
+    #[cfg_attr(simlint, hot_path)]
     fn finish_transmission(
         &mut self,
         frame: FrameId,

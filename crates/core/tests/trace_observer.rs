@@ -113,7 +113,7 @@ fn packet_timelines_are_causal() {
         // Issue comes first; times never decrease.
         assert!(matches!(timeline[0], TraceEvent::BroadcastIssued { .. }));
         let mut last = SimTime::ZERO;
-        let mut first_heard = std::collections::HashSet::new();
+        let mut first_heard = std::collections::BTreeSet::new();
         for event in &timeline {
             assert!(event.at() >= last);
             last = event.at();

@@ -8,6 +8,7 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+// simlint: allow(wall-clock) — the CLI prints real elapsed time per figure
 use std::time::Instant;
 
 use manet_experiments::{
@@ -172,6 +173,7 @@ fn main() -> ExitCode {
     };
     let mut captured: Vec<(String, Vec<MetricsRecord>)> = Vec::new();
     for (id, runner) in selected {
+        // simlint: allow(wall-clock) — wall time never feeds the sim, only stderr
         let started = Instant::now();
         if metrics_path.is_some() {
             enable_metrics_capture();

@@ -47,8 +47,20 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
+    /// Builds a structural (syntax) error carrying the 1-based line and
+    /// character column of the current position. `pos` always sits on a
+    /// UTF-8 boundary (the reader advances by whole scalars), so the
+    /// prefix is valid.
     fn err(&self, message: impl Into<String>) -> ScenarioError {
-        ScenarioError::new(format!("JSON offset {}: {}", self.pos, message.into()))
+        let prefix = std::str::from_utf8(&self.bytes[..self.pos]).unwrap_or_default();
+        let line = prefix.bytes().filter(|&b| b == b'\n').count() + 1;
+        let column = prefix
+            .rsplit_once('\n')
+            .map_or(prefix, |(_, tail)| tail)
+            .chars()
+            .count()
+            + 1;
+        ScenarioError::at(line, column, message)
     }
 
     fn skip_ws(&mut self) {
@@ -256,28 +268,33 @@ impl Json {
     }
 }
 
-fn field<'a>(item: &'a Json, section: &str, key: &str) -> Result<&'a Json, ScenarioError> {
+// Extraction errors carry a JSON pointer (RFC 6901) assembled from the
+// section name, array index, and field key: `/churn/0/at_ns`.
+
+fn field<'a>(item: &'a Json, base: &str, key: &str) -> Result<&'a Json, ScenarioError> {
     item.get(key)
-        .ok_or_else(|| ScenarioError::new(format!("{section} entry is missing {key:?}")))
+        .ok_or_else(|| ScenarioError::at_pointer(format!("{base}/{key}"), "missing field"))
 }
 
-fn time_field(item: &Json, section: &str, key: &str) -> Result<SimTime, ScenarioError> {
-    field(item, section, key)?
+fn time_field(item: &Json, base: &str, key: &str) -> Result<SimTime, ScenarioError> {
+    field(item, base, key)?
         .as_u64()
         .map(SimTime::from_nanos)
-        .ok_or_else(|| ScenarioError::new(format!("{section}.{key} must be integer nanoseconds")))
+        .ok_or_else(|| {
+            ScenarioError::at_pointer(format!("{base}/{key}"), "must be integer nanoseconds")
+        })
 }
 
-fn u32_field(item: &Json, section: &str, key: &str) -> Result<u32, ScenarioError> {
-    field(item, section, key)?
+fn u32_field(item: &Json, base: &str, key: &str) -> Result<u32, ScenarioError> {
+    field(item, base, key)?
         .as_u32()
-        .ok_or_else(|| ScenarioError::new(format!("{section}.{key} must be a u32")))
+        .ok_or_else(|| ScenarioError::at_pointer(format!("{base}/{key}"), "must be a u32"))
 }
 
-fn f64_field(item: &Json, section: &str, key: &str) -> Result<f64, ScenarioError> {
-    field(item, section, key)?
-        .as_f64()
-        .ok_or_else(|| ScenarioError::new(format!("{section}.{key} must be a finite number")))
+fn f64_field(item: &Json, base: &str, key: &str) -> Result<f64, ScenarioError> {
+    field(item, base, key)?.as_f64().ok_or_else(|| {
+        ScenarioError::at_pointer(format!("{base}/{key}"), "must be a finite number")
+    })
 }
 
 fn section<'a>(root: &'a Json, key: &str) -> Result<&'a [Json], ScenarioError> {
@@ -285,7 +302,7 @@ fn section<'a>(root: &'a Json, key: &str) -> Result<&'a [Json], ScenarioError> {
         None => Ok(&[]),
         Some(value) => value
             .as_arr()
-            .ok_or_else(|| ScenarioError::new(format!("{key:?} must be an array"))),
+            .ok_or_else(|| ScenarioError::at_pointer(format!("/{key}"), "must be an array")),
     }
 }
 
@@ -304,12 +321,15 @@ pub(crate) fn parse_scenario(input: &str) -> Result<Scenario, ScenarioError> {
     let schema = root
         .get("schema")
         .and_then(Json::as_str)
-        .ok_or_else(|| ScenarioError::new("missing \"schema\" field"))?;
+        .ok_or_else(|| ScenarioError::at_pointer("/schema", "missing field"))?;
     if schema != crate::SCHEMA {
-        return Err(ScenarioError::new(format!(
-            "unsupported schema {schema:?} (expected {:?})",
-            crate::SCHEMA
-        )));
+        return Err(ScenarioError::at_pointer(
+            "/schema",
+            format!(
+                "unsupported schema {schema:?} (expected {:?})",
+                crate::SCHEMA
+            ),
+        ));
     }
     let mut scenario = Scenario::new(
         root.get("name")
@@ -320,45 +340,53 @@ pub(crate) fn parse_scenario(input: &str) -> Result<Scenario, ScenarioError> {
         scenario.hosts = Some(
             hosts
                 .as_u32()
-                .ok_or_else(|| ScenarioError::new("\"hosts\" must be a u32"))?,
+                .ok_or_else(|| ScenarioError::at_pointer("/hosts", "must be a u32"))?,
         );
     }
-    for item in section(&root, "churn")? {
-        let label = field(item, "churn", "kind")?
+    for (i, item) in section(&root, "churn")?.iter().enumerate() {
+        let base = format!("/churn/{i}");
+        let label = field(item, &base, "kind")?
             .as_str()
-            .ok_or_else(|| ScenarioError::new("churn.kind must be a string"))?;
-        let kind = ChurnKind::from_label(label)
-            .ok_or_else(|| ScenarioError::new(format!("unknown churn kind {label:?}")))?;
+            .ok_or_else(|| ScenarioError::at_pointer(format!("{base}/kind"), "must be a string"))?;
+        let kind = ChurnKind::from_label(label).ok_or_else(|| {
+            ScenarioError::at_pointer(
+                format!("{base}/kind"),
+                format!("unknown churn kind {label:?}"),
+            )
+        })?;
         scenario.churn.push(crate::ChurnEvent {
-            at: time_field(item, "churn", "at_ns")?,
+            at: time_field(item, &base, "at_ns")?,
             kind,
-            host: u32_field(item, "churn", "host")?,
+            host: u32_field(item, &base, "host")?,
         });
     }
-    for item in section(&root, "blackouts")? {
+    for (i, item) in section(&root, "blackouts")?.iter().enumerate() {
+        let base = format!("/blackouts/{i}");
         scenario.blackouts.push(LinkBlackout {
-            from: time_field(item, "blackouts", "from_ns")?,
-            until: time_field(item, "blackouts", "until_ns")?,
-            a: u32_field(item, "blackouts", "a")?,
-            b: u32_field(item, "blackouts", "b")?,
+            from: time_field(item, &base, "from_ns")?,
+            until: time_field(item, &base, "until_ns")?,
+            a: u32_field(item, &base, "a")?,
+            b: u32_field(item, &base, "b")?,
         });
     }
-    for item in section(&root, "noise")? {
+    for (i, item) in section(&root, "noise")?.iter().enumerate() {
+        let base = format!("/noise/{i}");
         scenario.noise.push(NoiseBurst {
-            from: time_field(item, "noise", "from_ns")?,
-            until: time_field(item, "noise", "until_ns")?,
-            drop_probability: f64_field(item, "noise", "drop_probability")?,
+            from: time_field(item, &base, "from_ns")?,
+            until: time_field(item, &base, "until_ns")?,
+            drop_probability: f64_field(item, &base, "drop_probability")?,
         });
     }
-    for item in section(&root, "partitions")? {
+    for (i, item) in section(&root, "partitions")?.iter().enumerate() {
+        let base = format!("/partitions/{i}");
         scenario.partitions.push(Partition {
-            from: time_field(item, "partitions", "from_ns")?,
-            until: time_field(item, "partitions", "until_ns")?,
+            from: time_field(item, &base, "from_ns")?,
+            until: time_field(item, &base, "until_ns")?,
             region: Region {
-                x0: f64_field(item, "partitions", "x0")?,
-                y0: f64_field(item, "partitions", "y0")?,
-                x1: f64_field(item, "partitions", "x1")?,
-                y1: f64_field(item, "partitions", "y1")?,
+                x0: f64_field(item, &base, "x0")?,
+                y0: f64_field(item, &base, "y0")?,
+                x1: f64_field(item, &base, "x1")?,
+                y1: f64_field(item, &base, "y1")?,
             },
         });
     }
@@ -499,6 +527,29 @@ mod tests {
     fn schema_field_is_required_and_checked() {
         assert!(parse_scenario("{\"name\":\"x\"}").is_err());
         assert!(parse_scenario("{\"schema\":\"manet-scenario/2\",\"name\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn extraction_errors_carry_json_pointers() {
+        // Second churn entry has a bad at_ns type.
+        let doc = "{\"schema\":\"manet-scenario/1\",\"name\":\"t\",\"churn\":[\
+                   {\"at_ns\":1,\"kind\":\"leave\",\"host\":0},\
+                   {\"at_ns\":\"soon\",\"kind\":\"join\",\"host\":0}]}";
+        let err = parse_scenario(doc).unwrap_err();
+        assert_eq!(err.pointer.as_deref(), Some("/churn/1/at_ns"), "{err}");
+        assert!(err.to_string().starts_with("at /churn/1/at_ns:"), "{err}");
+
+        let doc = "{\"schema\":\"manet-scenario/1\",\"noise\":[{\"from_ns\":0,\"until_ns\":1}]}";
+        let err = parse_scenario(doc).unwrap_err();
+        assert_eq!(err.pointer.as_deref(), Some("/noise/0/drop_probability"));
+    }
+
+    #[test]
+    fn structural_errors_carry_line_and_column() {
+        // The stray ']' sits on line 2, column 13 (after 12 characters).
+        let err = parse_scenario("{\"schema\":\n \"manet-x\", ]}").unwrap_err();
+        assert_eq!((err.line, err.column), (Some(2), Some(13)), "{err}");
+        assert_eq!(err.pointer, None);
     }
 
     #[test]

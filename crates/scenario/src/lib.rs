@@ -269,12 +269,22 @@ pub enum WorldAction {
     },
 }
 
-/// A parse or validation failure, tagged with a 1-based source line when
-/// the text format is involved.
+/// A parse or validation failure, tagged with where in the source it
+/// happened: a 1-based line (and, for token-level errors, column) in the
+/// text encoding, or a JSON pointer (RFC 6901) into the JSON document.
+/// Validation errors describe the script as a whole and carry no
+/// location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScenarioError {
-    /// 1-based line of the offending text, when known.
+    /// 1-based line of the offending text, when known. For JSON input
+    /// this is set only by structural (syntax) errors.
     pub line: Option<usize>,
+    /// 1-based character column of the offending token, when known.
+    /// Always accompanied by [`line`](ScenarioError::line).
+    pub column: Option<usize>,
+    /// JSON pointer to the offending value (e.g. `/churn/0/at_ns`), set
+    /// by extraction errors on JSON input.
+    pub pointer: Option<String>,
     /// What went wrong.
     pub message: String,
 }
@@ -283,13 +293,26 @@ impl ScenarioError {
     pub(crate) fn new(message: impl Into<String>) -> Self {
         ScenarioError {
             line: None,
+            column: None,
+            pointer: None,
             message: message.into(),
         }
     }
 
-    pub(crate) fn at_line(line: usize, message: impl Into<String>) -> Self {
+    pub(crate) fn at(line: usize, column: usize, message: impl Into<String>) -> Self {
         ScenarioError {
             line: Some(line),
+            column: Some(column),
+            pointer: None,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn at_pointer(pointer: impl Into<String>, message: impl Into<String>) -> Self {
+        ScenarioError {
+            line: None,
+            column: None,
+            pointer: Some(pointer.into()),
             message: message.into(),
         }
     }
@@ -297,9 +320,15 @@ impl ScenarioError {
 
 impl fmt::Display for ScenarioError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.line {
-            Some(line) => write!(f, "line {line}: {}", self.message),
-            None => f.write_str(&self.message),
+        if let Some(pointer) = &self.pointer {
+            return write!(f, "at {pointer}: {}", self.message);
+        }
+        match (self.line, self.column) {
+            (Some(line), Some(column)) => {
+                write!(f, "line {line}, column {column}: {}", self.message)
+            }
+            (Some(line), None) => write!(f, "line {line}: {}", self.message),
+            _ => f.write_str(&self.message),
         }
     }
 }

@@ -25,94 +25,140 @@ use manet_sim_engine::SimTime;
 
 use crate::{ChurnKind, LinkBlackout, NoiseBurst, Partition, Region, Scenario, ScenarioError};
 
+/// A token plus its 1-based character column in the source line.
+#[derive(Clone, Copy)]
+struct Field<'a> {
+    col: usize,
+    text: &'a str,
+}
+
+/// Splits the code portion of a line (comment stripped) into
+/// whitespace-separated tokens, each tagged with its 1-based character
+/// column in the original line.
+fn fields_with_cols(code: &str) -> Vec<Field<'_>> {
+    let mut fields = Vec::new();
+    let mut start: Option<usize> = None;
+    for (byte, c) in code.char_indices() {
+        if c.is_whitespace() {
+            if let Some(s) = start.take() {
+                fields.push((s, &code[s..byte]));
+            }
+        } else if start.is_none() {
+            start = Some(byte);
+        }
+    }
+    if let Some(s) = start {
+        fields.push((s, &code[s..]));
+    }
+    fields
+        .into_iter()
+        .map(|(byte, text)| Field {
+            col: code[..byte].chars().count() + 1,
+            text,
+        })
+        .collect()
+}
+
 /// Parses the text encoding.
 pub(crate) fn parse_scenario(input: &str) -> Result<Scenario, ScenarioError> {
     let mut scenario = Scenario::new("scenario");
     let mut saw_schema = false;
     for (index, raw) in input.lines().enumerate() {
         let line_no = index + 1;
-        let line = match raw.find('#') {
+        let code = match raw.find('#') {
             Some(at) => &raw[..at],
             None => raw,
-        }
-        .trim();
-        if line.is_empty() {
+        };
+        let fields = fields_with_cols(code);
+        let Some(&first) = fields.first() else {
             continue;
-        }
+        };
         if !saw_schema {
+            let line = code.trim();
             if line != crate::SCHEMA {
-                return Err(ScenarioError::at_line(
+                return Err(ScenarioError::at(
                     line_no,
+                    first.col,
                     format!("expected schema header {:?}, got {line:?}", crate::SCHEMA),
                 ));
             }
             saw_schema = true;
             continue;
         }
-        let fields: Vec<&str> = line.split_whitespace().collect();
-        match fields[0] {
+        match first.text {
             "name" => {
                 let [_, name] = fields[..] else {
-                    return Err(ScenarioError::at_line(line_no, "usage: name <token>"));
+                    return Err(ScenarioError::at(line_no, first.col, "usage: name <token>"));
                 };
-                scenario.name = name.to_string();
+                scenario.name = name.text.to_string();
             }
             "hosts" => {
                 let [_, count] = fields[..] else {
-                    return Err(ScenarioError::at_line(line_no, "usage: hosts <count>"));
+                    return Err(ScenarioError::at(
+                        line_no,
+                        first.col,
+                        "usage: hosts <count>",
+                    ));
                 };
                 scenario.hosts = Some(parse_u32(count, line_no)?);
             }
             "at" => {
                 let [_, at, kind, host] = fields[..] else {
-                    return Err(ScenarioError::at_line(
+                    return Err(ScenarioError::at(
                         line_no,
+                        first.col,
                         "usage: at <time> <join|leave|crash|recover> <host>",
                     ));
                 };
-                let kind = ChurnKind::from_label(kind).ok_or_else(|| {
-                    ScenarioError::at_line(line_no, format!("unknown churn kind {kind:?}"))
+                let churn_kind = ChurnKind::from_label(kind.text).ok_or_else(|| {
+                    ScenarioError::at(
+                        line_no,
+                        kind.col,
+                        format!("unknown churn kind {:?}", kind.text),
+                    )
                 })?;
                 scenario.churn.push(crate::ChurnEvent {
                     at: parse_time(at, line_no)?,
-                    kind,
+                    kind: churn_kind,
                     host: parse_u32(host, line_no)?,
                 });
             }
             "from" => {
-                if fields.len() < 5 || fields[2] != "until" {
-                    return Err(ScenarioError::at_line(
+                if fields.len() < 5 || fields[2].text != "until" {
+                    return Err(ScenarioError::at(
                         line_no,
+                        first.col,
                         "usage: from <time> until <time> <blackout|noise|partition> ...",
                     ));
                 }
                 let from = parse_time(fields[1], line_no)?;
                 let until = parse_time(fields[3], line_no)?;
-                match (fields[4], &fields[5..]) {
+                match (fields[4].text, &fields[5..]) {
                     ("blackout", [a, b]) => scenario.blackouts.push(LinkBlackout {
                         from,
                         until,
-                        a: parse_u32(a, line_no)?,
-                        b: parse_u32(b, line_no)?,
+                        a: parse_u32(*a, line_no)?,
+                        b: parse_u32(*b, line_no)?,
                     }),
                     ("noise", [p]) => scenario.noise.push(NoiseBurst {
                         from,
                         until,
-                        drop_probability: parse_f64(p, line_no)?,
+                        drop_probability: parse_f64(*p, line_no)?,
                     }),
                     ("partition", [x0, y0, x1, y1]) => scenario.partitions.push(Partition {
                         from,
                         until,
                         region: Region {
-                            x0: parse_f64(x0, line_no)?,
-                            y0: parse_f64(y0, line_no)?,
-                            x1: parse_f64(x1, line_no)?,
-                            y1: parse_f64(y1, line_no)?,
+                            x0: parse_f64(*x0, line_no)?,
+                            y0: parse_f64(*y0, line_no)?,
+                            x1: parse_f64(*x1, line_no)?,
+                            y1: parse_f64(*y1, line_no)?,
                         },
                     }),
                     (fault, _) => {
-                        return Err(ScenarioError::at_line(
+                        return Err(ScenarioError::at(
                             line_no,
+                            fields[4].col,
                             format!(
                                 "bad fault window: {fault:?} with {} operand(s)",
                                 fields.len() - 5
@@ -122,8 +168,9 @@ pub(crate) fn parse_scenario(input: &str) -> Result<Scenario, ScenarioError> {
                 }
             }
             directive => {
-                return Err(ScenarioError::at_line(
+                return Err(ScenarioError::at(
                     line_no,
+                    first.col,
                     format!("unknown directive {directive:?}"),
                 ));
             }
@@ -189,8 +236,10 @@ pub(crate) fn render_scenario(scenario: &Scenario) -> String {
 
 /// Parses decimal seconds (`"12"`, `"12.5"`, `"0.000000001"`) exactly into
 /// nanosecond-resolution [`SimTime`]. At most nine fractional digits.
-fn parse_time(token: &str, line_no: usize) -> Result<SimTime, ScenarioError> {
-    let bad = |why: &str| ScenarioError::at_line(line_no, format!("bad time {token:?}: {why}"));
+fn parse_time(field: Field<'_>, line_no: usize) -> Result<SimTime, ScenarioError> {
+    let token = field.text;
+    let bad =
+        |why: &str| ScenarioError::at(line_no, field.col, format!("bad time {token:?}: {why}"));
     let (whole, frac) = match token.split_once('.') {
         Some((_, "")) => return Err(bad("trailing decimal point")),
         Some((whole, frac)) => (whole, frac),
@@ -231,18 +280,20 @@ pub(crate) fn render_time(at: SimTime) -> String {
     format!("{secs}.{frac}")
 }
 
-fn parse_u32(token: &str, line_no: usize) -> Result<u32, ScenarioError> {
-    token
+fn parse_u32(field: Field<'_>, line_no: usize) -> Result<u32, ScenarioError> {
+    field
+        .text
         .parse()
-        .map_err(|_| ScenarioError::at_line(line_no, format!("bad integer {token:?}")))
+        .map_err(|_| ScenarioError::at(line_no, field.col, format!("bad integer {:?}", field.text)))
 }
 
-fn parse_f64(token: &str, line_no: usize) -> Result<f64, ScenarioError> {
-    match token.parse::<f64>() {
+fn parse_f64(field: Field<'_>, line_no: usize) -> Result<f64, ScenarioError> {
+    match field.text.parse::<f64>() {
         Ok(v) if v.is_finite() => Ok(v),
-        _ => Err(ScenarioError::at_line(
+        _ => Err(ScenarioError::at(
             line_no,
-            format!("bad number {token:?}"),
+            field.col,
+            format!("bad number {:?}", field.text),
         )),
     }
 }
@@ -257,25 +308,46 @@ pub(crate) fn render_f64(v: f64) -> String {
 mod tests {
     use super::*;
 
+    fn tok(text: &str) -> Field<'_> {
+        Field { col: 4, text }
+    }
+
     #[test]
     fn time_round_trips_exactly() {
         for nanos in [0, 1, 999_999_999, 12_500_000_000, 3_000_000_001] {
             let at = SimTime::from_nanos(nanos);
-            assert_eq!(parse_time(&render_time(at), 1).unwrap(), at);
+            assert_eq!(parse_time(tok(&render_time(at)), 1).unwrap(), at);
         }
         assert_eq!(render_time(SimTime::from_nanos(12_500_000_000)), "12.5");
         assert_eq!(
-            parse_time("0.000000001", 1).unwrap(),
+            parse_time(tok("0.000000001"), 1).unwrap(),
             SimTime::from_nanos(1)
         );
     }
 
     #[test]
-    fn bad_times_are_rejected_with_line() {
+    fn bad_times_are_rejected_with_line_and_column() {
         for bad in ["", ".", "1.", ".5", "-1", "1e3", "1.0000000001", "x"] {
-            let err = parse_time(bad, 7).unwrap_err();
+            let err = parse_time(tok(bad), 7).unwrap_err();
             assert_eq!(err.line, Some(7), "{bad:?} should fail with a line tag");
+            assert_eq!(err.column, Some(4), "{bad:?} should carry the token column");
         }
+    }
+
+    #[test]
+    fn errors_point_at_the_offending_token() {
+        // "at 1 flee 0": the unknown churn kind starts at column 6.
+        let err = parse_scenario("manet-scenario/1\nat 1 flee 0\n").unwrap_err();
+        assert_eq!((err.line, err.column), (Some(2), Some(6)));
+        assert!(err.to_string().starts_with("line 2, column 6:"), "{err}");
+
+        // Bad time token in a fault window: "from" at 1, "2x" at 6.
+        let err = parse_scenario("manet-scenario/1\nfrom 2x until 9 noise 0.5\n").unwrap_err();
+        assert_eq!((err.line, err.column), (Some(2), Some(6)));
+
+        // Indented directive: the column tracks the real position.
+        let err = parse_scenario("manet-scenario/1\n   bogus 1\n").unwrap_err();
+        assert_eq!((err.line, err.column), (Some(2), Some(4)));
     }
 
     #[test]

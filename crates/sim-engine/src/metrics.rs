@@ -12,6 +12,7 @@
 //! `DESIGN.md` § "Metrics JSON schema" and is considered stable.
 
 use std::collections::BTreeMap;
+// simlint: allow(wall-clock) — LoopProfiler measures real per-event cost
 use std::time::Instant;
 
 /// Default upper bucket bounds (seconds) for end-to-end latency
@@ -396,6 +397,7 @@ impl LoopProfiler {
     #[inline]
     pub fn begin(&self) -> Option<Instant> {
         if self.enabled {
+            // simlint: allow(wall-clock) — profiling reads, never sim state
             Some(Instant::now())
         } else {
             None

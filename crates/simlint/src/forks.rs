@@ -1,0 +1,142 @@
+//! Parser for the checked-in RNG fork-stream registry (`FORKS.md`).
+//!
+//! The registry is a Markdown table; a row registers one literal fork
+//! stream for one crate:
+//!
+//! ```markdown
+//! | crate | stream | purpose |
+//! |-------|--------|---------|
+//! | core  | 4      | scenario link-fault draws |
+//! ```
+//!
+//! Rows whose `stream` cell is not an integer literal (e.g. documented
+//! ranges like `100 + host`) are descriptive only and are skipped by the
+//! checker. Header and separator rows are recognized the same way.
+
+use std::collections::BTreeMap;
+
+/// One registered `(crate, stream)` pair.
+#[derive(Debug, Clone)]
+pub struct ForkEntry {
+    /// 1-based line of the registering row in the registry file.
+    pub line: u32,
+    /// The purpose cell, for diagnostics.
+    pub purpose: String,
+}
+
+/// The parsed registry: `(crate, stream) -> entry`.
+#[derive(Debug, Default)]
+pub struct ForkRegistry {
+    /// Path the registry was loaded from, for diagnostics.
+    pub path: String,
+    entries: BTreeMap<(String, u64), ForkEntry>,
+    /// Duplicate rows found while parsing: `(line, crate, stream)`.
+    pub duplicates: Vec<(u32, String, u64)>,
+}
+
+impl ForkRegistry {
+    /// Parses registry text. Never fails: malformed rows are simply not
+    /// registry entries (the enforced invariant is "call sites must match
+    /// rows", so a mangled row surfaces as an unregistered call site).
+    pub fn parse(path: &str, text: &str) -> ForkRegistry {
+        let mut registry = ForkRegistry {
+            path: path.to_string(),
+            ..ForkRegistry::default()
+        };
+        for (index, raw) in text.lines().enumerate() {
+            let line = index as u32 + 1;
+            let trimmed = raw.trim();
+            if !trimmed.starts_with('|') {
+                continue;
+            }
+            let cells: Vec<&str> = trimmed
+                .trim_matches('|')
+                .split('|')
+                .map(str::trim)
+                .collect();
+            if cells.len() < 3 {
+                continue;
+            }
+            let krate = cells[0];
+            let stream_text: String = cells[1].chars().filter(|&c| c != '_').collect();
+            let Ok(stream) = stream_text.parse::<u64>() else {
+                continue; // header, separator, or documented range row
+            };
+            if krate.is_empty() {
+                continue;
+            }
+            let key = (krate.to_string(), stream);
+            match registry.entries.entry(key) {
+                std::collections::btree_map::Entry::Occupied(e) => {
+                    let (krate, stream) = e.key().clone();
+                    registry.duplicates.push((line, krate, stream));
+                }
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(ForkEntry {
+                        line,
+                        purpose: cells[2].to_string(),
+                    });
+                }
+            }
+        }
+        registry
+    }
+
+    /// Looks up a registered stream.
+    pub fn get(&self, krate: &str, stream: u64) -> Option<&ForkEntry> {
+        self.entries.get(&(krate.to_string(), stream))
+    }
+
+    /// `true` when the registry has no entries at all (no `--forks` file
+    /// was provided): every literal fork call site is then unregistered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All registered `(crate, stream)` pairs with their entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&(String, u64), &ForkEntry)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TABLE: &str = "\
+# FORKS
+
+| crate | stream | purpose |
+|-------|--------|---------|
+| core | 0 | placement |
+| core | 10_000 | per-host DCF base |
+| core | 100 + i | per-host mobility (range, not checked) |
+| phy | 0 | something |
+";
+
+    #[test]
+    fn parses_rows_and_skips_headers_and_ranges() {
+        let reg = ForkRegistry::parse("FORKS.md", TABLE);
+        assert!(reg.get("core", 0).is_some());
+        assert!(reg.get("core", 10_000).is_some());
+        assert!(reg.get("phy", 0).is_some());
+        assert!(reg.get("core", 100).is_none(), "range rows are prose");
+        assert_eq!(reg.iter().count(), 3);
+        assert!(reg.duplicates.is_empty());
+    }
+
+    #[test]
+    fn duplicate_rows_are_reported() {
+        let reg = ForkRegistry::parse("FORKS.md", "| core | 1 | a |\n| core | 1 | b |\n");
+        assert_eq!(reg.duplicates.len(), 1);
+        assert_eq!(reg.duplicates[0].0, 2);
+    }
+
+    #[test]
+    fn purpose_and_line_survive() {
+        let reg = ForkRegistry::parse("FORKS.md", TABLE);
+        let entry = reg.get("core", 0).unwrap();
+        assert_eq!(entry.purpose, "placement");
+        assert_eq!(entry.line, 5);
+    }
+}

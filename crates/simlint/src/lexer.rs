@@ -1,0 +1,581 @@
+//! A hand-rolled Rust lexer.
+//!
+//! The linter works on tokens, not regexes, so `"HashMap"` inside a string
+//! literal or a code sample in a comment can never false-positive. The
+//! lexer handles the full literal grammar the workspace uses: cooked and
+//! raw strings (any `#` depth, `b`/`c` prefixes), char literals vs
+//! lifetimes, nested block comments, raw identifiers, and numeric literals
+//! with separators, exponents, and type suffixes.
+//!
+//! Comments are kept as tokens — `// simlint: allow(...)` directives live
+//! in them — and rules filter them out when walking code.
+
+use std::fmt;
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `r#use`).
+    Ident,
+    /// Integer literal (`42`, `10_000`, `0xFF`).
+    Int,
+    /// Float literal (`1.5`, `1e-9`, `2f64`).
+    Float,
+    /// String literal of any flavor (`"x"`, `r#"x"#`, `b"x"`, `c"x"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'_`, `'static`).
+    Lifetime,
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// `// ...` comment, including doc comments; text excludes the newline.
+    LineComment,
+    /// `/* ... */` comment, possibly nested.
+    BlockComment,
+}
+
+/// One lexeme with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The kind of lexeme.
+    pub kind: TokenKind,
+    /// The source text of the lexeme.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column, in characters.
+    pub col: u32,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{:?}:{}",
+            self.line, self.col, self.kind, self.text
+        )
+    }
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(source: &'a str) -> Self {
+        Cursor {
+            chars: source.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into a token stream, comments included.
+///
+/// The lexer is total: any byte sequence produces *some* token stream
+/// (unknown characters become single-char [`TokenKind::Punct`] tokens), so
+/// a file that fails to compile still gets linted as far as possible.
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(source);
+    let mut tokens = Vec::new();
+
+    while let Some(c) = cur.peek() {
+        let line = cur.line;
+        let col = cur.col;
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' {
+            let mut text = String::new();
+            text.push(cur.bump().expect("peeked"));
+            match cur.peek() {
+                Some('/') => {
+                    while let Some(n) = cur.peek() {
+                        if n == '\n' {
+                            break;
+                        }
+                        text.push(cur.bump().expect("peeked"));
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::LineComment,
+                        text,
+                        line,
+                        col,
+                    });
+                }
+                Some('*') => {
+                    text.push(cur.bump().expect("peeked"));
+                    let mut depth = 1u32;
+                    let mut prev = '\0';
+                    while depth > 0 {
+                        let Some(n) = cur.bump() else { break };
+                        text.push(n);
+                        if prev == '/' && n == '*' {
+                            depth += 1;
+                            prev = '\0';
+                        } else if prev == '*' && n == '/' {
+                            depth -= 1;
+                            prev = '\0';
+                        } else {
+                            prev = n;
+                        }
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::BlockComment,
+                        text,
+                        line,
+                        col,
+                    });
+                }
+                _ => tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text,
+                    line,
+                    col,
+                }),
+            }
+            continue;
+        }
+        if c == '"' {
+            tokens.push(lex_cooked_string(&mut cur, String::new(), line, col));
+            continue;
+        }
+        if c == '\'' {
+            tokens.push(lex_char_or_lifetime(&mut cur, line, col));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            tokens.push(lex_number(&mut cur, line, col));
+            continue;
+        }
+        if is_ident_start(c) {
+            tokens.push(lex_ident_or_prefixed(&mut cur, line, col));
+            continue;
+        }
+        let mut text = String::new();
+        text.push(cur.bump().expect("peeked"));
+        tokens.push(Token {
+            kind: TokenKind::Punct,
+            text,
+            line,
+            col,
+        });
+    }
+    tokens
+}
+
+/// Lexes a `"..."` body; `text` already holds any consumed prefix (`b`,
+/// `c`). The opening quote has not been consumed yet.
+fn lex_cooked_string(cur: &mut Cursor<'_>, mut text: String, line: u32, col: u32) -> Token {
+    text.push(cur.bump().expect("open quote"));
+    loop {
+        match cur.bump() {
+            None => break,
+            Some('\\') => {
+                text.push('\\');
+                if let Some(esc) = cur.bump() {
+                    text.push(esc);
+                }
+            }
+            Some('"') => {
+                text.push('"');
+                break;
+            }
+            Some(other) => text.push(other),
+        }
+    }
+    Token {
+        kind: TokenKind::Str,
+        text,
+        line,
+        col,
+    }
+}
+
+/// Lexes `r"..."` / `r#"..."#` with any `#` depth; `text` holds the prefix
+/// consumed so far (`r`, `br`, `cr`). The cursor sits at the first `#` or
+/// the opening quote.
+fn lex_raw_string(cur: &mut Cursor<'_>, mut text: String, line: u32, col: u32) -> Token {
+    let mut hashes = 0usize;
+    while cur.peek() == Some('#') {
+        text.push(cur.bump().expect("peeked"));
+        hashes += 1;
+    }
+    if cur.peek() == Some('"') {
+        text.push(cur.bump().expect("peeked"));
+        let mut closing = 0usize;
+        let mut in_close = false;
+        while let Some(n) = cur.bump() {
+            text.push(n);
+            if in_close {
+                if n == '#' {
+                    closing += 1;
+                    if closing == hashes {
+                        break;
+                    }
+                    continue;
+                }
+                in_close = false;
+            }
+            if n == '"' {
+                if hashes == 0 {
+                    break;
+                }
+                in_close = true;
+                closing = 0;
+            }
+        }
+    }
+    Token {
+        kind: TokenKind::Str,
+        text,
+        line,
+        col,
+    }
+}
+
+fn lex_char_or_lifetime(cur: &mut Cursor<'_>, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    text.push(cur.bump().expect("quote"));
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: '\n', '\u{1F}', '\''.
+            text.push(cur.bump().expect("peeked"));
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+                if esc == 'u' && cur.peek() == Some('{') {
+                    while let Some(n) = cur.bump() {
+                        text.push(n);
+                        if n == '}' {
+                            break;
+                        }
+                    }
+                }
+            }
+            if cur.peek() == Some('\'') {
+                text.push(cur.bump().expect("peeked"));
+            }
+            Token {
+                kind: TokenKind::Char,
+                text,
+                line,
+                col,
+            }
+        }
+        Some(c) if is_ident_start(c) => {
+            // Could be 'a' (char) or 'a / 'static (lifetime): a lifetime
+            // is an identifier not followed by a closing quote.
+            text.push(cur.bump().expect("peeked"));
+            if cur.peek() == Some('\'') {
+                text.push(cur.bump().expect("peeked"));
+                return Token {
+                    kind: TokenKind::Char,
+                    text,
+                    line,
+                    col,
+                };
+            }
+            while let Some(n) = cur.peek() {
+                if !is_ident_continue(n) {
+                    break;
+                }
+                text.push(cur.bump().expect("peeked"));
+            }
+            Token {
+                kind: TokenKind::Lifetime,
+                text,
+                line,
+                col,
+            }
+        }
+        Some(_) => {
+            // Non-identifier char literal: '+', ' ', '\u{7f}' handled above.
+            text.push(cur.bump().expect("peeked"));
+            if cur.peek() == Some('\'') {
+                text.push(cur.bump().expect("peeked"));
+            }
+            Token {
+                kind: TokenKind::Char,
+                text,
+                line,
+                col,
+            }
+        }
+        None => Token {
+            kind: TokenKind::Char,
+            text,
+            line,
+            col,
+        },
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    let mut is_float = false;
+    let first = cur.bump().expect("digit");
+    text.push(first);
+
+    let radix_prefix =
+        first == '0' && matches!(cur.peek(), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B')) && {
+            text.push(cur.bump().expect("peeked"));
+            true
+        };
+
+    loop {
+        match cur.peek() {
+            Some(c) if c.is_ascii_alphanumeric() || c == '_' => {
+                if !radix_prefix && (c == 'e' || c == 'E') {
+                    // Exponent: consume the sign too, if present. A
+                    // trailing ident char after 'e' that is not a digit
+                    // (e.g. `2ee`) is nonsense the compiler rejects;
+                    // lexing it into one token is fine for linting.
+                    text.push(cur.bump().expect("peeked"));
+                    if matches!(cur.peek(), Some('+' | '-')) {
+                        is_float = true;
+                        text.push(cur.bump().expect("peeked"));
+                    }
+                    continue;
+                }
+                text.push(cur.bump().expect("peeked"));
+            }
+            Some('.') => {
+                // `1..5` is a range, `1.max(2)` a method call; only
+                // `digit . digit` continues the literal as a float.
+                let mut ahead = cur.chars.clone();
+                ahead.next();
+                match ahead.peek() {
+                    Some(d) if d.is_ascii_digit() => {
+                        is_float = true;
+                        text.push(cur.bump().expect("peeked"));
+                    }
+                    _ => break,
+                }
+            }
+            _ => break,
+        }
+    }
+    if !radix_prefix && (text.contains('.') || text.ends_with("f32") || text.ends_with("f64")) {
+        is_float = true;
+    }
+    Token {
+        kind: if is_float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        },
+        text,
+        line,
+        col,
+    }
+}
+
+fn lex_ident_or_prefixed(cur: &mut Cursor<'_>, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    text.push(cur.bump().expect("ident start"));
+
+    // String-literal prefixes: r" r#" b" br" c" cr" b' — and the raw
+    // identifier r#ident. Check before consuming more ident chars.
+    loop {
+        let prefix = text.as_str();
+        match (prefix, cur.peek()) {
+            ("r" | "br" | "cr", Some('#')) => {
+                // `r#"..."#` raw string or `r#ident` raw identifier:
+                // look one past the `#` run to decide.
+                let mut ahead = cur.chars.clone();
+                let mut hashes = 0;
+                while ahead.peek() == Some(&'#') {
+                    ahead.next();
+                    hashes += 1;
+                }
+                if ahead.peek() == Some(&'"') {
+                    return lex_raw_string(cur, text, line, col);
+                }
+                if prefix == "r" && hashes == 1 {
+                    text.push(cur.bump().expect("peeked"));
+                    break; // raw identifier: fall through to ident loop
+                }
+                break;
+            }
+            ("r" | "br" | "cr", Some('"')) => return lex_raw_string(cur, text, line, col),
+            ("b" | "c", Some('"')) => return lex_cooked_string(cur, text, line, col),
+            ("b", Some('\'')) => {
+                let mut tok = lex_char_or_lifetime(cur, line, col);
+                tok.text.insert(0, 'b');
+                return tok;
+            }
+            ("b" | "c", Some('r')) => {
+                // Maybe `br"` / `cr"`: consume the `r` and loop.
+                let mut ahead = cur.chars.clone();
+                ahead.next();
+                if matches!(ahead.peek(), Some('"' | '#')) {
+                    text.push(cur.bump().expect("peeked"));
+                    continue;
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+
+    while let Some(c) = cur.peek() {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(cur.bump().expect("peeked"));
+    }
+    Token {
+        kind: TokenKind::Ident,
+        text,
+        line,
+        col,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("fn main() { a::b }");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "fn".into()),
+                (TokenKind::Ident, "main".into()),
+                (TokenKind::Punct, "(".into()),
+                (TokenKind::Punct, ")".into()),
+                (TokenKind::Punct, "{".into()),
+                (TokenKind::Ident, "a".into()),
+                (TokenKind::Punct, ":".into()),
+                (TokenKind::Punct, ":".into()),
+                (TokenKind::Ident, "b".into()),
+                (TokenKind::Punct, "}".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_do_not_leak_contents_as_idents() {
+        let toks = kinds(r#"let x = "HashMap::new() /* vec![] */";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || t != "HashMap"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let x = r#"quote " inside"#; y"###);
+        let s = toks.iter().find(|(k, _)| *k == TokenKind::Str).unwrap();
+        assert!(s.1.contains("quote"));
+        assert_eq!(toks.last().unwrap().1, "y");
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let toks = kinds(r##"b"bytes" c"cstr" br#"raw"# b'x'"##);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 3);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn numbers_classify_int_vs_float() {
+        let toks = kinds("10_000 0xFF 1.5 1e-9 2f64 3u32 1..4 0.to_string()");
+        let by_text: Vec<(TokenKind, &str)> = toks.iter().map(|(k, t)| (*k, t.as_str())).collect();
+        assert!(by_text.contains(&(TokenKind::Int, "10_000")));
+        assert!(by_text.contains(&(TokenKind::Int, "0xFF")));
+        assert!(by_text.contains(&(TokenKind::Float, "1.5")));
+        assert!(by_text.contains(&(TokenKind::Float, "1e-9")));
+        assert!(by_text.contains(&(TokenKind::Float, "2f64")));
+        assert!(by_text.contains(&(TokenKind::Int, "3u32")));
+        // Ranges and method calls do not swallow the dot.
+        assert!(by_text.contains(&(TokenKind::Int, "1")));
+        assert!(by_text.contains(&(TokenKind::Int, "4")));
+        assert!(by_text.contains(&(TokenKind::Int, "0")));
+        assert!(by_text.contains(&(TokenKind::Ident, "to_string")));
+    }
+
+    #[test]
+    fn comments_are_tokens_with_positions() {
+        let toks = lex("a // trailing\n/* block\nspans */ b");
+        assert_eq!(toks[1].kind, TokenKind::LineComment);
+        assert_eq!(toks[1].line, 1);
+        assert_eq!(toks[2].kind, TokenKind::BlockComment);
+        assert_eq!(toks[3].text, "b");
+        assert_eq!(toks[3].line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].1, "x");
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let toks = kinds("let r#use = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#use"));
+    }
+
+    #[test]
+    fn positions_are_one_based_chars() {
+        let toks = lex("αβ x");
+        let x = toks.iter().find(|t| t.text == "x").unwrap();
+        assert_eq!((x.line, x.col), (1, 4));
+    }
+}

@@ -1,0 +1,933 @@
+//! The five project-invariant rules, the allow-directive machinery, and
+//! the per-file lint driver.
+//!
+//! Every rule walks the comment-free code token stream from
+//! [`crate::lexer`]; comments are consulted only for
+//! `// simlint: allow(<rule>)` directives. Diagnostics carry 1-based
+//! `line:col` spans and a stable rule id, and deny by default: any
+//! diagnostic fails the build.
+
+use crate::forks::ForkRegistry;
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::BTreeMap;
+
+/// `HashMap`/`HashSet` with the default `RandomState`: iteration order is
+/// randomized per process and can leak into event ordering or output.
+pub const RULE_NONDET_ITER: &str = "nondeterministic-iteration";
+/// `std::time::Instant` / `SystemTime` reads: wall-clock time must never
+/// influence simulation state.
+pub const RULE_WALL_CLOCK: &str = "wall-clock";
+/// Literal `fork(N)` streams must be registered in `FORKS.md` and unique
+/// per crate, so new subsystems cannot collide with existing RNG streams.
+pub const RULE_FORK: &str = "rng-fork-discipline";
+/// Functions annotated `#[cfg_attr(simlint, hot_path)]` must not contain
+/// allocating constructs.
+pub const RULE_HOT_PATH: &str = "hot-path-alloc";
+/// Types deriving `Ord`/`PartialOrd` (candidate event-queue keys) must
+/// not contain `f32`/`f64` fields.
+pub const RULE_FLOAT_KEY: &str = "float-event-key";
+/// A `simlint: allow(...)` directive naming a rule that does not exist.
+pub const RULE_UNKNOWN: &str = "unknown-rule";
+
+/// All rule ids, in diagnostic-documentation order.
+pub const ALL_RULES: &[&str] = &[
+    RULE_NONDET_ITER,
+    RULE_WALL_CLOCK,
+    RULE_FORK,
+    RULE_HOT_PATH,
+    RULE_FLOAT_KEY,
+    RULE_UNKNOWN,
+];
+
+/// Crates whose state feeds event scheduling or report output; the
+/// iteration and float-key rules apply only here.
+pub const SIM_CRATES: &[&str] = &["sim-engine", "phy", "mac", "net", "core", "scenario"];
+
+/// Crates that legitimately read the wall clock (benchmarks and the test
+/// harness measure real elapsed time).
+pub const WALL_CLOCK_EXEMPT: &[&str] = &["bench", "testkit"];
+
+/// One finding, printable as `file:line:col: error[rule]: message`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Path as given to the linter (workspace-relative in `--workspace`).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (characters).
+    pub col: u32,
+    /// Stable rule id from [`ALL_RULES`].
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: error[{}]: {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Which rule set applies to a file.
+#[derive(Debug, Clone)]
+pub struct CrateContext {
+    /// Crate directory name (`core`, `phy`, ...), `main` for the root
+    /// crate, `fixture` for explicitly listed files.
+    pub name: String,
+    /// Subject to [`RULE_NONDET_ITER`] and [`RULE_FLOAT_KEY`].
+    pub sim: bool,
+    /// Exempt from [`RULE_WALL_CLOCK`].
+    pub wall_clock_exempt: bool,
+    /// Integration test / bench / example target: fork and float-key
+    /// discipline does not apply (tests probe arbitrary streams).
+    pub test_target: bool,
+}
+
+impl CrateContext {
+    /// Context for a workspace-relative path.
+    pub fn for_workspace_path(rel: &str) -> CrateContext {
+        let parts: Vec<&str> = rel.split('/').collect();
+        let (name, rest) = if parts.len() >= 3 && parts[0] == "crates" {
+            (parts[1].to_string(), parts[2])
+        } else {
+            ("main".to_string(), parts.first().copied().unwrap_or(""))
+        };
+        let test_target = matches!(rest, "tests" | "benches" | "examples");
+        CrateContext {
+            sim: SIM_CRATES.contains(&name.as_str()),
+            wall_clock_exempt: WALL_CLOCK_EXEMPT.contains(&name.as_str()),
+            name,
+            test_target,
+        }
+    }
+
+    /// Context for an explicitly listed file (fixtures): every rule is
+    /// active so the corpus can exercise the full rule set.
+    pub fn fixture() -> CrateContext {
+        CrateContext {
+            name: "fixture".to_string(),
+            sim: true,
+            wall_clock_exempt: false,
+            test_target: false,
+        }
+    }
+}
+
+/// An `allow` budget from one directive comment.
+struct Allow {
+    rule: &'static str,
+    line: u32,
+    used: bool,
+}
+
+/// Cross-file lint state: the fork registry plus every literal fork call
+/// site seen so far.
+pub struct Linter {
+    registry: ForkRegistry,
+    /// `(crate, stream) -> (file, line)` of the first literal call site.
+    fork_sites: BTreeMap<(String, u64), (String, u32)>,
+    /// Findings across all files linted so far.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Linter {
+    /// A linter enforcing against the given registry.
+    pub fn new(registry: ForkRegistry) -> Linter {
+        Linter {
+            registry,
+            fork_sites: BTreeMap::new(),
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// Lints one file's source text under the given crate context.
+    pub fn lint_file(&mut self, file: &str, source: &str, ctx: &CrateContext) {
+        let tokens = lex(source);
+        let (mut allows, unknown_diags) = parse_directives(file, &tokens);
+        let code: Vec<&Token> = tokens
+            .iter()
+            .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .collect();
+        let test_ranges = cfg_test_ranges(&code);
+        let in_test = |i: usize| test_ranges.iter().any(|&(lo, hi)| lo <= i && i <= hi);
+
+        let mut raw: Vec<Diagnostic> = Vec::new();
+        if ctx.sim {
+            rule_nondet_iteration(file, &code, &mut raw);
+        }
+        if !ctx.wall_clock_exempt {
+            rule_wall_clock(file, &code, &mut raw);
+        }
+        if !ctx.test_target {
+            self.rule_fork_discipline(file, &code, ctx, &in_test, &mut raw);
+        }
+        rule_hot_path_alloc(file, &code, &mut raw);
+        if ctx.sim && !ctx.test_target {
+            rule_float_event_key(file, &code, &in_test, &mut raw);
+        }
+
+        raw.sort();
+        // A directive suppresses exactly one diagnostic of its rule, on
+        // the directive's own line or the line directly below it.
+        raw.retain(|diag| {
+            for allow in allows.iter_mut() {
+                if !allow.used
+                    && allow.rule == diag.rule
+                    && (allow.line == diag.line || allow.line + 1 == diag.line)
+                {
+                    allow.used = true;
+                    return false;
+                }
+            }
+            true
+        });
+        self.diagnostics.extend(raw);
+        // Unknown rule names are themselves errors and cannot be allowed.
+        self.diagnostics.extend(unknown_diags);
+    }
+
+    /// Finishes the run: duplicate registry rows always fail; in
+    /// `check_stale` mode (the `--workspace` sweep) registered streams
+    /// with no call site fail too, so the table cannot rot.
+    pub fn finish(&mut self, check_stale: bool) {
+        for (line, krate, stream) in std::mem::take(&mut self.registry.duplicates) {
+            self.diagnostics.push(Diagnostic {
+                file: self.registry.path.clone(),
+                line,
+                col: 1,
+                rule: RULE_FORK,
+                message: format!("duplicate registry row for fork({stream}) in crate `{krate}`"),
+            });
+        }
+        if check_stale {
+            let mut stale: Vec<Diagnostic> = Vec::new();
+            for ((krate, stream), entry) in self.registry.iter() {
+                if !self.fork_sites.contains_key(&(krate.clone(), *stream)) {
+                    stale.push(Diagnostic {
+                        file: self.registry.path.clone(),
+                        line: entry.line,
+                        col: 1,
+                        rule: RULE_FORK,
+                        message: format!(
+                            "registered fork({stream}) for crate `{krate}` \
+                             (\"{}\") has no literal call site; remove the row",
+                            entry.purpose
+                        ),
+                    });
+                }
+            }
+            self.diagnostics.extend(stale);
+        }
+        self.diagnostics.sort();
+    }
+
+    fn rule_fork_discipline(
+        &mut self,
+        file: &str,
+        code: &[&Token],
+        ctx: &CrateContext,
+        in_test: &dyn Fn(usize) -> bool,
+        raw: &mut Vec<Diagnostic>,
+    ) {
+        for i in 0..code.len() {
+            if !(code[i].kind == TokenKind::Ident && code[i].text == "fork") {
+                continue;
+            }
+            if in_test(i) {
+                continue;
+            }
+            let Some(stream) = fork_literal_arg(code, i) else {
+                continue;
+            };
+            let tok = code[i];
+            let key = (ctx.name.clone(), stream);
+            if self.registry.get(&ctx.name, stream).is_none() {
+                raw.push(Diagnostic {
+                    file: file.to_string(),
+                    line: tok.line,
+                    col: tok.col,
+                    rule: RULE_FORK,
+                    message: format!(
+                        "fork({stream}) in crate `{}` is not registered in {}",
+                        ctx.name,
+                        if self.registry.path.is_empty() {
+                            "the fork registry (pass --forks FORKS.md)"
+                        } else {
+                            &self.registry.path
+                        }
+                    ),
+                });
+            } else if let Some((first_file, first_line)) = self.fork_sites.get(&key) {
+                raw.push(Diagnostic {
+                    file: file.to_string(),
+                    line: tok.line,
+                    col: tok.col,
+                    rule: RULE_FORK,
+                    message: format!(
+                        "fork({stream}) collides with the stream already drawn at \
+                         {first_file}:{first_line} in crate `{}`",
+                        ctx.name
+                    ),
+                });
+            }
+            self.fork_sites
+                .entry(key)
+                .or_insert_with(|| (file.to_string(), tok.line));
+        }
+    }
+}
+
+// ---- token helpers --------------------------------------------------------
+
+fn is_punct(code: &[&Token], i: usize, text: &str) -> bool {
+    code.get(i)
+        .is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
+}
+
+fn is_ident(code: &[&Token], i: usize, text: &str) -> bool {
+    code.get(i)
+        .is_some_and(|t| t.kind == TokenKind::Ident && t.text == text)
+}
+
+fn ident_at<'a>(code: &[&'a Token], i: usize) -> Option<&'a str> {
+    code.get(i)
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.as_str())
+}
+
+/// Index of the matching closer for the opener at `open` (`(`/`[`/`{`),
+/// or `code.len()` when unbalanced.
+fn match_delim(code: &[&Token], open: usize, open_c: &str, close_c: &str) -> usize {
+    let mut depth = 0usize;
+    for (i, tok) in code.iter().enumerate().skip(open) {
+        if tok.kind == TokenKind::Punct {
+            if tok.text == open_c {
+                depth += 1;
+            } else if tok.text == close_c {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+        }
+    }
+    code.len()
+}
+
+/// Counts top-level generic arguments of the `<...>` opening at `open`,
+/// returning `(args, close_index)`. `->` arrows inside (e.g. `fn(A) -> B`
+/// types) are skipped so their `>` does not close the list.
+fn generic_args(code: &[&Token], open: usize) -> (usize, usize) {
+    let mut angle = 0i32;
+    let mut paren = 0i32;
+    let mut square = 0i32;
+    let mut commas = 0usize;
+    let mut i = open;
+    while i < code.len() {
+        let t = code[i];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => {
+                    angle -= 1;
+                    if angle == 0 {
+                        return (commas + 1, i);
+                    }
+                }
+                "-" if is_punct(code, i + 1, ">") => i += 1, // skip `->`
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => square += 1,
+                "]" => square -= 1,
+                "," if angle == 1 && paren == 0 && square == 0 => commas += 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    (commas + 1, code.len())
+}
+
+/// Skips a run of `#[...]` attributes starting at `j`.
+fn skip_attrs(code: &[&Token], mut j: usize) -> usize {
+    while is_punct(code, j, "#") && is_punct(code, j + 1, "[") {
+        j = match_delim(code, j + 1, "[", "]") + 1;
+    }
+    j
+}
+
+/// `fork ( <int> )` — returns the literal stream number.
+fn fork_literal_arg(code: &[&Token], i: usize) -> Option<u64> {
+    if !is_punct(code, i + 1, "(") || !is_punct(code, i + 3, ")") {
+        return None;
+    }
+    let lit = code.get(i + 2)?;
+    if lit.kind != TokenKind::Int {
+        return None;
+    }
+    let digits: String = lit.text.chars().filter(|c| c.is_ascii_digit()).collect();
+    // Hex/octal/binary streams would mis-parse through the digit filter;
+    // nobody writes fork(0x4), so treat them as non-literal instead.
+    if lit.text.starts_with("0x") || lit.text.starts_with("0o") || lit.text.starts_with("0b") {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Token index ranges (inclusive) of `#[cfg(test)] mod ... { ... }` bodies.
+fn cfg_test_ranges(code: &[&Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i + 6 < code.len() {
+        let is_cfg_test = is_punct(code, i, "#")
+            && is_punct(code, i + 1, "[")
+            && is_ident(code, i + 2, "cfg")
+            && is_punct(code, i + 3, "(")
+            && is_ident(code, i + 4, "test")
+            && is_punct(code, i + 5, ")")
+            && is_punct(code, i + 6, "]");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let j = skip_attrs(code, i + 7);
+        if is_ident(code, j, "mod") {
+            // `mod name { ... }` — find the body braces.
+            let mut k = j + 1;
+            while k < code.len() && !is_punct(code, k, "{") && !is_punct(code, k, ";") {
+                k += 1;
+            }
+            if is_punct(code, k, "{") {
+                let end = match_delim(code, k, "{", "}");
+                ranges.push((k, end));
+                i = end + 1;
+                continue;
+            }
+        }
+        i = j.max(i + 1);
+    }
+    ranges
+}
+
+// ---- directives -----------------------------------------------------------
+
+/// Extracts `simlint: allow(rule, ...)` budgets from comments, plus
+/// [`RULE_UNKNOWN`] diagnostics for names that match no rule.
+fn parse_directives(file: &str, tokens: &[Token]) -> (Vec<Allow>, Vec<Diagnostic>) {
+    let mut allows = Vec::new();
+    let mut diags = Vec::new();
+    for tok in tokens {
+        // Directives are plain `// simlint: ...` line comments whose
+        // content starts with the marker. Doc comments (`///`, `//!`) and
+        // prose that merely *mentions* a directive are never directives.
+        if tok.kind != TokenKind::LineComment {
+            continue;
+        }
+        let body = tok.text.trim_start_matches('/');
+        if tok.text.starts_with("///") || tok.text.starts_with("//!") {
+            continue;
+        }
+        let Some(rest) = body.trim_start().strip_prefix("simlint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let args = rest
+            .strip_prefix("allow")
+            .map(str::trim_start)
+            .and_then(|r| r.strip_prefix('('))
+            .and_then(|r| r.split_once(')'))
+            .map(|(inside, _)| inside);
+        let Some(args) = args else {
+            diags.push(Diagnostic {
+                file: file.to_string(),
+                line: tok.line,
+                col: tok.col,
+                rule: RULE_UNKNOWN,
+                message: "malformed simlint directive; expected \
+                          `simlint: allow(<rule>)`"
+                    .to_string(),
+            });
+            continue;
+        };
+        for name in args.split(',') {
+            let name = name.trim();
+            match ALL_RULES.iter().find(|r| **r == name) {
+                Some(rule) => allows.push(Allow {
+                    rule,
+                    line: tok.line,
+                    used: false,
+                }),
+                None => diags.push(Diagnostic {
+                    file: file.to_string(),
+                    line: tok.line,
+                    col: tok.col,
+                    rule: RULE_UNKNOWN,
+                    message: format!(
+                        "unknown rule `{name}` in allow directive (known: {})",
+                        ALL_RULES.join(", ")
+                    ),
+                }),
+            }
+        }
+    }
+    (allows, diags)
+}
+
+// ---- individual rules -----------------------------------------------------
+
+fn rule_nondet_iteration(file: &str, code: &[&Token], raw: &mut Vec<Diagnostic>) {
+    for i in 0..code.len() {
+        let Some(name) = ident_at(code, i) else {
+            continue;
+        };
+        if name != "HashMap" && name != "HashSet" {
+            continue;
+        }
+        // Hasher parameter position: HashMap<K, V, S>, HashSet<T, S>.
+        let with_hasher_arity = if name == "HashMap" { 3 } else { 2 };
+        let open = if is_punct(code, i + 1, "<") {
+            Some(i + 1)
+        } else if is_punct(code, i + 1, ":")
+            && is_punct(code, i + 2, ":")
+            && is_punct(code, i + 3, "<")
+        {
+            Some(i + 3)
+        } else {
+            None
+        };
+        let tok = code[i];
+        if let Some(open) = open {
+            let (args, _) = generic_args(code, open);
+            if args < with_hasher_arity {
+                raw.push(Diagnostic {
+                    file: file.to_string(),
+                    line: tok.line,
+                    col: tok.col,
+                    rule: RULE_NONDET_ITER,
+                    message: format!(
+                        "`{name}` with the default `RandomState` hasher: iteration \
+                         order is nondeterministic; use a BTree collection or an \
+                         explicit deterministic hasher"
+                    ),
+                });
+            }
+        } else if is_punct(code, i + 1, ":")
+            && is_punct(code, i + 2, ":")
+            && matches!(ident_at(code, i + 3), Some("new" | "with_capacity"))
+        {
+            raw.push(Diagnostic {
+                file: file.to_string(),
+                line: tok.line,
+                col: tok.col,
+                rule: RULE_NONDET_ITER,
+                message: format!(
+                    "`{name}::{}` always uses the random-seeded `RandomState`; \
+                     use a BTree collection or `::default()` on an alias with a \
+                     deterministic hasher",
+                    ident_at(code, i + 3).expect("checked")
+                ),
+            });
+        }
+    }
+}
+
+fn rule_wall_clock(file: &str, code: &[&Token], raw: &mut Vec<Diagnostic>) {
+    let mut in_use = false;
+    for i in 0..code.len() {
+        let tok = code[i];
+        match tok.kind {
+            TokenKind::Ident if tok.text == "use" => in_use = true,
+            TokenKind::Punct if tok.text == ";" => in_use = false,
+            TokenKind::Ident if tok.text == "Instant" || tok.text == "SystemTime" => {
+                let construction = is_punct(code, i + 1, ":")
+                    && is_punct(code, i + 2, ":")
+                    && matches!(ident_at(code, i + 3), Some("now" | "UNIX_EPOCH"));
+                if in_use || construction {
+                    raw.push(Diagnostic {
+                        file: file.to_string(),
+                        line: tok.line,
+                        col: tok.col,
+                        rule: RULE_WALL_CLOCK,
+                        message: format!(
+                            "`{}` reads the wall clock; simulation code must use \
+                             `SimTime` (bench/testkit are exempt)",
+                            tok.text
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+const ALLOC_CONSTRUCTS: &[&str] = &[
+    "Vec::new",
+    "vec![]",
+    "to_vec",
+    "collect",
+    "format!",
+    "Box::new",
+    "String::from",
+];
+
+fn rule_hot_path_alloc(file: &str, code: &[&Token], raw: &mut Vec<Diagnostic>) {
+    let mut i = 0;
+    while i + 8 < code.len() {
+        let is_marker = is_punct(code, i, "#")
+            && is_punct(code, i + 1, "[")
+            && is_ident(code, i + 2, "cfg_attr")
+            && is_punct(code, i + 3, "(")
+            && is_ident(code, i + 4, "simlint")
+            && is_punct(code, i + 5, ",")
+            && is_ident(code, i + 6, "hot_path")
+            && is_punct(code, i + 7, ")")
+            && is_punct(code, i + 8, "]");
+        if !is_marker {
+            i += 1;
+            continue;
+        }
+        let mut j = skip_attrs(code, i + 9);
+        // Skip visibility and qualifiers up to `fn`.
+        let mut guard = 0;
+        while !is_ident(code, j, "fn") && j < code.len() && guard < 16 {
+            j += 1;
+            guard += 1;
+        }
+        if !is_ident(code, j, "fn") {
+            i += 1;
+            continue;
+        }
+        let fn_name = ident_at(code, j + 1).unwrap_or("?").to_string();
+        // Body: first `{` outside parentheses (signature) and brackets.
+        let mut k = j + 1;
+        let mut paren = 0i32;
+        while k < code.len() {
+            let t = code[k];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "{" if paren == 0 => break,
+                    ";" if paren == 0 => break, // trait method: no body
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        if !is_punct(code, k, "{") {
+            i = j + 1;
+            continue;
+        }
+        let end = match_delim(code, k, "{", "}");
+        scan_alloc_constructs(file, code, k + 1, end, &fn_name, raw);
+        i = end + 1;
+    }
+}
+
+fn scan_alloc_constructs(
+    file: &str,
+    code: &[&Token],
+    start: usize,
+    end: usize,
+    fn_name: &str,
+    raw: &mut Vec<Diagnostic>,
+) {
+    let mut push = |tok: &Token, construct: &str| {
+        raw.push(Diagnostic {
+            file: file.to_string(),
+            line: tok.line,
+            col: tok.col,
+            rule: RULE_HOT_PATH,
+            message: format!(
+                "allocating construct `{construct}` inside hot-path fn \
+                 `{fn_name}` (banned: {})",
+                ALLOC_CONSTRUCTS.join(", ")
+            ),
+        });
+    };
+    for i in start..end.min(code.len()) {
+        let Some(name) = ident_at(code, i) else {
+            continue;
+        };
+        let tok = code[i];
+        let path_new = |what: &str| {
+            name == what
+                && is_punct(code, i + 1, ":")
+                && is_punct(code, i + 2, ":")
+                && is_ident(code, i + 3, "new")
+        };
+        if path_new("Vec") {
+            push(tok, "Vec::new");
+        } else if path_new("Box") {
+            push(tok, "Box::new");
+        } else if name == "String"
+            && is_punct(code, i + 1, ":")
+            && is_punct(code, i + 2, ":")
+            && is_ident(code, i + 3, "from")
+        {
+            push(tok, "String::from");
+        } else if (name == "vec" || name == "format") && is_punct(code, i + 1, "!") {
+            push(tok, if name == "vec" { "vec![]" } else { "format!" });
+        } else if (name == "to_vec" || name == "collect") && i > 0 && is_punct(code, i - 1, ".") {
+            push(tok, name);
+        }
+    }
+}
+
+fn rule_float_event_key(
+    file: &str,
+    code: &[&Token],
+    in_test: &dyn Fn(usize) -> bool,
+    raw: &mut Vec<Diagnostic>,
+) {
+    let mut i = 0;
+    while i + 3 < code.len() {
+        let is_derive = is_punct(code, i, "#")
+            && is_punct(code, i + 1, "[")
+            && is_ident(code, i + 2, "derive")
+            && is_punct(code, i + 3, "(");
+        if !is_derive || in_test(i) {
+            i += 1;
+            continue;
+        }
+        let close_paren = match_delim(code, i + 3, "(", ")");
+        let ordered =
+            (i + 4..close_paren).any(|k| matches!(ident_at(code, k), Some("Ord" | "PartialOrd")));
+        let attr_end = match_delim(code, i + 1, "[", "]");
+        if !ordered {
+            i = attr_end + 1;
+            continue;
+        }
+        let mut j = skip_attrs(code, attr_end + 1);
+        // Skip visibility (`pub`, `pub(crate)`).
+        while matches!(
+            ident_at(code, j),
+            Some("pub" | "crate" | "in" | "super" | "self")
+        ) || is_punct(code, j, "(")
+            || is_punct(code, j, ")")
+        {
+            j += 1;
+        }
+        let keyword = ident_at(code, j);
+        if !matches!(keyword, Some("struct" | "enum")) {
+            i = attr_end + 1;
+            continue;
+        }
+        let type_name = ident_at(code, j + 1).unwrap_or("?").to_string();
+        // Find the item body: `{...}`, `(...);`, or a bare `;`.
+        let mut k = j + 2;
+        let body_range = loop {
+            if k >= code.len() {
+                break None;
+            }
+            if is_punct(code, k, "<") {
+                let (_, close) = generic_args(code, k);
+                k = close + 1;
+                continue;
+            }
+            if is_punct(code, k, "{") {
+                break Some((k + 1, match_delim(code, k, "{", "}")));
+            }
+            if is_punct(code, k, "(") {
+                break Some((k + 1, match_delim(code, k, "(", ")")));
+            }
+            if is_punct(code, k, ";") {
+                break None;
+            }
+            k += 1;
+        };
+        if let Some((lo, hi)) = body_range {
+            for f in lo..hi.min(code.len()) {
+                if matches!(ident_at(code, f), Some("f32" | "f64")) {
+                    let tok = code[f];
+                    raw.push(Diagnostic {
+                        file: file.to_string(),
+                        line: tok.line,
+                        col: tok.col,
+                        rule: RULE_FLOAT_KEY,
+                        message: format!(
+                            "`{}` field in `{type_name}`, which derives an ordering: \
+                             floats must never key the event queue (NaN breaks \
+                             total order; rounding breaks replay)",
+                            tok.text
+                        ),
+                    });
+                }
+            }
+            i = hi.max(attr_end) + 1;
+        } else {
+            i = attr_end + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_sim(source: &str) -> Vec<Diagnostic> {
+        let mut linter = Linter::new(ForkRegistry::default());
+        linter.lint_file("test.rs", source, &CrateContext::fixture());
+        linter.finish(false);
+        linter.diagnostics
+    }
+
+    #[test]
+    fn default_hashmap_fires_and_custom_hasher_passes() {
+        let diags = lint_sim(
+            "type A = HashMap<u32, u32>;\n\
+             type B = HashMap<u32, u32, BuildHasherDefault<H>>;\n\
+             type C = HashSet<u64, BuildHasherDefault<H>>;\n\
+             fn f() { let m: HashSet<u8> = HashSet::new(); }\n",
+        );
+        let fired: Vec<u32> = diags
+            .iter()
+            .filter(|d| d.rule == RULE_NONDET_ITER)
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(fired, vec![1, 4, 4]);
+    }
+
+    #[test]
+    fn tuple_keys_do_not_inflate_arity() {
+        let diags = lint_sim("type A = HashMap<(u32, u32), V>;\n");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let diags = lint_sim(
+            "// HashMap::new() in a comment\n\
+             const S: &str = \"HashMap::new() Instant::now()\";\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn wall_clock_fires_on_import_and_now() {
+        let diags = lint_sim(
+            "use std::time::Instant;\n\
+             fn f() { let t = Instant::now(); let x: Option<Instant> = None; }\n",
+        );
+        let wall: Vec<u32> = diags
+            .iter()
+            .filter(|d| d.rule == RULE_WALL_CLOCK)
+            .map(|d| d.line)
+            .collect();
+        // The import and the ::now() read fire; the type position does not.
+        assert_eq!(wall, vec![1, 2]);
+    }
+
+    #[test]
+    fn allow_suppresses_exactly_one() {
+        let diags = lint_sim(
+            "// simlint: allow(nondeterministic-iteration)\n\
+             fn f() { let a = HashMap::<u32, u32>::new(); }\n\
+             fn g() { let b: HashMap<u32, u32> = make(); }\n",
+        );
+        let fired: Vec<u32> = diags
+            .iter()
+            .filter(|d| d.rule == RULE_NONDET_ITER)
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(fired, vec![3], "only the un-allowed site remains");
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let diags = lint_sim("// simlint: allow(no-such-rule)\n");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, RULE_UNKNOWN);
+    }
+
+    #[test]
+    fn hot_path_alloc_scans_only_annotated_fns() {
+        let diags = lint_sim(
+            "fn cold() { let v = vec![1]; }\n\
+             #[cfg_attr(simlint, hot_path)]\n\
+             fn hot(xs: &[u32]) -> Vec<u32> {\n\
+                 let v: Vec<u32> = xs.iter().copied().collect();\n\
+                 let s = format!(\"{v:?}\");\n\
+                 v\n\
+             }\n",
+        );
+        let hot: Vec<u32> = diags
+            .iter()
+            .filter(|d| d.rule == RULE_HOT_PATH)
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(hot, vec![4, 5]);
+    }
+
+    #[test]
+    fn float_event_key_fires_on_ordered_types_only() {
+        let diags = lint_sim(
+            "#[derive(PartialOrd, PartialEq)]\n\
+             struct Bad { t: f64 }\n\
+             #[derive(Clone)]\n\
+             struct Fine { t: f64 }\n\
+             #[derive(Ord, PartialOrd, Eq, PartialEq)]\n\
+             struct Good(u64);\n",
+        );
+        let float: Vec<u32> = diags
+            .iter()
+            .filter(|d| d.rule == RULE_FLOAT_KEY)
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(float, vec![2]);
+    }
+
+    #[test]
+    fn fork_literals_must_be_registered_and_unique() {
+        let registry = ForkRegistry::parse("R.md", "| fixture | 4 | x |\n");
+        let mut linter = Linter::new(registry);
+        linter.lint_file(
+            "a.rs",
+            "fn f(r: &SimRng) { let a = r.fork(4); let b = r.fork(4); let c = r.fork(9); }\n",
+            &CrateContext::fixture(),
+        );
+        linter.finish(false);
+        let fork: Vec<String> = linter
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == RULE_FORK)
+            .map(|d| d.message.clone())
+            .collect();
+        assert_eq!(fork.len(), 2, "{fork:?}");
+        assert!(fork.iter().any(|m| m.contains("collides")));
+        assert!(fork.iter().any(|m| m.contains("not registered")));
+    }
+
+    #[test]
+    fn stale_registry_rows_fail_workspace_runs() {
+        let registry = ForkRegistry::parse("R.md", "| fixture | 4 | x |\n| fixture | 5 | y |\n");
+        let mut linter = Linter::new(registry);
+        linter.lint_file(
+            "a.rs",
+            "fn f(r: &SimRng) { let a = r.fork(4); }\n",
+            &CrateContext::fixture(),
+        );
+        linter.finish(true);
+        assert_eq!(linter.diagnostics.len(), 1);
+        assert!(linter.diagnostics[0]
+            .message
+            .contains("no literal call site"));
+        assert_eq!(linter.diagnostics[0].file, "R.md");
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt_from_fork_discipline() {
+        let diags = lint_sim(
+            "#[cfg(test)]\n\
+             mod tests {\n\
+                 fn f(r: &SimRng) { let a = r.fork(123); }\n\
+             }\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Fixture-corpus tests: every `ok/` file must lint clean, every `bad/`
+//! file must reproduce its checked-in `.expected` diagnostics exactly,
+//! and the CLI exit codes must match (0 clean, 1 diagnostics).
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use simlint::forks::ForkRegistry;
+use simlint::lint_paths;
+use simlint::rules::{
+    RULE_FLOAT_KEY, RULE_FORK, RULE_HOT_PATH, RULE_NONDET_ITER, RULE_UNKNOWN, RULE_WALL_CLOCK,
+};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture_registry() -> ForkRegistry {
+    let path = fixtures_dir().join("FORKS.md");
+    let text = std::fs::read_to_string(&path).expect("read fixtures/FORKS.md");
+    ForkRegistry::parse("FORKS.md", &text)
+}
+
+fn rs_files(sub: &str) -> Vec<PathBuf> {
+    let dir = fixtures_dir().join(sub);
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read_dir {}: {e}", dir.display()))
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no fixtures under {}", dir.display());
+    files
+}
+
+/// Every ok/ fixture lints clean in isolation (fresh linter per file, so
+/// fork streams registered for one file cannot mask another's).
+#[test]
+fn ok_corpus_is_clean() {
+    for file in rs_files("ok") {
+        let diags = lint_paths(std::slice::from_ref(&file), fixture_registry())
+            .unwrap_or_else(|e| panic!("lint {}: {e}", file.display()));
+        assert!(
+            diags.is_empty(),
+            "{} should be clean, got:\n{}",
+            file.display(),
+            diags
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+/// Every bad/ fixture's CLI output matches its sibling `.expected`
+/// snapshot byte for byte, and the binary exits 1. The CLI runs with the
+/// fixtures directory as cwd so paths in the snapshot stay relative.
+#[test]
+fn bad_corpus_matches_snapshots() {
+    for file in rs_files("bad") {
+        let expected_path = file.with_extension("expected");
+        let expected = std::fs::read_to_string(&expected_path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", expected_path.display()));
+        let rel = format!(
+            "bad/{}",
+            file.file_name().expect("file name").to_string_lossy()
+        );
+        let out = Command::new(env!("CARGO_BIN_EXE_simlint"))
+            .current_dir(fixtures_dir())
+            .args(["--forks", "FORKS.md", &rel])
+            .output()
+            .expect("run simlint");
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{rel}: expected exit 1, got {:?}\nstderr: {}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(
+            stdout,
+            expected,
+            "{rel}: diagnostics drifted from {}",
+            expected_path.display()
+        );
+    }
+}
+
+/// Each bad fixture fires exactly the rule ids it was seeded with — no
+/// cross-talk between rules.
+#[test]
+fn bad_fixtures_fire_exactly_their_rules() {
+    let cases: &[(&str, &[&str])] = &[
+        ("allow_once.rs", &[RULE_NONDET_ITER]),
+        ("float_key.rs", &[RULE_FLOAT_KEY]),
+        ("fork_duplicate.rs", &[RULE_FORK]),
+        ("fork_unregistered.rs", &[RULE_FORK]),
+        ("hot_path.rs", &[RULE_HOT_PATH]),
+        ("iteration.rs", &[RULE_NONDET_ITER]),
+        ("unknown_rule.rs", &[RULE_UNKNOWN]),
+        ("wall_clock.rs", &[RULE_WALL_CLOCK]),
+    ];
+    let found: Vec<String> = rs_files("bad")
+        .iter()
+        .map(|p| p.file_name().expect("name").to_string_lossy().into_owned())
+        .collect();
+    let listed: Vec<&str> = cases.iter().map(|(n, _)| *n).collect();
+    assert_eq!(found, listed, "bad/ corpus and rule table out of sync");
+
+    for (name, rules) in cases {
+        let file = fixtures_dir().join("bad").join(name);
+        let diags = lint_paths(std::slice::from_ref(&file), fixture_registry())
+            .unwrap_or_else(|e| panic!("lint {name}: {e}"));
+        let fired: BTreeSet<&str> = diags.iter().map(|d| d.rule).collect();
+        let expected: BTreeSet<&str> = rules.iter().copied().collect();
+        assert_eq!(fired, expected, "{name}: wrong rule set");
+    }
+}
+
+/// An allow directive suppresses exactly one diagnostic: allow_once.rs
+/// seeds three default-hasher violations and allows the first, so the
+/// two on the following line survive.
+#[test]
+fn allow_suppresses_exactly_one_diagnostic() {
+    let file = fixtures_dir().join("bad/allow_once.rs");
+    let diags = lint_paths(std::slice::from_ref(&file), fixture_registry()).expect("lint");
+    assert_eq!(diags.len(), 2, "one of three violations should be allowed");
+    assert!(diags.iter().all(|d| d.rule == RULE_NONDET_ITER));
+    assert!(diags.iter().all(|d| d.line == 8), "line 7 was allowed");
+}
+
+/// Unknown rule names in allow directives are themselves diagnostics.
+#[test]
+fn unknown_rule_in_allow_directive_errors() {
+    let file = fixtures_dir().join("bad/unknown_rule.rs");
+    let diags = lint_paths(std::slice::from_ref(&file), fixture_registry()).expect("lint");
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, RULE_UNKNOWN);
+    assert!(diags[0].message.contains("no-such-rule"));
+}
+
+/// The whole ok/ corpus in a single CLI invocation exits 0 with no
+/// output.
+#[test]
+fn cli_exits_zero_on_ok_corpus() {
+    let rels: Vec<String> = rs_files("ok")
+        .iter()
+        .map(|p| format!("ok/{}", p.file_name().expect("file name").to_string_lossy()))
+        .collect();
+    let out = Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .current_dir(fixtures_dir())
+        .args(["--forks", "FORKS.md"])
+        .args(&rels)
+        .output()
+        .expect("run simlint");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(out.stdout.is_empty());
+}

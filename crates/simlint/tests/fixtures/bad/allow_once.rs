@@ -1,0 +1,10 @@
+//! Seeded violation: one allow directive suppresses exactly one
+//! diagnostic — the second default-hasher map on the line below still
+//! fires.
+
+fn two_maps() {
+    // simlint: allow(nondeterministic-iteration)
+    let a = HashMap::<u32, u32>::new();
+    let b: HashMap<u32, u32> = HashMap::new();
+    let _ = (a, b);
+}

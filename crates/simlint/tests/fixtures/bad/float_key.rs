@@ -1,0 +1,10 @@
+//! Seeded violations: float fields inside ordered types that could key
+//! the event queue.
+
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct FloatTime {
+    pub seconds: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Keyed(pub f32, pub u64);

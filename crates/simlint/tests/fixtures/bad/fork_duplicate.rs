@@ -1,0 +1,8 @@
+//! Seeded violation: two subsystems draw the same registered stream and
+//! would consume each other's randomness.
+
+fn wire(root: &SimRng) {
+    let placement = root.fork(7);
+    let also_placement = root.fork(7);
+    let _ = (placement, also_placement);
+}

@@ -1,0 +1,7 @@
+//! Seeded violation: a new subsystem grabs a stream constant without
+//! registering it, risking collision with existing streams.
+
+fn wire(root: &SimRng) {
+    let sneaky = root.fork(99);
+    let _ = sneaky;
+}

@@ -1,0 +1,19 @@
+//! Seeded violations: allocating constructs inside an annotated hot-path
+//! function.
+
+#[cfg_attr(simlint, hot_path)]
+pub fn begin_transmission_into(listeners: &[u32]) -> Vec<u32> {
+    let mut changes = Vec::new();
+    let tagged: Vec<String> = listeners
+        .iter()
+        .map(|l| format!("host-{l}"))
+        .collect();
+    changes.extend(tagged.iter().map(|t| t.len() as u32));
+    let boxed = Box::new(changes.clone());
+    let label = String::from("tx");
+    let copy = listeners.to_vec();
+    let mut batch = vec![0u32; 4];
+    batch.extend(copy);
+    let _ = (boxed, label, batch);
+    Vec::default()
+}

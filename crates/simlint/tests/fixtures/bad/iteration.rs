@@ -1,0 +1,16 @@
+//! Seeded violations: default-hasher maps whose iteration order could
+//! feed event scheduling or metrics output.
+
+use std::collections::{HashMap, HashSet};
+
+struct Ledger {
+    per_host: HashMap<u32, u64>,
+    heard: HashSet<u64>,
+}
+
+fn build() -> Ledger {
+    Ledger {
+        per_host: HashMap::new(),
+        heard: HashSet::with_capacity(64),
+    }
+}

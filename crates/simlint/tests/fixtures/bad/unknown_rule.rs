@@ -1,0 +1,8 @@
+//! Seeded violation: a directive naming a rule that does not exist is
+//! itself an error (the escape hatch cannot silently rot).
+
+fn quiet() {
+    // simlint: allow(no-such-rule)
+    let x = 1u64;
+    let _ = x;
+}

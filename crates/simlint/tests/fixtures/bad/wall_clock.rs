@@ -1,0 +1,11 @@
+//! Seeded violations: wall-clock reads that would make replay depend on
+//! host speed.
+
+use std::time::Instant;
+
+fn jitter_seed() -> u64 {
+    let epoch = SystemTime::now();
+    let t = Instant::now();
+    let _ = (epoch, t);
+    0
+}

@@ -1,0 +1,20 @@
+//! Event-key passes: ordered types carry integer time; float fields live
+//! only on unordered types.
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventKey {
+    pub at_nanos: u64,
+    pub seq: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Position {
+    pub x: f64,
+    pub y: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    Idle,
+    Backoff { slots: u32 },
+}

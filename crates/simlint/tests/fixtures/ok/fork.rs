@@ -1,0 +1,22 @@
+//! Fork discipline passes: both literal streams are registered in the
+//! fixture registry, and derived (non-literal) streams are not checked.
+
+fn wire(root: &SimRng, hosts: u32) {
+    let placement = root.fork(7);
+    let workload = root.fork(8);
+    let _ = (placement, workload);
+    for i in 0..hosts {
+        // Derived per-host streams carry no literal constant.
+        let per_host = root.fork(100 + u64::from(i));
+        let _ = per_host;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may probe arbitrary streams.
+    fn probes() {
+        let r = SimRng::seed_from(7);
+        let _ = (r.fork(1), r.fork(1), r.fork(424242));
+    }
+}

@@ -1,0 +1,16 @@
+//! Hot-path passes: the annotated function reuses caller buffers; the
+//! unannotated helper may allocate freely.
+
+#[cfg_attr(simlint, hot_path)]
+pub fn end_transmission_into(deliveries: &mut Vec<Delivery>, pool: &mut Vec<Vec<u32>>) {
+    deliveries.clear();
+    let mut scratch = pool.pop().unwrap_or_default();
+    scratch.clear();
+    scratch.extend([1, 2, 3]);
+    pool.push(scratch);
+}
+
+pub fn cold_reporting_path(items: &[u32]) -> String {
+    let doubled: Vec<u32> = items.iter().map(|x| x * 2).collect();
+    format!("{doubled:?}")
+}

@@ -1,0 +1,27 @@
+//! Deterministic collections pass: explicit hashers, BTree collections,
+//! and `HashMap` mentions inside strings or comments never fire.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::BuildHasherDefault;
+
+type IdMap<V> = HashMap<u32, V, BuildHasherDefault<IdHasher>>;
+type SeqSet = HashSet<u64, BuildHasherDefault<SeqHasher>>;
+
+struct Table {
+    by_id: IdMap<u64>,
+    seen: SeqSet,
+    ordered: BTreeMap<u64, u64>,
+    members: BTreeSet<u32>,
+}
+
+fn build() -> Table {
+    // A comment saying HashMap::new() is not a call site.
+    let doc = "HashMap::new() inside a string is not a call site";
+    let _ = doc;
+    Table {
+        by_id: IdMap::default(),
+        seen: SeqSet::default(),
+        ordered: BTreeMap::new(),
+        members: BTreeSet::new(),
+    }
+}

@@ -1,0 +1,14 @@
+//! Simulation time passes: `SimTime` arithmetic everywhere, and `Instant`
+//! only inside strings and comments.
+
+fn schedule(now: SimTime, airtime: SimDuration) -> SimTime {
+    // Instant::now() in a comment is fine.
+    let banner = "Instant::now() and SystemTime::now() in a string are fine";
+    let _ = banner;
+    now + airtime
+}
+
+fn holds_an_instant_typed_value(slot: Option<Instant>) -> bool {
+    // Type positions do not read the clock; only `::now` reads do.
+    slot.is_some()
+}
