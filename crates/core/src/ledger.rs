@@ -137,6 +137,20 @@ impl PacketLedger {
         self.active.remove(tag)
     }
 
+    /// The per-seq tag array and active-state slab, for a world snapshot.
+    /// Slot layout matters: assessment keys and MAC frame handles stored
+    /// elsewhere refer into the slab, so a snapshot must preserve it
+    /// verbatim.
+    pub(crate) fn snapshot_parts(&self) -> (&[u32], &Slab<ActivePacket>) {
+        (&self.tags, &self.active)
+    }
+
+    /// Rebuilds a ledger from the parts exposed by
+    /// [`snapshot_parts`](Self::snapshot_parts).
+    pub(crate) fn from_parts(tags: Vec<u32>, active: Slab<ActivePacket>) -> Self {
+        PacketLedger { tags, active }
+    }
+
     /// Abandons every active (assessing or MAC-queued) state, marking the
     /// affected packets done and appending the cancellation tokens —
     /// assessment event keys and MAC frame handles — to the caller's

@@ -52,7 +52,9 @@
 //! * [`threshold`] — the `C(n)` / `A(n)` function families (Figs 3, 4, 6, 8).
 //! * [`schemes`] — per-packet decision state for all seven schemes.
 //! * [`policy`] — the S1–S5 decision interface the schemes implement.
-//! * [`world`] — the full simulation (mobility, channel, MAC, HELLO, workload).
+//! * [`pure`] — the pure protocol models (actions in, effects out).
+//! * [`world`] — the effectful dispatcher (queue, RNG, channel, MAC, workload).
+//! * [`record`] — the action-level `MTRC` trace format and pure replay.
 //! * [`metrics`] — RE, SRB, and latency, as defined in §4.
 
 #![warn(missing_docs)]
@@ -63,6 +65,8 @@ mod ids;
 mod ledger;
 pub mod metrics;
 pub mod policy;
+pub mod pure;
+pub mod record;
 pub mod schemes;
 pub mod threshold;
 pub mod trace;
@@ -83,6 +87,11 @@ pub use metrics::{
     ScenarioCounts, SimReport, SuppressionCounts,
 };
 pub use policy::{DuplicateDecision, FirstDecision, HearContext, RebroadcastPolicy};
+pub use pure::{Effect, OracleView, OwnedAction, PureAction, PureModels};
+pub use record::{
+    replay_decisions, DecisionRecord, ReplayError, ReplaySummary, TraceFile, TraceRecord,
+    TraceWriter, TRACE_MAGIC, TRACE_VERSION,
+};
 pub use schemes::{
     CounterScheme, DistanceScheme, Flooding, LocationScheme, NeighborCoverageScheme, PacketPolicy,
     ProbabilisticScheme, SchemeSpec,
@@ -90,4 +99,5 @@ pub use schemes::{
 pub use threshold::{
     AreaThreshold, CounterThreshold, DescentShape, EAC2_FRACTION, MIN_COUNTER_THRESHOLD,
 };
+pub use world::snapshot;
 pub use world::World;

@@ -12,7 +12,7 @@
 
 use manet_mac::MacStats;
 use manet_phy::{LossCounters, NodeId};
-use manet_sim_engine::{LoopProfile, SimDuration, SimTime};
+use manet_sim_engine::{LoopProfile, SimDuration, SimTime, WireDecoder, WireEncoder, WireError};
 
 use crate::ids::PacketId;
 use crate::trace::SuppressReason;
@@ -47,6 +47,26 @@ impl HostSet {
 
     fn contains(&self, id: NodeId) -> bool {
         self.words[id.index() / 64] & (1u64 << (id.index() % 64)) != 0
+    }
+
+    fn snapshot_into(&self, enc: &mut WireEncoder) {
+        enc.len(self.words.len());
+        for &word in &self.words {
+            enc.u64(word);
+        }
+        enc.u32(self.count);
+    }
+
+    fn restore_snapshot(dec: &mut WireDecoder<'_>) -> Result<HostSet, WireError> {
+        let word_count = dec.len()?;
+        let mut words = Vec::with_capacity(word_count);
+        for _ in 0..word_count {
+            words.push(dec.u64()?);
+        }
+        Ok(HostSet {
+            words,
+            count: dec.u32()?,
+        })
     }
 }
 
@@ -375,6 +395,56 @@ impl MetricsCollector {
             .1
             .received
             .contains(node)
+    }
+
+    /// Serializes the collector — every per-broadcast record — for a
+    /// world snapshot.
+    pub fn snapshot_into(&self, enc: &mut WireEncoder) {
+        enc.usize(self.hosts);
+        enc.len(self.records.len());
+        for (packet, record) in &self.records {
+            enc.u32(packet.source.index() as u32);
+            enc.u32(packet.seq);
+            enc.u32(record.source.index() as u32);
+            enc.u64(record.issued_at.as_nanos());
+            enc.u32(record.reachable);
+            record.received.snapshot_into(enc);
+            record.rebroadcasters.snapshot_into(enc);
+            enc.u64(record.last_decision.as_nanos());
+            match &record.eligible {
+                None => enc.bool(false),
+                Some(set) => {
+                    enc.bool(true);
+                    set.snapshot_into(enc);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds a collector from [`snapshot_into`](Self::snapshot_into)
+    /// output.
+    pub fn restore_snapshot(dec: &mut WireDecoder<'_>) -> Result<MetricsCollector, WireError> {
+        let hosts = dec.usize()?;
+        let record_count = dec.len()?;
+        let mut records = Vec::with_capacity(record_count);
+        for _ in 0..record_count {
+            let packet = PacketId::new(NodeId::new(dec.u32()?), dec.u32()?);
+            let record = BroadcastRecord {
+                source: NodeId::new(dec.u32()?),
+                issued_at: SimTime::from_nanos(dec.u64()?),
+                reachable: dec.u32()?,
+                received: HostSet::restore_snapshot(dec)?,
+                rebroadcasters: HostSet::restore_snapshot(dec)?,
+                last_decision: SimTime::from_nanos(dec.u64()?),
+                eligible: if dec.bool()? {
+                    Some(HostSet::restore_snapshot(dec)?)
+                } else {
+                    None
+                },
+            };
+            records.push((packet, record));
+        }
+        Ok(MetricsCollector { hosts, records })
     }
 
     /// Aggregates everything collected into per-broadcast outcomes.

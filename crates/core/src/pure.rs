@@ -1,0 +1,919 @@
+//! The pure protocol models: every piece of *decision-owning* state —
+//! packet ledgers, neighbor tables, variation trackers, suppression
+//! tallies — behind a single dispatchable state machine.
+//!
+//! The simulation is split openmina-style into a **pure** half and an
+//! **effectful** half:
+//!
+//! * [`PureModels`] owns the protocol state and advances it exclusively
+//!   through [`PureModels::step`]: one [`PureAction`] in, a list of
+//!   [`Effect`]s out. A step never draws randomness, never touches the
+//!   event queue, and never mutates the radio medium — randomness the
+//!   protocol needs (the schemes' uniform sample) arrives *inside* the
+//!   action, drawn by the dispatcher beforehand.
+//! * The dispatcher ([`World`](crate::World)) owns the RNG streams, the
+//!   event queue, the MACs and the medium. It translates simulation events
+//!   into actions, feeds them through the pure models, and executes the
+//!   returned effects (scheduling assessments, cancelling frames,
+//!   re-arming beacons).
+//!
+//! Because every action is a plain value, the action stream can be
+//! recorded ([`crate::record`]) and replayed through a fresh `PureModels`
+//! with no queue, no medium and no RNG at all — the scheme logic re-derives
+//! every decision from the actions alone.
+
+use manet_geom::{CoverageGrid, Vec2};
+use manet_mac::FrameHandle;
+use manet_net::{HelloIntervalPolicy, NeighborTable, VariationTracker};
+use manet_phy::NodeId;
+use manet_sim_engine::{EventKey, SimDuration, SimTime};
+
+use crate::config::{NeighborInfo, SimConfig};
+use crate::ids::PacketId;
+use crate::ledger::{ActivePacket, PacketLedger, PacketView};
+use crate::metrics::SuppressionCounts;
+use crate::policy::{DuplicateDecision, FirstDecision, HearContext, RebroadcastPolicy};
+use crate::schemes::SchemeSpec;
+use crate::trace::SuppressReason;
+
+/// Placeholder for the assessment event key while a packet transitions
+/// through the pure models; the dispatcher patches in the real key via
+/// [`PureModels::set_assessment_key`] when it executes
+/// [`Effect::ScheduleAssessment`].
+const PLACEHOLDER_KEY: u64 = u64::MAX;
+
+/// Placeholder MAC frame handle, patched via
+/// [`PureModels::set_queued_handle`] when the dispatcher executes
+/// [`Effect::EnqueueRebroadcast`].
+const PLACEHOLDER_HANDLE: FrameHandle = FrameHandle(u64::MAX);
+
+/// Oracle-mode neighbor knowledge, computed by the dispatcher from the
+/// spatial grid and handed to the pure models inside
+/// [`PureAction::PacketHeard`].
+///
+/// In HELLO mode this is absent: the pure models derive the same view from
+/// their own neighbor tables.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleView<'a> {
+    /// Hosts currently in radio range of the hearer.
+    pub neighbor_count: usize,
+    /// The hearer's one-hop set (empty unless the scheme needs two-hop
+    /// knowledge).
+    pub neighbors: &'a [NodeId],
+    /// The sender's one-hop set (empty unless the scheme needs two-hop
+    /// knowledge).
+    pub sender_neighbors: &'a [NodeId],
+}
+
+/// One input to the pure protocol state machine.
+///
+/// Actions borrow bulk data (neighbor lists) from the dispatcher's
+/// buffers; [`OwnedAction`] is the owning twin used by the trace codec.
+#[derive(Debug, Clone, Copy)]
+pub enum PureAction<'a> {
+    /// The workload issued a broadcast at `node`.
+    Originate {
+        /// The issuing host.
+        node: NodeId,
+        /// The new packet.
+        packet: PacketId,
+    },
+    /// `node`'s HELLO timer fired: expire stale neighbors and compute the
+    /// beacon interval.
+    HelloPrepare {
+        /// The beaconing host.
+        node: NodeId,
+    },
+    /// `node` decoded a HELLO beacon.
+    HelloHeard {
+        /// The hearing host.
+        node: NodeId,
+        /// The beaconing host.
+        sender: NodeId,
+        /// The interval advertised in the beacon.
+        interval: SimDuration,
+        /// The sender's advertised one-hop neighbor list.
+        neighbors: &'a [NodeId],
+    },
+    /// `node` decoded a copy of a broadcast packet.
+    PacketHeard {
+        /// The hearing host.
+        node: NodeId,
+        /// The packet heard.
+        packet: PacketId,
+        /// The host the copy was heard from.
+        sender: NodeId,
+        /// The sender's position as carried in the packet.
+        sender_position: Vec2,
+        /// The hearer's own position (GPS assumption).
+        own_position: Vec2,
+        /// A uniform `[0, 1)` sample drawn by the dispatcher for this hear
+        /// event (randomized schemes consume it; others ignore it).
+        random_unit: f64,
+        /// Oracle-mode neighbor view; `None` in HELLO mode (the models use
+        /// their own tables) and when the scheme needs no neighbor info.
+        oracle: Option<OracleView<'a>>,
+    },
+    /// `node`'s scheme-level assessment delay for `packet` elapsed.
+    AssessmentFired {
+        /// The assessing host.
+        node: NodeId,
+        /// The packet whose rebroadcast is due.
+        packet: PacketId,
+    },
+    /// `node`'s MAC put its copy of `packet` on the air (terminal:
+    /// "rebroadcast at most once").
+    FrameSent {
+        /// The transmitting host.
+        node: NodeId,
+        /// The packet that went on the air.
+        packet: PacketId,
+    },
+    /// `node` left the network (gracefully, or by crashing when `crash`).
+    Deactivate {
+        /// The departing host.
+        node: NodeId,
+        /// `true` wipes the host's protocol memory (crash semantics).
+        crash: bool,
+    },
+}
+
+/// The owning twin of [`PureAction`], produced by the trace decoder.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OwnedAction {
+    /// See [`PureAction::Originate`].
+    Originate {
+        /// The issuing host.
+        node: NodeId,
+        /// The new packet.
+        packet: PacketId,
+    },
+    /// See [`PureAction::HelloPrepare`].
+    HelloPrepare {
+        /// The beaconing host.
+        node: NodeId,
+    },
+    /// See [`PureAction::HelloHeard`].
+    HelloHeard {
+        /// The hearing host.
+        node: NodeId,
+        /// The beaconing host.
+        sender: NodeId,
+        /// The interval advertised in the beacon.
+        interval: SimDuration,
+        /// The sender's advertised one-hop neighbor list.
+        neighbors: Vec<NodeId>,
+    },
+    /// See [`PureAction::PacketHeard`]. Oracle-mode neighbor views are
+    /// stored inline.
+    PacketHeard {
+        /// The hearing host.
+        node: NodeId,
+        /// The packet heard.
+        packet: PacketId,
+        /// The host the copy was heard from.
+        sender: NodeId,
+        /// The sender's position as carried in the packet.
+        sender_position: Vec2,
+        /// The hearer's own position.
+        own_position: Vec2,
+        /// The uniform sample drawn for this hear event.
+        random_unit: f64,
+        /// Oracle neighbor view as `(count, neighbors, sender_neighbors)`.
+        oracle: Option<(usize, Vec<NodeId>, Vec<NodeId>)>,
+    },
+    /// See [`PureAction::AssessmentFired`].
+    AssessmentFired {
+        /// The assessing host.
+        node: NodeId,
+        /// The packet whose rebroadcast is due.
+        packet: PacketId,
+    },
+    /// See [`PureAction::FrameSent`].
+    FrameSent {
+        /// The transmitting host.
+        node: NodeId,
+        /// The packet that went on the air.
+        packet: PacketId,
+    },
+    /// See [`PureAction::Deactivate`].
+    Deactivate {
+        /// The departing host.
+        node: NodeId,
+        /// `true` wipes the host's protocol memory.
+        crash: bool,
+    },
+}
+
+impl OwnedAction {
+    /// A borrowed view of this action, usable with [`PureModels::step`].
+    pub fn as_action(&self) -> PureAction<'_> {
+        match self {
+            OwnedAction::Originate { node, packet } => PureAction::Originate {
+                node: *node,
+                packet: *packet,
+            },
+            OwnedAction::HelloPrepare { node } => PureAction::HelloPrepare { node: *node },
+            OwnedAction::HelloHeard {
+                node,
+                sender,
+                interval,
+                neighbors,
+            } => PureAction::HelloHeard {
+                node: *node,
+                sender: *sender,
+                interval: *interval,
+                neighbors,
+            },
+            OwnedAction::PacketHeard {
+                node,
+                packet,
+                sender,
+                sender_position,
+                own_position,
+                random_unit,
+                oracle,
+            } => PureAction::PacketHeard {
+                node: *node,
+                packet: *packet,
+                sender: *sender,
+                sender_position: *sender_position,
+                own_position: *own_position,
+                random_unit: *random_unit,
+                oracle: oracle
+                    .as_ref()
+                    .map(|(count, neighbors, sender_neighbors)| OracleView {
+                        neighbor_count: *count,
+                        neighbors,
+                        sender_neighbors,
+                    }),
+            },
+            OwnedAction::AssessmentFired { node, packet } => PureAction::AssessmentFired {
+                node: *node,
+                packet: *packet,
+            },
+            OwnedAction::FrameSent { node, packet } => PureAction::FrameSent {
+                node: *node,
+                packet: *packet,
+            },
+            OwnedAction::Deactivate { node, crash } => PureAction::Deactivate {
+                node: *node,
+                crash: *crash,
+            },
+        }
+    }
+}
+
+/// A side effect requested by a pure step, executed by the dispatcher.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Effect {
+    /// Dynamic-interval churn response: if the host's next beacon is
+    /// currently scheduled later than `target`, pull it forward.
+    AccelerateHello {
+        /// The host whose beacon may move.
+        node: NodeId,
+        /// The earliest instant the recomputed interval calls for.
+        target: SimTime,
+    },
+    /// Queue a HELLO beacon with the given interval to the host's MAC and
+    /// re-arm the beacon timer (with the dispatcher's jitter draw).
+    EmitHello {
+        /// The beaconing host.
+        node: NodeId,
+        /// The interval to advertise (and re-arm from).
+        interval: SimDuration,
+    },
+    /// The host heard this packet for the first time (observability).
+    FirstHeard {
+        /// The hearing host.
+        node: NodeId,
+        /// The packet.
+        packet: PacketId,
+    },
+    /// S1 declined immediately: record the inhibit decision.
+    InhibitFirstHear {
+        /// The deciding host.
+        node: NodeId,
+        /// The packet.
+        packet: PacketId,
+        /// The criterion that suppressed.
+        reason: Option<SuppressReason>,
+    },
+    /// S1 scheduled a rebroadcast: draw the 0–31 slot assessment delay,
+    /// schedule the wakeup, and patch its key into the ledger via
+    /// [`PureModels::set_assessment_key`].
+    ScheduleAssessment {
+        /// The deciding host.
+        node: NodeId,
+        /// The packet.
+        packet: PacketId,
+    },
+    /// S5 cancelled a pending assessment: cancel the queued wakeup.
+    CancelAssessment {
+        /// The deciding host.
+        node: NodeId,
+        /// The packet.
+        packet: PacketId,
+        /// The assessment wakeup to cancel.
+        key: EventKey,
+        /// The criterion that suppressed.
+        reason: Option<SuppressReason>,
+    },
+    /// S5 cancelled a MAC-queued rebroadcast: cancel the frame.
+    CancelQueued {
+        /// The deciding host.
+        node: NodeId,
+        /// The packet.
+        packet: PacketId,
+        /// The MAC queue handle to cancel.
+        handle: FrameHandle,
+        /// The criterion that suppressed.
+        reason: Option<SuppressReason>,
+    },
+    /// S2 completed: hand the packet to the host's MAC and patch the frame
+    /// handle back via [`PureModels::set_queued_handle`].
+    EnqueueRebroadcast {
+        /// The rebroadcasting host.
+        node: NodeId,
+        /// The packet.
+        packet: PacketId,
+    },
+    /// A departing host abandoned these pending assessment wakeups; cancel
+    /// them on the event queue. (Cold path: host churn only.)
+    AbandonAssessments {
+        /// The orphaned assessment keys.
+        keys: Vec<EventKey>,
+    },
+    /// A crashed host's neighbor-table counters, to be folded into the
+    /// run totals before the table was wiped.
+    RetireCounters {
+        /// Lifetime joins of the wiped table.
+        joins: u64,
+        /// Lifetime leaves of the wiped table.
+        leaves: u64,
+    },
+}
+
+/// All pure protocol state, advanced exclusively by [`step`](Self::step).
+#[derive(Debug)]
+pub struct PureModels {
+    scheme: SchemeSpec,
+    hello_policy: Option<HelloIntervalPolicy>,
+    needs_count: bool,
+    needs_two_hop: bool,
+    radio_radius: f64,
+    /// Shared additional-coverage estimator for the location schemes.
+    coverage: CoverageGrid,
+    /// Per-host packet progress, host-indexed.
+    ledgers: Vec<PacketLedger>,
+    /// Per-host HELLO-derived neighbor tables, host-indexed.
+    tables: Vec<NeighborTable>,
+    /// Per-host neighborhood-variation trackers, host-indexed.
+    trackers: Vec<VariationTracker>,
+    /// Scheme decisions tallied as the pure transitions make them.
+    suppression: SuppressionCounts,
+    // Scratch for the HELLO-mode neighbor view (reused across steps so the
+    // hot path does not allocate).
+    scratch_neighbors: Vec<NodeId>,
+    scratch_sender_neighbors: Vec<NodeId>,
+}
+
+impl PureModels {
+    /// Fresh protocol state for every host in `cfg`.
+    pub fn new(cfg: &SimConfig) -> Self {
+        let hosts = cfg.hosts as usize;
+        PureModels {
+            scheme: cfg.scheme.clone(),
+            hello_policy: match cfg.neighbor_info {
+                NeighborInfo::Hello(policy) => Some(policy),
+                NeighborInfo::Oracle => None,
+            },
+            // (HelloIntervalPolicy is Copy, so the match above copies out
+            // of the borrowed config.)
+            needs_count: cfg.scheme.needs_neighbor_count(),
+            needs_two_hop: cfg.scheme.needs_two_hop_hellos(),
+            radio_radius: cfg.radio_radius,
+            coverage: CoverageGrid::new(cfg.coverage_resolution),
+            ledgers: (0..hosts).map(|_| PacketLedger::new()).collect(),
+            tables: (0..hosts).map(|_| NeighborTable::new()).collect(),
+            trackers: (0..hosts).map(|_| VariationTracker::new()).collect(),
+            suppression: SuppressionCounts::default(),
+            scratch_neighbors: Vec::new(),
+            scratch_sender_neighbors: Vec::new(),
+        }
+    }
+
+    /// Advances the protocol state by one action, appending the requested
+    /// side effects to `fx` in execution order.
+    ///
+    /// This is the *only* mutator of the pure state (besides the
+    /// dispatcher's placeholder patches), and it is effect-free itself: no
+    /// RNG, no event queue, no medium.
+    #[cfg_attr(simlint, pure_model)]
+    pub fn step(&mut self, now: SimTime, action: &PureAction<'_>, fx: &mut Vec<Effect>) {
+        match *action {
+            PureAction::Originate { node, packet } => {
+                self.ledgers[node.index()].mark_source(packet.seq);
+            }
+            PureAction::HelloPrepare { node } => {
+                self.expire_neighbors(node, now, fx);
+                let policy = self.hello_policy.expect("hello timer fired in oracle mode");
+                let i = node.index();
+                let count = self.tables[i].neighbor_count();
+                let interval = policy.current_interval(&mut self.trackers[i], count, now);
+                fx.push(Effect::EmitHello { node, interval });
+            }
+            PureAction::HelloHeard {
+                node,
+                sender,
+                interval,
+                neighbors,
+            } => {
+                self.expire_neighbors(node, now, fx);
+                let i = node.index();
+                if self.tables[i]
+                    .record_hello(sender, now, interval, neighbors)
+                    .is_some()
+                {
+                    self.trackers[i].record_change(now);
+                    self.push_accelerate(node, now, fx);
+                }
+            }
+            PureAction::PacketHeard {
+                node,
+                packet,
+                sender,
+                sender_position,
+                own_position,
+                random_unit,
+                oracle,
+            } => {
+                self.packet_heard(
+                    node,
+                    packet,
+                    sender,
+                    sender_position,
+                    own_position,
+                    random_unit,
+                    oracle,
+                    now,
+                    fx,
+                );
+            }
+            PureAction::AssessmentFired { node, packet } => {
+                let i = node.index();
+                match self.ledgers[i].take_active(packet.seq) {
+                    ActivePacket::Assessing { policy, .. } => {
+                        // S2 continued: the dispatcher submits to the MAC
+                        // and patches the real frame handle back in.
+                        self.ledgers[i].set_active(
+                            packet.seq,
+                            ActivePacket::Queued {
+                                handle: PLACEHOLDER_HANDLE,
+                                policy,
+                            },
+                        );
+                        fx.push(Effect::EnqueueRebroadcast { node, packet });
+                    }
+                    other => unreachable!("assessment fired in state {other:?}"),
+                }
+            }
+            PureAction::FrameSent { node, packet } => {
+                // On the air: no longer cancellable.
+                self.ledgers[node.index()].mark_done(packet.seq);
+            }
+            PureAction::Deactivate { node, crash } => {
+                let i = node.index();
+                let mut keys = Vec::new();
+                let mut handles = Vec::new();
+                self.ledgers[i].drain_active(&mut keys, &mut handles);
+                // MAC-queued rebroadcasts (`handles`) need no effect of
+                // their own: the dispatcher's MAC-queue sweep covers every
+                // queued frame, HELLOs included.
+                drop(handles);
+                if !keys.is_empty() {
+                    fx.push(Effect::AbandonAssessments { keys });
+                }
+                if crash {
+                    // A crash loses everything above the radio; a graceful
+                    // leave keeps the host's memory for its return.
+                    let joins = self.tables[i].join_count();
+                    let leaves = self.tables[i].leave_count();
+                    self.tables[i] = NeighborTable::new();
+                    self.trackers[i] = VariationTracker::new();
+                    self.ledgers[i] = PacketLedger::new();
+                    fx.push(Effect::RetireCounters { joins, leaves });
+                }
+            }
+        }
+    }
+
+    /// The S1/S4/S5 decision pipeline for one heard copy of a packet.
+    #[cfg_attr(simlint, pure_model)]
+    #[allow(clippy::too_many_arguments)]
+    fn packet_heard(
+        &mut self,
+        node: NodeId,
+        packet: PacketId,
+        sender: NodeId,
+        sender_position: Vec2,
+        own_position: Vec2,
+        random_unit: f64,
+        oracle: Option<OracleView<'_>>,
+        now: SimTime,
+        fx: &mut Vec<Effect>,
+    ) {
+        let i = node.index();
+        self.scratch_neighbors.clear();
+        self.scratch_sender_neighbors.clear();
+        let neighbor_count = if !self.needs_count && !self.needs_two_hop {
+            0
+        } else if let Some(view) = oracle {
+            self.scratch_neighbors.extend_from_slice(view.neighbors);
+            self.scratch_sender_neighbors
+                .extend_from_slice(view.sender_neighbors);
+            view.neighbor_count
+        } else {
+            // HELLO mode: the models' own tables are the source of truth.
+            self.expire_neighbors(node, now, fx);
+            let count = self.tables[i].neighbor_count();
+            if self.needs_two_hop {
+                self.tables[i].neighbor_ids_into(&mut self.scratch_neighbors);
+                if let Some(known) = self.tables[i].neighbors_of(sender) {
+                    self.scratch_sender_neighbors.extend_from_slice(known);
+                }
+            }
+            count
+        };
+
+        let ctx = HearContext {
+            neighbor_count,
+            own_position,
+            sender,
+            sender_position,
+            neighbors: &self.scratch_neighbors,
+            sender_neighbors: &self.scratch_sender_neighbors,
+            coverage: &self.coverage,
+            radio_radius: self.radio_radius,
+            random_unit,
+        };
+
+        /// What the duplicate-hear consultation decided, captured so the
+        /// ledger borrow is released before the tallies are updated.
+        enum Outcome {
+            Ignore,
+            FirstHear,
+            CancelAssessment(EventKey, Option<SuppressReason>),
+            CancelQueued(FrameHandle, Option<SuppressReason>),
+        }
+        let outcome = match self.ledgers[i].view(packet.seq) {
+            PacketView::Unheard => Outcome::FirstHear,
+            // The source never reacts to copies of its own broadcast, and
+            // finished packets stay finished ("rebroadcast at most once").
+            PacketView::Source | PacketView::Done => Outcome::Ignore,
+            PacketView::Active(active) => match active {
+                ActivePacket::Assessing { key, policy } => {
+                    if policy.on_duplicate_hear(&ctx) == DuplicateDecision::Cancel {
+                        Outcome::CancelAssessment(*key, policy.suppress_reason())
+                    } else {
+                        Outcome::Ignore
+                    }
+                }
+                ActivePacket::Queued { handle, policy } => {
+                    if policy.on_duplicate_hear(&ctx) == DuplicateDecision::Cancel {
+                        Outcome::CancelQueued(*handle, policy.suppress_reason())
+                    } else {
+                        Outcome::Ignore
+                    }
+                }
+            },
+        };
+
+        match outcome {
+            Outcome::Ignore => {}
+            Outcome::FirstHear => {
+                // S1: first copy.
+                fx.push(Effect::FirstHeard { node, packet });
+                let mut policy = self.scheme.build();
+                match policy.on_first_hear(&ctx) {
+                    FirstDecision::Inhibit => {
+                        let reason = policy.suppress_reason();
+                        self.suppression.inhibited_first_hear += 1;
+                        self.suppression.record_reason(reason);
+                        self.ledgers[i].mark_done(packet.seq);
+                        fx.push(Effect::InhibitFirstHear {
+                            node,
+                            packet,
+                            reason,
+                        });
+                    }
+                    FirstDecision::Schedule => {
+                        // S2: the dispatcher draws the 0–31 slot delay,
+                        // schedules the wakeup, and patches the key in.
+                        self.suppression.scheduled += 1;
+                        self.ledgers[i].set_active(
+                            packet.seq,
+                            ActivePacket::Assessing {
+                                key: EventKey::from_raw(PLACEHOLDER_KEY),
+                                policy,
+                            },
+                        );
+                        fx.push(Effect::ScheduleAssessment { node, packet });
+                    }
+                }
+            }
+            Outcome::CancelAssessment(key, reason) => {
+                self.suppression.cancelled += 1;
+                self.suppression.record_reason(reason);
+                self.ledgers[i].mark_done(packet.seq);
+                fx.push(Effect::CancelAssessment {
+                    node,
+                    packet,
+                    key,
+                    reason,
+                });
+            }
+            Outcome::CancelQueued(handle, reason) => {
+                self.suppression.cancelled += 1;
+                self.suppression.record_reason(reason);
+                self.ledgers[i].mark_done(packet.seq);
+                fx.push(Effect::CancelQueued {
+                    node,
+                    packet,
+                    handle,
+                    reason,
+                });
+            }
+        }
+    }
+
+    /// Expires stale neighbors, feeding leave events to the variation
+    /// tracker; churn under the dynamic hello policy may accelerate the
+    /// host's beacon.
+    #[cfg_attr(simlint, pure_model)]
+    fn expire_neighbors(&mut self, node: NodeId, now: SimTime, fx: &mut Vec<Effect>) {
+        let i = node.index();
+        let mut changed = false;
+        for _leave in self.tables[i].expire(now) {
+            self.trackers[i].record_change(now);
+            changed = true;
+        }
+        if changed {
+            self.push_accelerate(node, now, fx);
+        }
+    }
+
+    /// Under the dynamic hello policy, recomputes the host's interval from
+    /// the live variation and asks the dispatcher to pull the beacon
+    /// forward if it now fires too late. (The paper notes "each host's
+    /// hello interval may change dynamically".)
+    #[cfg_attr(simlint, pure_model)]
+    fn push_accelerate(&mut self, node: NodeId, now: SimTime, fx: &mut Vec<Effect>) {
+        let Some(HelloIntervalPolicy::Dynamic(params)) = self.hello_policy else {
+            return;
+        };
+        let i = node.index();
+        let count = self.tables[i].neighbor_count();
+        let interval = params.interval_for(self.trackers[i].variation(now, count));
+        fx.push(Effect::AccelerateHello {
+            node,
+            target: now + interval,
+        });
+    }
+
+    /// Patches the real assessment wakeup key into a freshly scheduled
+    /// packet (the counterpart of [`Effect::ScheduleAssessment`]).
+    pub fn set_assessment_key(&mut self, node: NodeId, seq: u32, key: EventKey) {
+        match self.ledgers[node.index()].view(seq) {
+            PacketView::Active(ActivePacket::Assessing { key: slot, .. }) => *slot = key,
+            other => unreachable!("assessment key patch in state {other:?}"),
+        }
+    }
+
+    /// Patches the real MAC frame handle into a freshly queued rebroadcast
+    /// (the counterpart of [`Effect::EnqueueRebroadcast`]).
+    pub fn set_queued_handle(&mut self, node: NodeId, seq: u32, handle: FrameHandle) {
+        match self.ledgers[node.index()].view(seq) {
+            PacketView::Active(ActivePacket::Queued { handle: slot, .. }) => *slot = handle,
+            other => unreachable!("queued handle patch in state {other:?}"),
+        }
+    }
+
+    /// The host's current one-hop neighbor ids, sorted, appended to `out`.
+    pub fn neighbor_ids_into(&self, node: NodeId, out: &mut Vec<NodeId>) {
+        self.tables[node.index()].neighbor_ids_into(out);
+    }
+
+    /// Scheme decisions tallied so far.
+    pub fn suppression(&self) -> SuppressionCounts {
+        self.suppression
+    }
+
+    /// Lifetime neighbor-table `(joins, leaves)` summed over all live
+    /// tables (crashed tables are reported via [`Effect::RetireCounters`]).
+    pub fn net_totals(&self) -> (u64, u64) {
+        self.tables.iter().fold((0, 0), |(j, l), table| {
+            (j + table.join_count(), l + table.leave_count())
+        })
+    }
+
+    /// The mutable protocol state a world snapshot must carry: per-host
+    /// ledgers, neighbor tables, variation trackers, and the suppression
+    /// tally. Everything else in `PureModels` is config-derived or
+    /// scratch.
+    pub(crate) fn snapshot_parts(
+        &self,
+    ) -> (
+        &[PacketLedger],
+        &[NeighborTable],
+        &[VariationTracker],
+        SuppressionCounts,
+    ) {
+        (
+            &self.ledgers,
+            &self.tables,
+            &self.trackers,
+            self.suppression,
+        )
+    }
+
+    /// Overwrites the mutable protocol state when restoring from a world
+    /// snapshot. The receiver must have been built from the same config.
+    pub(crate) fn restore_parts(
+        &mut self,
+        ledgers: Vec<PacketLedger>,
+        tables: Vec<NeighborTable>,
+        trackers: Vec<VariationTracker>,
+        suppression: SuppressionCounts,
+    ) {
+        self.ledgers = ledgers;
+        self.tables = tables;
+        self.trackers = trackers;
+        self.suppression = suppression;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    fn cfg(scheme: SchemeSpec) -> SimConfig {
+        SimConfig::builder(1, scheme).hosts(4).broadcasts(1).build()
+    }
+
+    #[test]
+    fn first_hear_schedules_under_flooding() {
+        let mut pure = PureModels::new(&cfg(SchemeSpec::Flooding));
+        let mut fx = Vec::new();
+        let packet = PacketId::new(NodeId::new(0), 0);
+        pure.step(
+            SimTime::from_millis(1),
+            &PureAction::PacketHeard {
+                node: NodeId::new(1),
+                packet,
+                sender: NodeId::new(0),
+                sender_position: Vec2::ZERO,
+                own_position: Vec2::new(100.0, 0.0),
+                random_unit: 0.5,
+                oracle: None,
+            },
+            &mut fx,
+        );
+        assert_eq!(
+            fx,
+            vec![
+                Effect::FirstHeard {
+                    node: NodeId::new(1),
+                    packet
+                },
+                Effect::ScheduleAssessment {
+                    node: NodeId::new(1),
+                    packet
+                },
+            ]
+        );
+        assert_eq!(pure.suppression().scheduled, 1);
+    }
+
+    #[test]
+    fn counter_threshold_cancels_on_duplicates() {
+        let mut pure = PureModels::new(&cfg(SchemeSpec::Counter(2)));
+        let mut fx = Vec::new();
+        let packet = PacketId::new(NodeId::new(0), 0);
+        let hear = |sender: u32| PureAction::PacketHeard {
+            node: NodeId::new(1),
+            packet,
+            sender: NodeId::new(sender),
+            sender_position: Vec2::ZERO,
+            own_position: Vec2::new(100.0, 0.0),
+            random_unit: 0.5,
+            oracle: None,
+        };
+        pure.step(SimTime::from_millis(1), &hear(0), &mut fx);
+        pure.set_assessment_key(NodeId::new(1), 0, EventKey::from_raw(7));
+        fx.clear();
+        pure.step(SimTime::from_millis(2), &hear(2), &mut fx);
+        assert_eq!(
+            fx,
+            vec![Effect::CancelAssessment {
+                node: NodeId::new(1),
+                packet,
+                key: EventKey::from_raw(7),
+                reason: Some(SuppressReason::CounterThreshold),
+            }]
+        );
+        // Terminal: a third copy is ignored.
+        fx.clear();
+        pure.step(SimTime::from_millis(3), &hear(3), &mut fx);
+        assert!(fx.is_empty());
+        assert_eq!(pure.suppression().cancelled, 1);
+    }
+
+    #[test]
+    fn source_copies_are_ignored() {
+        let mut pure = PureModels::new(&cfg(SchemeSpec::Flooding));
+        let mut fx = Vec::new();
+        let packet = PacketId::new(NodeId::new(0), 0);
+        pure.step(
+            SimTime::ZERO,
+            &PureAction::Originate {
+                node: NodeId::new(0),
+                packet,
+            },
+            &mut fx,
+        );
+        pure.step(
+            SimTime::from_millis(1),
+            &PureAction::PacketHeard {
+                node: NodeId::new(0),
+                packet,
+                sender: NodeId::new(2),
+                sender_position: Vec2::ZERO,
+                own_position: Vec2::ZERO,
+                random_unit: 0.0,
+                oracle: None,
+            },
+            &mut fx,
+        );
+        assert!(fx.is_empty());
+    }
+
+    #[test]
+    fn crash_wipes_state_and_retires_counters() {
+        let mut pure = PureModels::new(&cfg(SchemeSpec::Flooding));
+        let mut fx = Vec::new();
+        let packet = PacketId::new(NodeId::new(0), 0);
+        pure.step(
+            SimTime::from_millis(1),
+            &PureAction::PacketHeard {
+                node: NodeId::new(1),
+                packet,
+                sender: NodeId::new(0),
+                sender_position: Vec2::ZERO,
+                own_position: Vec2::new(100.0, 0.0),
+                random_unit: 0.5,
+                oracle: None,
+            },
+            &mut fx,
+        );
+        pure.set_assessment_key(NodeId::new(1), 0, EventKey::from_raw(3));
+        fx.clear();
+        pure.step(
+            SimTime::from_millis(2),
+            &PureAction::Deactivate {
+                node: NodeId::new(1),
+                crash: true,
+            },
+            &mut fx,
+        );
+        assert_eq!(
+            fx,
+            vec![
+                Effect::AbandonAssessments {
+                    keys: vec![EventKey::from_raw(3)]
+                },
+                Effect::RetireCounters {
+                    joins: 0,
+                    leaves: 0
+                },
+            ]
+        );
+        // The wiped ledger treats the packet as unheard again.
+        fx.clear();
+        pure.step(
+            SimTime::from_millis(3),
+            &PureAction::PacketHeard {
+                node: NodeId::new(1),
+                packet,
+                sender: NodeId::new(0),
+                sender_position: Vec2::ZERO,
+                own_position: Vec2::new(100.0, 0.0),
+                random_unit: 0.5,
+                oracle: None,
+            },
+            &mut fx,
+        );
+        assert!(matches!(fx[0], Effect::FirstHeard { .. }));
+    }
+}

@@ -1,0 +1,862 @@
+//! Action-level record/replay: the `MTRC` binary trace format.
+//!
+//! While a world runs with recording enabled, every [`PureAction`]
+//! dispatched into the pure models — and every scheme *decision* the
+//! resulting effects carried — is appended to a [`TraceWriter`]. The
+//! resulting byte stream is self-contained: it embeds the slice of the
+//! [`SimConfig`] the pure models need (scheme, neighbor-info policy,
+//! radio radius, coverage resolution, host count), so a trace can be
+//! replayed through a fresh [`PureModels`] with **no event queue, no
+//! radio medium and no RNG at all** (see [`replay_decisions`]) — ideal
+//! for fuzzing scheme logic against recorded runs.
+//!
+//! # Wire format
+//!
+//! All fields use the fixed-width little-endian primitives of
+//! [`WireEncoder`]. The file layout is:
+//!
+//! ```text
+//! magic "MTRC" | version u32 (=1)
+//! replay config:
+//!     hosts u32 | radio_radius f64 | coverage_resolution u64
+//!     scheme (tagged, below) | neighbor-info (tagged, below)
+//! records until end of input, each:
+//!     record tag u8: 0 = action, 1 = decision
+//!     at u64 (nanoseconds)
+//!     payload (tag-specific, below)
+//! ```
+//!
+//! Action payloads (`record tag 0`) begin with an action tag `u8`:
+//!
+//! | tag | action            | fields |
+//! |-----|-------------------|--------|
+//! | 0   | `Originate`       | node `u32`, packet |
+//! | 1   | `HelloPrepare`    | node `u32` |
+//! | 2   | `HelloHeard`      | node `u32`, sender `u32`, interval `u64`, neighbor list |
+//! | 3   | `PacketHeard`     | node `u32`, packet, sender `u32`, sender pos `2×f64`, own pos `2×f64`, random unit `f64`, oracle flag `u8` (+ count `u64`, two neighbor lists) |
+//! | 4   | `AssessmentFired` | node `u32`, packet |
+//! | 5   | `FrameSent`       | node `u32`, packet |
+//! | 6   | `Deactivate`      | node `u32`, crash `u8` |
+//!
+//! A packet is `source u32, seq u32`; a neighbor list is a `u64` count
+//! followed by that many `u32` ids. Decision payloads (`record tag 1`)
+//! are `node u32, packet, kind u8 (0 scheduled / 1 inhibited / 2
+//! cancelled), reason u8 (0 none / 1 counter / 2 coverage / 3
+//! neighbor-coverage / 4 probabilistic)`.
+
+use manet_geom::Vec2;
+use manet_net::{DynamicHelloParams, HelloIntervalPolicy};
+use manet_phy::NodeId;
+use manet_sim_engine::{SimDuration, SimTime, WireDecoder, WireEncoder, WireError};
+
+use crate::config::{NeighborInfo, SimConfig};
+use crate::ids::PacketId;
+use crate::pure::{Effect, OwnedAction, PureAction, PureModels};
+use crate::schemes::SchemeSpec;
+use crate::threshold::{AreaThreshold, AreaThresholdKind, CounterThreshold};
+use crate::trace::{DecisionKind, SuppressReason};
+
+/// Magic bytes opening a trace file.
+pub const TRACE_MAGIC: &[u8; 4] = b"MTRC";
+/// Current trace format version.
+pub const TRACE_VERSION: u32 = 1;
+
+/// One scheme decision as recorded (and as re-derived on replay).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecisionRecord {
+    /// When the decision was made.
+    pub at: SimTime,
+    /// The deciding host.
+    pub node: NodeId,
+    /// The packet decided about.
+    pub packet: PacketId,
+    /// What was decided.
+    pub kind: DecisionKind,
+    /// The suppression criterion that fired, if any.
+    pub reason: Option<SuppressReason>,
+}
+
+/// One decoded trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRecord {
+    /// An action dispatched into the pure models.
+    Action {
+        /// Dispatch time.
+        at: SimTime,
+        /// The action.
+        action: OwnedAction,
+    },
+    /// A scheme decision one of the action's effects carried.
+    Decision(DecisionRecord),
+}
+
+/// Appends actions and decisions to an `MTRC` byte stream.
+#[derive(Debug)]
+pub struct TraceWriter {
+    enc: WireEncoder,
+}
+
+impl TraceWriter {
+    /// Starts a trace for a run of `cfg`, writing the header and the
+    /// replay slice of the configuration.
+    pub fn new(cfg: &SimConfig) -> Self {
+        let mut enc = WireEncoder::with_magic(TRACE_MAGIC, TRACE_VERSION);
+        encode_replay_config(&mut enc, cfg);
+        TraceWriter { enc }
+    }
+
+    /// Records one dispatched action.
+    pub fn action(&mut self, at: SimTime, action: &PureAction<'_>) {
+        self.enc.u8(0);
+        self.enc.u64(at.as_nanos());
+        encode_action(&mut self.enc, action);
+    }
+
+    /// Records one scheme decision.
+    pub fn decision(&mut self, record: DecisionRecord) {
+        self.enc.u8(1);
+        self.enc.u64(record.at.as_nanos());
+        self.enc.u32(node_raw(record.node));
+        encode_packet(&mut self.enc, record.packet);
+        self.enc.u8(match record.kind {
+            DecisionKind::Scheduled => 0,
+            DecisionKind::InhibitedOnFirstHear => 1,
+            DecisionKind::Cancelled => 2,
+        });
+        self.enc.u8(encode_reason(record.reason));
+    }
+
+    /// Finishes the trace, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.enc.into_bytes()
+    }
+}
+
+/// A fully decoded trace: the replay configuration plus every record in
+/// recording order.
+#[derive(Debug)]
+pub struct TraceFile {
+    /// A configuration sufficient to rebuild the pure models (map size,
+    /// workload and timing fields are placeholders — the pure models do
+    /// not read them).
+    pub config: SimConfig,
+    /// All records, in recording order.
+    pub records: Vec<TraceRecord>,
+}
+
+impl TraceFile {
+    /// Decodes an `MTRC` byte stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the positioned [`WireError`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<TraceFile, WireError> {
+        let mut dec = WireDecoder::new(bytes);
+        let version = dec.expect_magic(TRACE_MAGIC)?;
+        if version != TRACE_VERSION {
+            return Err(WireError {
+                at: 4,
+                what: "unsupported trace version",
+            });
+        }
+        let config = decode_replay_config(&mut dec)?;
+        let mut records = Vec::new();
+        while !dec.is_empty() {
+            let at = dec.position();
+            let tag = dec.u8()?;
+            let time = SimTime::from_nanos(dec.u64()?);
+            match tag {
+                0 => records.push(TraceRecord::Action {
+                    at: time,
+                    action: decode_action(&mut dec)?,
+                }),
+                1 => {
+                    let node = node_from_raw(dec.u32()?);
+                    let packet = decode_packet(&mut dec)?;
+                    let kind = match dec.u8()? {
+                        0 => DecisionKind::Scheduled,
+                        1 => DecisionKind::InhibitedOnFirstHear,
+                        2 => DecisionKind::Cancelled,
+                        _ => {
+                            return Err(WireError {
+                                at,
+                                what: "invalid decision kind",
+                            })
+                        }
+                    };
+                    let reason = decode_reason(dec.u8()?, at)?;
+                    records.push(TraceRecord::Decision(DecisionRecord {
+                        at: time,
+                        node,
+                        packet,
+                        kind,
+                        reason,
+                    }));
+                }
+                _ => {
+                    return Err(WireError {
+                        at,
+                        what: "invalid record tag",
+                    })
+                }
+            }
+        }
+        dec.finish()?;
+        Ok(TraceFile { config, records })
+    }
+}
+
+/// Why a pure-model replay rejected a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayError {
+    /// The byte stream itself was malformed.
+    Wire(WireError),
+    /// Replay re-derived a different decision stream than the recording.
+    Mismatch {
+        /// Index of the offending record in [`TraceFile::records`].
+        record: usize,
+        /// Human-readable description of the divergence.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Wire(e) => write!(f, "trace decode failed: {e}"),
+            ReplayError::Mismatch { record, detail } => {
+                write!(f, "replay diverged at record {record}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<WireError> for ReplayError {
+    fn from(e: WireError) -> Self {
+        ReplayError::Wire(e)
+    }
+}
+
+/// Totals from a successful pure-model replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplaySummary {
+    /// Actions stepped through the pure models.
+    pub actions: u64,
+    /// Decisions re-derived and matched against the recording.
+    pub decisions: u64,
+}
+
+/// Replays a recorded trace through a fresh [`PureModels`] **alone** — no
+/// event queue, no medium, no RNG — and checks that the pure transitions
+/// re-derive exactly the decision stream that was recorded live.
+///
+/// # Errors
+///
+/// [`ReplayError::Wire`] on malformed input; [`ReplayError::Mismatch`]
+/// when the re-derived decisions diverge from the recording (a scheme
+/// logic bug, or a trace from different code).
+pub fn replay_decisions(bytes: &[u8]) -> Result<ReplaySummary, ReplayError> {
+    let file = TraceFile::decode(bytes)?;
+    let mut pure = PureModels::new(&file.config);
+    let mut fx = Vec::new();
+    let mut expected: std::collections::VecDeque<DecisionRecord> =
+        std::collections::VecDeque::new();
+    let mut summary = ReplaySummary::default();
+    for (index, record) in file.records.iter().enumerate() {
+        match record {
+            TraceRecord::Action { at, action } => {
+                if let Some(stale) = expected.front() {
+                    return Err(ReplayError::Mismatch {
+                        record: index,
+                        detail: format!("recording is missing re-derived decision {stale:?}"),
+                    });
+                }
+                fx.clear();
+                pure.step(*at, &action.as_action(), &mut fx);
+                for effect in &fx {
+                    if let Some((kind, reason)) = decision_of(effect) {
+                        let (node, packet) = effect_target(effect);
+                        expected.push_back(DecisionRecord {
+                            at: *at,
+                            node,
+                            packet,
+                            kind,
+                            reason,
+                        });
+                    }
+                }
+                summary.actions += 1;
+            }
+            TraceRecord::Decision(recorded) => match expected.pop_front() {
+                Some(derived) if derived == *recorded => summary.decisions += 1,
+                Some(derived) => {
+                    return Err(ReplayError::Mismatch {
+                        record: index,
+                        detail: format!("recorded {recorded:?} but re-derived {derived:?}"),
+                    })
+                }
+                None => {
+                    return Err(ReplayError::Mismatch {
+                        record: index,
+                        detail: format!("recorded {recorded:?} but replay derived no decision"),
+                    })
+                }
+            },
+        }
+    }
+    if let Some(stale) = expected.front() {
+        return Err(ReplayError::Mismatch {
+            record: file.records.len(),
+            detail: format!("recording ended before re-derived decision {stale:?}"),
+        });
+    }
+    Ok(summary)
+}
+
+/// The decision an effect carries, if it carries one.
+fn decision_of(effect: &Effect) -> Option<(DecisionKind, Option<SuppressReason>)> {
+    match effect {
+        Effect::ScheduleAssessment { .. } => Some((DecisionKind::Scheduled, None)),
+        Effect::InhibitFirstHear { reason, .. } => {
+            Some((DecisionKind::InhibitedOnFirstHear, *reason))
+        }
+        Effect::CancelAssessment { reason, .. } | Effect::CancelQueued { reason, .. } => {
+            Some((DecisionKind::Cancelled, *reason))
+        }
+        _ => None,
+    }
+}
+
+/// The `(node, packet)` a decision-bearing effect refers to.
+fn effect_target(effect: &Effect) -> (NodeId, PacketId) {
+    match effect {
+        Effect::ScheduleAssessment { node, packet }
+        | Effect::InhibitFirstHear { node, packet, .. }
+        | Effect::CancelAssessment { node, packet, .. }
+        | Effect::CancelQueued { node, packet, .. } => (*node, *packet),
+        other => unreachable!("effect {other:?} carries no decision"),
+    }
+}
+
+fn node_raw(node: NodeId) -> u32 {
+    node.index() as u32
+}
+
+fn node_from_raw(raw: u32) -> NodeId {
+    NodeId::new(raw)
+}
+
+fn encode_packet(enc: &mut WireEncoder, packet: PacketId) {
+    enc.u32(node_raw(packet.source));
+    enc.u32(packet.seq);
+}
+
+fn decode_packet(dec: &mut WireDecoder<'_>) -> Result<PacketId, WireError> {
+    let source = node_from_raw(dec.u32()?);
+    let seq = dec.u32()?;
+    Ok(PacketId::new(source, seq))
+}
+
+fn encode_nodes(enc: &mut WireEncoder, nodes: &[NodeId]) {
+    enc.len(nodes.len());
+    for &n in nodes {
+        enc.u32(node_raw(n));
+    }
+}
+
+fn decode_nodes(dec: &mut WireDecoder<'_>) -> Result<Vec<NodeId>, WireError> {
+    let count = dec.len()?;
+    let mut out = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        out.push(node_from_raw(dec.u32()?));
+    }
+    Ok(out)
+}
+
+fn encode_reason(reason: Option<SuppressReason>) -> u8 {
+    match reason {
+        None => 0,
+        Some(SuppressReason::CounterThreshold) => 1,
+        Some(SuppressReason::CoverageThreshold) => 2,
+        Some(SuppressReason::NeighborCoverage) => 3,
+        Some(SuppressReason::Probabilistic) => 4,
+    }
+}
+
+fn decode_reason(raw: u8, at: usize) -> Result<Option<SuppressReason>, WireError> {
+    Ok(match raw {
+        0 => None,
+        1 => Some(SuppressReason::CounterThreshold),
+        2 => Some(SuppressReason::CoverageThreshold),
+        3 => Some(SuppressReason::NeighborCoverage),
+        4 => Some(SuppressReason::Probabilistic),
+        _ => {
+            return Err(WireError {
+                at,
+                what: "invalid suppress reason",
+            })
+        }
+    })
+}
+
+fn encode_action(enc: &mut WireEncoder, action: &PureAction<'_>) {
+    match *action {
+        PureAction::Originate { node, packet } => {
+            enc.u8(0);
+            enc.u32(node_raw(node));
+            encode_packet(enc, packet);
+        }
+        PureAction::HelloPrepare { node } => {
+            enc.u8(1);
+            enc.u32(node_raw(node));
+        }
+        PureAction::HelloHeard {
+            node,
+            sender,
+            interval,
+            neighbors,
+        } => {
+            enc.u8(2);
+            enc.u32(node_raw(node));
+            enc.u32(node_raw(sender));
+            enc.u64(interval.as_nanos());
+            encode_nodes(enc, neighbors);
+        }
+        PureAction::PacketHeard {
+            node,
+            packet,
+            sender,
+            sender_position,
+            own_position,
+            random_unit,
+            oracle,
+        } => {
+            enc.u8(3);
+            enc.u32(node_raw(node));
+            encode_packet(enc, packet);
+            enc.u32(node_raw(sender));
+            enc.f64(sender_position.x);
+            enc.f64(sender_position.y);
+            enc.f64(own_position.x);
+            enc.f64(own_position.y);
+            enc.f64(random_unit);
+            match oracle {
+                None => enc.bool(false),
+                Some(view) => {
+                    enc.bool(true);
+                    enc.usize(view.neighbor_count);
+                    encode_nodes(enc, view.neighbors);
+                    encode_nodes(enc, view.sender_neighbors);
+                }
+            }
+        }
+        PureAction::AssessmentFired { node, packet } => {
+            enc.u8(4);
+            enc.u32(node_raw(node));
+            encode_packet(enc, packet);
+        }
+        PureAction::FrameSent { node, packet } => {
+            enc.u8(5);
+            enc.u32(node_raw(node));
+            encode_packet(enc, packet);
+        }
+        PureAction::Deactivate { node, crash } => {
+            enc.u8(6);
+            enc.u32(node_raw(node));
+            enc.bool(crash);
+        }
+    }
+}
+
+fn decode_action(dec: &mut WireDecoder<'_>) -> Result<OwnedAction, WireError> {
+    let at = dec.position();
+    Ok(match dec.u8()? {
+        0 => OwnedAction::Originate {
+            node: node_from_raw(dec.u32()?),
+            packet: decode_packet(dec)?,
+        },
+        1 => OwnedAction::HelloPrepare {
+            node: node_from_raw(dec.u32()?),
+        },
+        2 => OwnedAction::HelloHeard {
+            node: node_from_raw(dec.u32()?),
+            sender: node_from_raw(dec.u32()?),
+            interval: SimDuration::from_nanos(dec.u64()?),
+            neighbors: decode_nodes(dec)?,
+        },
+        3 => {
+            let node = node_from_raw(dec.u32()?);
+            let packet = decode_packet(dec)?;
+            let sender = node_from_raw(dec.u32()?);
+            let sender_position = Vec2::new(dec.f64()?, dec.f64()?);
+            let own_position = Vec2::new(dec.f64()?, dec.f64()?);
+            let random_unit = dec.f64()?;
+            let oracle = if dec.bool()? {
+                let count = dec.usize()?;
+                let neighbors = decode_nodes(dec)?;
+                let sender_neighbors = decode_nodes(dec)?;
+                Some((count, neighbors, sender_neighbors))
+            } else {
+                None
+            };
+            OwnedAction::PacketHeard {
+                node,
+                packet,
+                sender,
+                sender_position,
+                own_position,
+                random_unit,
+                oracle,
+            }
+        }
+        4 => OwnedAction::AssessmentFired {
+            node: node_from_raw(dec.u32()?),
+            packet: decode_packet(dec)?,
+        },
+        5 => OwnedAction::FrameSent {
+            node: node_from_raw(dec.u32()?),
+            packet: decode_packet(dec)?,
+        },
+        6 => OwnedAction::Deactivate {
+            node: node_from_raw(dec.u32()?),
+            crash: dec.bool()?,
+        },
+        _ => {
+            return Err(WireError {
+                at,
+                what: "invalid action tag",
+            })
+        }
+    })
+}
+
+/// Encodes the slice of the configuration [`PureModels::new`] reads.
+pub(crate) fn encode_replay_config(enc: &mut WireEncoder, cfg: &SimConfig) {
+    enc.u32(cfg.hosts);
+    enc.f64(cfg.radio_radius);
+    enc.usize(cfg.coverage_resolution);
+    encode_scheme(enc, &cfg.scheme);
+    match &cfg.neighbor_info {
+        NeighborInfo::Hello(HelloIntervalPolicy::Fixed(d)) => {
+            enc.u8(0);
+            enc.u64(d.as_nanos());
+        }
+        NeighborInfo::Hello(HelloIntervalPolicy::Dynamic(p)) => {
+            enc.u8(1);
+            enc.f64(p.nv_max);
+            enc.u64(p.hi_min.as_nanos());
+            enc.u64(p.hi_max.as_nanos());
+        }
+        NeighborInfo::Oracle => enc.u8(2),
+    }
+}
+
+/// Decodes [`encode_replay_config`] output back into a [`SimConfig`]
+/// sufficient for the pure models (workload/timing fields take builder
+/// defaults; the pure models never read them).
+pub(crate) fn decode_replay_config(dec: &mut WireDecoder<'_>) -> Result<SimConfig, WireError> {
+    let at = dec.position();
+    let hosts = dec.u32()?;
+    let radio_radius = dec.f64()?;
+    let coverage_resolution = dec.usize()?;
+    let scheme = decode_scheme(dec)?;
+    let neighbor_info = match dec.u8()? {
+        0 => NeighborInfo::Hello(HelloIntervalPolicy::Fixed(SimDuration::from_nanos(
+            dec.u64()?,
+        ))),
+        1 => NeighborInfo::Hello(HelloIntervalPolicy::Dynamic(DynamicHelloParams {
+            nv_max: dec.f64()?,
+            hi_min: SimDuration::from_nanos(dec.u64()?),
+            hi_max: SimDuration::from_nanos(dec.u64()?),
+        })),
+        2 => NeighborInfo::Oracle,
+        _ => {
+            return Err(WireError {
+                at,
+                what: "invalid neighbor-info tag",
+            })
+        }
+    };
+    if hosts == 0 || !(radio_radius.is_finite() && radio_radius > 0.0) || coverage_resolution < 2 {
+        return Err(WireError {
+            at,
+            what: "invalid replay config",
+        });
+    }
+    Ok(SimConfig::builder(1, scheme)
+        .hosts(hosts)
+        .radio_radius(radio_radius)
+        .coverage_resolution(coverage_resolution)
+        .neighbor_info(neighbor_info)
+        .build())
+}
+
+fn encode_scheme(enc: &mut WireEncoder, scheme: &SchemeSpec) {
+    match scheme {
+        SchemeSpec::Flooding => enc.u8(0),
+        SchemeSpec::Counter(c) => {
+            enc.u8(1);
+            enc.u32(*c);
+        }
+        SchemeSpec::AdaptiveCounter(t) => {
+            enc.u8(2);
+            enc.len(t.sequence().len());
+            for &c in t.sequence() {
+                enc.u32(c);
+            }
+            enc.str(t.label());
+        }
+        SchemeSpec::Distance(d) => {
+            enc.u8(3);
+            enc.f64(*d);
+        }
+        SchemeSpec::Location(a) => {
+            enc.u8(4);
+            enc.f64(*a);
+        }
+        SchemeSpec::AdaptiveLocation(t) => {
+            enc.u8(5);
+            match t.kind() {
+                AreaThresholdKind::Fixed(a) => {
+                    enc.u8(0);
+                    enc.f64(a);
+                }
+                AreaThresholdKind::Adaptive { n1, n2, ceiling } => {
+                    enc.u8(1);
+                    enc.u32(n1);
+                    enc.u32(n2);
+                    enc.f64(ceiling);
+                }
+            }
+            enc.str(t.label());
+        }
+        SchemeSpec::NeighborCoverage => enc.u8(6),
+        SchemeSpec::Probabilistic(p) => {
+            enc.u8(7);
+            enc.f64(*p);
+        }
+    }
+}
+
+fn decode_scheme(dec: &mut WireDecoder<'_>) -> Result<SchemeSpec, WireError> {
+    let at = dec.position();
+    Ok(match dec.u8()? {
+        0 => SchemeSpec::Flooding,
+        1 => SchemeSpec::Counter(dec.u32()?),
+        2 => {
+            let count = dec.len()?;
+            let mut sequence = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                sequence.push(dec.u32()?);
+            }
+            let label = dec.str()?.to_string();
+            if sequence.is_empty() || sequence.iter().any(|&c| c < 2) {
+                return Err(WireError {
+                    at,
+                    what: "invalid counter threshold",
+                });
+            }
+            SchemeSpec::AdaptiveCounter(CounterThreshold::from_sequence(sequence, label))
+        }
+        3 => SchemeSpec::Distance(dec.f64()?),
+        4 => SchemeSpec::Location(dec.f64()?),
+        5 => {
+            let kind = match dec.u8()? {
+                0 => AreaThresholdKind::Fixed(dec.f64()?),
+                1 => AreaThresholdKind::Adaptive {
+                    n1: dec.u32()?,
+                    n2: dec.u32()?,
+                    ceiling: dec.f64()?,
+                },
+                _ => {
+                    return Err(WireError {
+                        at,
+                        what: "invalid area threshold kind",
+                    })
+                }
+            };
+            let label = dec.str()?.to_string();
+            SchemeSpec::AdaptiveLocation(AreaThreshold::from_parts(kind, label))
+        }
+        6 => SchemeSpec::NeighborCoverage,
+        7 => SchemeSpec::Probabilistic(dec.f64()?),
+        _ => {
+            return Err(WireError {
+                at,
+                what: "invalid scheme tag",
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threshold::{AreaThreshold, CounterThreshold};
+
+    fn cfg(scheme: SchemeSpec) -> SimConfig {
+        SimConfig::builder(1, scheme).hosts(8).broadcasts(1).build()
+    }
+
+    #[test]
+    fn actions_round_trip_through_the_wire() {
+        let config = cfg(SchemeSpec::NeighborCoverage);
+        let mut writer = TraceWriter::new(&config);
+        let neighbors = vec![NodeId::new(3), NodeId::new(5)];
+        let sender_neighbors = vec![NodeId::new(1)];
+        let actions: Vec<OwnedAction> = vec![
+            OwnedAction::Originate {
+                node: NodeId::new(0),
+                packet: PacketId::new(NodeId::new(0), 0),
+            },
+            OwnedAction::HelloPrepare {
+                node: NodeId::new(2),
+            },
+            OwnedAction::HelloHeard {
+                node: NodeId::new(1),
+                sender: NodeId::new(2),
+                interval: SimDuration::from_secs(1),
+                neighbors: neighbors.clone(),
+            },
+            OwnedAction::PacketHeard {
+                node: NodeId::new(4),
+                packet: PacketId::new(NodeId::new(0), 0),
+                sender: NodeId::new(0),
+                sender_position: Vec2::new(1.5, -2.0),
+                own_position: Vec2::new(250.0, 300.25),
+                random_unit: 0.625,
+                oracle: Some((2, neighbors.clone(), sender_neighbors)),
+            },
+            OwnedAction::AssessmentFired {
+                node: NodeId::new(4),
+                packet: PacketId::new(NodeId::new(0), 0),
+            },
+            OwnedAction::FrameSent {
+                node: NodeId::new(4),
+                packet: PacketId::new(NodeId::new(0), 0),
+            },
+            OwnedAction::Deactivate {
+                node: NodeId::new(5),
+                crash: true,
+            },
+        ];
+        for (i, action) in actions.iter().enumerate() {
+            writer.action(SimTime::from_millis(i as u64), &action.as_action());
+        }
+        writer.decision(DecisionRecord {
+            at: SimTime::from_millis(3),
+            node: NodeId::new(4),
+            packet: PacketId::new(NodeId::new(0), 0),
+            kind: DecisionKind::Cancelled,
+            reason: Some(SuppressReason::NeighborCoverage),
+        });
+
+        let bytes = writer.into_bytes();
+        let file = TraceFile::decode(&bytes).expect("decode");
+        assert_eq!(file.config.scheme.label(), config.scheme.label());
+        assert_eq!(file.config.hosts, 8);
+        assert_eq!(file.records.len(), actions.len() + 1);
+        for (record, action) in file.records.iter().zip(&actions) {
+            let TraceRecord::Action {
+                action: decoded, ..
+            } = record
+            else {
+                panic!("expected action record, got {record:?}");
+            };
+            assert_eq!(decoded, action);
+        }
+        let TraceRecord::Decision(d) = &file.records[actions.len()] else {
+            panic!("expected decision record");
+        };
+        assert_eq!(d.kind, DecisionKind::Cancelled);
+        assert_eq!(d.reason, Some(SuppressReason::NeighborCoverage));
+    }
+
+    #[test]
+    fn every_scheme_round_trips() {
+        let schemes = [
+            SchemeSpec::Flooding,
+            SchemeSpec::Counter(3),
+            SchemeSpec::AdaptiveCounter(CounterThreshold::paper_recommended()),
+            SchemeSpec::Distance(40.0),
+            SchemeSpec::Location(0.0469),
+            SchemeSpec::AdaptiveLocation(AreaThreshold::paper_recommended()),
+            SchemeSpec::AdaptiveLocation(AreaThreshold::fixed(0.1871)),
+            SchemeSpec::NeighborCoverage,
+            SchemeSpec::Probabilistic(0.65),
+        ];
+        for scheme in schemes {
+            let mut enc = WireEncoder::new();
+            encode_scheme(&mut enc, &scheme);
+            let bytes = enc.into_bytes();
+            let mut dec = WireDecoder::new(&bytes);
+            let decoded = decode_scheme(&mut dec).expect("decode scheme");
+            dec.finish().expect("no trailing bytes");
+            assert_eq!(decoded.label(), scheme.label());
+            // Re-encoding the decoded scheme must be byte-identical.
+            let mut enc2 = WireEncoder::new();
+            encode_scheme(&mut enc2, &decoded);
+            assert_eq!(enc2.into_bytes(), bytes);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let config = cfg(SchemeSpec::Flooding);
+        let writer = TraceWriter::new(&config);
+        let mut bytes = writer.into_bytes();
+        assert!(TraceFile::decode(&bytes[..3]).is_err(), "truncated magic");
+        bytes.push(9); // invalid record tag
+        assert!(TraceFile::decode(&bytes).is_err());
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert!(TraceFile::decode(&wrong_magic).is_err());
+    }
+
+    #[test]
+    fn replay_verifies_a_hand_built_trace() {
+        // Flooding: a heard packet is always Scheduled.
+        let config = cfg(SchemeSpec::Flooding);
+        let mut writer = TraceWriter::new(&config);
+        let packet = PacketId::new(NodeId::new(0), 0);
+        let hear = OwnedAction::PacketHeard {
+            node: NodeId::new(1),
+            packet,
+            sender: NodeId::new(0),
+            sender_position: Vec2::ZERO,
+            own_position: Vec2::new(100.0, 0.0),
+            random_unit: 0.5,
+            oracle: None,
+        };
+        writer.action(SimTime::from_millis(1), &hear.as_action());
+        writer.decision(DecisionRecord {
+            at: SimTime::from_millis(1),
+            node: NodeId::new(1),
+            packet,
+            kind: DecisionKind::Scheduled,
+            reason: None,
+        });
+        let bytes = writer.into_bytes();
+        let summary = replay_decisions(&bytes).expect("replay");
+        assert_eq!(summary.actions, 1);
+        assert_eq!(summary.decisions, 1);
+
+        // Tampering with the recorded decision must be detected.
+        let mut writer = TraceWriter::new(&config);
+        writer.action(SimTime::from_millis(1), &hear.as_action());
+        writer.decision(DecisionRecord {
+            at: SimTime::from_millis(1),
+            node: NodeId::new(1),
+            packet,
+            kind: DecisionKind::InhibitedOnFirstHear,
+            reason: None,
+        });
+        let tampered = writer.into_bytes();
+        assert!(matches!(
+            replay_decisions(&tampered),
+            Err(ReplayError::Mismatch { .. })
+        ));
+    }
+}

@@ -32,6 +32,11 @@ impl CounterScheme {
     pub fn count(&self) -> u32 {
         self.count
     }
+
+    /// Overwrites the counter when restoring from a world snapshot.
+    pub(crate) fn restore_count(&mut self, count: u32) {
+        self.count = count;
+    }
 }
 
 impl RebroadcastPolicy for CounterScheme {

@@ -35,6 +35,11 @@ impl DistanceScheme {
     pub fn min_distance(&self) -> f64 {
         self.min_distance
     }
+
+    /// Overwrites `d_min` when restoring from a world snapshot.
+    pub(crate) fn restore_min_distance(&mut self, min_distance: f64) {
+        self.min_distance = min_distance;
+    }
 }
 
 impl RebroadcastPolicy for DistanceScheme {

@@ -53,6 +53,19 @@ impl LocationScheme {
         }
     }
 
+    /// The surviving sample points and the full-disk denominator, for a
+    /// world snapshot.
+    pub(crate) fn coverage_parts(&self) -> (&[Vec2], usize) {
+        (&self.uncovered, self.total)
+    }
+
+    /// Overwrites the coverage estimate when restoring from a world
+    /// snapshot.
+    pub(crate) fn restore_coverage(&mut self, uncovered: Vec<Vec2>, total: usize) {
+        self.uncovered = uncovered;
+        self.total = total;
+    }
+
     /// Deletes the sample points covered by a transmitter at `pos`.
     fn subtract(&mut self, pos: Vec2, radius: f64) {
         let r2 = radius * radius;

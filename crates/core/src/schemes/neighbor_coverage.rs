@@ -34,6 +34,12 @@ impl NeighborCoverageScheme {
         self.pending.iter().copied()
     }
 
+    /// Overwrites the pending set `T` when restoring from a world
+    /// snapshot.
+    pub(crate) fn restore_pending(&mut self, pending: BTreeSet<NodeId>) {
+        self.pending = pending;
+    }
+
     fn subtract_sender(&mut self, ctx: &HearContext<'_>) {
         self.pending.remove(&ctx.sender);
         for covered in ctx.sender_neighbors {

@@ -222,9 +222,13 @@ pub struct AreaThreshold {
     label: String,
 }
 
+/// The internal shape of an [`AreaThreshold`], exposed crate-internally so
+/// the snapshot/trace codecs can serialize thresholds exactly.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum AreaThresholdKind {
+pub(crate) enum AreaThresholdKind {
+    /// A constant fraction of `πr²`.
     Fixed(f64),
+    /// The Fig. 8 family: 0 to `n₁`, linear to `ceiling` at `n₂`.
     Adaptive { n1: u32, n2: u32, ceiling: f64 },
 }
 
@@ -292,6 +296,17 @@ impl AreaThreshold {
     /// Human-readable label for tables and plots.
     pub fn label(&self) -> &str {
         &self.label
+    }
+
+    /// The raw shape, for the snapshot/trace codecs.
+    pub(crate) fn kind(&self) -> AreaThresholdKind {
+        self.kind
+    }
+
+    /// Rebuilds a threshold from codec parts, bypassing the public
+    /// constructors so decoded values round-trip exactly.
+    pub(crate) fn from_parts(kind: AreaThresholdKind, label: String) -> Self {
+        AreaThreshold { kind, label }
     }
 }
 

@@ -1,37 +1,41 @@
-//! The full event-driven simulation: mobility + channel + MAC + HELLO +
-//! broadcast scheme, wired together over the engine's event queue.
+//! The effectful dispatcher: mobility + channel + MAC wired over the
+//! engine's event queue, driving the pure protocol models.
 //!
-//! One [`World`] executes one [`SimConfig`]: it issues the broadcast
-//! workload, moves the hosts, runs the per-host DCF MACs against the
-//! shared [`Medium`], delivers decoded frames up to the HELLO layer or the
-//! configured broadcast scheme, and collects the paper's RE / SRB /
-//! latency metrics.
+//! One [`World`] executes one [`SimConfig`]. Since the pure/effectful
+//! split, the protocol state (neighbor tables, packet ledgers, scheme
+//! decisions, suppression tallies) lives in [`PureModels`] and is
+//! advanced exclusively through [`PureAction`]s; this module owns
+//! everything *impure* — the event queue, the RNG streams, the
+//! [`Medium`], the per-host MACs, and the metrics — and executes the
+//! [`Effect`]s each pure step requests.
 //!
-//! The layering mirrors the crates: lower layers are pure state machines
-//! (`manet-mac::Dcf`, `manet-phy::Medium`, the schemes); this module is
-//! the *only* place where they are connected and where geometry (who is
-//! in range) is evaluated.
+//! Every action funnels through [`World::dispatch`], which is also the
+//! single tap point for action-level recording (see [`crate::record`]):
+//! a recorded trace replayed through [`PureModels`] alone reproduces
+//! every scheme decision of the live run.
 
-use manet_geom::{CoverageGrid, Vec2};
+use manet_geom::Vec2;
 use manet_mac::timing::SLOT;
 use manet_mac::{frame_airtime, Dcf, FrameHandle, MacAction, MacStats};
 use manet_mobility::{
     grid_placement, line_placement, uniform_placement, Map, Mobility, RandomTurn, RandomTurnParams,
     RandomWaypoint, RandomWaypointParams, Segment, Stationary,
 };
-use manet_net::{HelloPayload, NeighborTable, VariationTracker};
+use manet_net::HelloPayload;
 use manet_phy::{CarrierChange, Delivery, FrameId, Medium, NeighborGrid, NodeId};
 use manet_scenario::{Region, WorldAction};
 use manet_sim_engine::{EventKey, EventQueue, LoopProfiler, SimRng, SimTime, Slab, Timeline};
 
 use crate::config::{NeighborInfo, SimConfig};
 use crate::ids::PacketId;
-use crate::ledger::{ActivePacket, PacketLedger, PacketView};
-use crate::metrics::{
-    summarize, MetricsCollector, NetActivity, ScenarioCounts, SimReport, SuppressionCounts,
+use crate::metrics::{summarize, MetricsCollector, NetActivity, ScenarioCounts, SimReport};
+use crate::pure::{Effect, OracleView, PureAction, PureModels};
+use crate::record::{DecisionRecord, TraceWriter};
+use crate::trace::{
+    DecisionKind, FrameKind, NoopObserver, SimObserver, SuppressReason, TraceEvent,
 };
-use crate::policy::{DuplicateDecision, FirstDecision, HearContext, RebroadcastPolicy};
-use crate::trace::{DecisionKind, FrameKind, NoopObserver, SimObserver, TraceEvent};
+
+pub mod snapshot;
 
 /// Events on the simulation queue.
 #[derive(Debug)]
@@ -146,15 +150,12 @@ impl Mobility for HostMobility {
     }
 }
 
-/// One mobile host.
+/// One mobile host's effectful machinery. Protocol state (neighbor
+/// table, variation tracker, packet ledger) lives in [`PureModels`].
 #[derive(Debug)]
 struct Node {
     mobility: HostMobility,
     mac: Dcf,
-    table: NeighborTable,
-    tracker: VariationTracker,
-    /// Per-packet scheme progress, seq-indexed (see [`PacketLedger`]).
-    packets: PacketLedger,
     /// Payloads of frames sitting in the MAC queue. A [`FrameHandle`] is
     /// its slab slot: unique among queued frames (all the MAC compares
     /// against), recycled once dequeued or cancelled.
@@ -250,7 +251,21 @@ pub struct World {
     nodes: Vec<Node>,
     medium: Medium,
     metrics: MetricsCollector,
-    coverage: CoverageGrid,
+    /// All pure protocol state; advanced only via [`World::dispatch`].
+    pure: PureModels,
+    /// Effect buffer for [`World::dispatch`]. Dispatch never nests (no
+    /// effect application dispatches a non-leaf action), so one buffer
+    /// suffices; `mem::take` degrades accidental re-entry to a fresh
+    /// allocation instead of corruption.
+    fx: Vec<Effect>,
+    /// Effect buffer for [`World::dispatch_leaf`]. Leaf actions
+    /// (`FrameSent`, `Originate`) are dispatched from *inside* effect
+    /// application (a MAC enqueue can immediately start transmitting), so
+    /// they get a disjoint buffer; they must never produce effects.
+    fx_leaf: Vec<Effect>,
+    /// Action-level recorder; `Some` while [`World::enable_recording`]
+    /// has armed a trace.
+    recorder: Option<TraceWriter>,
     /// Workload randomness: interarrivals and source selection.
     workload_rng: SimRng,
     /// Scheme-level randomness: assessment-slot draws, hello jitter.
@@ -294,9 +309,9 @@ pub struct World {
     /// vectors so steady-state reports never allocate.
     carrier_batches: Slab<Vec<NodeId>>,
     carrier_pool: Vec<Vec<NodeId>>,
-    /// Recycled HELLO neighbor-list buffers: a beacon's list is built
-    /// here in [`send_hello`](Self::send_hello) and returned when its
-    /// frame leaves the air, so steady-state beaconing does not allocate.
+    /// Recycled HELLO neighbor-list buffers: a beacon's list is built on
+    /// [`Effect::EmitHello`] and returned when its frame leaves the air,
+    /// so steady-state beaconing does not allocate.
     hello_pool: Vec<Vec<NodeId>>,
     next_seq: u32,
     issued: u32,
@@ -305,8 +320,11 @@ pub struct World {
     data_frames: u64,
     /// HELLO beacons decoded by some listener.
     hello_rx: u64,
-    /// Scheme decisions tallied as they happen.
-    suppression: SuppressionCounts,
+    /// Timestamp of the last handled event, reported as the run length.
+    last_event_at: SimTime,
+    /// Set once the run has drained (or passed `stop_at`); further
+    /// [`advance_until`](Self::advance_until) calls return immediately.
+    finished: bool,
     /// Event-loop profiler; enabled via `SimConfig::profile_events`.
     profiler: LoopProfiler,
     /// Churn and fault-injection state; `None` unless the config carries
@@ -386,9 +404,6 @@ impl World {
             nodes.push(Node {
                 mobility,
                 mac: Dcf::new(root.fork(10_000 + i as u64)),
-                table: NeighborTable::new(),
-                tracker: VariationTracker::new(),
-                packets: PacketLedger::new(),
                 outgoing: Slab::new(),
                 hello_pending,
             });
@@ -419,6 +434,8 @@ impl World {
             }
         });
 
+        let pure = PureModels::new(&config);
+
         World {
             map,
             queue,
@@ -434,7 +451,10 @@ impl World {
                 medium
             },
             metrics: MetricsCollector::new(hosts),
-            coverage: CoverageGrid::new(config.coverage_resolution),
+            pure,
+            fx: Vec::new(),
+            fx_leaf: Vec::new(),
+            recorder: None,
             workload_rng,
             proto_rng,
             in_flight: Vec::new(),
@@ -464,7 +484,8 @@ impl World {
             hello_frames: 0,
             data_frames: 0,
             hello_rx: 0,
-            suppression: SuppressionCounts::default(),
+            last_event_at: SimTime::ZERO,
+            finished: false,
             profiler: if config.profile_events {
                 LoopProfiler::enabled()
             } else {
@@ -474,6 +495,22 @@ impl World {
             nodes,
             cfg: config,
         }
+    }
+
+    /// Arms action-level recording: every [`PureAction`] dispatched from
+    /// now on (plus the scheme decisions its effects carry) is appended
+    /// to an `MTRC` trace, retrievable via [`take_trace`](Self::take_trace).
+    ///
+    /// Call before the run starts; a trace begun mid-run replays against
+    /// protocol state the recording does not contain.
+    pub fn enable_recording(&mut self) {
+        self.recorder = Some(TraceWriter::new(&self.cfg));
+    }
+
+    /// Finishes recording and returns the encoded trace, or `None` when
+    /// [`enable_recording`](Self::enable_recording) was never called.
+    pub fn take_trace(&mut self) -> Option<Vec<u8>> {
+        self.recorder.take().map(TraceWriter::into_bytes)
     }
 
     /// `true` when `node` is currently part of the network. Always `true`
@@ -500,32 +537,59 @@ impl World {
     /// Runs the simulation with an observer receiving every protocol-level
     /// [`TraceEvent`] in simulation order (see [`crate::trace`]).
     pub fn run_observed(mut self, observer: &mut dyn SimObserver) -> SimReport {
-        let mut last = SimTime::ZERO;
+        self.advance_until(SimTime::MAX, observer);
+        self.into_report()
+    }
+
+    /// Advances the run until the next pending event would fire at or
+    /// after `pause_at`, or the run completes. Returns `true` when the
+    /// run is finished (queue drained or stop time passed), `false` when
+    /// it paused with the boundary event still queued — the natural point
+    /// to take a [snapshot](crate::snapshot) before resuming.
+    pub fn advance_until(&mut self, pause_at: SimTime, observer: &mut dyn SimObserver) -> bool {
+        if self.finished {
+            return true;
+        }
         // The profiler is moved out for the duration of the loop so the
         // event handlers can borrow `self` freely.
         let mut profiler = std::mem::replace(&mut self.profiler, LoopProfiler::disabled());
-        while let Some((now, event)) = self.queue.pop() {
+        loop {
+            let Some(next) = self.queue.peek_time() else {
+                self.finished = true;
+                break;
+            };
+            if next >= pause_at {
+                self.profiler = profiler;
+                return false;
+            }
+            let (now, event) = self.queue.pop().expect("peeked event vanished");
             if now > self.stop_at {
+                self.finished = true;
                 break;
             }
-            last = now;
+            self.last_event_at = now;
             let kind = event.kind();
             let started = profiler.begin();
             self.handle(now, event, observer);
             profiler.record(kind, started);
         }
+        self.profiler = profiler;
+        true
+    }
 
-        // Harvest the per-host stacks into run-wide totals.
+    /// Consumes the (finished or paused) world, harvesting the per-host
+    /// stacks into the aggregated [`SimReport`].
+    pub fn into_report(self) -> SimReport {
         let mut mac = MacStats::default();
+        let (joins, leaves) = self.pure.net_totals();
         let mut net = NetActivity {
             hello_sent: self.hello_frames,
             hello_received: self.hello_rx,
-            ..NetActivity::default()
+            neighbor_joins: joins,
+            neighbor_leaves: leaves,
         };
         for node in &self.nodes {
             mac.merge(node.mac.stats());
-            net.neighbor_joins += node.table.join_count();
-            net.neighbor_leaves += node.table.leave_count();
         }
         let scenario_counts = self.scenario.as_ref().map(|st| {
             mac.merge(&st.retired_mac);
@@ -549,9 +613,9 @@ impl World {
             losses: self.medium.loss_counters(),
             mac,
             net,
-            suppression: self.suppression,
-            profile: profiler.is_enabled().then(|| profiler.profile()),
-            sim_seconds: last.as_secs_f64(),
+            suppression: self.pure.suppression(),
+            profile: self.profiler.is_enabled().then(|| self.profiler.profile()),
+            sim_seconds: self.last_event_at.as_secs_f64(),
             per_broadcast: outcomes,
             scenario: scenario_counts,
         }
@@ -572,7 +636,9 @@ impl World {
                     self.queue.schedule(next, Event::MobilityTurn { node });
                 }
             }
-            Event::HelloTimer { node } => self.send_hello(node, now, observer),
+            Event::HelloTimer { node } => {
+                self.dispatch(now, PureAction::HelloPrepare { node }, observer)
+            }
             Event::MacTimer {
                 node,
                 generation,
@@ -588,7 +654,7 @@ impl World {
             }
             Event::TxEnd { frame } => self.finish_transmission(frame, now, observer),
             Event::AssessmentDone { node, packet } => {
-                self.assessment_done(node, packet, now, observer)
+                self.dispatch(now, PureAction::AssessmentFired { node, packet }, observer)
             }
             Event::IssueBroadcast => self.issue_broadcast(now, observer),
             Event::CarrierBatch { slot, busy } => {
@@ -601,6 +667,214 @@ impl World {
                 self.carrier_pool.push(hearers);
             }
             Event::Scenario { index } => self.apply_scenario_action(index, now, observer),
+        }
+    }
+
+    // ---- the dispatcher ---------------------------------------------------
+
+    /// Feeds one action through the pure models and executes the effects
+    /// it requests, in order. The single entry point for protocol state
+    /// changes — and therefore the single tap point for recording.
+    fn dispatch(&mut self, now: SimTime, action: PureAction<'_>, observer: &mut dyn SimObserver) {
+        if let Some(rec) = &mut self.recorder {
+            rec.action(now, &action);
+        }
+        let mut fx = std::mem::take(&mut self.fx);
+        debug_assert!(fx.is_empty(), "dispatch re-entered through an effect");
+        self.pure.step(now, &action, &mut fx);
+        for effect in fx.drain(..) {
+            self.apply_effect(now, effect, observer);
+        }
+        self.fx = fx;
+    }
+
+    /// Dispatches an action that must not produce effects (`FrameSent`,
+    /// `Originate`). Safe to call from inside effect application — it
+    /// uses a buffer disjoint from [`dispatch`](Self::dispatch)'s.
+    fn dispatch_leaf(&mut self, now: SimTime, action: PureAction<'_>) {
+        if let Some(rec) = &mut self.recorder {
+            rec.action(now, &action);
+        }
+        self.pure.step(now, &action, &mut self.fx_leaf);
+        debug_assert!(self.fx_leaf.is_empty(), "leaf action produced effects");
+        self.fx_leaf.clear();
+    }
+
+    /// Appends one scheme decision to the trace, if recording.
+    fn record_decision(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        packet: PacketId,
+        kind: DecisionKind,
+        reason: Option<SuppressReason>,
+    ) {
+        if let Some(rec) = &mut self.recorder {
+            rec.decision(DecisionRecord {
+                at,
+                node,
+                packet,
+                kind,
+                reason,
+            });
+        }
+    }
+
+    /// Executes one effect requested by a pure step. This is where the
+    /// queue, the RNG streams, the MACs, and the metrics are touched on
+    /// the pure models' behalf.
+    fn apply_effect(&mut self, now: SimTime, effect: Effect, observer: &mut dyn SimObserver) {
+        match effect {
+            Effect::AccelerateHello { node, target } => {
+                // Under the dynamic hello policy, membership churn may
+                // shorten the host's hello interval; if the recomputed
+                // interval would fire before the currently scheduled
+                // beacon, pull the beacon forward. (The paper notes "each
+                // host's hello interval may change dynamically".)
+                let Some((key, at)) = self.nodes[node.index()].hello_pending else {
+                    return;
+                };
+                if target < at {
+                    self.queue.cancel(key);
+                    let key = self.queue.schedule(target, Event::HelloTimer { node });
+                    self.nodes[node.index()].hello_pending = Some((key, target));
+                }
+            }
+            Effect::EmitHello { node, interval } => {
+                let include_neighbors = self.cfg.scheme.needs_two_hop_hellos();
+                let mut neighbors = self.hello_pool.pop().unwrap_or_default();
+                neighbors.clear();
+                if include_neighbors {
+                    self.pure.neighbor_ids_into(node, &mut neighbors);
+                }
+                let payload = HelloPayload {
+                    sender: node,
+                    interval,
+                    neighbors,
+                };
+                let bytes = payload.air_bytes();
+                let n = &mut self.nodes[node.index()];
+                let handle = n.queue_payload(Payload::Hello(payload));
+                let actions = n.mac.enqueue(handle, bytes, now);
+                self.process_mac_action(node, actions, now, observer);
+                // Re-arm with a small jitter so beacons do not phase-lock.
+                let jitter_num = self.proto_rng.gen_range_u32(95..106);
+                let next = interval * u64::from(jitter_num) / 100;
+                let at = now + next;
+                let key = self.queue.schedule(at, Event::HelloTimer { node });
+                self.nodes[node.index()].hello_pending = Some((key, at));
+            }
+            Effect::FirstHeard { node, packet } => {
+                observer.event(&TraceEvent::FirstHeard {
+                    node,
+                    packet,
+                    at: now,
+                });
+            }
+            Effect::InhibitFirstHear {
+                node,
+                packet,
+                reason,
+            } => {
+                observer.event(&TraceEvent::Decision {
+                    node,
+                    packet,
+                    kind: DecisionKind::InhibitedOnFirstHear,
+                    reason,
+                    at: now,
+                });
+                self.record_decision(
+                    now,
+                    node,
+                    packet,
+                    DecisionKind::InhibitedOnFirstHear,
+                    reason,
+                );
+                self.metrics.rebroadcast_inhibited(packet, now);
+            }
+            Effect::ScheduleAssessment { node, packet } => {
+                // S2: random assessment delay of 0-31 slots. The slots
+                // count after carrier sensing and DIFS (the standard
+                // random-assessment-delay composition), so hosts that
+                // drew different slot numbers access the medium at
+                // distinct, carrier-separable instants, while same-slot
+                // draws contend - the paper's Fig. 2 contention scenario.
+                let slots = self.proto_rng.gen_range_u32(0..32);
+                let delay = self.cfg.cs_delay + manet_mac::timing::DIFS + SLOT * u64::from(slots);
+                let key = self
+                    .queue
+                    .schedule(now + delay, Event::AssessmentDone { node, packet });
+                self.pure.set_assessment_key(node, packet.seq, key);
+                observer.event(&TraceEvent::Decision {
+                    node,
+                    packet,
+                    kind: DecisionKind::Scheduled,
+                    reason: None,
+                    at: now,
+                });
+                self.record_decision(now, node, packet, DecisionKind::Scheduled, None);
+            }
+            Effect::CancelAssessment {
+                node,
+                packet,
+                key,
+                reason,
+            } => {
+                self.queue.cancel(key);
+                observer.event(&TraceEvent::Decision {
+                    node,
+                    packet,
+                    kind: DecisionKind::Cancelled,
+                    reason,
+                    at: now,
+                });
+                self.record_decision(now, node, packet, DecisionKind::Cancelled, reason);
+                self.metrics.rebroadcast_inhibited(packet, now);
+            }
+            Effect::CancelQueued {
+                node,
+                packet,
+                handle,
+                reason,
+            } => {
+                let n = &mut self.nodes[node.index()];
+                let cancelled = n.mac.cancel(handle);
+                debug_assert!(cancelled, "queued frame must still be cancellable");
+                n.take_payload(handle);
+                observer.event(&TraceEvent::Decision {
+                    node,
+                    packet,
+                    kind: DecisionKind::Cancelled,
+                    reason,
+                    at: now,
+                });
+                self.record_decision(now, node, packet, DecisionKind::Cancelled, reason);
+                self.metrics.rebroadcast_inhibited(packet, now);
+            }
+            Effect::EnqueueRebroadcast { node, packet } => {
+                // S2 continued: submit to the MAC, then patch the real
+                // frame handle over the ledger's placeholder *before*
+                // running the MAC action — an immediate `BeginTx` marks
+                // the packet done via `FrameSent`, which must find the
+                // queued entry intact.
+                let n = &mut self.nodes[node.index()];
+                let handle = n.queue_payload(Payload::Broadcast(packet));
+                let bytes = self.cfg.packet_bytes;
+                let actions = n.mac.enqueue(handle, bytes, now);
+                self.pure.set_queued_handle(node, packet.seq, handle);
+                self.process_mac_action(node, actions, now, observer);
+            }
+            Effect::AbandonAssessments { keys } => {
+                for key in keys {
+                    let cancelled = self.queue.cancel(key);
+                    debug_assert!(cancelled, "assessment key was already spent");
+                }
+            }
+            Effect::RetireCounters { joins, leaves } => {
+                let st = self.scenario_mut();
+                st.retired_joins += joins;
+                st.retired_leaves += leaves;
+            }
         }
     }
 
@@ -629,44 +903,6 @@ impl World {
         }
         self.grid.update(&self.snap_positions);
         self.grid_at = Some(now);
-    }
-
-    /// Expires stale neighbors, feeding leave events to the variation
-    /// tracker.
-    fn refresh_table(&mut self, node: NodeId, now: SimTime) {
-        let n = &mut self.nodes[node.index()];
-        let mut changed = false;
-        for _leave in n.table.expire(now) {
-            n.tracker.record_change(now);
-            changed = true;
-        }
-        if changed {
-            self.maybe_accelerate_hello(node, now);
-        }
-    }
-
-    /// Under the dynamic hello policy, membership churn may shorten the
-    /// host's hello interval; if the recomputed interval would fire before
-    /// the currently scheduled beacon, pull the beacon forward. (The paper
-    /// notes "each host's hello interval may change dynamically".)
-    fn maybe_accelerate_hello(&mut self, node: NodeId, now: SimTime) {
-        let NeighborInfo::Hello(manet_net::HelloIntervalPolicy::Dynamic(params)) =
-            self.cfg.neighbor_info
-        else {
-            return;
-        };
-        let n = &mut self.nodes[node.index()];
-        let Some((key, at)) = n.hello_pending else {
-            return;
-        };
-        let count = n.table.neighbor_count();
-        let interval = params.interval_for(n.tracker.variation(now, count));
-        let target = now + interval;
-        if target < at {
-            self.queue.cancel(key);
-            let key = self.queue.schedule(target, Event::HelloTimer { node });
-            self.nodes[node.index()].hello_pending = Some((key, target));
-        }
     }
 
     // ---- workload -------------------------------------------------------
@@ -731,9 +967,15 @@ impl World {
         });
 
         // The source transmits unconditionally: queue straight to its MAC.
+        self.dispatch_leaf(
+            now,
+            PureAction::Originate {
+                node: source,
+                packet,
+            },
+        );
         let node = &mut self.nodes[source.index()];
         let handle = node.queue_payload(Payload::Broadcast(packet));
-        node.packets.mark_source(packet.seq);
         let bytes = self.cfg.packet_bytes;
         let actions = node.mac.enqueue(handle, bytes, now);
         self.process_mac_action(source, actions, now, observer);
@@ -750,49 +992,24 @@ impl World {
 
     // ---- HELLO beaconing ------------------------------------------------
 
-    fn send_hello(&mut self, node: NodeId, now: SimTime, observer: &mut dyn SimObserver) {
-        self.refresh_table(node, now);
-        let interval_policy = match &self.cfg.neighbor_info {
-            NeighborInfo::Hello(policy) => *policy,
-            NeighborInfo::Oracle => unreachable!("hello timer armed in oracle mode"),
-        };
-        let include_neighbors = self.cfg.scheme.needs_two_hop_hellos();
-        let mut neighbors = self.hello_pool.pop().unwrap_or_default();
-        neighbors.clear();
-        let n = &mut self.nodes[node.index()];
-        let neighbor_count = n.table.neighbor_count();
-        let interval = interval_policy.current_interval(&mut n.tracker, neighbor_count, now);
-        if include_neighbors {
-            n.table.neighbor_ids_into(&mut neighbors);
-        }
-        let payload = HelloPayload {
-            sender: node,
-            interval,
-            neighbors,
-        };
-        let bytes = payload.air_bytes();
-        let handle = n.queue_payload(Payload::Hello(payload));
-        let actions = n.mac.enqueue(handle, bytes, now);
-        self.process_mac_action(node, actions, now, observer);
-        // Re-arm with a small jitter so beacons do not phase-lock.
-        let jitter_num = self.proto_rng.gen_range_u32(95..106);
-        let next = interval * u64::from(jitter_num) / 100;
-        let at = now + next;
-        let key = self.queue.schedule(at, Event::HelloTimer { node });
-        self.nodes[node.index()].hello_pending = Some((key, at));
-    }
-
-    fn hello_received(&mut self, node: NodeId, payload: &HelloPayload, now: SimTime) {
+    fn hello_received(
+        &mut self,
+        node: NodeId,
+        payload: &HelloPayload,
+        now: SimTime,
+        observer: &mut dyn SimObserver,
+    ) {
         self.hello_rx += 1;
-        self.refresh_table(node, now);
-        let n = &mut self.nodes[node.index()];
-        if n.table
-            .record_hello(payload.sender, now, payload.interval, &payload.neighbors)
-            .is_some()
-        {
-            n.tracker.record_change(now);
-            self.maybe_accelerate_hello(node, now);
-        }
+        self.dispatch(
+            now,
+            PureAction::HelloHeard {
+                node,
+                sender: payload.sender,
+                interval: payload.interval,
+                neighbors: &payload.neighbors,
+            },
+            observer,
+        );
     }
 
     // ---- MAC / channel wiring --------------------------------------------
@@ -838,7 +1055,13 @@ impl World {
             Payload::Broadcast(packet) => {
                 self.data_frames += 1;
                 // On the air: no longer cancellable.
-                self.nodes[node.index()].packets.mark_done(packet.seq);
+                self.dispatch_leaf(
+                    now,
+                    PureAction::FrameSent {
+                        node,
+                        packet: *packet,
+                    },
+                );
             }
             Payload::Hello(_) => self.hello_frames += 1,
         }
@@ -1027,7 +1250,7 @@ impl World {
                 continue;
             }
             match &in_flight.payload {
-                Payload::Hello(h) => self.hello_received(delivery.to, h, now),
+                Payload::Hello(h) => self.hello_received(delivery.to, h, now, observer),
                 Payload::Broadcast(packet) => {
                     self.packet_heard(
                         delivery.to,
@@ -1054,57 +1277,6 @@ impl World {
 
     // ---- scheme-level packet handling ------------------------------------
 
-    /// Gathers the neighbor information the configured scheme needs for a
-    /// decision at `node` about a packet heard from `sender`, filling
-    /// `scratch_neighbors` / `scratch_sender_neighbors` and returning the
-    /// neighbor count. The scratch lists are left empty unless the scheme
-    /// needs the two-hop sets, mirroring what the scheme is entitled to
-    /// see.
-    fn neighbor_view(&mut self, node: NodeId, sender: NodeId, now: SimTime) -> usize {
-        self.scratch_neighbors.clear();
-        self.scratch_sender_neighbors.clear();
-        let needs_count = self.cfg.scheme.needs_neighbor_count();
-        let needs_two_hop = self.cfg.scheme.needs_two_hop_hellos();
-        if !needs_count && !needs_two_hop {
-            return 0;
-        }
-        match self.cfg.neighbor_info {
-            NeighborInfo::Hello(_) => {
-                self.refresh_table(node, now);
-                let table = &self.nodes[node.index()].table;
-                let count = table.neighbor_count();
-                if needs_two_hop {
-                    table.neighbor_ids_into(&mut self.scratch_neighbors);
-                    if let Some(known) = table.neighbors_of(sender) {
-                        self.scratch_sender_neighbors.extend_from_slice(known);
-                    }
-                }
-                count
-            }
-            NeighborInfo::Oracle => {
-                self.refresh_grid(now);
-                self.grid.in_range_into(
-                    &self.snap_positions,
-                    node,
-                    self.cfg.radio_radius,
-                    &mut self.scratch_neighbors,
-                );
-                let count = self.scratch_neighbors.len();
-                if needs_two_hop {
-                    self.grid.in_range_into(
-                        &self.snap_positions,
-                        sender,
-                        self.cfg.radio_radius,
-                        &mut self.scratch_sender_neighbors,
-                    );
-                } else {
-                    self.scratch_neighbors.clear();
-                }
-                count
-            }
-        }
-    }
-
     fn packet_heard(
         &mut self,
         node: NodeId,
@@ -1115,164 +1287,65 @@ impl World {
         observer: &mut dyn SimObserver,
     ) {
         self.metrics.packet_received(packet, node);
-
-        let neighbor_count = self.neighbor_view(node, sender, now);
         let own_position = self.segments[node.index()].position_at(now, self.map.bounds());
 
-        // Split borrows: context data is owned or from the world's own
-        // scratch/coverage fields, the policy lives in the node's ledger.
+        // Oracle-mode neighbor views are geometry, which only the
+        // dispatcher can evaluate; they ride into the pure step on the
+        // action. HELLO-mode views come from the models' own tables.
+        let needs_count = self.cfg.scheme.needs_neighbor_count();
+        let needs_two_hop = self.cfg.scheme.needs_two_hop_hellos();
+        let use_oracle = matches!(self.cfg.neighbor_info, NeighborInfo::Oracle)
+            && (needs_count || needs_two_hop);
+        let mut neighbors = std::mem::take(&mut self.scratch_neighbors);
+        let mut sender_neighbors = std::mem::take(&mut self.scratch_sender_neighbors);
+        neighbors.clear();
+        sender_neighbors.clear();
+        let oracle = if use_oracle {
+            self.refresh_grid(now);
+            self.grid.in_range_into(
+                &self.snap_positions,
+                node,
+                self.cfg.radio_radius,
+                &mut neighbors,
+            );
+            let neighbor_count = neighbors.len();
+            if needs_two_hop {
+                self.grid.in_range_into(
+                    &self.snap_positions,
+                    sender,
+                    self.cfg.radio_radius,
+                    &mut sender_neighbors,
+                );
+            } else {
+                neighbors.clear();
+            }
+            Some(OracleView {
+                neighbor_count,
+                neighbors: &neighbors,
+                sender_neighbors: &sender_neighbors,
+            })
+        } else {
+            None
+        };
+
         // The random draw happens for every heard copy, decision or not,
         // to keep the protocol RNG stream independent of scheme choices.
-        let ctx = HearContext {
-            neighbor_count,
-            own_position,
-            sender,
-            sender_position: sender_pos,
-            neighbors: &self.scratch_neighbors,
-            sender_neighbors: &self.scratch_sender_neighbors,
-            coverage: &self.coverage,
-            radio_radius: self.cfg.radio_radius,
-            random_unit: self.proto_rng.gen_unit_f64(),
-        };
-
-        /// What the duplicate-hear consultation decided, captured so the
-        /// ledger borrow is released before the world reacts.
-        enum Outcome {
-            Ignore,
-            FirstHear,
-            CancelAssessment(EventKey, Option<crate::trace::SuppressReason>),
-            CancelQueued(FrameHandle, Option<crate::trace::SuppressReason>),
-        }
-        let outcome = match self.nodes[node.index()].packets.view(packet.seq) {
-            PacketView::Unheard => Outcome::FirstHear,
-            // The source never reacts to copies of its own broadcast, and
-            // finished packets stay finished ("rebroadcast at most once").
-            PacketView::Source | PacketView::Done => Outcome::Ignore,
-            PacketView::Active(active) => match active {
-                ActivePacket::Assessing { key, policy } => {
-                    if policy.on_duplicate_hear(&ctx) == DuplicateDecision::Cancel {
-                        Outcome::CancelAssessment(*key, policy.suppress_reason())
-                    } else {
-                        Outcome::Ignore
-                    }
-                }
-                ActivePacket::Queued { handle, policy } => {
-                    if policy.on_duplicate_hear(&ctx) == DuplicateDecision::Cancel {
-                        Outcome::CancelQueued(*handle, policy.suppress_reason())
-                    } else {
-                        Outcome::Ignore
-                    }
-                }
+        let random_unit = self.proto_rng.gen_unit_f64();
+        self.dispatch(
+            now,
+            PureAction::PacketHeard {
+                node,
+                packet,
+                sender,
+                sender_position: sender_pos,
+                own_position,
+                random_unit,
+                oracle,
             },
-        };
-
-        match outcome {
-            Outcome::Ignore => {}
-            Outcome::FirstHear => {
-                // S1: first copy.
-                observer.event(&TraceEvent::FirstHeard {
-                    node,
-                    packet,
-                    at: now,
-                });
-                let mut policy = self.cfg.scheme.build();
-                match policy.on_first_hear(&ctx) {
-                    FirstDecision::Inhibit => {
-                        let reason = policy.suppress_reason();
-                        observer.event(&TraceEvent::Decision {
-                            node,
-                            packet,
-                            kind: DecisionKind::InhibitedOnFirstHear,
-                            reason,
-                            at: now,
-                        });
-                        self.suppression.inhibited_first_hear += 1;
-                        self.suppression.record_reason(reason);
-                        self.metrics.rebroadcast_inhibited(packet, now);
-                        self.nodes[node.index()].packets.mark_done(packet.seq);
-                    }
-                    FirstDecision::Schedule => {
-                        // S2: random assessment delay of 0-31 slots. The
-                        // slots count after carrier sensing and DIFS (the
-                        // standard random-assessment-delay composition), so
-                        // hosts that drew different slot numbers access the
-                        // medium at distinct, carrier-separable instants,
-                        // while same-slot draws contend - the paper's
-                        // Fig. 2 contention scenario.
-                        let slots = self.proto_rng.gen_range_u32(0..32);
-                        let delay =
-                            self.cfg.cs_delay + manet_mac::timing::DIFS + SLOT * u64::from(slots);
-                        let key = self
-                            .queue
-                            .schedule(now + delay, Event::AssessmentDone { node, packet });
-                        observer.event(&TraceEvent::Decision {
-                            node,
-                            packet,
-                            kind: DecisionKind::Scheduled,
-                            reason: None,
-                            at: now,
-                        });
-                        self.suppression.scheduled += 1;
-                        self.nodes[node.index()]
-                            .packets
-                            .set_active(packet.seq, ActivePacket::Assessing { key, policy });
-                    }
-                }
-            }
-            Outcome::CancelAssessment(key, reason) => {
-                self.queue.cancel(key);
-                observer.event(&TraceEvent::Decision {
-                    node,
-                    packet,
-                    kind: DecisionKind::Cancelled,
-                    reason,
-                    at: now,
-                });
-                self.suppression.cancelled += 1;
-                self.suppression.record_reason(reason);
-                self.metrics.rebroadcast_inhibited(packet, now);
-                self.nodes[node.index()].packets.mark_done(packet.seq);
-            }
-            Outcome::CancelQueued(handle, reason) => {
-                let n = &mut self.nodes[node.index()];
-                let cancelled = n.mac.cancel(handle);
-                debug_assert!(cancelled, "queued frame must still be cancellable");
-                n.take_payload(handle);
-                observer.event(&TraceEvent::Decision {
-                    node,
-                    packet,
-                    kind: DecisionKind::Cancelled,
-                    reason,
-                    at: now,
-                });
-                self.suppression.cancelled += 1;
-                self.suppression.record_reason(reason);
-                self.metrics.rebroadcast_inhibited(packet, now);
-                self.nodes[node.index()].packets.mark_done(packet.seq);
-            }
-        }
-    }
-
-    fn assessment_done(
-        &mut self,
-        node: NodeId,
-        packet: PacketId,
-        now: SimTime,
-        observer: &mut dyn SimObserver,
-    ) {
-        let n = &mut self.nodes[node.index()];
-        match n.packets.take_active(packet.seq) {
-            ActivePacket::Assessing { policy, .. } => {
-                // S2 continued: submit to the MAC.
-                let handle = n.queue_payload(Payload::Broadcast(packet));
-                n.packets
-                    .set_active(packet.seq, ActivePacket::Queued { handle, policy });
-                let bytes = self.cfg.packet_bytes;
-                let actions = n.mac.enqueue(handle, bytes, now);
-                self.process_mac_action(node, actions, now, observer);
-            }
-            other => unreachable!("assessment fired in state {other:?}"),
-        }
+            observer,
+        );
+        self.scratch_neighbors = neighbors;
+        self.scratch_sender_neighbors = sender_neighbors;
     }
 
     // ---- scenario: host churn & fault injection --------------------------
@@ -1294,8 +1367,8 @@ impl World {
     fn apply_scenario_action(&mut self, index: u32, now: SimTime, observer: &mut dyn SimObserver) {
         let action = *self.scenario_mut().timeline.get(index as usize).1;
         match action {
-            WorldAction::Leave { host } => self.deactivate_host(host, false),
-            WorldAction::Crash { host } => self.deactivate_host(host, true),
+            WorldAction::Leave { host } => self.deactivate_host(host, false, now, observer),
+            WorldAction::Crash { host } => self.deactivate_host(host, true, now, observer),
             WorldAction::Join { host } => self.reactivate_host(index, host, false, now, observer),
             WorldAction::Recover { host } => self.reactivate_host(index, host, true, now, observer),
             WorldAction::BlackoutStart { a, b } => self.scenario_mut().blackouts.push((a, b)),
@@ -1337,8 +1410,15 @@ impl World {
     /// of its cancellable protocol activity is abandoned, and (on a crash)
     /// its protocol state is wiped. Mobility continues — a parked radio
     /// still moves with its host.
-    fn deactivate_host(&mut self, host: u32, crash: bool) {
-        let idx = NodeId::new(host).index();
+    fn deactivate_host(
+        &mut self,
+        host: u32,
+        crash: bool,
+        now: SimTime,
+        observer: &mut dyn SimObserver,
+    ) {
+        let node = NodeId::new(host);
+        let idx = node.index();
         {
             let st = self.scenario_mut();
             debug_assert!(st.active[idx], "deactivating a host that is already down");
@@ -1355,19 +1435,12 @@ impl World {
         if let Some((key, _)) = self.nodes[idx].hello_pending.take() {
             self.queue.cancel(key);
         }
-        // Abandon per-packet scheme state: pending assessment wakeups are
-        // cancelled; MAC-queued rebroadcasts are handled by the queue
-        // sweep below (their handles land in `handles`, which the sweep
-        // supersedes because it also covers HELLO frames).
-        let mut keys = Vec::new();
-        let mut handles = Vec::new();
-        self.nodes[idx]
-            .packets
-            .drain_active(&mut keys, &mut handles);
-        for key in keys {
-            let cancelled = self.queue.cancel(key);
-            debug_assert!(cancelled, "assessment key was already spent");
-        }
+        // Abandon per-packet scheme state: pending assessment wakeups come
+        // back as an `AbandonAssessments` effect and are cancelled there;
+        // MAC-queued rebroadcasts are handled by the queue sweep below
+        // (which also covers HELLO frames). On a crash the models also
+        // wipe the host's memory, retiring its counters.
+        self.dispatch(now, PureAction::Deactivate { node, crash }, observer);
         // Sweep the MAC queue: every payload still in `outgoing` belongs
         // to a queued (not yet airing) frame — `begin_transmission` takes
         // the payload out the moment a frame hits the air.
@@ -1383,19 +1456,6 @@ impl World {
             if let Payload::Hello(hello) = n.outgoing.remove(slot) {
                 self.hello_pool.push(hello.neighbors);
             }
-        }
-        // A crash loses everything above the radio; a graceful leave
-        // keeps the host's memory for its return.
-        if crash {
-            let n = &mut self.nodes[idx];
-            let joins = n.table.join_count();
-            let leaves = n.table.leave_count();
-            n.table = NeighborTable::new();
-            n.tracker = VariationTracker::new();
-            n.packets = PacketLedger::new();
-            let st = self.scenario_mut();
-            st.retired_joins += joins;
-            st.retired_leaves += leaves;
         }
     }
 

@@ -22,7 +22,7 @@
 //! * Queued frames can be cancelled until the moment they hit the air
 //!   (the suppression schemes' step S5).
 
-use manet_sim_engine::{SimDuration, SimRng, SimTime};
+use manet_sim_engine::{SimDuration, SimRng, SimTime, WireDecoder, WireEncoder, WireError};
 
 use crate::timing::{CW_MIN, DIFS, SLOT};
 
@@ -96,6 +96,38 @@ impl Default for MacStats {
 }
 
 impl MacStats {
+    /// Serializes the counters for a world snapshot.
+    pub fn snapshot_into(&self, enc: &mut WireEncoder) {
+        enc.u64(self.backoff_draws);
+        enc.u64(self.backoff_slots_total);
+        enc.u64(self.freezes);
+        enc.u64(self.deferrals);
+        enc.u64(self.enqueued);
+        enc.u64(self.cancelled);
+        enc.u64(self.max_queue_depth);
+        for &count in &self.draw_counts {
+            enc.u64(count);
+        }
+    }
+
+    /// Decodes counters written by [`snapshot_into`](Self::snapshot_into).
+    pub fn restore_snapshot(dec: &mut WireDecoder<'_>) -> Result<MacStats, WireError> {
+        let mut stats = MacStats {
+            backoff_draws: dec.u64()?,
+            backoff_slots_total: dec.u64()?,
+            freezes: dec.u64()?,
+            deferrals: dec.u64()?,
+            enqueued: dec.u64()?,
+            cancelled: dec.u64()?,
+            max_queue_depth: dec.u64()?,
+            draw_counts: [0; (CW_MIN + 1) as usize],
+        };
+        for count in &mut stats.draw_counts {
+            *count = dec.u64()?;
+        }
+        Ok(stats)
+    }
+
     /// Folds another host's counters into this one (max for
     /// `max_queue_depth`, sums elsewhere).
     pub fn merge(&mut self, other: &MacStats) {
@@ -358,6 +390,92 @@ impl Dcf {
             self.state = State::Difs;
             Some(self.arm_timer(DIFS))
         }
+    }
+
+    /// Serializes the complete MAC state — state machine, transmit queue,
+    /// frozen backoff, carrier view, timer generation, RNG stream, and
+    /// counters — for a world snapshot.
+    pub fn snapshot_into(&self, enc: &mut WireEncoder) {
+        match self.state {
+            State::Idle => enc.u8(0),
+            State::WaitIdle => enc.u8(1),
+            State::Difs => enc.u8(2),
+            State::Backoff { started, slots } => {
+                enc.u8(3);
+                enc.u64(started.as_nanos());
+                enc.u32(slots);
+            }
+            State::Transmitting => enc.u8(4),
+        }
+        enc.len(self.queue.len());
+        for &(handle, bytes) in &self.queue {
+            enc.u64(handle.0);
+            enc.usize(bytes);
+        }
+        match self.backoff_slots {
+            None => enc.bool(false),
+            Some(slots) => {
+                enc.bool(true);
+                enc.u32(slots);
+            }
+        }
+        enc.bool(self.medium_busy);
+        enc.u64(self.idle_since.as_nanos());
+        enc.u64(self.generation);
+        for word in self.rng.state() {
+            enc.u64(word);
+        }
+        enc.u64(self.transmitted);
+        self.stats.snapshot_into(enc);
+    }
+
+    /// Rebuilds a MAC from [`snapshot_into`](Self::snapshot_into) output.
+    pub fn restore_snapshot(dec: &mut WireDecoder<'_>) -> Result<Dcf, WireError> {
+        let tag_at = dec.position();
+        let state = match dec.u8()? {
+            0 => State::Idle,
+            1 => State::WaitIdle,
+            2 => State::Difs,
+            3 => State::Backoff {
+                started: SimTime::from_nanos(dec.u64()?),
+                slots: dec.u32()?,
+            },
+            4 => State::Transmitting,
+            _ => {
+                return Err(WireError {
+                    at: tag_at,
+                    what: "DCF state tag",
+                })
+            }
+        };
+        let queue_len = dec.len()?;
+        let mut queue = std::collections::VecDeque::with_capacity(queue_len);
+        for _ in 0..queue_len {
+            let handle = FrameHandle(dec.u64()?);
+            let bytes = dec.usize()?;
+            queue.push_back((handle, bytes));
+        }
+        let backoff_slots = if dec.bool()? { Some(dec.u32()?) } else { None };
+        let medium_busy = dec.bool()?;
+        let idle_since = SimTime::from_nanos(dec.u64()?);
+        let generation = dec.u64()?;
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = dec.u64()?;
+        }
+        let transmitted = dec.u64()?;
+        let stats = MacStats::restore_snapshot(dec)?;
+        Ok(Dcf {
+            state,
+            queue,
+            backoff_slots,
+            medium_busy,
+            idle_since,
+            generation,
+            rng: SimRng::from_state(rng_state),
+            transmitted,
+            stats,
+        })
     }
 
     /// Draws a post/deferral backoff counter if none is pending.

@@ -14,7 +14,7 @@
 //! the paper everywhere away from walls.
 
 use manet_geom::Vec2;
-use manet_sim_engine::{SimDuration, SimRng, SimTime};
+use manet_sim_engine::{SimDuration, SimRng, SimTime, WireDecoder, WireEncoder, WireError};
 
 use crate::map::Map;
 use crate::model::{Mobility, Segment};
@@ -175,6 +175,37 @@ impl RandomTurn {
         let t = t.clamp(self.seg_start, self.seg_end);
         let dt = (t - self.seg_start).as_secs_f64();
         self.map.bounds().clamp(self.origin + self.velocity * dt)
+    }
+
+    /// Serializes the mutable roaming state — RNG position and current
+    /// segment — for a world snapshot. The map and parameters are not
+    /// written: [`restore_snapshot`](Self::restore_snapshot) targets a
+    /// host already built with the same configuration.
+    pub fn snapshot_into(&self, enc: &mut WireEncoder) {
+        for word in self.rng.state() {
+            enc.u64(word);
+        }
+        enc.f64(self.origin.x);
+        enc.f64(self.origin.y);
+        enc.f64(self.velocity.x);
+        enc.f64(self.velocity.y);
+        enc.u64(self.seg_start.as_nanos());
+        enc.u64(self.seg_end.as_nanos());
+    }
+
+    /// Overwrites this host's mutable state from
+    /// [`snapshot_into`](Self::snapshot_into) output.
+    pub fn restore_snapshot(&mut self, dec: &mut WireDecoder<'_>) -> Result<(), WireError> {
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = dec.u64()?;
+        }
+        self.rng = SimRng::from_state(state);
+        self.origin = Vec2::new(dec.f64()?, dec.f64()?);
+        self.velocity = Vec2::new(dec.f64()?, dec.f64()?);
+        self.seg_start = SimTime::from_nanos(dec.u64()?);
+        self.seg_end = SimTime::from_nanos(dec.u64()?);
+        Ok(())
     }
 }
 

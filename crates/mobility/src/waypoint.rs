@@ -7,7 +7,7 @@
 //! fixed time before picking the next destination.
 
 use manet_geom::Vec2;
-use manet_sim_engine::{SimDuration, SimRng, SimTime};
+use manet_sim_engine::{SimDuration, SimRng, SimTime, WireDecoder, WireEncoder, WireError};
 
 use crate::map::Map;
 use crate::model::{Mobility, Segment};
@@ -157,6 +157,55 @@ impl RandomWaypoint {
         self.phase = Phase::Moving { velocity };
         self.seg_start = now;
         self.seg_end = now + travel;
+    }
+
+    /// Serializes the mutable roaming state — RNG position, phase, and
+    /// current segment — for a world snapshot. The map and parameters are
+    /// not written: [`restore_snapshot`](Self::restore_snapshot) targets
+    /// a host already built with the same configuration.
+    pub fn snapshot_into(&self, enc: &mut WireEncoder) {
+        for word in self.rng.state() {
+            enc.u64(word);
+        }
+        match self.phase {
+            Phase::Pausing => enc.u8(0),
+            Phase::Moving { velocity } => {
+                enc.u8(1);
+                enc.f64(velocity.x);
+                enc.f64(velocity.y);
+            }
+        }
+        enc.f64(self.origin.x);
+        enc.f64(self.origin.y);
+        enc.u64(self.seg_start.as_nanos());
+        enc.u64(self.seg_end.as_nanos());
+    }
+
+    /// Overwrites this host's mutable state from
+    /// [`snapshot_into`](Self::snapshot_into) output.
+    pub fn restore_snapshot(&mut self, dec: &mut WireDecoder<'_>) -> Result<(), WireError> {
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = dec.u64()?;
+        }
+        self.rng = SimRng::from_state(state);
+        let tag_at = dec.position();
+        self.phase = match dec.u8()? {
+            0 => Phase::Pausing,
+            1 => Phase::Moving {
+                velocity: Vec2::new(dec.f64()?, dec.f64()?),
+            },
+            _ => {
+                return Err(WireError {
+                    at: tag_at,
+                    what: "waypoint phase tag",
+                })
+            }
+        };
+        self.origin = Vec2::new(dec.f64()?, dec.f64()?);
+        self.seg_start = SimTime::from_nanos(dec.u64()?);
+        self.seg_end = SimTime::from_nanos(dec.u64()?);
+        Ok(())
     }
 }
 

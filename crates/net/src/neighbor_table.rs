@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
 use manet_phy::NodeId;
-use manet_sim_engine::{SimDuration, SimTime};
+use manet_sim_engine::{SimDuration, SimTime, WireDecoder, WireEncoder, WireError};
 
 /// Multiplicative hasher for [`NodeId`] keys. Host ids are small dense
 /// integers, so Fibonacci hashing spreads them across buckets at the cost
@@ -236,6 +236,72 @@ impl NeighborTable {
     /// neighborhood was. `None` when `h` is not a (live) neighbor.
     pub fn neighbors_of(&self, h: NodeId) -> Option<&[NodeId]> {
         self.entries.get(&h).map(|e| e.neighbors.as_slice())
+    }
+
+    /// Serializes the table for a world snapshot. Entries are written
+    /// sorted by neighbor id so the encoding is byte-stable regardless of
+    /// hash-map bucket order (which is never observable elsewhere either —
+    /// every iteration consumer sorts).
+    pub fn snapshot_into(&self, enc: &mut WireEncoder) {
+        let mut ids: Vec<NodeId> = self.entries.keys().copied().collect();
+        ids.sort_unstable();
+        enc.len(ids.len());
+        for id in ids {
+            let entry = &self.entries[&id];
+            enc.u32(id.index() as u32);
+            enc.u64(entry.last_heard.as_nanos());
+            enc.u64(entry.interval.as_nanos());
+            enc.len(entry.neighbors.len());
+            for &neighbor in &entry.neighbors {
+                enc.u32(neighbor.index() as u32);
+            }
+        }
+        match self.min_deadline {
+            None => enc.bool(false),
+            Some(deadline) => {
+                enc.bool(true);
+                enc.u64(deadline.as_nanos());
+            }
+        }
+        enc.u64(self.joins);
+        enc.u64(self.leaves);
+    }
+
+    /// Rebuilds a table from [`snapshot_into`](Self::snapshot_into)
+    /// output.
+    pub fn restore_snapshot(dec: &mut WireDecoder<'_>) -> Result<NeighborTable, WireError> {
+        let entry_count = dec.len()?;
+        let mut entries = IdMap::default();
+        entries.reserve(entry_count);
+        for _ in 0..entry_count {
+            let id = NodeId::new(dec.u32()?);
+            let last_heard = SimTime::from_nanos(dec.u64()?);
+            let interval = SimDuration::from_nanos(dec.u64()?);
+            let neighbor_count = dec.len()?;
+            let mut neighbors = Vec::with_capacity(neighbor_count);
+            for _ in 0..neighbor_count {
+                neighbors.push(NodeId::new(dec.u32()?));
+            }
+            entries.insert(
+                id,
+                NeighborEntry {
+                    last_heard,
+                    interval,
+                    neighbors,
+                },
+            );
+        }
+        let min_deadline = if dec.bool()? {
+            Some(SimTime::from_nanos(dec.u64()?))
+        } else {
+            None
+        };
+        Ok(NeighborTable {
+            entries,
+            min_deadline,
+            joins: dec.u64()?,
+            leaves: dec.u64()?,
+        })
     }
 }
 

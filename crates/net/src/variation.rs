@@ -13,7 +13,7 @@
 
 use std::collections::VecDeque;
 
-use manet_sim_engine::{SimDuration, SimTime};
+use manet_sim_engine::{SimDuration, SimTime, WireDecoder, WireEncoder, WireError};
 
 /// Length of the paper's churn window: 10 seconds.
 pub const VARIATION_WINDOW: SimDuration = SimDuration::from_secs(10);
@@ -79,6 +79,25 @@ impl VariationTracker {
     pub fn variation(&mut self, now: SimTime, neighbor_count: usize) -> f64 {
         let changes = self.changes_in_window(now);
         changes as f64 / (neighbor_count.max(1) as f64 * VARIATION_WINDOW.as_secs_f64())
+    }
+
+    /// Serializes the event window for a world snapshot.
+    pub fn snapshot_into(&self, enc: &mut WireEncoder) {
+        enc.len(self.events.len());
+        for &event in &self.events {
+            enc.u64(event.as_nanos());
+        }
+    }
+
+    /// Rebuilds a tracker from [`snapshot_into`](Self::snapshot_into)
+    /// output.
+    pub fn restore_snapshot(dec: &mut WireDecoder<'_>) -> Result<VariationTracker, WireError> {
+        let event_count = dec.len()?;
+        let mut events = VecDeque::with_capacity(event_count);
+        for _ in 0..event_count {
+            events.push_back(SimTime::from_nanos(dec.u64()?));
+        }
+        Ok(VariationTracker { events })
     }
 }
 

@@ -57,6 +57,13 @@ impl FrameId {
     pub const fn as_u64(self) -> u64 {
         self.0
     }
+
+    /// Rebuilds an id from [`as_u64`](Self::as_u64), for restoring a
+    /// serialized world snapshot. The raw value must have come from a
+    /// frame live on the [`Medium`](crate::Medium) the snapshot captured.
+    pub const fn from_raw(raw: u64) -> Self {
+        FrameId(raw)
+    }
 }
 
 impl fmt::Display for FrameId {

@@ -55,6 +55,7 @@ mod runner;
 mod slab;
 mod time;
 mod timeline;
+mod wire;
 
 pub use metrics::{
     json_escape, json_f64, Counter, Gauge, Histogram, HistogramSnapshot, KindProfile, LoopProfile,
@@ -63,6 +64,7 @@ pub use metrics::{
 pub use queue::{EventKey, EventQueue};
 pub use rng::SimRng;
 pub use runner::{run, run_profiled, run_until, EventHandler, RunOutcome};
-pub use slab::Slab;
+pub use slab::{Slab, SlabSlot};
 pub use time::{SimDuration, SimTime};
 pub use timeline::Timeline;
+pub use wire::{WireDecoder, WireEncoder, WireError};

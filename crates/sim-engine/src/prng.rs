@@ -117,6 +117,27 @@ impl Xoshiro256pp {
         const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
         (self.next_u64() >> 11) as f64 * SCALE
     }
+
+    /// The generator's full 256-bit state, for snapshot serialization.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a previously exported
+    /// [`state`](Self::state). The stream continues exactly where the
+    /// exported generator left off.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the all-zero state (the generator's fixed point), which
+    /// [`seed_from`](Self::seed_from) can never produce.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "all-zero xoshiro state is invalid"
+        );
+        Xoshiro256pp { s }
+    }
 }
 
 /// The splitmix64 output function: a strong 64-bit bijective mixer.

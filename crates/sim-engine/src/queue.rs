@@ -44,6 +44,20 @@ type SeqSet = HashSet<u64, BuildHasherDefault<SeqHasher>>;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventKey(u64);
 
+impl EventKey {
+    /// The key's raw sequence number, for snapshot serialization.
+    pub fn as_raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a key from [`as_raw`](Self::as_raw) output. Only keys
+    /// exported from the same queue lineage are meaningful; a fabricated
+    /// key at worst cancels the wrong entry, never corrupts the queue.
+    pub fn from_raw(raw: u64) -> Self {
+        EventKey(raw)
+    }
+}
+
 #[derive(Debug)]
 struct Entry<E> {
     time: SimTime,
@@ -217,6 +231,59 @@ impl<E> EventQueue<E> {
     /// Total events ever scheduled (diagnostics).
     pub fn scheduled_count(&self) -> u64 {
         self.scheduled
+    }
+
+    /// The live (non-tombstoned) entries as `(time, seq, &event)`, sorted
+    /// in pop order. Together with [`counters`](Self::counters) this is a
+    /// complete image of the queue for snapshot serialization.
+    pub fn snapshot_entries(&self) -> Vec<(SimTime, u64, &E)> {
+        let mut entries: Vec<_> = self
+            .heap
+            .iter()
+            .filter(|entry| !self.cancelled.contains(&entry.seq))
+            .map(|entry| (entry.time, entry.seq, &entry.event))
+            .collect();
+        entries.sort_by_key(|&(time, seq, _)| (time, seq));
+        entries
+    }
+
+    /// The queue's counters `(now, next_seq, delivered, scheduled)`, for
+    /// snapshot serialization.
+    pub fn counters(&self) -> (SimTime, u64, u64, u64) {
+        (self.now, self.next_seq, self.popped, self.scheduled)
+    }
+
+    /// Rebuilds a queue from [`snapshot_entries`](Self::snapshot_entries)
+    /// and [`counters`](Self::counters) output. Tombstoned entries are not
+    /// restored (they were already logically gone); the restored queue pops
+    /// the same `(time, seq, event)` stream and hands out fresh keys from
+    /// `next_seq`, so it is behaviorally identical to the exported one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry predates `now` or carries a sequence number at
+    /// or past `next_seq`.
+    pub fn restore(
+        now: SimTime,
+        next_seq: u64,
+        delivered: u64,
+        scheduled: u64,
+        entries: impl IntoIterator<Item = (SimTime, u64, E)>,
+    ) -> Self {
+        let mut heap = BinaryHeap::new();
+        for (time, seq, event) in entries {
+            assert!(time >= now, "restored event predates the clock");
+            assert!(seq < next_seq, "restored event from the future");
+            heap.push(Entry { time, seq, event });
+        }
+        EventQueue {
+            heap,
+            cancelled: SeqSet::default(),
+            next_seq,
+            now,
+            popped: delivered,
+            scheduled,
+        }
     }
 }
 

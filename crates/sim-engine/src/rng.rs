@@ -138,6 +138,23 @@ impl SimRng {
         assert!(lo <= hi, "empty duration range: {lo} > {hi}");
         SimDuration::from_nanos(self.inner.next_u64_inclusive(lo.as_nanos(), hi.as_nanos()))
     }
+
+    /// The generator's full stream position, for snapshot serialization.
+    pub fn state(&self) -> [u64; 4] {
+        self.inner.state()
+    }
+
+    /// Rebuilds a generator from an exported [`state`](Self::state); the
+    /// stream continues exactly where the exporting generator stopped.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the (unreachable-by-construction) all-zero state.
+    pub fn from_state(state: [u64; 4]) -> Self {
+        SimRng {
+            inner: Xoshiro256pp::from_state(state),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -41,6 +41,24 @@ enum Entry<T> {
 /// Sentinel terminating the free list.
 const NIL: u32 = u32::MAX;
 
+/// The raw image of one slab slot, exposed for snapshot serialization.
+///
+/// Restoring a slab from raw slots (rather than re-inserting the live
+/// values) preserves the exact slot layout **and** free-list order, so
+/// keys handed out after a restore match the keys the exporting slab would
+/// have handed out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlabSlot<T> {
+    /// The slot holds a live value.
+    Occupied(T),
+    /// The slot is vacant; `next_free` is the next slot on the free list
+    /// (`u32::MAX` terminates the list).
+    Vacant {
+        /// Raw free-list link, exactly as stored.
+        next_free: u32,
+    },
+}
+
 /// A slab of `T` values with `u32` keys and free-list slot reuse.
 #[derive(Clone)]
 pub struct Slab<T> {
@@ -169,6 +187,39 @@ impl<T> Slab<T> {
                 Entry::Occupied(value) => Some((i as u32, value)),
                 Entry::Vacant { .. } => None,
             })
+    }
+
+    /// The free-list head plus every slot's raw image in index order, for
+    /// snapshot serialization (see [`SlabSlot`]).
+    pub fn export_slots(&self) -> (u32, impl Iterator<Item = SlabSlot<&T>>) {
+        let slots = self.entries.iter().map(|entry| match entry {
+            Entry::Occupied(value) => SlabSlot::Occupied(value),
+            Entry::Vacant { next_free } => SlabSlot::Vacant {
+                next_free: *next_free,
+            },
+        });
+        (self.free_head, slots)
+    }
+
+    /// Rebuilds a slab from [`export_slots`](Self::export_slots) output,
+    /// reproducing the exact slot layout and free-list order.
+    pub fn from_slots(free_head: u32, slots: impl IntoIterator<Item = SlabSlot<T>>) -> Self {
+        let entries: Vec<Entry<T>> = slots
+            .into_iter()
+            .map(|slot| match slot {
+                SlabSlot::Occupied(value) => Entry::Occupied(value),
+                SlabSlot::Vacant { next_free } => Entry::Vacant { next_free },
+            })
+            .collect();
+        let len = entries
+            .iter()
+            .filter(|e| matches!(e, Entry::Occupied(_)))
+            .count();
+        Slab {
+            entries,
+            free_head,
+            len,
+        }
     }
 }
 

@@ -23,6 +23,11 @@ pub const RULE_FORK: &str = "rng-fork-discipline";
 /// Functions annotated `#[cfg_attr(simlint, hot_path)]` must not contain
 /// allocating constructs.
 pub const RULE_HOT_PATH: &str = "hot-path-alloc";
+/// Functions annotated `#[cfg_attr(simlint, pure_model)]` must not draw
+/// RNG, touch the event queue, or mutate the `Medium`: every effect
+/// belongs to the dispatcher, so recorded traces replay through the pure
+/// models alone.
+pub const RULE_PURE_MODEL: &str = "pure-model-effect";
 /// Types deriving `Ord`/`PartialOrd` (candidate event-queue keys) must
 /// not contain `f32`/`f64` fields.
 pub const RULE_FLOAT_KEY: &str = "float-event-key";
@@ -35,6 +40,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_WALL_CLOCK,
     RULE_FORK,
     RULE_HOT_PATH,
+    RULE_PURE_MODEL,
     RULE_FLOAT_KEY,
     RULE_UNKNOWN,
 ];
@@ -166,6 +172,7 @@ impl Linter {
             self.rule_fork_discipline(file, &code, ctx, &in_test, &mut raw);
         }
         rule_hot_path_alloc(file, &code, &mut raw);
+        rule_pure_model_effect(file, &code, &mut raw);
         if ctx.sim && !ctx.test_target {
             rule_float_event_key(file, &code, &in_test, &mut raw);
         }
@@ -575,7 +582,10 @@ const ALLOC_CONSTRUCTS: &[&str] = &[
     "String::from",
 ];
 
-fn rule_hot_path_alloc(file: &str, code: &[&Token], raw: &mut Vec<Diagnostic>) {
+/// Body token ranges of every fn carrying `#[cfg_attr(simlint, <marker>)]`,
+/// as `(fn_name, body_start, body_end)` with the braces excluded.
+fn marked_fn_bodies(code: &[&Token], marker: &str) -> Vec<(String, usize, usize)> {
+    let mut bodies = Vec::new();
     let mut i = 0;
     while i + 8 < code.len() {
         let is_marker = is_punct(code, i, "#")
@@ -584,7 +594,7 @@ fn rule_hot_path_alloc(file: &str, code: &[&Token], raw: &mut Vec<Diagnostic>) {
             && is_punct(code, i + 3, "(")
             && is_ident(code, i + 4, "simlint")
             && is_punct(code, i + 5, ",")
-            && is_ident(code, i + 6, "hot_path")
+            && is_ident(code, i + 6, marker)
             && is_punct(code, i + 7, ")")
             && is_punct(code, i + 8, "]");
         if !is_marker {
@@ -624,8 +634,63 @@ fn rule_hot_path_alloc(file: &str, code: &[&Token], raw: &mut Vec<Diagnostic>) {
             continue;
         }
         let end = match_delim(code, k, "{", "}");
-        scan_alloc_constructs(file, code, k + 1, end, &fn_name, raw);
+        bodies.push((fn_name, k + 1, end));
         i = end + 1;
+    }
+    bodies
+}
+
+fn rule_hot_path_alloc(file: &str, code: &[&Token], raw: &mut Vec<Diagnostic>) {
+    for (fn_name, start, end) in marked_fn_bodies(code, "hot_path") {
+        scan_alloc_constructs(file, code, start, end, &fn_name, raw);
+    }
+}
+
+fn rule_pure_model_effect(file: &str, code: &[&Token], raw: &mut Vec<Diagnostic>) {
+    for (fn_name, start, end) in marked_fn_bodies(code, "pure_model") {
+        scan_effect_constructs(file, code, start, end, &fn_name, raw);
+    }
+}
+
+/// Method calls that make a function effectful: RNG draws, event-queue
+/// scheduling/cancellation, and `Medium` mutation. The scan looks for
+/// `.name(` receivers, so type paths and doc text never fire.
+fn scan_effect_constructs(
+    file: &str,
+    code: &[&Token],
+    start: usize,
+    end: usize,
+    fn_name: &str,
+    raw: &mut Vec<Diagnostic>,
+) {
+    for i in start..end.min(code.len()) {
+        let Some(name) = ident_at(code, i) else {
+            continue;
+        };
+        if i == 0 || !is_punct(code, i - 1, ".") || !is_punct(code, i + 1, "(") {
+            continue;
+        }
+        let what = if name == "fork" || name.starts_with("gen_") {
+            "an RNG draw"
+        } else if name == "schedule" || name == "cancel" {
+            "an event-queue mutation"
+        } else if name == "begin_transmission" || name == "finish_transmission" {
+            "a Medium mutation"
+        } else {
+            continue;
+        };
+        let tok = code[i];
+        raw.push(Diagnostic {
+            file: file.to_string(),
+            line: tok.line,
+            col: tok.col,
+            rule: RULE_PURE_MODEL,
+            message: format!(
+                "`.{name}(...)` is {what} inside pure-model fn `{fn_name}`; \
+                 every effect must flow through the dispatcher so recorded \
+                 traces replay through the pure models alone"
+            ),
+        });
     }
 }
 
@@ -862,6 +927,33 @@ mod tests {
             .map(|d| d.line)
             .collect();
         assert_eq!(hot, vec![4, 5]);
+    }
+
+    #[test]
+    fn pure_model_effects_fire_only_in_annotated_fns() {
+        let diags = lint_sim(
+            "fn dispatcher(&mut self) { let r = self.rng.gen_unit_f64(); }\n\
+             #[cfg_attr(simlint, pure_model)]\n\
+             fn step(&mut self, q: &mut Q, m: &mut Medium) {\n\
+                 let r = self.rng.gen_unit_f64();\n\
+                 let s = self.rng.fork(3);\n\
+                 let k = q.schedule(t, e);\n\
+                 q.cancel(k);\n\
+                 m.begin_transmission(n, now, airtime);\n\
+                 self.tables.push(t);\n\
+             }\n",
+        );
+        let fired: Vec<u32> = diags
+            .iter()
+            .filter(|d| d.rule == RULE_PURE_MODEL)
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(fired, vec![4, 5, 6, 7, 8]);
+        // fork(3) inside the body also trips fork discipline separately;
+        // the pure-model rule itself must not fire outside the marker.
+        assert!(diags
+            .iter()
+            .all(|d| d.rule != RULE_PURE_MODEL || d.line >= 4));
     }
 
     #[test]

@@ -9,7 +9,8 @@ use std::process::Command;
 use simlint::forks::ForkRegistry;
 use simlint::lint_paths;
 use simlint::rules::{
-    RULE_FLOAT_KEY, RULE_FORK, RULE_HOT_PATH, RULE_NONDET_ITER, RULE_UNKNOWN, RULE_WALL_CLOCK,
+    RULE_FLOAT_KEY, RULE_FORK, RULE_HOT_PATH, RULE_NONDET_ITER, RULE_PURE_MODEL, RULE_UNKNOWN,
+    RULE_WALL_CLOCK,
 };
 
 fn fixtures_dir() -> PathBuf {
@@ -100,6 +101,7 @@ fn bad_fixtures_fire_exactly_their_rules() {
         ("fork_unregistered.rs", &[RULE_FORK]),
         ("hot_path.rs", &[RULE_HOT_PATH]),
         ("iteration.rs", &[RULE_NONDET_ITER]),
+        ("pure_model.rs", &[RULE_PURE_MODEL]),
         ("unknown_rule.rs", &[RULE_UNKNOWN]),
         ("wall_clock.rs", &[RULE_WALL_CLOCK]),
     ];

@@ -1,0 +1,14 @@
+//! Seeded violations: effectful calls inside a `pure_model`-annotated
+//! state transition — an RNG draw, a stream fork, event-queue
+//! scheduling and cancellation, and Medium mutation.
+
+#[cfg_attr(simlint, pure_model)]
+pub fn packet_heard(&mut self, now: SimTime, q: &mut EventQueue<Event>, m: &mut Medium) {
+    let p = self.proto_rng.gen_unit_f64();
+    let stream = self.proto_rng.fork(7);
+    let key = q.schedule(now, Event::IssueBroadcast);
+    q.cancel(key);
+    m.begin_transmission(NodeId::new(0), now, airtime);
+    m.finish_transmission(FrameId::from_raw(0));
+    let _ = (p, stream);
+}

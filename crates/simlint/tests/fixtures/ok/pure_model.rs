@@ -1,0 +1,23 @@
+//! Clean pure-model functions: state transitions that only read their
+//! inputs and mutate their own protocol state, pushing requested effects
+//! into the caller's buffer for the dispatcher to execute.
+
+#[cfg_attr(simlint, pure_model)]
+pub fn step(&mut self, now: SimTime, action: &PureAction<'_>, fx: &mut Vec<Effect>) {
+    self.tables[action.node].observe(action.sender, now);
+    if self.ledger.first_hear(action.packet) {
+        fx.push(Effect::ScheduleAssessment {
+            node: action.node,
+            packet: action.packet,
+        });
+    }
+}
+
+// The same method names are fine outside the marker: the dispatcher is
+// exactly where RNG draws, queue mutation, and Medium mutation belong.
+pub fn dispatch(&mut self, now: SimTime) {
+    let jitter = self.proto_rng.gen_range_u32(95..106);
+    let key = self.queue.schedule(now, Event::IssueBroadcast);
+    self.queue.cancel(key);
+    self.medium.begin_transmission(NodeId::new(0), now, jitter.into());
+}

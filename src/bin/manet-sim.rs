@@ -11,9 +11,10 @@
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
+use manet_broadcast::core::trace::NoopObserver;
 use manet_broadcast::{
     AreaThreshold, CaptureConfig, CounterThreshold, DynamicHelloParams, HelloIntervalPolicy,
-    MobilitySpec, NeighborInfo, Scenario, SchemeSpec, SimConfig, SimDuration, World,
+    MobilitySpec, NeighborInfo, Scenario, SchemeSpec, SimConfig, SimDuration, SimTime, World,
 };
 
 const USAGE: &str = "\
@@ -39,6 +40,14 @@ options:
   --metrics FILE        write run counters and histograms as JSON
                         (schema manet-broadcast-metrics/1)
   --profile             measure event-loop wall time per event kind
+  --snapshot-at T_NS    pause at T_NS simulated nanoseconds, write a
+                        checkpoint (requires --snapshot-out), continue
+  --snapshot-out FILE   checkpoint destination for --snapshot-at
+  --resume FILE         resume a checkpoint written by --snapshot-out;
+                        the other options must rebuild the same config
+  --record TRACE        record every dispatched action to TRACE (MTRC)
+  --replay TRACE        replay TRACE through the pure models alone and
+                        verify every recorded decision (standalone mode)
   -h, --help            show this help
 ";
 
@@ -48,6 +57,11 @@ struct Options {
     config: SimConfig,
     per_broadcast: Option<String>,
     metrics: Option<String>,
+    snapshot_at: Option<u64>,
+    snapshot_out: Option<String>,
+    resume: Option<String>,
+    record: Option<String>,
+    replay: Option<String>,
 }
 
 fn parse_scheme(s: &str) -> Result<SchemeSpec, String> {
@@ -124,6 +138,11 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut per_broadcast = None;
     let mut metrics = None;
     let mut profile = false;
+    let mut snapshot_at: Option<u64> = None;
+    let mut snapshot_out: Option<String> = None;
+    let mut resume: Option<String> = None;
+    let mut record: Option<String> = None;
+    let mut replay: Option<String> = None;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -175,6 +194,17 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--per-broadcast" => per_broadcast = Some(value("--per-broadcast")?),
             "--metrics" => metrics = Some(value("--metrics")?),
             "--profile" => profile = true,
+            "--snapshot-at" => {
+                snapshot_at = Some(
+                    value("--snapshot-at")?
+                        .parse()
+                        .map_err(|e| format!("bad --snapshot-at: {e}"))?,
+                )
+            }
+            "--snapshot-out" => snapshot_out = Some(value("--snapshot-out")?),
+            "--resume" => resume = Some(value("--resume")?),
+            "--record" => record = Some(value("--record")?),
+            "--replay" => replay = Some(value("--replay")?),
             "-h" | "--help" => return Ok(None),
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -220,12 +250,32 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     if capture {
         builder = builder.capture(CaptureConfig::typical());
     }
+    // Checkpoint/trace flag consistency. --replay is a standalone mode
+    // (the trace embeds its own replay config); a recording must cover a
+    // whole run to be replayable, so it cannot start from a checkpoint.
+    if replay.is_some()
+        && (record.is_some() || resume.is_some() || snapshot_at.is_some() || snapshot_out.is_some())
+    {
+        return Err("--replay is standalone; drop the snapshot/record flags".into());
+    }
+    if snapshot_at.is_some() != snapshot_out.is_some() {
+        return Err("--snapshot-at and --snapshot-out go together".into());
+    }
+    if record.is_some() && resume.is_some() {
+        return Err("--record cannot start from --resume: a trace must cover a whole run".into());
+    }
+
     let config = builder.build();
     config.validate()?;
     Ok(Some(Options {
         config,
         per_broadcast,
         metrics,
+        snapshot_at,
+        snapshot_out,
+        resume,
+        record,
+        replay,
     }))
 }
 
@@ -262,6 +312,31 @@ fn main() -> ExitCode {
         }
     };
 
+    // Standalone replay: no simulation, just the pure models re-deriving
+    // and verifying the recorded decision stream.
+    if let Some(path) = &options.replay {
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(err) => {
+                eprintln!("error: cannot read {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match manet_broadcast::core::replay_decisions(&bytes) {
+            Ok(summary) => {
+                println!(
+                    "replay ok: {} actions, {} decisions verified",
+                    summary.actions, summary.decisions
+                );
+                return ExitCode::SUCCESS;
+            }
+            Err(err) => {
+                eprintln!("error: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let config = options.config;
     println!(
         "map {}x{}  hosts {}  scheme {}  broadcasts {}  seed {}",
@@ -272,7 +347,51 @@ fn main() -> ExitCode {
         config.broadcasts,
         config.seed,
     );
-    let report = World::new(config).run();
+
+    let mut world = match &options.resume {
+        Some(path) => {
+            let bytes = match std::fs::read(path) {
+                Ok(bytes) => bytes,
+                Err(err) => {
+                    eprintln!("error: cannot read {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match World::resume(config, &bytes) {
+                Ok(world) => {
+                    println!("resumed checkpoint {path}");
+                    world
+                }
+                Err(err) => {
+                    eprintln!("error: cannot resume {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => World::new(config),
+    };
+    if options.record.is_some() {
+        world.enable_recording();
+    }
+    if let (Some(at), Some(out)) = (options.snapshot_at, &options.snapshot_out) {
+        world.advance_until(SimTime::from_nanos(at), &mut NoopObserver);
+        if let Err(err) = std::fs::write(out, world.snapshot()) {
+            eprintln!("error: cannot write {out}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("checkpoint at {at} ns written to {out}");
+    }
+    world.advance_until(SimTime::MAX, &mut NoopObserver);
+    let trace = world.take_trace();
+    let report = world.into_report();
+    if let Some(path) = &options.record {
+        let trace = trace.expect("recording was armed");
+        if let Err(err) = std::fs::write(path, trace) {
+            eprintln!("error: cannot write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("action trace written to {path}");
+    }
     let latency = report.latency_summary();
     println!();
     println!(
@@ -471,6 +590,46 @@ mod tests {
         std::fs::remove_file(&path).ok();
 
         assert!(parse_args(&args(&["--scenario", "/nonexistent/sc.txt"])).is_err());
+    }
+
+    #[test]
+    fn checkpoint_and_trace_flags_parse() {
+        let options = parse_args(&args(&[
+            "--snapshot-at",
+            "5000000000",
+            "--snapshot-out",
+            "w.snap",
+            "--record",
+            "run.mtrc",
+        ]))
+        .expect("parses")
+        .expect("not help");
+        assert_eq!(options.snapshot_at, Some(5_000_000_000));
+        assert_eq!(options.snapshot_out.as_deref(), Some("w.snap"));
+        assert_eq!(options.record.as_deref(), Some("run.mtrc"));
+
+        let options = parse_args(&args(&["--resume", "w.snap"]))
+            .expect("parses")
+            .expect("not help");
+        assert_eq!(options.resume.as_deref(), Some("w.snap"));
+
+        let options = parse_args(&args(&["--replay", "run.mtrc"]))
+            .expect("parses")
+            .expect("not help");
+        assert_eq!(options.replay.as_deref(), Some("run.mtrc"));
+    }
+
+    #[test]
+    fn inconsistent_checkpoint_flags_are_rejected() {
+        // --snapshot-at and --snapshot-out only make sense together.
+        assert!(parse_args(&args(&["--snapshot-at", "1"])).is_err());
+        assert!(parse_args(&args(&["--snapshot-out", "w.snap"])).is_err());
+        // A trace must cover a whole run.
+        assert!(parse_args(&args(&["--record", "t", "--resume", "w"])).is_err());
+        // Replay is standalone.
+        assert!(parse_args(&args(&["--replay", "t", "--record", "t2"])).is_err());
+        assert!(parse_args(&args(&["--replay", "t", "--resume", "w"])).is_err());
+        assert!(parse_args(&args(&["--snapshot-at", "x", "--snapshot-out", "w"])).is_err());
     }
 
     #[test]
