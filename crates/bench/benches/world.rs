@@ -35,16 +35,47 @@ fn storm(s: &mut Suite, name: &str, scheme: SchemeSpec) {
 /// about the event loop rather than HELLO parsing, and fewer broadcasts
 /// keep one iteration in the same ballpark as the 100-host runs.
 fn large_storm(s: &mut Suite) {
-    s.bench("world/counter_c3_5x5_1000hosts", || {
-        let config = SimConfig::builder(5, SchemeSpec::Counter(3))
-            .hosts(1_000)
-            .broadcasts(4)
-            .neighbor_info(broadcast_core::NeighborInfo::Oracle)
-            .seed(11)
-            .build();
-        let report = World::new(config).run();
-        black_box((report.data_frames, report.collisions))
-    });
+    for shards in [1u32, 4] {
+        let name = if shards == 1 {
+            "world/counter_c3_5x5_1000hosts"
+        } else {
+            "world/counter_c3_5x5_1000hosts_4shards"
+        };
+        s.bench(name, move || {
+            let config = SimConfig::builder(5, SchemeSpec::Counter(3))
+                .hosts(1_000)
+                .broadcasts(4)
+                .neighbor_info(broadcast_core::NeighborInfo::Oracle)
+                .seed(11)
+                .shards(shards)
+                .build();
+            let report = World::new(config).run();
+            black_box((report.data_frames, report.collisions))
+        });
+    }
+}
+
+/// The scale the sharded executor exists for: 10⁴ hosts on the 10×10 map
+/// (a wide map, so the strip partition actually narrows the geometry
+/// window). Same seed/scheme discipline as the 1000-host point; the
+/// sequential and 8-shard entries bracket the lockstep win.
+fn huge_storm(s: &mut Suite) {
+    for (name, shards) in [
+        ("world/counter_c3_10x10_10000hosts", 1u32),
+        ("world/counter_c3_10x10_10000hosts_8shards", 8),
+    ] {
+        s.bench(name, move || {
+            let config = SimConfig::builder(10, SchemeSpec::Counter(3))
+                .hosts(10_000)
+                .broadcasts(2)
+                .neighbor_info(broadcast_core::NeighborInfo::Oracle)
+                .seed(11)
+                .shards(shards)
+                .build();
+            let report = World::new(config).run();
+            black_box((report.data_frames, report.collisions))
+        });
+    }
 }
 
 fn main() {
@@ -65,5 +96,6 @@ fn main() {
         SchemeSpec::NeighborCoverage,
     );
     large_storm(&mut suite);
+    huge_storm(&mut suite);
     suite.finish();
 }

@@ -137,6 +137,14 @@ pub struct SimConfig {
     /// into world events (see the `manet-scenario` crate). `None`
     /// reproduces the paper's fault-free fixed population.
     pub scenario: Option<Scenario>,
+    /// Number of spatial shards the world executor splits the map into
+    /// (default 1 = the plain sequential run). Shards are vertical strips
+    /// at least one radio radius wide; requests past the feasible maximum
+    /// are clamped, not rejected. Results are bit-identical for every
+    /// shard count — this is purely an execution-strategy knob, which is
+    /// also why it is **excluded** from the snapshot fingerprint: a run
+    /// snapshotted at 4 shards resumes at 1 (and vice versa).
+    pub shards: u32,
 }
 
 impl SimConfig {
@@ -165,6 +173,7 @@ impl SimConfig {
                 capture: None,
                 profile_events: false,
                 scenario: None,
+                shards: 1,
             },
         }
     }
@@ -227,6 +236,9 @@ impl SimConfig {
             scenario
                 .validate(self.hosts)
                 .map_err(|e| format!("scenario: {e}"))?;
+        }
+        if self.shards == 0 {
+            return Err("need at least one shard".into());
         }
         if let PlacementSpec::Line { spacing_m } = self.placement {
             let length = f64::from(spacing_m) * f64::from(self.hosts - 1);
@@ -357,6 +369,14 @@ impl SimConfigBuilder {
     /// against the run's host count at [`build`](Self::build).
     pub fn scenario(mut self, scenario: Scenario) -> Self {
         self.config.scenario = Some(scenario);
+        self
+    }
+
+    /// Number of spatial shards for the world executor (default 1;
+    /// clamped at run time so every strip stays at least one radio radius
+    /// wide). Any value produces bit-identical results.
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.config.shards = shards;
         self
     }
 

@@ -342,6 +342,37 @@ mod tests {
     }
 
     #[test]
+    fn descent_sequences_are_pinned_exactly() {
+        // `with_descent` rounds with `value.round()`, which breaks .5 ties
+        // away from zero; the n=8 Linear point computes exactly 3.5 and
+        // must stay 4. All descent inputs are eighths (exact in binary),
+        // so these tables can only drift if the arithmetic or the rounding
+        // mode changes — pin every value for the paper's (n1, n2) = (4, 12).
+        assert_eq!(
+            CounterThreshold::with_descent(4, 12, DescentShape::Linear).sequence(),
+            &[2, 3, 4, 5, 5, 4, 4, 4, 3, 3, 2, 2],
+        );
+        assert_eq!(
+            CounterThreshold::with_descent(4, 12, DescentShape::Convex).sequence(),
+            &[2, 3, 4, 5, 4, 4, 3, 3, 2, 2, 2, 2],
+        );
+        assert_eq!(
+            CounterThreshold::with_descent(4, 12, DescentShape::Concave).sequence(),
+            &[2, 3, 4, 5, 5, 5, 5, 4, 4, 3, 3, 2],
+        );
+        // The paper's AC function is the Linear table under its own label,
+        // and saturates at the floor past n2.
+        let ac = CounterThreshold::paper_recommended();
+        assert_eq!(ac.label(), "AC");
+        assert_eq!(
+            ac.sequence(),
+            CounterThreshold::with_descent(4, 12, DescentShape::Linear).sequence()
+        );
+        assert_eq!(ac.threshold(12), 2);
+        assert_eq!(ac.threshold(100), 2);
+    }
+
+    #[test]
     fn recommended_counter_shape() {
         let c = CounterThreshold::paper_recommended();
         // Ramp with slope 1…

@@ -22,7 +22,7 @@ use manet_mobility::{
     RandomWaypoint, RandomWaypointParams, Segment, Stationary,
 };
 use manet_net::HelloPayload;
-use manet_phy::{CarrierChange, Delivery, FrameId, Medium, NeighborGrid, NodeId};
+use manet_phy::{CarrierChange, Delivery, FrameId, Medium, NeighborGrid, NodeId, ShardMap};
 use manet_scenario::{Region, WorldAction};
 use manet_sim_engine::{EventKey, EventQueue, LoopProfiler, SimRng, SimTime, Slab, Timeline};
 
@@ -227,6 +227,18 @@ impl ScenarioState {
     }
 }
 
+/// How often the sharded executor rebuilds strip membership from fresh
+/// positions. Between syncs, membership drifts by at most
+/// `max_speed × elapsed`, which the query windows absorb (see
+/// [`World::in_range_strips`]).
+const STRIP_SYNC_INTERVAL: manet_sim_engine::SimDuration =
+    manet_sim_engine::SimDuration::from_secs(1);
+
+/// Host count below which a full position refresh stays single-threaded:
+/// under ~8k segment evaluations, scoped-thread spawn overhead eats the
+/// win.
+const PARALLEL_REFRESH_MIN_HOSTS: usize = 8_192;
+
 /// A complete simulation run.
 ///
 /// # Examples
@@ -248,6 +260,33 @@ pub struct World {
     cfg: SimConfig,
     map: Map,
     queue: EventQueue<Event>,
+    /// Per-shard event queues, one per spatial strip; empty on sequential
+    /// runs (`shards == 1`), where everything stays on `queue`. Shard
+    /// queues hold only [`Event::MacTimer`] — the dominant event kind and
+    /// the only one that is never cancelled, so no cross-queue tombstone
+    /// routing is needed. All queues share the global [`Self::event_seq`]
+    /// counter, making the merged pop order (time, then seq) identical to
+    /// the single-queue order for **any** shard count.
+    shard_queues: Vec<EventQueue<Event>>,
+    /// Global event sequence counter stamping every scheduled event across
+    /// the control queue and all shard queues. Assigned in schedule order,
+    /// exactly as a single queue's internal counter would — the invariant
+    /// behind bit-identical sharded execution.
+    event_seq: u64,
+    /// Spatial strip partition of the map's x-axis (strips ≥ one radio
+    /// radius wide). `shards() == 1` on sequential runs.
+    shard_map: ShardMap,
+    /// Strip owning each host, as of the last strip sync.
+    strip_of_host: Vec<u32>,
+    /// Hosts of each strip in ascending id order, as of the last sync.
+    strip_hosts: Vec<Vec<u32>>,
+    /// Per-strip freshness stamp: `snap_positions` entries of a strip's
+    /// hosts are valid at a query instant iff the stamp equals it.
+    strip_snap_at: Vec<Option<SimTime>>,
+    /// When strip membership was last rebuilt.
+    strip_sync_at: SimTime,
+    /// Upper bound on host speed in m/s, for the membership drift margin.
+    max_speed_ms: f64,
     nodes: Vec<Node>,
     medium: Medium,
     metrics: MetricsCollector,
@@ -436,9 +475,45 @@ impl World {
 
         let pure = PureModels::new(&config);
 
+        // The sharded executor's strip partition. Construction scheduling
+        // above used the queue's internal counter; the world-owned global
+        // counter picks up exactly where it left off, so sequence numbers
+        // are identical to a single-queue run.
+        let shard_map = ShardMap::new(map.bounds().width(), config.radio_radius, config.shards);
+        let shards = shard_map.shards();
+        let event_seq = queue.counters().1;
+        let shard_queues: Vec<EventQueue<Event>> = if shards > 1 {
+            (0..shards).map(|_| EventQueue::new()).collect()
+        } else {
+            Vec::new()
+        };
+        let mut strip_of_host = Vec::new();
+        let mut strip_hosts = Vec::new();
+        if shards > 1 {
+            strip_of_host.reserve(hosts);
+            strip_hosts.resize_with(shards, Vec::new);
+            for (i, p) in positions.iter().enumerate() {
+                let s = shard_map.shard_of_x(p.x);
+                strip_of_host.push(s as u32);
+                strip_hosts[s].push(i as u32);
+            }
+        }
+        // RandomWaypoint floors its speed at 3.6 km/h, so the drift bound
+        // must too; overestimating only widens query windows, never
+        // changes results.
+        let max_speed_ms = config.effective_max_speed_kmh().max(3.6) / 3.6;
+
         World {
             map,
             queue,
+            shard_queues,
+            event_seq,
+            shard_map,
+            strip_of_host,
+            strip_hosts,
+            strip_snap_at: vec![None; if shards > 1 { shards } else { 0 }],
+            strip_sync_at: SimTime::ZERO,
+            max_speed_ms,
             medium: {
                 let mut medium = Medium::new(hosts);
                 if config.drop_probability > 0.0 {
@@ -463,7 +538,10 @@ impl World {
                 map.bounds().height(),
                 config.radio_radius,
             ),
-            snap_positions: Vec::new(),
+            // Strip-lazy refreshes write individual entries, so the
+            // sharded executor needs the buffer pre-sized (the entries are
+            // stale until their strip's stamp says otherwise).
+            snap_positions: if shards > 1 { positions } else { Vec::new() },
             snap_at: None,
             grid_at: None,
             segments,
@@ -528,6 +606,87 @@ impl World {
             .map_or(0, |st| st.node_epoch[node.index()])
     }
 
+    // ---- sharded execution ------------------------------------------------
+    //
+    // The executor maintains one control queue plus (when `--shards N`
+    // asked for more than one strip) a queue per spatial strip. Every
+    // scheduled event is stamped from a single global sequence counter in
+    // program order, and events are popped in global `(time, seq)` order
+    // across all queues — so the delivered event stream, and with it every
+    // RNG draw and tie-break, is bit-identical for any shard count. Shard
+    // queues hold only `MacTimer` events (never cancelled; cancellation
+    // keys always resolve against the control queue), routed by the
+    // scheduling host's strip.
+
+    /// Schedules `event`, stamping it from the global sequence counter and
+    /// routing it to its owner queue.
+    #[cfg_attr(simlint, shard_merge)]
+    fn schedule_event(&mut self, time: SimTime, event: Event) -> EventKey {
+        let seq = self.event_seq;
+        self.event_seq += 1;
+        let queue = match &event {
+            Event::MacTimer { node, .. } if !self.shard_queues.is_empty() => {
+                &mut self.shard_queues[self.strip_of_host[node.index()] as usize]
+            }
+            _ => &mut self.queue,
+        };
+        queue.schedule_seq(time, seq, event)
+    }
+
+    /// The `(time, queue)` of the globally next event across the control
+    /// queue (index 0) and every shard queue (index `strip + 1`), merged
+    /// by the deterministic `(time, seq)` rule.
+    #[cfg_attr(simlint, shard_merge)]
+    fn peek_next(&mut self) -> Option<(SimTime, usize)> {
+        let mut best = self.queue.peek_key().map(|key| (key, 0));
+        for (i, q) in self.shard_queues.iter_mut().enumerate() {
+            if let Some(key) = q.peek_key() {
+                if best.is_none_or(|(b, _)| key < b) {
+                    best = Some((key, i + 1));
+                }
+            }
+        }
+        best.map(|((time, _), queue)| (time, queue))
+    }
+
+    /// Pops the head of the queue selected by [`peek_next`](Self::peek_next).
+    #[cfg_attr(simlint, shard_merge)]
+    fn pop_next(&mut self, queue: usize) -> (SimTime, Event) {
+        let q = if queue == 0 {
+            &mut self.queue
+        } else {
+            &mut self.shard_queues[queue - 1]
+        };
+        q.pop().expect("peeked event vanished")
+    }
+
+    /// Merged queue counters `(now, next_seq, delivered, scheduled)` across
+    /// the control and shard queues — the values a single-queue run would
+    /// report for the same event stream. `now` is the time of the globally
+    /// last popped event; `next_seq` is the global sequence counter.
+    fn queue_counters(&self) -> (SimTime, u64, u64, u64) {
+        let (mut now, _, mut delivered, mut scheduled) = self.queue.counters();
+        for q in &self.shard_queues {
+            let (q_now, _, q_delivered, q_scheduled) = q.counters();
+            now = now.max(q_now);
+            delivered += q_delivered;
+            scheduled += q_scheduled;
+        }
+        (now, self.event_seq, delivered, scheduled)
+    }
+
+    /// Live entries of the control and shard queues merged into one global
+    /// `(time, seq)`-sorted stream — byte-identical to the single-queue
+    /// image for any shard count.
+    fn queue_image(&self) -> Vec<(SimTime, u64, &Event)> {
+        let mut entries = self.queue.snapshot_entries();
+        for q in &self.shard_queues {
+            entries.extend(q.snapshot_entries());
+        }
+        entries.sort_unstable_by_key(|&(time, seq, _)| (time, seq));
+        entries
+    }
+
     /// Runs the simulation to completion and returns the aggregated
     /// report.
     pub fn run(self) -> SimReport {
@@ -546,6 +705,13 @@ impl World {
     /// run is finished (queue drained or stop time passed), `false` when
     /// it paused with the boundary event still queued — the natural point
     /// to take a [snapshot](crate::snapshot) before resuming.
+    ///
+    /// The boundary is exclusive and has exactly one documented winner: a
+    /// `pause_at` equal to a queued event's timestamp pauses **strictly
+    /// before** any event at that instant fires. Every event at
+    /// `pause_at` stays queued and is delivered after the resume, so a
+    /// snapshot taken exactly on an event timestamp (or an epoch barrier
+    /// landing on one) resumes bit-identically.
     pub fn advance_until(&mut self, pause_at: SimTime, observer: &mut dyn SimObserver) -> bool {
         if self.finished {
             return true;
@@ -554,7 +720,7 @@ impl World {
         // event handlers can borrow `self` freely.
         let mut profiler = std::mem::replace(&mut self.profiler, LoopProfiler::disabled());
         loop {
-            let Some(next) = self.queue.peek_time() else {
+            let Some((next, queue)) = self.peek_next() else {
                 self.finished = true;
                 break;
             };
@@ -562,7 +728,7 @@ impl World {
                 self.profiler = profiler;
                 return false;
             }
-            let (now, event) = self.queue.pop().expect("peeked event vanished");
+            let (now, event) = self.pop_next(queue);
             if now > self.stop_at {
                 self.finished = true;
                 break;
@@ -633,7 +799,7 @@ impl World {
                 self.snap_at = None;
                 self.grid_at = None;
                 if let Some(next) = self.nodes[node.index()].mobility.next_change() {
-                    self.queue.schedule(next, Event::MobilityTurn { node });
+                    self.schedule_event(next, Event::MobilityTurn { node });
                 }
             }
             Event::HelloTimer { node } => {
@@ -736,7 +902,7 @@ impl World {
                 };
                 if target < at {
                     self.queue.cancel(key);
-                    let key = self.queue.schedule(target, Event::HelloTimer { node });
+                    let key = self.schedule_event(target, Event::HelloTimer { node });
                     self.nodes[node.index()].hello_pending = Some((key, target));
                 }
             }
@@ -761,7 +927,7 @@ impl World {
                 let jitter_num = self.proto_rng.gen_range_u32(95..106);
                 let next = interval * u64::from(jitter_num) / 100;
                 let at = now + next;
-                let key = self.queue.schedule(at, Event::HelloTimer { node });
+                let key = self.schedule_event(at, Event::HelloTimer { node });
                 self.nodes[node.index()].hello_pending = Some((key, at));
             }
             Effect::FirstHeard { node, packet } => {
@@ -801,9 +967,7 @@ impl World {
                 // draws contend - the paper's Fig. 2 contention scenario.
                 let slots = self.proto_rng.gen_range_u32(0..32);
                 let delay = self.cfg.cs_delay + manet_mac::timing::DIFS + SLOT * u64::from(slots);
-                let key = self
-                    .queue
-                    .schedule(now + delay, Event::AssessmentDone { node, packet });
+                let key = self.schedule_event(now + delay, Event::AssessmentDone { node, packet });
                 self.pure.set_assessment_key(node, packet.seq, key);
                 observer.event(&TraceEvent::Decision {
                     node,
@@ -881,15 +1045,124 @@ impl World {
     /// Ensures `snap_positions` holds every host's position at `now`.
     /// Mobility models are evaluated once per distinct timestamp; every
     /// further query at the same `now` is free.
+    ///
+    /// On sharded runs with enough hosts the dense evaluation fans out
+    /// over scoped threads. Each thread writes a disjoint chunk of the
+    /// buffer with a pure function of the (shared, read-only) segments,
+    /// so the result is independent of thread scheduling.
     fn refresh_positions(&mut self, now: SimTime) {
         if self.snap_at == Some(now) {
             return;
         }
         let bounds = self.map.bounds();
-        self.snap_positions.clear();
-        self.snap_positions
-            .extend(self.segments.iter().map(|s| s.position_at(now, bounds)));
+        let n = self.segments.len();
+        if self.shard_map.shards() > 1 && n >= PARALLEL_REFRESH_MIN_HOSTS {
+            let chunk = n.div_ceil(self.shard_map.shards().min(8));
+            self.snap_positions.resize(n, Vec2::ZERO);
+            let segments = &self.segments;
+            std::thread::scope(|scope| {
+                for (seg, pos) in segments
+                    .chunks(chunk)
+                    .zip(self.snap_positions.chunks_mut(chunk))
+                {
+                    scope.spawn(move || {
+                        for (s, p) in seg.iter().zip(pos) {
+                            *p = s.position_at(now, bounds);
+                        }
+                    });
+                }
+            });
+        } else {
+            self.snap_positions.clear();
+            self.snap_positions
+                .extend(self.segments.iter().map(|s| s.position_at(now, bounds)));
+        }
         self.snap_at = Some(now);
+    }
+
+    /// Rebuilds strip membership from fresh positions once per
+    /// [`STRIP_SYNC_INTERVAL`] of simulated time. The sync is *not* an
+    /// event: it consumes no sequence number and draws no randomness, so
+    /// it cannot perturb the delivered event stream — it only re-balances
+    /// which strip scans which hosts.
+    fn maybe_strip_sync(&mut self, now: SimTime) {
+        if now < self.strip_sync_at + STRIP_SYNC_INTERVAL {
+            return;
+        }
+        self.refresh_positions(now);
+        for hosts in &mut self.strip_hosts {
+            hosts.clear();
+        }
+        for (i, p) in self.snap_positions.iter().enumerate() {
+            let s = self.shard_map.shard_of_x(p.x);
+            self.strip_of_host[i] = s as u32;
+            self.strip_hosts[s].push(i as u32);
+        }
+        for stamp in &mut self.strip_snap_at {
+            *stamp = Some(now);
+        }
+        self.strip_sync_at = now;
+    }
+
+    /// Strip-lazy replacement for the brute-force range scan on sharded
+    /// runs: refreshes only the strips that can hold hosts within the
+    /// radio radius of `of`, then runs the exact squared-distance test
+    /// over their members. The result is byte-identical to
+    /// [`manet_phy::in_range_into`] over a full snapshot (ascending ids,
+    /// identical arithmetic on identical fresh positions); only the number
+    /// of segment evaluations changes.
+    ///
+    /// Window correctness: a host within `radius` of the transmitter now
+    /// sat, at the last membership sync, within `radius + drift` of the
+    /// transmitter's *current* x (it moved at most `max_speed × elapsed`
+    /// since), so scanning the strips overlapping that inflated window
+    /// finds every candidate; the exact test then decides membership.
+    #[cfg_attr(simlint, hot_path)]
+    fn in_range_strips(&mut self, now: SimTime, of: NodeId, out: &mut Vec<NodeId>) {
+        debug_assert!(
+            !self.shard_queues.is_empty(),
+            "strip scan on a sequential run"
+        );
+        self.maybe_strip_sync(now);
+        let bounds = self.map.bounds();
+        let full = self.snap_at == Some(now);
+        let center = if full {
+            self.snap_positions[of.index()]
+        } else {
+            let p = self.segments[of.index()].position_at(now, bounds);
+            self.snap_positions[of.index()] = p;
+            p
+        };
+        let radius = self.cfg.radio_radius;
+        let drift = self.max_speed_ms
+            * now
+                .saturating_duration_since(self.strip_sync_at)
+                .as_secs_f64();
+        let reach = radius + drift;
+        let (lo, hi) = self
+            .shard_map
+            .strips_overlapping(center.x - reach, center.x + reach);
+        for s in lo..=hi {
+            if full || self.strip_snap_at[s] == Some(now) {
+                continue;
+            }
+            for &h in &self.strip_hosts[s] {
+                self.snap_positions[h as usize] =
+                    self.segments[h as usize].position_at(now, bounds);
+            }
+            self.strip_snap_at[s] = Some(now);
+        }
+        out.clear();
+        let r2 = radius * radius;
+        let me = of.index() as u32;
+        for s in lo..=hi {
+            for &h in &self.strip_hosts[s] {
+                if h != me && self.snap_positions[h as usize].distance_squared_to(center) <= r2 {
+                    out.push(NodeId::new(h));
+                }
+            }
+        }
+        out.sort_unstable();
     }
 
     /// Ensures the spatial grid indexes the position snapshot at `now`.
@@ -984,7 +1257,7 @@ impl World {
             let gap = self
                 .workload_rng
                 .gen_duration_up_to(self.cfg.max_interarrival);
-            self.queue.schedule(now + gap, Event::IssueBroadcast);
+            self.schedule_event(now + gap, Event::IssueBroadcast);
         } else {
             self.stop_at = now + self.cfg.grace;
         }
@@ -1024,7 +1297,7 @@ impl World {
         match action {
             Some(MacAction::StartTimer { delay, generation }) => {
                 let epoch = self.current_epoch(node);
-                self.queue.schedule(
+                self.schedule_event(
                     now + delay,
                     Event::MacTimer {
                         node,
@@ -1065,17 +1338,24 @@ impl World {
             }
             Payload::Hello(_) => self.hello_frames += 1,
         }
-        self.refresh_positions(now);
         let mut listeners = std::mem::take(&mut self.scratch_listeners);
-        // A transmission start makes exactly one range query at this
-        // timestamp, so the O(hosts) snapshot scan beats re-indexing the
-        // grid (also O(hosts)) just to make one O(1) cell lookup.
-        manet_phy::in_range_into(
-            &self.snap_positions,
-            node,
-            self.cfg.radio_radius,
-            &mut listeners,
-        );
+        if self.shard_queues.is_empty() {
+            self.refresh_positions(now);
+            // A transmission start makes exactly one range query at this
+            // timestamp, so the O(hosts) snapshot scan beats re-indexing
+            // the grid (also O(hosts)) just to make one O(1) cell lookup.
+            manet_phy::in_range_into(
+                &self.snap_positions,
+                node,
+                self.cfg.radio_radius,
+                &mut listeners,
+            );
+        } else {
+            // Sharded runs refresh and scan only the strips within reach
+            // of the transmitter — same output, a fraction of the segment
+            // evaluations.
+            self.in_range_strips(now, node, &mut listeners);
+        }
         if let Some(st) = &self.scenario {
             // Hosts that are down have no radio: they neither sense this
             // frame's carrier nor receive it.
@@ -1128,7 +1408,7 @@ impl World {
             self.apply_link_faults(frame, node, &listeners);
         }
         self.scratch_listeners = listeners;
-        self.queue.schedule(end, Event::TxEnd { frame });
+        self.schedule_event(end, Event::TxEnd { frame });
         let slot = usize::try_from(frame.as_u64()).expect("frame slot out of range");
         if slot >= self.in_flight.len() {
             self.in_flight.resize_with(slot + 1, || None);
@@ -1175,8 +1455,7 @@ impl World {
             hearers.clear();
             hearers.extend(changes.iter().map(|c| c.node));
             let slot = self.carrier_batches.insert(hearers);
-            self.queue
-                .schedule(now + self.cfg.cs_delay, Event::CarrierBatch { slot, busy });
+            self.schedule_event(now + self.cfg.cs_delay, Event::CarrierBatch { slot, busy });
         }
     }
 
@@ -1301,29 +1580,47 @@ impl World {
         neighbors.clear();
         sender_neighbors.clear();
         let oracle = if use_oracle {
-            self.refresh_grid(now);
-            self.grid.in_range_into(
-                &self.snap_positions,
-                node,
-                self.cfg.radio_radius,
-                &mut neighbors,
-            );
-            let neighbor_count = neighbors.len();
-            if needs_two_hop {
+            if self.shard_queues.is_empty() {
+                self.refresh_grid(now);
                 self.grid.in_range_into(
                     &self.snap_positions,
-                    sender,
+                    node,
                     self.cfg.radio_radius,
-                    &mut sender_neighbors,
+                    &mut neighbors,
                 );
+                let neighbor_count = neighbors.len();
+                if needs_two_hop {
+                    self.grid.in_range_into(
+                        &self.snap_positions,
+                        sender,
+                        self.cfg.radio_radius,
+                        &mut sender_neighbors,
+                    );
+                } else {
+                    neighbors.clear();
+                }
+                Some(OracleView {
+                    neighbor_count,
+                    neighbors: &neighbors,
+                    sender_neighbors: &sender_neighbors,
+                })
             } else {
-                neighbors.clear();
+                // Sharded runs answer oracle views with the strip scan —
+                // byte-identical to the grid query, without the O(hosts)
+                // grid re-index per timestamp.
+                self.in_range_strips(now, node, &mut neighbors);
+                let neighbor_count = neighbors.len();
+                if needs_two_hop {
+                    self.in_range_strips(now, sender, &mut sender_neighbors);
+                } else {
+                    neighbors.clear();
+                }
+                Some(OracleView {
+                    neighbor_count,
+                    neighbors: &neighbors,
+                    sender_neighbors: &sender_neighbors,
+                })
             }
-            Some(OracleView {
-                neighbor_count,
-                neighbors: &neighbors,
-                sender_neighbors: &sender_neighbors,
-            })
         } else {
             None
         };
@@ -1477,7 +1774,7 @@ impl World {
         // deterministic and terminates because the downed MAC cannot
         // start anything new.
         if self.medium.is_transmitting(node) {
-            self.queue.schedule(
+            self.schedule_event(
                 now + manet_sim_engine::SimDuration::from_millis(5),
                 Event::Scenario { index },
             );
@@ -1508,7 +1805,7 @@ impl World {
         }
         if self.hellos_enabled() {
             let at = now + phase;
-            let key = self.queue.schedule(at, Event::HelloTimer { node });
+            let key = self.schedule_event(at, Event::HelloTimer { node });
             self.nodes[idx].hello_pending = Some((key, at));
         }
     }

@@ -50,7 +50,8 @@ pub use metrics_out::render_metrics_json;
 pub use runner::{
     drain_metrics_capture, enable_metrics_capture, enable_metrics_capture_with_bounds,
     metrics_record, metrics_record_with_bounds, parallel_map, record_metrics, run_averaged,
-    run_grid, AveragedReport, MetricsRecord, RunMetricsSummary, Scale, BASE_SEED, PAPER_MAPS,
+    run_grid, set_shards_override, shards_override, AveragedReport, MetricsRecord,
+    RunMetricsSummary, Scale, BASE_SEED, PAPER_MAPS,
 };
 pub use table::{pct, secs, Table};
 

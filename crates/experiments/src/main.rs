@@ -12,8 +12,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use manet_experiments::{
-    all_figures, drain_metrics_capture, enable_metrics_capture, render_metrics_json, FigureRunner,
-    MetricsRecord, Scale,
+    all_figures, drain_metrics_capture, enable_metrics_capture, render_metrics_json,
+    set_shards_override, FigureRunner, MetricsRecord, Scale,
 };
 
 fn usage() -> &'static str {
@@ -31,6 +31,8 @@ fn usage() -> &'static str {
      \x20                              normalize (fig05 = fig5 = fig5a-fig5d)\n\
      \x20 --metrics FILE               write per-run counters and histograms\n\
      \x20                              as JSON (schema manet-broadcast-metrics/1)\n\
+     \x20 --shards N                   spatial strips per world (default 1);\n\
+     \x20                              execution-only: results are bit-identical\n\
      \x20 --list                       list available figures and exit\n"
 }
 
@@ -111,6 +113,19 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 scale = parsed;
+            }
+            "--shards" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--shards needs a value\n\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<u32>() {
+                    Ok(shards) if shards > 0 => set_shards_override(shards),
+                    _ => {
+                        eprintln!("bad --shards '{value}' (positive integer)\n\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             "--csv" => {
                 let Some(value) = iter.next() else {

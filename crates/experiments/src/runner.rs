@@ -214,6 +214,27 @@ struct CaptureState {
 /// because `run_grid` fans runs out over worker threads.
 static METRICS_SINK: Mutex<Option<CaptureState>> = Mutex::new(None);
 
+/// Execution-only shard-count override applied by [`run_averaged`]
+/// (0 = none). Sharded execution is bit-identical to sequential, so this
+/// knob changes wall time, never results — which is why a process-wide
+/// atomic is safe even with figure sweeps running concurrently.
+static SHARDS_OVERRIDE: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+
+/// Makes every subsequent [`run_averaged`] run its worlds with `shards`
+/// spatial strips (clamped per-map by the world so every strip spans at
+/// least one radio radius). Pass 0 to clear.
+pub fn set_shards_override(shards: u32) {
+    SHARDS_OVERRIDE.store(shards, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The active shard-count override, if any.
+pub fn shards_override() -> Option<u32> {
+    match SHARDS_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
 fn sink_lock() -> std::sync::MutexGuard<'static, Option<CaptureState>> {
     // A worker that panicked mid-run poisons the lock; the sink's data is
     // append-only and stays coherent, so recover rather than cascade.
@@ -260,6 +281,9 @@ pub fn run_averaged(config: &SimConfig, repeats: u64) -> AveragedReport {
     let reports: Vec<SimReport> = parallel_map((0..repeats).collect(), |&i| {
         let mut c = config.clone();
         c.seed = config.seed.wrapping_add(i);
+        if let Some(shards) = shards_override() {
+            c.shards = shards;
+        }
         World::new(c).run()
     });
     let averaged = AveragedReport::from_reports(&reports);

@@ -423,6 +423,47 @@ mod tests {
     }
 
     #[test]
+    fn exact_map_edge_bins_into_last_cell() {
+        // The map extent is an exact multiple of the cell edge, so
+        // `width / cell` is a whole number and a host clamped to exactly
+        // `width` (or `height`) must bin into the last column (row), not
+        // one past it. `axis_cell` clamps with `.min(count - 1)`; this
+        // test locks that behavior against the brute-force oracle for
+        // every corner and edge midpoint of the map.
+        const W: f64 = 2_000.0; // 4 cells of R exactly
+        const H: f64 = 1_500.0; // 3 cells of R exactly
+        let positions = [
+            Vec2::new(W, H),                 // far corner, both axes exact
+            Vec2::new(W, 0.0),               // bottom-right corner
+            Vec2::new(0.0, H),               // top-left corner
+            Vec2::ZERO,                      // origin corner
+            Vec2::new(W, H / 2.0),           // right edge midpoint
+            Vec2::new(W / 2.0, H),           // top edge midpoint
+            Vec2::new(W - 10.0, H - 10.0),   // in range of the far corner
+            Vec2::new(W + 300.0, H + 300.0), // overshoot past the corner
+            Vec2::new(1_500.0, 1_000.0),     // interior exact cell boundary
+        ];
+        let mut grid = NeighborGrid::new(W, H, R);
+        grid.update(&positions);
+        for i in 0..positions.len() as u32 {
+            query_both(&mut grid, &positions, i);
+        }
+    }
+
+    #[test]
+    fn axis_cell_clamps_exact_extent_into_last_bin() {
+        // Direct pin of the boundary arithmetic: 4 columns of 500.0, a
+        // coordinate of exactly 2000.0 computes floor(4.0) = 4 and must
+        // be clamped to column 3.
+        assert_eq!(axis_cell(2_000.0, 500.0, 4), 3);
+        assert_eq!(axis_cell(1_999.999, 500.0, 4), 3);
+        assert_eq!(axis_cell(2_400.0, 500.0, 4), 3);
+        assert_eq!(axis_cell(0.0, 500.0, 4), 0);
+        assert_eq!(axis_cell(-1.0, 500.0, 4), 0);
+        assert_eq!(axis_cell(500.0, 500.0, 4), 1);
+    }
+
+    #[test]
     #[should_panic(expected = "exceeds cell edge")]
     fn oversized_radius_is_rejected() {
         let positions = [Vec2::ZERO];

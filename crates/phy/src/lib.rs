@@ -39,6 +39,7 @@
 mod grid;
 mod id;
 mod medium;
+mod shard;
 mod topology;
 
 pub use grid::NeighborGrid;
@@ -47,4 +48,5 @@ pub use medium::{
     CaptureModel, CarrierChange, Delivery, Listener, LossCause, LossCounters, Medium, TxEnd,
     TxStart,
 };
+pub use shard::ShardMap;
 pub use topology::{components, in_range, in_range_into, in_range_of, reachable_from};

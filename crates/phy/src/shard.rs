@@ -1,0 +1,149 @@
+//! Spatial strip partition for sharded world execution.
+//!
+//! A [`ShardMap`] splits the map into `shards` vertical strips of equal
+//! width. Each strip must be at least one radio radius wide — that is the
+//! lockstep-window invariant: a frame transmitted from inside strip `s`
+//! can only reach hosts in strips `s-1..=s+1`, so the minimum cross-shard
+//! propagation "delay" (in space) is one whole strip and a 3-strip scan
+//! around any transmitter is provably sufficient. Requested shard counts
+//! that would violate the invariant are clamped, never rejected: a 5×R
+//! map asked for 16 shards silently runs 5.
+//!
+//! Strip assignment mirrors [`NeighborGrid`](crate::NeighborGrid) cell
+//! clamping exactly: coordinates at or past the right map edge (including
+//! `x == width` when `width` is an exact multiple of the strip width)
+//! bin into the **last** strip, and coordinates at or below zero into
+//! strip 0. Hosts that momentarily overshoot the map are therefore owned
+//! by the border strips, not lost.
+
+/// An immutable partition of the map's x-axis into equal-width strips.
+///
+/// # Examples
+///
+/// ```
+/// use manet_phy::ShardMap;
+///
+/// // A 2500 m map with 500 m radios supports at most 5 strips.
+/// let map = ShardMap::new(2_500.0, 500.0, 4);
+/// assert_eq!(map.shards(), 4);
+/// assert_eq!(map.shard_of_x(0.0), 0);
+/// assert_eq!(map.shard_of_x(2_500.0), 3); // right edge bins into the last strip
+/// assert_eq!(map.strips_overlapping(600.0, 700.0), (0, 1));
+///
+/// // Requests past the feasible maximum are clamped.
+/// assert_eq!(ShardMap::new(2_500.0, 500.0, 64).shards(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardMap {
+    width: f64,
+    strip: f64,
+    shards: usize,
+}
+
+impl ShardMap {
+    /// Builds a partition of a `width`-wide map into `requested` strips,
+    /// clamped so every strip is at least `radius` wide (and to at least
+    /// one strip).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `width` and `radius` are finite and positive.
+    pub fn new(width: f64, radius: f64, requested: u32) -> Self {
+        assert!(
+            width.is_finite() && width > 0.0,
+            "map width must be positive and finite"
+        );
+        assert!(
+            radius.is_finite() && radius > 0.0,
+            "radio radius must be positive and finite"
+        );
+        let feasible = (width / radius).floor().max(1.0) as usize;
+        let shards = (requested.max(1) as usize).min(feasible);
+        ShardMap {
+            width,
+            strip: width / shards as f64,
+            shards,
+        }
+    }
+
+    /// Number of strips after clamping.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Width of one strip.
+    pub fn strip_width(&self) -> f64 {
+        self.strip
+    }
+
+    /// The strip owning x-coordinate `x`, clamped into `0..shards`.
+    ///
+    /// `x <= 0` maps to strip 0 and `x >= width` (including exactly
+    /// `width`) to the last strip, matching the grid's cell clamping.
+    pub fn shard_of_x(&self, x: f64) -> usize {
+        let idx = (x / self.strip).floor();
+        if idx <= 0.0 {
+            0
+        } else {
+            (idx as usize).min(self.shards - 1)
+        }
+    }
+
+    /// Inclusive range `(first, last)` of strips whose x-extent intersects
+    /// the closed interval `[lo, hi]`. The interval may extend past the
+    /// map; it is clamped into the border strips.
+    pub fn strips_overlapping(&self, lo: f64, hi: f64) -> (usize, usize) {
+        debug_assert!(lo <= hi, "inverted interval");
+        (self.shard_of_x(lo), self.shard_of_x(hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_to_feasible_strip_count() {
+        assert_eq!(ShardMap::new(2_500.0, 500.0, 1).shards(), 1);
+        assert_eq!(ShardMap::new(2_500.0, 500.0, 5).shards(), 5);
+        assert_eq!(ShardMap::new(2_500.0, 500.0, 6).shards(), 5);
+        assert_eq!(ShardMap::new(400.0, 500.0, 8).shards(), 1);
+        assert_eq!(ShardMap::new(2_500.0, 500.0, 0).shards(), 1);
+    }
+
+    #[test]
+    fn every_strip_is_at_least_one_radius_wide() {
+        for &(w, r, k) in &[
+            (2_500.0, 500.0, 7u32),
+            (5_000.0, 500.0, 64),
+            (1_234.5, 300.0, 3),
+        ] {
+            let map = ShardMap::new(w, r, k);
+            assert!(
+                map.strip_width() >= r,
+                "{w}x{r}@{k}: strip {}",
+                map.strip_width()
+            );
+        }
+    }
+
+    #[test]
+    fn exact_boundaries_bin_like_the_grid() {
+        let map = ShardMap::new(2_000.0, 500.0, 4);
+        assert_eq!(map.shard_of_x(-50.0), 0);
+        assert_eq!(map.shard_of_x(0.0), 0);
+        assert_eq!(map.shard_of_x(499.999), 0);
+        assert_eq!(map.shard_of_x(500.0), 1, "interior boundary goes right");
+        assert_eq!(map.shard_of_x(1_999.999), 3);
+        assert_eq!(map.shard_of_x(2_000.0), 3, "exact right edge stays in-map");
+        assert_eq!(map.shard_of_x(2_400.0), 3);
+    }
+
+    #[test]
+    fn overlap_ranges_cover_the_query_window() {
+        let map = ShardMap::new(2_000.0, 500.0, 4);
+        assert_eq!(map.strips_overlapping(-100.0, 2_100.0), (0, 3));
+        assert_eq!(map.strips_overlapping(750.0, 750.0), (1, 1));
+        assert_eq!(map.strips_overlapping(499.0, 501.0), (0, 1));
+    }
+}

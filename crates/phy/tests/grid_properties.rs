@@ -96,6 +96,47 @@ prop_check! {
         }
     }
 
+    /// Map extents that are exact multiples of the cell edge, with hosts
+    /// snapped onto cell boundaries, corners, and the exact right/top map
+    /// edges. `width / cell` is then a whole number, so a host clamped to
+    /// exactly `width` computes an axis index of `cols` and must be
+    /// clamped into the last column — the map-edge case that would read
+    /// one cell row/column out of bounds (or drop border hosts) if
+    /// `axis_cell` ever lost its `.min(count - 1)`.
+    fn grid_exact_extent_boundary_matches_oracle(g, cases = 128) {
+        let cell = g.f64_in(100.0..800.0);
+        let cols = g.usize_in(1..6);
+        let rows = g.usize_in(1..6);
+        let (w, h) = (cell * cols as f64, cell * rows as f64);
+        let n = g.usize_in(2..32);
+        let positions: Vec<Vec2> = (0..n)
+            .map(|_| {
+                // Snap each axis to an exact cell boundary (including 0 and
+                // the full extent) half the time, else roam freely past the
+                // map edges.
+                let snap = |g: &mut Gen, extent: f64, count: usize| {
+                    if g.u32_in(0..2) == 0 {
+                        cell * g.usize_in(0..count + 1) as f64
+                    } else {
+                        g.f64_in(-cell..extent + cell)
+                    }
+                };
+                let x = snap(g, w, cols);
+                let y = snap(g, h, rows);
+                Vec2::new(x, y)
+            })
+            .collect();
+        let radius = cell * g.f64_in_incl(0.1, 1.0);
+        let mut grid = NeighborGrid::new(w, h, cell);
+        grid.update(&positions);
+        let mut got = Vec::new();
+        for i in 0..n {
+            let of = NodeId::new(i as u32);
+            grid.in_range_into(&positions, of, radius, &mut got);
+            assert_eq!(got, in_range_of(&positions, of, radius), "node {i}");
+        }
+    }
+
     /// Radii that land exactly on a cell edge (the boundary the 3x3 scan
     /// proof depends on) stay exact.
     fn grid_exact_cell_edge_radius(g, cases = 64) {

@@ -13,7 +13,9 @@
 //! | `wall-clock` | no `Instant`/`SystemTime` reads outside bench/testkit |
 //! | `rng-fork-discipline` | literal `fork(N)` streams registered in `FORKS.md`, unique per crate |
 //! | `hot-path-alloc` | `#[cfg_attr(simlint, hot_path)]` fns free of allocating constructs |
+//! | `pure-model-effect` | `#[cfg_attr(simlint, pure_model)]` fns free of RNG, queue, and Medium effects |
 //! | `float-event-key` | no `f32`/`f64` fields in `Ord`/`PartialOrd` types in sim crates |
+//! | `shard-boundary` | `#[cfg_attr(simlint, shard_merge)]` fns free of `HashMap`/`HashSet` |
 //!
 //! Diagnostics are deny-by-default with `file:line:col` spans; a
 //! `// simlint: allow(<rule>)` comment on the offending line or the line

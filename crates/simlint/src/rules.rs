@@ -1,4 +1,4 @@
-//! The five project-invariant rules, the allow-directive machinery, and
+//! The project-invariant rules, the allow-directive machinery, and
 //! the per-file lint driver.
 //!
 //! Every rule walks the comment-free code token stream from
@@ -31,6 +31,11 @@ pub const RULE_PURE_MODEL: &str = "pure-model-effect";
 /// Types deriving `Ord`/`PartialOrd` (candidate event-queue keys) must
 /// not contain `f32`/`f64` fields.
 pub const RULE_FLOAT_KEY: &str = "float-event-key";
+/// Functions annotated `#[cfg_attr(simlint, shard_merge)]` route or merge
+/// events across shard queues; any `HashMap`/`HashSet` there (default
+/// hasher or not) risks iteration order leaking into the global event
+/// order, which must stay a pure function of `(time, seq)`.
+pub const RULE_SHARD_BOUNDARY: &str = "shard-boundary";
 /// A `simlint: allow(...)` directive naming a rule that does not exist.
 pub const RULE_UNKNOWN: &str = "unknown-rule";
 
@@ -42,6 +47,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_HOT_PATH,
     RULE_PURE_MODEL,
     RULE_FLOAT_KEY,
+    RULE_SHARD_BOUNDARY,
     RULE_UNKNOWN,
 ];
 
@@ -173,6 +179,7 @@ impl Linter {
         }
         rule_hot_path_alloc(file, &code, &mut raw);
         rule_pure_model_effect(file, &code, &mut raw);
+        rule_shard_boundary(file, &code, &mut raw);
         if ctx.sim && !ctx.test_target {
             rule_float_event_key(file, &code, &in_test, &mut raw);
         }
@@ -649,6 +656,35 @@ fn rule_hot_path_alloc(file: &str, code: &[&Token], raw: &mut Vec<Diagnostic>) {
 fn rule_pure_model_effect(file: &str, code: &[&Token], raw: &mut Vec<Diagnostic>) {
     for (fn_name, start, end) in marked_fn_bodies(code, "pure_model") {
         scan_effect_constructs(file, code, start, end, &fn_name, raw);
+    }
+}
+
+/// Shard-merge paths must be map-free: even a seeded/deterministic hasher
+/// invites order-dependent iteration, and the merged event order must be
+/// a pure function of `(time, seq)` for any shard count.
+fn rule_shard_boundary(file: &str, code: &[&Token], raw: &mut Vec<Diagnostic>) {
+    for (fn_name, start, end) in marked_fn_bodies(code, "shard_merge") {
+        for i in start..end.min(code.len()) {
+            let Some(name) = ident_at(code, i) else {
+                continue;
+            };
+            if name != "HashMap" && name != "HashSet" {
+                continue;
+            }
+            let tok = code[i];
+            raw.push(Diagnostic {
+                file: file.to_string(),
+                line: tok.line,
+                col: tok.col,
+                rule: RULE_SHARD_BOUNDARY,
+                message: format!(
+                    "`{name}` inside shard-merge fn `{fn_name}`: cross-shard \
+                     routing and merging must never depend on hash-map \
+                     iteration order — the merged event order is a pure \
+                     function of (time, seq)"
+                ),
+            });
+        }
     }
 }
 

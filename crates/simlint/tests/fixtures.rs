@@ -9,8 +9,8 @@ use std::process::Command;
 use simlint::forks::ForkRegistry;
 use simlint::lint_paths;
 use simlint::rules::{
-    RULE_FLOAT_KEY, RULE_FORK, RULE_HOT_PATH, RULE_NONDET_ITER, RULE_PURE_MODEL, RULE_UNKNOWN,
-    RULE_WALL_CLOCK,
+    RULE_FLOAT_KEY, RULE_FORK, RULE_HOT_PATH, RULE_NONDET_ITER, RULE_PURE_MODEL,
+    RULE_SHARD_BOUNDARY, RULE_UNKNOWN, RULE_WALL_CLOCK,
 };
 
 fn fixtures_dir() -> PathBuf {
@@ -102,6 +102,7 @@ fn bad_fixtures_fire_exactly_their_rules() {
         ("hot_path.rs", &[RULE_HOT_PATH]),
         ("iteration.rs", &[RULE_NONDET_ITER]),
         ("pure_model.rs", &[RULE_PURE_MODEL]),
+        ("shard_merge.rs", &[RULE_SHARD_BOUNDARY]),
         ("unknown_rule.rs", &[RULE_UNKNOWN]),
         ("wall_clock.rs", &[RULE_WALL_CLOCK]),
     ];

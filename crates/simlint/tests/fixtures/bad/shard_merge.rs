@@ -1,0 +1,23 @@
+//! Seeded violations: hash containers inside annotated shard-merge
+//! functions. Deterministic hashers don't save them — the merged event
+//! order must be a pure function of (time, seq), never of iteration order.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::BuildHasherDefault;
+
+type DetState = BuildHasherDefault<SeqHasher>;
+
+#[cfg_attr(simlint, shard_merge)]
+pub fn merge_heads(times: &[u64]) -> Option<u64> {
+    let mut heads: HashMap<usize, u64, DetState> = HashMap::default();
+    for (i, &t) in times.iter().enumerate() {
+        heads.insert(i, t);
+    }
+    heads.values().min().copied()
+}
+
+#[cfg_attr(simlint, shard_merge)]
+pub fn drain_ready(ready: &mut Vec<u64>) {
+    let mut seen: HashSet<u64, DetState> = HashSet::default();
+    ready.retain(|&seq| seen.insert(seq));
+}

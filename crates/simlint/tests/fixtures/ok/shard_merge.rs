@@ -1,0 +1,24 @@
+//! Shard-merge passes: the annotated functions stay on vectors and
+//! indexed state; the unannotated helper may use ordered maps freely.
+
+use std::collections::BTreeMap;
+
+#[cfg_attr(simlint, shard_merge)]
+pub fn schedule_event(
+    queues: &mut [Vec<(u64, u64)>],
+    strip_of_host: &[u32],
+    host: usize,
+    key: (u64, u64),
+) {
+    let strip = strip_of_host[host] as usize;
+    queues[strip].push(key);
+}
+
+#[cfg_attr(simlint, shard_merge)]
+pub fn peek_next(queues: &[Vec<(u64, u64)>]) -> Option<(u64, u64)> {
+    queues.iter().filter_map(|q| q.first().copied()).min()
+}
+
+pub fn cold_summary(counts: &[(String, u64)]) -> BTreeMap<String, u64> {
+    counts.iter().cloned().collect()
+}

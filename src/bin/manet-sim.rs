@@ -39,6 +39,9 @@ options:
   --per-broadcast FILE  write per-broadcast outcomes as CSV
   --metrics FILE        write run counters and histograms as JSON
                         (schema manet-broadcast-metrics/1)
+  --shards N            spatial strips for sharded execution (default 1;
+                        clamped so every strip spans >= one radio radius;
+                        results are bit-identical for any N)
   --profile             measure event-loop wall time per event kind
   --snapshot-at T_NS    pause at T_NS simulated nanoseconds, write a
                         checkpoint (requires --snapshot-out), continue
@@ -138,6 +141,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut per_broadcast = None;
     let mut metrics = None;
     let mut profile = false;
+    let mut shards = 1u32;
     let mut snapshot_at: Option<u64> = None;
     let mut snapshot_out: Option<String> = None;
     let mut resume: Option<String> = None;
@@ -194,6 +198,14 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--per-broadcast" => per_broadcast = Some(value("--per-broadcast")?),
             "--metrics" => metrics = Some(value("--metrics")?),
             "--profile" => profile = true,
+            "--shards" => {
+                shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("bad --shards: {e}"))?;
+                if shards == 0 {
+                    return Err("bad --shards: need at least one shard".into());
+                }
+            }
             "--snapshot-at" => {
                 snapshot_at = Some(
                     value("--snapshot-at")?
@@ -237,7 +249,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         .seed(seed)
         .mobility(parse_mobility(&mobility)?)
         .drop_probability(drop)
-        .profile_events(profile);
+        .profile_events(profile)
+        .shards(shards);
     if let Some(scenario) = scenario {
         builder = builder.scenario(scenario);
     }
@@ -540,6 +553,19 @@ mod tests {
         assert!(c.capture.is_some());
         assert_eq!(c.drop_probability, 0.1);
         assert_eq!(c.effective_max_speed_kmh(), 60.0);
+    }
+
+    #[test]
+    fn shards_flag_parses() {
+        let options = parse_args(&args(&["--shards", "4"]))
+            .expect("parses")
+            .expect("not help");
+        assert_eq!(options.config.shards, 4);
+        assert!(parse_args(&args(&["--shards", "x"])).is_err());
+        assert!(
+            parse_args(&args(&["--shards", "0"])).is_err(),
+            "zero shards rejected at parse time"
+        );
     }
 
     #[test]
