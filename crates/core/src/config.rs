@@ -145,6 +145,15 @@ pub struct SimConfig {
     /// also why it is **excluded** from the snapshot fingerprint: a run
     /// snapshotted at 4 shards resumes at 1 (and vice versa).
     pub shards: u32,
+    /// Opt into the epoch-parallel executor: shard queues drain their
+    /// `MacTimer` events concurrently inside safety epochs bounded by the
+    /// carrier-sense delay, with cross-strip effects merged at the epoch
+    /// barrier. Trades byte-identity with the sequential run for
+    /// *verified equivalence* (see DESIGN.md §14). Ignored (quiet
+    /// sequential fallback) when `shards` resolves to 1 or `cs_delay` is
+    /// zero. Like `shards`, this is an execution-strategy knob excluded
+    /// from the snapshot fingerprint.
+    pub parallel_epochs: bool,
 }
 
 impl SimConfig {
@@ -174,6 +183,7 @@ impl SimConfig {
                 profile_events: false,
                 scenario: None,
                 shards: 1,
+                parallel_epochs: false,
             },
         }
     }
@@ -377,6 +387,14 @@ impl SimConfigBuilder {
     /// wide). Any value produces bit-identical results.
     pub fn shards(mut self, shards: u32) -> Self {
         self.config.shards = shards;
+        self
+    }
+
+    /// Enables the epoch-parallel executor (default off; requires more
+    /// than one effective shard and a nonzero carrier-sense delay to take
+    /// effect). See [`SimConfig::parallel_epochs`].
+    pub fn parallel_epochs(mut self, enabled: bool) -> Self {
+        self.config.parallel_epochs = enabled;
         self
     }
 

@@ -24,7 +24,9 @@ use manet_mobility::{
 use manet_net::HelloPayload;
 use manet_phy::{CarrierChange, Delivery, FrameId, Medium, NeighborGrid, NodeId, ShardMap};
 use manet_scenario::{Region, WorldAction};
-use manet_sim_engine::{EventKey, EventQueue, LoopProfiler, SimRng, SimTime, Slab, Timeline};
+use manet_sim_engine::{
+    EventKey, EventQueue, LoopProfiler, ShardDelta, SimRng, SimTime, Slab, Timeline, WorkerPool,
+};
 
 use crate::config::{NeighborInfo, SimConfig};
 use crate::ids::PacketId;
@@ -235,9 +237,149 @@ const STRIP_SYNC_INTERVAL: manet_sim_engine::SimDuration =
     manet_sim_engine::SimDuration::from_secs(1);
 
 /// Host count below which a full position refresh stays single-threaded:
-/// under ~8k segment evaluations, scoped-thread spawn overhead eats the
-/// win.
+/// under ~8k segment evaluations, the fan-out overhead eats the win.
 const PARALLEL_REFRESH_MIN_HOSTS: usize = 8_192;
+
+/// Absolute slack (meters) added to the `max_speed × elapsed` drift bound
+/// in strip range queries, absorbing the floating-point rounding of that
+/// product. Overestimating drift only widens the candidate window — the
+/// exact distance test still decides membership — so a micrometer of
+/// safety costs nothing and removes any 1-ulp exclusion hazard.
+const DRIFT_SLACK: f64 = 1e-6;
+
+/// A `BeginTx` surfaced by a shard drain, deferred to the epoch barrier.
+/// `seq` is the global sequence stamp of the timer event that produced it:
+/// the barrier executes deferred transmissions in `(time, seq)` order
+/// (globally unique stamps, so the shard index never has to break a tie),
+/// which is exactly where the sequential executor would have placed them.
+#[derive(Debug, Clone, Copy)]
+struct DeferredTx {
+    time: SimTime,
+    seq: u64,
+    node: NodeId,
+    handle: FrameHandle,
+    payload_bytes: usize,
+}
+
+/// Unsafe shared-mutable slice for handing disjoint elements (or disjoint
+/// index ranges) of one buffer to concurrent pool jobs. Every access site
+/// must guarantee disjointness; the epoch executor's is the single-live-
+/// timer invariant (each node's pending MAC timer lives in exactly one
+/// shard queue, so no two drains ever touch the same node).
+struct SharedSliceMut<T>(*mut T, usize);
+
+unsafe impl<T: Send> Sync for SharedSliceMut<T> {}
+
+impl<T> SharedSliceMut<T> {
+    fn new(slice: &mut [T]) -> Self {
+        SharedSliceMut(slice.as_mut_ptr(), slice.len())
+    }
+
+    /// Pointer to element `i`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure no two concurrent users dereference the
+    /// same index.
+    unsafe fn get(&self, i: usize) -> *mut T {
+        debug_assert!(i < self.1, "index {i} out of bounds ({})", self.1);
+        unsafe { self.0.add(i) }
+    }
+
+    /// Mutable subslice `start..end`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure concurrent users take disjoint ranges.
+    // The `&self -> &mut` shape is this type's entire purpose: it fans
+    // one `&mut [T]` out to pool jobs whose disjointness the caller
+    // proves (see the safety contract).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice(&self, start: usize, end: usize) -> &mut [T] {
+        debug_assert!(start <= end && end <= self.1, "range out of bounds");
+        unsafe { std::slice::from_raw_parts_mut(self.0.add(start), end - start) }
+    }
+}
+
+/// One shard's epoch drain: pop MAC timers strictly below `limit`, step
+/// the owning MACs, re-arm timers into the *same* queue, and defer every
+/// `BeginTx` to the barrier. Runs concurrently with the other shards'
+/// drains — the `epoch_shard` lint fences it from the global RNGs, the
+/// `Medium`, and the global `event_seq` counter, whose ownership stays
+/// with the barrier. Re-armed timers are stamped `base_seq + j·shards + s`
+/// so stamps are unique across shards and strictly increasing within the
+/// queue without touching shared state.
+#[cfg_attr(simlint, epoch_shard)]
+#[allow(clippy::too_many_arguments)]
+fn drain_shard_epoch(
+    s: usize,
+    shards: u64,
+    base_seq: u64,
+    limit: (SimTime, u64),
+    queue: &mut EventQueue<Event>,
+    nodes: &SharedSliceMut<Node>,
+    pending: &SharedSliceMut<Option<(u32, EventKey)>>,
+    node_epochs: Option<&[u32]>,
+    delta: &mut ShardDelta,
+    out: &mut Vec<DeferredTx>,
+) {
+    let mut rearmed = 0u64;
+    while queue.peek_key().is_some_and(|key| key < limit) {
+        let (now, seq, event) = queue.pop_entry().expect("peeked event vanished");
+        let Event::MacTimer {
+            node,
+            generation,
+            epoch,
+        } = event
+        else {
+            unreachable!("shard queues hold only MacTimer events");
+        };
+        delta.events += 1;
+        delta.last_event_at = Some(now);
+        if epoch != node_epochs.map_or(0, |epochs| epochs[node.index()]) {
+            // Outlived its MAC; its pending slot was cleared (and the key
+            // cancelled) at deactivation, so leave the slot alone.
+            continue;
+        }
+        // SAFETY: the single-live-timer invariant — this node's live
+        // timer was in *this* queue, so no concurrent drain touches its
+        // MAC or pending slot.
+        let slot = unsafe { &mut *pending.get(node.index()) };
+        *slot = None;
+        let mac = unsafe { &mut (*nodes.get(node.index())).mac };
+        match mac.on_timer(generation, now) {
+            None => {}
+            Some(MacAction::StartTimer { delay, generation }) => {
+                let stamp = base_seq + rearmed * shards + s as u64;
+                rearmed += 1;
+                delta.rescheduled += 1;
+                let key = queue.schedule_seq(
+                    now + delay,
+                    stamp,
+                    Event::MacTimer {
+                        node,
+                        generation,
+                        epoch,
+                    },
+                );
+                *slot = Some((s as u32, key));
+            }
+            Some(MacAction::BeginTx {
+                handle,
+                payload_bytes,
+            }) => {
+                delta.deferred += 1;
+                out.push(DeferredTx {
+                    time: now,
+                    seq,
+                    node,
+                    handle,
+                    payload_bytes,
+                });
+            }
+        }
+    }
+}
 
 /// A complete simulation run.
 ///
@@ -278,11 +420,20 @@ pub struct World {
     shard_map: ShardMap,
     /// Strip owning each host, as of the last strip sync.
     strip_of_host: Vec<u32>,
-    /// Hosts of each strip in ascending id order, as of the last sync.
-    strip_hosts: Vec<Vec<u32>>,
-    /// Per-strip freshness stamp: `snap_positions` entries of a strip's
-    /// hosts are valid at a query instant iff the stamp equals it.
-    strip_snap_at: Vec<Option<SimTime>>,
+    /// Each strip's hosts as `(sync position, id)`, sorted by the
+    /// position's y (ties by id), as of the last sync. Read-only between
+    /// syncs, so strip range queries can slice out the y-window of a
+    /// query disc and prefilter candidates against the cached positions
+    /// without touching the mobility segments: a host within `radius` of
+    /// a query point now was within `radius + drift` of it at the sync
+    /// (nobody outruns [`Self::max_speed_ms`]), and only hosts passing
+    /// that coarse test need an exact position evaluation.
+    strip_hosts: Vec<Vec<(Vec2, u32)>>,
+    /// Host-id-indexed hit bitmap for strip range queries: the spatial
+    /// scan marks ids here, then a word sweep reads them back in
+    /// ascending-id order (the order the grid query produces) without a
+    /// sort. All-zero between queries. Empty on sequential runs.
+    range_bits: Vec<u64>,
     /// When strip membership was last rebuilt.
     strip_sync_at: SimTime,
     /// Upper bound on host speed in m/s, for the membership drift margin.
@@ -369,6 +520,33 @@ pub struct World {
     /// Churn and fault-injection state; `None` unless the config carries
     /// a scenario.
     scenario: Option<ScenarioState>,
+    /// Persistent worker pool for the epoch-parallel shard advance and
+    /// the dense position refresh. Sized once at construction; zero
+    /// workers (inline execution) on single-core hosts or sequential runs.
+    pool: WorkerPool,
+    /// `true` when this run uses the epoch-parallel executor: the config
+    /// opted in **and** the strip partition is real **and** the
+    /// carrier-sense delay (the safety horizon) is nonzero.
+    epoch_par: bool,
+    /// Parallel mode only: per-node `(queue index, key)` of the node's
+    /// single live MAC timer, `None` when no timer is pending. Lets the
+    /// control phase cancel timers the MAC has invalidated (busy-freeze,
+    /// deactivation) instead of delivering them stale — which is also
+    /// what makes concurrent drains sound: every live timer of a node
+    /// sits in exactly one queue, so no two drains touch the same node.
+    pending_timer: Vec<Option<(u32, EventKey)>>,
+    /// Per-shard buffers of transmissions surfaced during the current
+    /// epoch's drains, merged at the barrier. Kept allocated across
+    /// epochs.
+    shard_tx: Vec<Vec<DeferredTx>>,
+    /// Scratch for the barrier's `(time, seq)`-sorted merge of
+    /// `shard_tx`.
+    epoch_tx_scratch: Vec<DeferredTx>,
+    /// Per-shard drain tallies, merged into the profiler at each barrier.
+    shard_deltas: Vec<ShardDelta>,
+    /// Number of parallel epochs executed (diagnostics; lets tests assert
+    /// the parallel path actually ran).
+    epochs: u64,
 }
 
 impl World {
@@ -488,20 +666,35 @@ impl World {
             Vec::new()
         };
         let mut strip_of_host = Vec::new();
-        let mut strip_hosts = Vec::new();
+        let mut strip_hosts: Vec<Vec<(Vec2, u32)>> = Vec::new();
         if shards > 1 {
             strip_of_host.reserve(hosts);
             strip_hosts.resize_with(shards, Vec::new);
-            for (i, p) in positions.iter().enumerate() {
+            for (i, &p) in positions.iter().enumerate() {
                 let s = shard_map.shard_of_x(p.x);
                 strip_of_host.push(s as u32);
-                strip_hosts[s].push(i as u32);
+                strip_hosts[s].push((p, i as u32));
+            }
+            for hosts in &mut strip_hosts {
+                hosts.sort_unstable_by(|a, b| a.0.y.total_cmp(&b.0.y).then(a.1.cmp(&b.1)));
             }
         }
         // RandomWaypoint floors its speed at 3.6 km/h, so the drift bound
         // must too; overestimating only widens query windows, never
         // changes results.
         let max_speed_ms = config.effective_max_speed_kmh().max(3.6) / 3.6;
+
+        let epoch_par = config.parallel_epochs && shards > 1 && !config.cs_delay.is_zero();
+        // One worker per strip, capped by the cores actually present
+        // (minus the participating caller). Zero workers means pool jobs
+        // run inline — correct, just not concurrent.
+        let pool_threads = if shards > 1 {
+            std::thread::available_parallelism()
+                .map_or(0, |n| n.get().saturating_sub(1))
+                .min(shards)
+        } else {
+            0
+        };
 
         World {
             map,
@@ -511,7 +704,11 @@ impl World {
             shard_map,
             strip_of_host,
             strip_hosts,
-            strip_snap_at: vec![None; if shards > 1 { shards } else { 0 }],
+            range_bits: if shards > 1 {
+                vec![0u64; hosts.div_ceil(64)]
+            } else {
+                Vec::new()
+            },
             strip_sync_at: SimTime::ZERO,
             max_speed_ms,
             medium: {
@@ -570,6 +767,21 @@ impl World {
                 LoopProfiler::disabled()
             },
             scenario,
+            pool: WorkerPool::new(pool_threads),
+            epoch_par,
+            pending_timer: if epoch_par {
+                vec![None; hosts]
+            } else {
+                Vec::new()
+            },
+            shard_tx: if epoch_par {
+                (0..shards).map(|_| Vec::new()).collect()
+            } else {
+                Vec::new()
+            },
+            epoch_tx_scratch: Vec::new(),
+            shard_deltas: vec![ShardDelta::default(); if epoch_par { shards } else { 0 }],
+            epochs: 0,
             nodes,
             cfg: config,
         }
@@ -719,19 +931,35 @@ impl World {
         // The profiler is moved out for the duration of the loop so the
         // event handlers can borrow `self` freely.
         let mut profiler = std::mem::replace(&mut self.profiler, LoopProfiler::disabled());
+        let finished = if self.epoch_par {
+            self.advance_epochs(pause_at, &mut profiler, observer)
+        } else {
+            self.advance_sequential(pause_at, &mut profiler, observer)
+        };
+        self.profiler = profiler;
+        finished
+    }
+
+    /// The default executor: one globally `(time, seq)`-ordered event at a
+    /// time — bit-identical for any shard count.
+    fn advance_sequential(
+        &mut self,
+        pause_at: SimTime,
+        profiler: &mut LoopProfiler,
+        observer: &mut dyn SimObserver,
+    ) -> bool {
         loop {
             let Some((next, queue)) = self.peek_next() else {
                 self.finished = true;
-                break;
+                return true;
             };
             if next >= pause_at {
-                self.profiler = profiler;
                 return false;
             }
             let (now, event) = self.pop_next(queue);
             if now > self.stop_at {
                 self.finished = true;
-                break;
+                return true;
             }
             self.last_event_at = now;
             let kind = event.kind();
@@ -739,8 +967,194 @@ impl World {
             self.handle(now, event, observer);
             profiler.record(kind, started);
         }
-        self.profiler = profiler;
-        true
+    }
+
+    /// The epoch-parallel executor (`--parallel-epochs`): control-queue
+    /// events still run one at a time in global order, but whenever the
+    /// globally next event is a shard-queue MAC timer, *every* shard
+    /// drains its queue concurrently up to the safety horizon.
+    ///
+    /// Soundness rests on three facts. (1) Physics: a frame transmitted
+    /// in strip `i` is first *sensed* anywhere — including strips `i±1`,
+    /// the only others it can reach, since strips are ≥ one radio radius
+    /// wide — `cs_delay` after transmission start, so MAC state at
+    /// `t < epoch_start + cs_delay` cannot depend on any transmission
+    /// begun inside the epoch; deferring `BeginTx` side effects to the
+    /// barrier is invisible to every MAC. (2) Isolation: a drain touches
+    /// only its own queue plus the per-node MAC/pending slots of nodes
+    /// whose timers it pops, and the single-live-timer invariant (see
+    /// [`Self::pending_timer`]) puts each node's live timer in exactly
+    /// one queue — so concurrent drains write disjoint state. (3)
+    /// Determinism: re-armed timers are stamped `base + j·shards + s`
+    /// (disjoint per shard, monotone per queue), deferred transmissions
+    /// are merged in `(time, seq)` order at the barrier, and the global
+    /// counter is advanced past every stamp — so results are independent
+    /// of drain interleaving and worker count.
+    fn advance_epochs(
+        &mut self,
+        pause_at: SimTime,
+        profiler: &mut LoopProfiler,
+        observer: &mut dyn SimObserver,
+    ) -> bool {
+        loop {
+            let control = self.queue.peek_key();
+            let mut shard_best: Option<(SimTime, u64)> = None;
+            for q in self.shard_queues.iter_mut() {
+                if let Some(key) = q.peek_key() {
+                    if shard_best.is_none_or(|b| key < b) {
+                        shard_best = Some(key);
+                    }
+                }
+            }
+            let next = match (control, shard_best) {
+                (None, None) => {
+                    self.finished = true;
+                    return true;
+                }
+                (Some(c), None) => c,
+                (None, Some(s)) => s,
+                (Some(c), Some(s)) => c.min(s),
+            };
+            if next.0 >= pause_at {
+                return false;
+            }
+            if next.0 > self.stop_at {
+                self.finished = true;
+                return true;
+            }
+            let run_control = match (control, shard_best) {
+                (Some(_), None) => true,
+                // Stamps are globally unique, so equality cannot happen.
+                (Some(c), Some(s)) => c < s,
+                _ => false,
+            };
+            if run_control {
+                // Control events (transmission ends, deliveries, carrier
+                // reports, workload, scenario) run sequentially: they
+                // touch global state and draw from the global RNG.
+                let (now, event) = self.queue.pop().expect("peeked control event vanished");
+                self.last_event_at = now;
+                let kind = event.kind();
+                let started = profiler.begin();
+                self.handle(now, event, observer);
+                profiler.record(kind, started);
+            } else {
+                // The key comparison above is on full (time, seq), so a
+                // control event at the same instant but a later seq still
+                // lets earlier-stamped shard timers drain first.
+                let epoch_start = shard_best.expect("epoch without shard events").0;
+                let mut limit = (epoch_start + self.cfg.cs_delay, 0u64);
+                if let Some(c) = control {
+                    limit = limit.min(c);
+                }
+                // Pause is exclusive (events at pause_at stay queued);
+                // stop is inclusive (events at stop_at still run).
+                limit = limit.min((pause_at, 0));
+                limit = limit.min((self.stop_at, u64::MAX));
+                self.run_epoch(limit, profiler, observer);
+            }
+        }
+    }
+
+    /// One parallel epoch: concurrently drain every shard queue strictly
+    /// below `limit`, then merge the buffered cross-strip effects.
+    fn run_epoch(
+        &mut self,
+        limit: (SimTime, u64),
+        profiler: &mut LoopProfiler,
+        observer: &mut dyn SimObserver,
+    ) {
+        self.epochs += 1;
+        let shards = self.shard_queues.len();
+        let base_seq = self.event_seq;
+        let node_epochs = self.scenario.as_ref().map(|st| st.node_epoch.as_slice());
+        for delta in &mut self.shard_deltas {
+            *delta = ShardDelta::default();
+        }
+        let started = profiler.begin();
+        {
+            let queues = SharedSliceMut::new(&mut self.shard_queues);
+            let nodes = SharedSliceMut::new(&mut self.nodes);
+            let pending = SharedSliceMut::new(&mut self.pending_timer);
+            let deltas = SharedSliceMut::new(&mut self.shard_deltas);
+            let buffers = SharedSliceMut::new(&mut self.shard_tx);
+            self.pool.run(shards, &|s| {
+                // SAFETY: job `s` takes shard `s`'s queue, delta, and tx
+                // buffer — disjoint by index. Node-level slots are
+                // disjoint via the single-live-timer invariant.
+                let queue = unsafe { &mut *queues.get(s) };
+                let delta = unsafe { &mut *deltas.get(s) };
+                let out = unsafe { &mut *buffers.get(s) };
+                drain_shard_epoch(
+                    s,
+                    shards as u64,
+                    base_seq,
+                    limit,
+                    queue,
+                    &nodes,
+                    &pending,
+                    node_epochs,
+                    delta,
+                    out,
+                );
+            });
+        }
+        // Barrier. Advance the global counter past every stamp any shard
+        // may have used (stamps are base + j·shards + s with j < max
+        // rescheduled), fold the tallies, and replay the deferred
+        // transmissions in global (time, seq) order.
+        let max_rescheduled = self
+            .shard_deltas
+            .iter()
+            .map(|d| d.rescheduled)
+            .max()
+            .unwrap_or(0);
+        self.event_seq = base_seq + max_rescheduled * shards as u64;
+        let mut total = ShardDelta::default();
+        for delta in &self.shard_deltas {
+            total.merge(delta);
+        }
+        if let Some(t) = total.last_event_at {
+            self.last_event_at = self.last_event_at.max(t);
+        }
+        let mut merged = std::mem::take(&mut self.epoch_tx_scratch);
+        merged.clear();
+        for buffer in &mut self.shard_tx {
+            merged.append(buffer);
+        }
+        merged.sort_unstable_by_key(|tx| (tx.time, tx.seq));
+        for tx in merged.drain(..) {
+            self.begin_transmission(tx.node, tx.handle, tx.payload_bytes, tx.time, observer);
+        }
+        self.epoch_tx_scratch = merged;
+        // One timing window covers the whole epoch (drain + barrier);
+        // per-event means stay comparable to the sequential profile, max
+        // does not.
+        profiler.record_batch("mac_timer", started, total.events);
+    }
+
+    /// Number of parallel epochs executed so far (0 in sequential mode).
+    pub fn epochs_run(&self) -> u64 {
+        self.epochs
+    }
+
+    /// The epoch-parallel executor's safety horizon for `config`: the
+    /// minimum delay before any event in one strip can influence MAC
+    /// state in another, or `None` when the config cannot run parallel
+    /// epochs (single effective strip, or instant carrier sensing).
+    ///
+    /// The horizon is the carrier-sense latency: a cross-strip influence
+    /// needs a transmission, and a transmission begun at `t` first
+    /// touches any other host's MAC at `t + cs_delay` (its own strip
+    /// included — neighboring strips only later or equal, which is all
+    /// the executor needs).
+    pub fn epoch_horizon(config: &SimConfig) -> Option<manet_sim_engine::SimDuration> {
+        let shard_map = ShardMap::new(
+            config.map().bounds().width(),
+            config.radio_radius,
+            config.shards,
+        );
+        (shard_map.shards() > 1 && !config.cs_delay.is_zero()).then_some(config.cs_delay)
     }
 
     /// Consumes the (finished or paused) world, harvesting the per-host
@@ -1047,9 +1461,10 @@ impl World {
     /// further query at the same `now` is free.
     ///
     /// On sharded runs with enough hosts the dense evaluation fans out
-    /// over scoped threads. Each thread writes a disjoint chunk of the
-    /// buffer with a pure function of the (shared, read-only) segments,
-    /// so the result is independent of thread scheduling.
+    /// over the persistent worker pool. Each job writes a disjoint chunk
+    /// of the buffer with a pure function of the (shared, read-only)
+    /// segments, so the result is independent of job-to-thread
+    /// assignment.
     fn refresh_positions(&mut self, now: SimTime) {
         if self.snap_at == Some(now) {
             return;
@@ -1057,21 +1472,25 @@ impl World {
         let bounds = self.map.bounds();
         let n = self.segments.len();
         if self.shard_map.shards() > 1 && n >= PARALLEL_REFRESH_MIN_HOSTS {
-            let chunk = n.div_ceil(self.shard_map.shards().min(8));
-            self.snap_positions.resize(n, Vec2::ZERO);
-            let segments = &self.segments;
-            std::thread::scope(|scope| {
-                for (seg, pos) in segments
-                    .chunks(chunk)
-                    .zip(self.snap_positions.chunks_mut(chunk))
-                {
-                    scope.spawn(move || {
-                        for (s, p) in seg.iter().zip(pos) {
-                            *p = s.position_at(now, bounds);
-                        }
-                    });
-                }
-            });
+            let jobs = self.shard_map.shards().min(8);
+            let chunk = n.div_ceil(jobs);
+            let mut snap = std::mem::take(&mut self.snap_positions);
+            snap.resize(n, Vec2::ZERO);
+            {
+                let out = SharedSliceMut::new(&mut snap);
+                let segments = &self.segments;
+                self.pool.run(jobs, &|j| {
+                    let start = (j * chunk).min(n);
+                    let end = ((j + 1) * chunk).min(n);
+                    // SAFETY: job `j` writes only `start..end`, disjoint
+                    // across jobs.
+                    let dst = unsafe { out.slice(start, end) };
+                    for (s, p) in segments[start..end].iter().zip(dst) {
+                        *p = s.position_at(now, bounds);
+                    }
+                });
+            }
+            self.snap_positions = snap;
         } else {
             self.snap_positions.clear();
             self.snap_positions
@@ -1093,30 +1512,42 @@ impl World {
         for hosts in &mut self.strip_hosts {
             hosts.clear();
         }
-        for (i, p) in self.snap_positions.iter().enumerate() {
+        for (i, &p) in self.snap_positions.iter().enumerate() {
             let s = self.shard_map.shard_of_x(p.x);
             self.strip_of_host[i] = s as u32;
-            self.strip_hosts[s].push(i as u32);
+            self.strip_hosts[s].push((p, i as u32));
         }
-        for stamp in &mut self.strip_snap_at {
-            *stamp = Some(now);
+        for hosts in &mut self.strip_hosts {
+            hosts.sort_unstable_by(|a, b| a.0.y.total_cmp(&b.0.y).then(a.1.cmp(&b.1)));
         }
         self.strip_sync_at = now;
     }
 
     /// Strip-lazy replacement for the brute-force range scan on sharded
-    /// runs: refreshes only the strips that can hold hosts within the
-    /// radio radius of `of`, then runs the exact squared-distance test
-    /// over their members. The result is byte-identical to
-    /// [`manet_phy::in_range_into`] over a full snapshot (ascending ids,
-    /// identical arithmetic on identical fresh positions); only the number
-    /// of segment evaluations changes.
+    /// runs: prefilters the strips within reach of `of` against the
+    /// sync-time position cache, then runs the exact squared-distance
+    /// test on the survivors' *fresh* positions. The result is
+    /// byte-identical to [`manet_phy::in_range_into`] over a full
+    /// snapshot (ascending ids, identical arithmetic on identical fresh
+    /// positions); only the number of segment evaluations changes — a
+    /// radius-sized disc's worth instead of whole strips'.
     ///
     /// Window correctness: a host within `radius` of the transmitter now
-    /// sat, at the last membership sync, within `radius + drift` of the
-    /// transmitter's *current* x (it moved at most `max_speed × elapsed`
-    /// since), so scanning the strips overlapping that inflated window
-    /// finds every candidate; the exact test then decides membership.
+    /// sat, at the last sync, within `radius + drift` of the
+    /// transmitter's *current* position (it moved at most
+    /// `max_speed × elapsed` since; `DRIFT_SLACK` absorbs the rounding of
+    /// that product), so the coarse test against the sync-time positions
+    /// keeps every host that could be in range, and the same inflated
+    /// window bounds which strips — and which y-slice of each strip —
+    /// can hold candidates. By the same bound, a candidate within
+    /// `radius - drift` at the sync cannot have escaped the disc, so
+    /// membership is already decided for it; only the remaining annulus
+    /// of uncertainty needs a position evaluated at `now` for the exact
+    /// test. Downstream readers of [`Self::snap_positions`] see fresh
+    /// listener entries only where they look: capture-mode signal
+    /// strengths and scenario link faults are the sole consumers, so the
+    /// certain candidates' evaluations are skipped unless one of those
+    /// features is on.
     #[cfg_attr(simlint, hot_path)]
     fn in_range_strips(&mut self, now: SimTime, of: NodeId, out: &mut Vec<NodeId>) {
         debug_assert!(
@@ -1125,8 +1556,7 @@ impl World {
         );
         self.maybe_strip_sync(now);
         let bounds = self.map.bounds();
-        let full = self.snap_at == Some(now);
-        let center = if full {
+        let center = if self.snap_at == Some(now) {
             self.snap_positions[of.index()]
         } else {
             let p = self.segments[of.index()].position_at(now, bounds);
@@ -1137,32 +1567,68 @@ impl World {
         let drift = self.max_speed_ms
             * now
                 .saturating_duration_since(self.strip_sync_at)
-                .as_secs_f64();
+                .as_secs_f64()
+            + DRIFT_SLACK;
         let reach = radius + drift;
         let (lo, hi) = self
             .shard_map
             .strips_overlapping(center.x - reach, center.x + reach);
+        out.clear();
+        let m2 = reach * reach;
+        let r2 = radius * radius;
+        // Inside this radius at the sync, a host cannot have left the
+        // disc since (negative sentinel when drift swallows the radius:
+        // nothing is certain, every candidate takes the exact test).
+        let inner = radius - drift;
+        let inner2 = if inner > 0.0 { inner * inner } else { -1.0 };
+        let needs_positions = self.cfg.capture.is_some() || self.scenario.is_some();
+        let me = of.index() as u32;
+        let lo_y = center.y - reach;
+        let hi_y = center.y + reach;
         for s in lo..=hi {
-            if full || self.strip_snap_at[s] == Some(now) {
+            let hosts = &self.strip_hosts[s];
+            let start = hosts.partition_point(|&(p, _)| p.y < lo_y);
+            for &(sync_pos, h) in &hosts[start..] {
+                if sync_pos.y > hi_y {
+                    break;
+                }
+                if h == me {
+                    continue;
+                }
+                let d2 = sync_pos.distance_squared_to(center);
+                if d2 > m2 {
+                    continue;
+                }
+                if d2 > inner2 {
+                    let p = self.segments[h as usize].position_at(now, bounds);
+                    self.snap_positions[h as usize] = p;
+                    if p.distance_squared_to(center) > r2 {
+                        continue;
+                    }
+                } else if needs_positions {
+                    self.snap_positions[h as usize] =
+                        self.segments[h as usize].position_at(now, bounds);
+                }
+                self.range_bits[(h >> 6) as usize] |= 1u64 << (h & 63);
+            }
+        }
+        // The strips were visited in x order and each strip in y order, so
+        // the hits land in spatial order; the id-indexed bitmap reads them
+        // back ascending — the same order the grid query produces — without
+        // sorting. Words are zeroed as they are consumed, keeping the map
+        // clean for the next query.
+        for (w, word) in self.range_bits.iter_mut().enumerate() {
+            let mut bits = *word;
+            if bits == 0 {
                 continue;
             }
-            for &h in &self.strip_hosts[s] {
-                self.snap_positions[h as usize] =
-                    self.segments[h as usize].position_at(now, bounds);
-            }
-            self.strip_snap_at[s] = Some(now);
-        }
-        out.clear();
-        let r2 = radius * radius;
-        let me = of.index() as u32;
-        for s in lo..=hi {
-            for &h in &self.strip_hosts[s] {
-                if h != me && self.snap_positions[h as usize].distance_squared_to(center) <= r2 {
-                    out.push(NodeId::new(h));
-                }
+            *word = 0;
+            let base = (w as u32) << 6;
+            while bits != 0 {
+                out.push(NodeId::new(base + bits.trailing_zeros()));
+                bits &= bits - 1;
             }
         }
-        out.sort_unstable();
     }
 
     /// Ensures the spatial grid indexes the position snapshot at `now`.
@@ -1297,7 +1763,7 @@ impl World {
         match action {
             Some(MacAction::StartTimer { delay, generation }) => {
                 let epoch = self.current_epoch(node);
-                self.schedule_event(
+                let key = self.schedule_event(
                     now + delay,
                     Event::MacTimer {
                         node,
@@ -1305,6 +1771,19 @@ impl World {
                         epoch,
                     },
                 );
+                if self.epoch_par {
+                    // Track the node's (single) live timer so busy-freeze
+                    // and deactivation can cancel it instead of letting a
+                    // stale delivery float between queues. A previous
+                    // entry should already have been cancelled or
+                    // delivered; cancel defensively so the invariant
+                    // holds even if a new MAC path arms over a live one.
+                    let strip = self.strip_of_host[node.index()];
+                    let previous = self.pending_timer[node.index()].replace((strip, key));
+                    if let Some((queue, old)) = previous {
+                        self.shard_queues[queue as usize].cancel(old);
+                    }
+                }
             }
             Some(MacAction::BeginTx {
                 handle,
@@ -1472,6 +1951,16 @@ impl World {
         // radio; its replacement MAC syncs its own carrier view on rejoin.
         if !self.is_active(node) {
             return;
+        }
+        if busy && self.epoch_par {
+            // Busy invalidates any armed DIFS/backoff countdown (the MAC
+            // bumps its generation below). Cancel the tracked timer so the
+            // stale delivery never floats in a shard queue; whenever the
+            // node holds a live timer it is in Difs/Backoff, so the slot
+            // is `Some` exactly when there is something to cancel.
+            if let Some((queue, key)) = self.pending_timer[node.index()].take() {
+                self.shard_queues[queue as usize].cancel(key);
+            }
         }
         let mac = &mut self.nodes[node.index()].mac;
         let action = if busy {
@@ -1731,6 +2220,14 @@ impl World {
         // Silence the beacon.
         if let Some((key, _)) = self.nodes[idx].hello_pending.take() {
             self.queue.cancel(key);
+        }
+        // Parallel mode: the epoch bump above already makes any pending
+        // MAC timer undeliverable; cancel it too so the tracked-timer
+        // invariant (slot `Some` ⇔ one live timer in that queue) holds.
+        if self.epoch_par {
+            if let Some((queue, key)) = self.pending_timer[idx].take() {
+                self.shard_queues[queue as usize].cancel(key);
+            }
         }
         // Abandon per-packet scheme state: pending assessment wakeups come
         // back as an `AbandonAssessments` effect and are cancelled there;

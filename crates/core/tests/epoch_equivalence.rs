@@ -1,0 +1,230 @@
+//! Epoch-parallel equivalence: `--parallel-epochs` trades the sharded
+//! substrate's byte-identity for a verified weaker contract — the same
+//! *decisions* and the same *counts*, reached through a differently
+//! interleaved event stream. This suite pins that contract for every
+//! scheme and under churn, at genuinely different strip counts:
+//!
+//! * zero tolerance on every count: suppression tallies, data frames,
+//!   HELLO traffic, per-broadcast received/rebroadcast/reachable sets,
+//!   and the RE/SRB ratios derived from them;
+//! * bounded tolerance on latency percentiles (tie reordering across
+//!   strips may shift individual decisions within a contention window);
+//! * the run's own `MTRC` action trace must replay through the pure
+//!   models and re-derive its decision stream exactly.
+
+use broadcast_core::trace::NoopObserver;
+use broadcast_core::{
+    replay_decisions, AreaThreshold, ChurnKind, CounterThreshold, Scenario, SchemeSpec, SimConfig,
+    SimReport, World,
+};
+use manet_sim_engine::SimTime;
+
+/// Latency percentiles may shift by tie reordering, but never by more
+/// than a couple of contention windows.
+const LATENCY_TOLERANCE_S: f64 = 0.002;
+
+fn all_schemes() -> Vec<SchemeSpec> {
+    vec![
+        SchemeSpec::Flooding,
+        SchemeSpec::Counter(3),
+        SchemeSpec::AdaptiveCounter(CounterThreshold::paper_recommended()),
+        SchemeSpec::Distance(250.0),
+        SchemeSpec::Location(0.0134),
+        SchemeSpec::AdaptiveLocation(AreaThreshold::paper_recommended()),
+        SchemeSpec::NeighborCoverage,
+    ]
+}
+
+/// A 10×10 map supports ten one-radius strips, so 4 and 8 requested
+/// shards are both genuinely parallel partitions (no clamping).
+fn config(scheme: SchemeSpec, shards: u32, parallel: bool) -> SimConfig {
+    SimConfig::builder(10, scheme)
+        .hosts(80)
+        .broadcasts(10)
+        .seed(7)
+        .shards(shards)
+        .parallel_epochs(parallel)
+        .build()
+}
+
+/// Runs to completion, asserting that parallel configs actually executed
+/// epochs (and sequential ones did not).
+fn run(config: SimConfig) -> SimReport {
+    let parallel = config.parallel_epochs;
+    let mut world = World::new(config);
+    assert!(world.advance_until(SimTime::MAX, &mut NoopObserver));
+    if parallel {
+        assert!(world.epochs_run() > 0, "parallel run executed no epochs");
+    } else {
+        assert_eq!(world.epochs_run(), 0, "sequential run executed epochs");
+    }
+    world.into_report()
+}
+
+fn assert_equivalent(sequential: &SimReport, parallel: &SimReport, label: &str) {
+    assert_eq!(
+        sequential.suppression, parallel.suppression,
+        "{label}: suppression tallies diverged"
+    );
+    assert_eq!(
+        sequential.data_frames, parallel.data_frames,
+        "{label}: data frame counts diverged"
+    );
+    assert_eq!(
+        sequential.hello_packets, parallel.hello_packets,
+        "{label}: HELLO counts diverged"
+    );
+    assert_eq!(
+        sequential.net, parallel.net,
+        "{label}: net activity diverged"
+    );
+    assert_eq!(
+        sequential.scenario, parallel.scenario,
+        "{label}: scenario counts diverged"
+    );
+    assert_eq!(
+        sequential.per_broadcast.len(),
+        parallel.per_broadcast.len(),
+        "{label}: broadcast counts diverged"
+    );
+    for (s, p) in sequential.per_broadcast.iter().zip(&parallel.per_broadcast) {
+        assert_eq!(s.packet, p.packet, "{label}: broadcast order diverged");
+        assert_eq!(
+            (s.reachable, s.received, s.rebroadcast),
+            (p.reachable, p.received, p.rebroadcast),
+            "{label}: delivery counts diverged for {:?}",
+            s.packet
+        );
+        // Ratios are derived from the integer counts just checked, so
+        // they must be exactly equal — not merely close.
+        assert_eq!(s.reachability, p.reachability, "{label}: RE diverged");
+        assert_eq!(
+            s.saved_rebroadcasts, p.saved_rebroadcasts,
+            "{label}: SRB diverged"
+        );
+    }
+    let (seq_lat, par_lat) = (sequential.latency_summary(), parallel.latency_summary());
+    for (name, s, p) in [
+        ("p50", seq_lat.p50_s, par_lat.p50_s),
+        ("p95", seq_lat.p95_s, par_lat.p95_s),
+        ("max", seq_lat.max_s, par_lat.max_s),
+    ] {
+        assert!(
+            (s - p).abs() <= LATENCY_TOLERANCE_S,
+            "{label}: latency {name} diverged beyond tolerance: {s} vs {p}"
+        );
+    }
+}
+
+#[test]
+fn every_scheme_is_equivalent_at_4_and_8_shards() {
+    for scheme in all_schemes() {
+        let sequential = run(config(scheme.clone(), 1, false));
+        for shards in [4u32, 8] {
+            let parallel = run(config(scheme.clone(), shards, true));
+            assert_equivalent(
+                &sequential,
+                &parallel,
+                &format!("{} @ {shards} shards", scheme.label()),
+            );
+        }
+    }
+}
+
+/// Counter scheme under the full fault script: churn, blackout, noise,
+/// and a partition, all crossing epoch boundaries.
+fn churn_config(shards: u32, parallel: bool) -> SimConfig {
+    let scenario = Scenario::new("epoch-churn")
+        .with_hosts(80)
+        .churn(SimTime::from_secs(1), ChurnKind::Leave, 3)
+        .churn(SimTime::from_secs(2), ChurnKind::Crash, 11)
+        .churn(SimTime::from_secs(4), ChurnKind::Join, 3)
+        .churn(SimTime::from_secs(6), ChurnKind::Recover, 11)
+        .blackout(SimTime::from_secs(2), SimTime::from_secs(8), 5, 9)
+        .noise(SimTime::from_secs(3), SimTime::from_secs(9), 0.2)
+        .partition(
+            SimTime::from_secs(4),
+            SimTime::from_secs(10),
+            broadcast_core::Region {
+                x0: 0.0,
+                y0: 0.0,
+                x1: 2_500.0,
+                y1: 2_500.0,
+            },
+        );
+    SimConfig::builder(10, SchemeSpec::Counter(3))
+        .hosts(80)
+        .broadcasts(15)
+        .scenario(scenario)
+        .seed(9)
+        .shards(shards)
+        .parallel_epochs(parallel)
+        .build()
+}
+
+#[test]
+fn churn_scenario_is_equivalent_at_4_and_8_shards() {
+    let sequential = run(churn_config(1, false));
+    for shards in [4u32, 8] {
+        let parallel = run(churn_config(shards, true));
+        assert_equivalent(&sequential, &parallel, &format!("churn @ {shards} shards"));
+    }
+}
+
+/// A parallel-epochs churn run's action trace must replay through the
+/// pure models and re-derive exactly the decision stream the live run
+/// tallied — the equivalence contract's strongest check.
+#[test]
+fn parallel_churn_trace_replays_exactly() {
+    let mut world = World::new(churn_config(8, true));
+    world.enable_recording();
+    assert!(world.advance_until(SimTime::MAX, &mut NoopObserver));
+    assert!(world.epochs_run() > 0);
+    let trace = world.take_trace().expect("recording was armed");
+    let report = world.into_report();
+    let summary = replay_decisions(&trace).expect("parallel trace replays");
+    assert!(summary.actions > 0);
+    assert_eq!(
+        summary.decisions,
+        report.suppression.scheduled
+            + report.suppression.inhibited_first_hear
+            + report.suppression.cancelled,
+        "replayed decision count != live decision count"
+    );
+}
+
+/// `--parallel-epochs` quietly falls back to the sequential executor
+/// when the partition degenerates to one strip or carrier sensing is
+/// instantaneous — and the fallback is byte-identical, not merely
+/// equivalent.
+#[test]
+fn degenerate_configs_fall_back_to_sequential() {
+    let baseline = format!("{:?}", run(config(SchemeSpec::Counter(3), 1, false)));
+
+    // One strip: nothing to parallelize.
+    let mut single = World::new(config(SchemeSpec::Counter(3), 1, true));
+    assert!(single.advance_until(SimTime::MAX, &mut NoopObserver));
+    assert_eq!(single.epochs_run(), 0);
+    assert_eq!(baseline, format!("{:?}", single.into_report()));
+
+    // Zero cs_delay: the safety horizon collapses, so the flag is
+    // ignored (compare against the sequential run of the same config).
+    let zero_cs = |parallel: bool| {
+        SimConfig::builder(10, SchemeSpec::Counter(3))
+            .hosts(80)
+            .broadcasts(10)
+            .seed(7)
+            .shards(8)
+            .cs_delay(manet_sim_engine::SimDuration::ZERO)
+            .parallel_epochs(parallel)
+            .build()
+    };
+    assert!(World::epoch_horizon(&zero_cs(true)).is_none());
+    let mut world = World::new(zero_cs(true));
+    assert!(world.advance_until(SimTime::MAX, &mut NoopObserver));
+    assert_eq!(world.epochs_run(), 0);
+    assert_eq!(
+        format!("{:?}", World::new(zero_cs(false)).run()),
+        format!("{:?}", world.into_report())
+    );
+}

@@ -1,0 +1,97 @@
+//! Property test for the epoch-parallel safety horizon: across random
+//! radio radii, strip counts, carrier-sense delays, and mobility speeds,
+//! the horizon [`World::epoch_horizon`] reports must be a **strict lower
+//! bound** on the earliest possible cross-strip influence — every event
+//! strictly inside an epoch window `[t0, t0 + h)` happens before any
+//! transmission begun at or after `t0` can touch another strip's MAC
+//! state, and the strip geometry it relies on (one-hop reach confined to
+//! adjacent strips) must hold for every sampled transmitter position.
+
+use broadcast_core::{SchemeSpec, SimConfig, World};
+use manet_phy::ShardMap;
+use manet_sim_engine::{SimDuration, SimRng};
+
+fn random_config(rng: &mut SimRng) -> SimConfig {
+    let map_units = rng.gen_range_u32(1..13);
+    let radius = rng.gen_range_f64(100.0..800.0);
+    let shards = rng.gen_range_u32(1..17);
+    let speed_kmh = rng.gen_range_f64(0.0..100.0);
+    let cs_delay = SimDuration::from_nanos(rng.gen_u64_inclusive(0, 50_000));
+    SimConfig::builder(map_units, SchemeSpec::Flooding)
+        .hosts(4)
+        .broadcasts(1)
+        .radio_radius(radius)
+        .shards(shards)
+        .max_speed_kmh(speed_kmh)
+        .cs_delay(cs_delay)
+        .seed(1)
+        .build()
+}
+
+#[test]
+fn horizon_is_a_strict_lower_bound_on_cross_strip_influence() {
+    let mut rng = SimRng::seed_from(0xE90C);
+    let mut parallel_capable = 0u32;
+    for _ in 0..500 {
+        let config = random_config(&mut rng);
+        let map = ShardMap::new(
+            config.map().bounds().width(),
+            config.radio_radius,
+            config.shards,
+        );
+        let horizon = World::epoch_horizon(&config);
+
+        // Degenerate partitions and instant carrier sensing admit no
+        // epoch at all — the executor must refuse, not guess.
+        if map.shards() == 1 || config.cs_delay.is_zero() {
+            assert_eq!(horizon, None, "degenerate config got a horizon");
+            continue;
+        }
+        let h = horizon.expect("parallel-capable config must have a horizon");
+        parallel_capable += 1;
+        assert!(!h.is_zero(), "zero-length epochs make no progress");
+
+        // Physics: cross-strip influence needs a transmission, and a
+        // transmission begun at `t` first touches any other MAC at
+        // `t + cs_delay`. The epoch window is half-open, so every event
+        // strictly inside `[t0, t0 + h)` precedes the earliest possible
+        // influence `t0 + earliest` — the bound is strict.
+        let earliest_influence = config.cs_delay;
+        assert!(
+            h <= earliest_influence,
+            "horizon {h:?} overruns the earliest cross-strip influence {earliest_influence:?}"
+        );
+
+        // Geometry: the lockstep-window invariant. Every strip is at
+        // least one radio radius wide, so any receiver within one hop of
+        // a transmitter sits in the same or an adjacent strip.
+        assert!(
+            map.strip_width() >= config.radio_radius,
+            "strip narrower than the radio radius"
+        );
+        let width = config.map().bounds().width();
+        for _ in 0..32 {
+            let tx = rng.gen_range_f64(0.0..width);
+            let offset = rng.gen_range_f64(-config.radio_radius..config.radio_radius);
+            let rx = (tx + offset).clamp(0.0, width);
+            assert!(
+                map.adjacent(map.shard_of_x(tx), map.shard_of_x(rx)),
+                "one-hop receiver at {rx} escaped the adjacency of {tx}"
+            );
+        }
+
+        // Mobility: hosts move microns per horizon, so motion during an
+        // epoch cannot carry a host across the strip slack and invalidate
+        // the adjacency argument above.
+        let max_speed_mps = config.effective_max_speed_kmh() / 3.6;
+        let drift = max_speed_mps * h.as_secs_f64();
+        assert!(
+            drift < config.radio_radius * 1e-3,
+            "epoch-time drift {drift} m is not negligible vs radius"
+        );
+    }
+    assert!(
+        parallel_capable >= 100,
+        "too few parallel-capable samples ({parallel_capable}) to mean anything"
+    );
+}

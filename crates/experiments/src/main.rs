@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use manet_experiments::{
     all_figures, drain_metrics_capture, enable_metrics_capture, render_metrics_json,
-    set_shards_override, FigureRunner, MetricsRecord, Scale,
+    set_parallel_epochs_override, set_shards_override, FigureRunner, MetricsRecord, Scale,
 };
 
 fn usage() -> &'static str {
@@ -33,6 +33,9 @@ fn usage() -> &'static str {
      \x20                              as JSON (schema manet-broadcast-metrics/1)\n\
      \x20 --shards N                   spatial strips per world (default 1);\n\
      \x20                              execution-only: results are bit-identical\n\
+     \x20 --parallel-epochs            drain shard queues concurrently in\n\
+     \x20                              carrier-sense-bounded epochs; counts are\n\
+     \x20                              equivalent but byte-identity is waived\n\
      \x20 --list                       list available figures and exit\n"
 }
 
@@ -127,6 +130,7 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--parallel-epochs" => set_parallel_epochs_override(true),
             "--csv" => {
                 let Some(value) = iter.next() else {
                     eprintln!("--csv needs a directory\n\n{}", usage());

@@ -235,6 +235,24 @@ pub fn shards_override() -> Option<u32> {
     }
 }
 
+/// Whether [`run_averaged`] worlds run the epoch-parallel executor.
+/// Unlike plain sharding, `--parallel-epochs` waives byte-identity for
+/// count-level equivalence, so this is opt-in per process and the figure
+/// pipelines keep their pinned hashes unless the user asks for it.
+static PARALLEL_EPOCHS_OVERRIDE: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+/// Makes every subsequent [`run_averaged`] world drain its shard queues
+/// in parallel epochs (no-op for worlds that end up with one strip).
+pub fn set_parallel_epochs_override(enabled: bool) {
+    PARALLEL_EPOCHS_OVERRIDE.store(enabled, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The active epoch-parallel override.
+pub fn parallel_epochs_override() -> bool {
+    PARALLEL_EPOCHS_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 fn sink_lock() -> std::sync::MutexGuard<'static, Option<CaptureState>> {
     // A worker that panicked mid-run poisons the lock; the sink's data is
     // append-only and stays coherent, so recover rather than cascade.
@@ -283,6 +301,9 @@ pub fn run_averaged(config: &SimConfig, repeats: u64) -> AveragedReport {
         c.seed = config.seed.wrapping_add(i);
         if let Some(shards) = shards_override() {
             c.shards = shards;
+        }
+        if parallel_epochs_override() {
+            c.parallel_epochs = true;
         }
         World::new(c).run()
     });

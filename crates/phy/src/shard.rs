@@ -96,6 +96,18 @@ impl ShardMap {
         debug_assert!(lo <= hi, "inverted interval");
         (self.shard_of_x(lo), self.shard_of_x(hi))
     }
+
+    /// Whether strips `a` and `b` can interact within one radio hop.
+    ///
+    /// Because every strip is at least one radio radius wide, a frame
+    /// transmitted from inside strip `s` reaches only strips `s-1..=s+1`
+    /// — so two strips interact iff they are the same or neighbors. This
+    /// is the adjacency relation the epoch-parallel executor's safety
+    /// horizon rests on.
+    pub fn adjacent(&self, a: usize, b: usize) -> bool {
+        debug_assert!(a < self.shards && b < self.shards, "strip out of range");
+        a.abs_diff(b) <= 1
+    }
 }
 
 #[cfg(test)]
@@ -145,5 +157,25 @@ mod tests {
         assert_eq!(map.strips_overlapping(-100.0, 2_100.0), (0, 3));
         assert_eq!(map.strips_overlapping(750.0, 750.0), (1, 1));
         assert_eq!(map.strips_overlapping(499.0, 501.0), (0, 1));
+    }
+
+    #[test]
+    fn adjacency_is_reflexive_symmetric_and_one_wide() {
+        let map = ShardMap::new(2_500.0, 500.0, 5);
+        for a in 0..map.shards() {
+            for b in 0..map.shards() {
+                assert_eq!(map.adjacent(a, b), map.adjacent(b, a));
+                assert_eq!(map.adjacent(a, b), a.abs_diff(b) <= 1);
+            }
+        }
+        // Any transmitter's one-hop window overlaps only adjacent strips.
+        let radius = 500.0;
+        for x in [0.0, 250.0, 999.9, 1_000.0, 1_700.0, 2_500.0] {
+            let home = map.shard_of_x(x);
+            let (lo, hi) = map.strips_overlapping(x - radius, x + radius);
+            for s in lo..=hi {
+                assert!(map.adjacent(home, s), "x={x}: strip {s} not adjacent");
+            }
+        }
     }
 }

@@ -48,6 +48,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod metrics;
+mod pool;
 pub mod prng;
 mod queue;
 mod rng;
@@ -59,8 +60,9 @@ mod wire;
 
 pub use metrics::{
     json_escape, json_f64, Counter, Gauge, Histogram, HistogramSnapshot, KindProfile, LoopProfile,
-    LoopProfiler, MetricsRegistry, DEFAULT_LATENCY_BOUNDS_S,
+    LoopProfiler, MetricsRegistry, ShardDelta, DEFAULT_LATENCY_BOUNDS_S,
 };
+pub use pool::WorkerPool;
 pub use queue::{EventKey, EventQueue};
 pub use rng::SimRng;
 pub use runner::{run, run_profiled, run_until, EventHandler, RunOutcome};

@@ -216,6 +216,15 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest non-cancelled event, advancing the
     /// clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_entry().map(|(time, _, event)| (time, event))
+    }
+
+    /// Like [`pop`](Self::pop), but also returns the entry's sequence
+    /// number. A multi-queue executor uses this where the global sequence
+    /// stamp of the popped entry matters — e.g. to order effects buffered
+    /// during a parallel epoch by the `(time, seq)` of the event that
+    /// produced them.
+    pub fn pop_entry(&mut self) -> Option<(SimTime, u64, E)> {
         while let Some(entry) = self.heap.pop() {
             // Skip the tombstone hash lookup entirely while no
             // cancellations are outstanding — the common case on the hot
@@ -226,7 +235,7 @@ impl<E> EventQueue<E> {
             debug_assert!(entry.time >= self.now, "event queue went backwards");
             self.now = entry.time;
             self.popped += 1;
-            return Some((entry.time, entry.event));
+            return Some((entry.time, entry.seq, entry.event));
         }
         None
     }
@@ -469,6 +478,16 @@ mod tests {
         q.schedule(SimTime::from_millis(5), 2);
         q.cancel(k);
         assert_eq!(q.peek_key(), Some((SimTime::from_millis(5), 1)));
+    }
+
+    #[test]
+    fn pop_entry_exposes_the_sequence_stamp() {
+        let mut q = EventQueue::new();
+        q.schedule_seq(SimTime::from_millis(2), 5, 'b');
+        q.schedule_seq(SimTime::from_millis(1), 9, 'a');
+        assert_eq!(q.pop_entry(), Some((SimTime::from_millis(1), 9, 'a')));
+        assert_eq!(q.pop_entry(), Some((SimTime::from_millis(2), 5, 'b')));
+        assert_eq!(q.pop_entry(), None);
     }
 
     #[test]

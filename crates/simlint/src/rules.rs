@@ -36,6 +36,13 @@ pub const RULE_FLOAT_KEY: &str = "float-event-key";
 /// hasher or not) risks iteration order leaking into the global event
 /// order, which must stay a pure function of `(time, seq)`.
 pub const RULE_SHARD_BOUNDARY: &str = "shard-boundary";
+/// Functions annotated `#[cfg_attr(simlint, epoch_shard)]` run
+/// concurrently, one per shard, inside a parallel epoch. They must not
+/// mutate the shared `Medium`, draw from an RNG receiver (the global
+/// stream is not shard-safe; per-node streams live inside the node
+/// models), or touch the global `event_seq` counter — every global
+/// effect belongs after the epoch barrier.
+pub const RULE_EPOCH_BARRIER: &str = "epoch-barrier";
 /// A `simlint: allow(...)` directive naming a rule that does not exist.
 pub const RULE_UNKNOWN: &str = "unknown-rule";
 
@@ -48,6 +55,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_PURE_MODEL,
     RULE_FLOAT_KEY,
     RULE_SHARD_BOUNDARY,
+    RULE_EPOCH_BARRIER,
     RULE_UNKNOWN,
 ];
 
@@ -180,6 +188,7 @@ impl Linter {
         rule_hot_path_alloc(file, &code, &mut raw);
         rule_pure_model_effect(file, &code, &mut raw);
         rule_shard_boundary(file, &code, &mut raw);
+        rule_epoch_barrier(file, &code, &mut raw);
         if ctx.sim && !ctx.test_target {
             rule_float_event_key(file, &code, &in_test, &mut raw);
         }
@@ -688,6 +697,67 @@ fn rule_shard_boundary(file: &str, code: &[&Token], raw: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Epoch-shard drains run concurrently, one per shard, between two
+/// barriers; inside them every global effect is a data race or a
+/// determinism leak. Banned: `Medium` mutation (deferred transmissions
+/// belong to the barrier merge), RNG receiver draws (the global stream
+/// is single-owner; per-node streams live inside the node models the
+/// drain calls into), and any touch of the global `event_seq` counter
+/// (shard drains stamp re-arms from their own disjoint
+/// `base + j·shards + s` lane).
+fn rule_epoch_barrier(file: &str, code: &[&Token], raw: &mut Vec<Diagnostic>) {
+    for (fn_name, start, end) in marked_fn_bodies(code, "epoch_shard") {
+        for i in start..end.min(code.len()) {
+            let Some(name) = ident_at(code, i) else {
+                continue;
+            };
+            let tok = code[i];
+            if name == "event_seq" {
+                raw.push(Diagnostic {
+                    file: file.to_string(),
+                    line: tok.line,
+                    col: tok.col,
+                    rule: RULE_EPOCH_BARRIER,
+                    message: format!(
+                        "global `event_seq` touched inside epoch-shard fn \
+                         `{fn_name}`; shard drains must stamp re-armed events \
+                         from their disjoint (base + j*shards + s) lane and let \
+                         the barrier advance the global counter"
+                    ),
+                });
+                continue;
+            }
+            if i == 0 || !is_punct(code, i - 1, ".") || !is_punct(code, i + 1, "(") {
+                continue;
+            }
+            let what = if name == "fork" || name.starts_with("gen_") {
+                "draws from an RNG receiver"
+            } else if matches!(
+                name,
+                "begin_transmission"
+                    | "begin_transmission_into"
+                    | "finish_transmission"
+                    | "end_transmission"
+            ) {
+                "mutates the shared Medium"
+            } else {
+                continue;
+            };
+            raw.push(Diagnostic {
+                file: file.to_string(),
+                line: tok.line,
+                col: tok.col,
+                rule: RULE_EPOCH_BARRIER,
+                message: format!(
+                    "`.{name}(...)` {what} inside epoch-shard fn `{fn_name}`; \
+                     shard drains run concurrently — buffer the effect and \
+                     apply it after the epoch barrier"
+                ),
+            });
+        }
+    }
+}
+
 /// Method calls that make a function effectful: RNG draws, event-queue
 /// scheduling/cancellation, and `Medium` mutation. The scan looks for
 /// `.name(` receivers, so type paths and doc text never fire.
@@ -990,6 +1060,29 @@ mod tests {
         assert!(diags
             .iter()
             .all(|d| d.rule != RULE_PURE_MODEL || d.line >= 4));
+    }
+
+    #[test]
+    fn epoch_barrier_fires_only_in_annotated_fns() {
+        let diags = lint_sim(
+            "fn barrier(&mut self) { self.event_seq += 1; self.medium.begin_transmission(n, t); }\n\
+             #[cfg_attr(simlint, epoch_shard)]\n\
+             fn drain(&mut self, q: &mut Q, m: &mut Medium) {\n\
+                 let r = self.rng.gen_unit_f64();\n\
+                 self.event_seq += 1;\n\
+                 m.begin_transmission_into(n, now, airtime);\n\
+                 q.schedule_seq(t, s, e);\n\
+                 q.cancel(k);\n\
+             }\n",
+        );
+        let fired: Vec<u32> = diags
+            .iter()
+            .filter(|d| d.rule == RULE_EPOCH_BARRIER)
+            .map(|d| d.line)
+            .collect();
+        // RNG draw, global counter, Medium mutation fire; the shard's own
+        // queue operations (schedule_seq/cancel) are the drain's job.
+        assert_eq!(fired, vec![4, 5, 6]);
     }
 
     #[test]

@@ -9,8 +9,8 @@ use std::process::Command;
 use simlint::forks::ForkRegistry;
 use simlint::lint_paths;
 use simlint::rules::{
-    RULE_FLOAT_KEY, RULE_FORK, RULE_HOT_PATH, RULE_NONDET_ITER, RULE_PURE_MODEL,
-    RULE_SHARD_BOUNDARY, RULE_UNKNOWN, RULE_WALL_CLOCK,
+    RULE_EPOCH_BARRIER, RULE_FLOAT_KEY, RULE_FORK, RULE_HOT_PATH, RULE_NONDET_ITER,
+    RULE_PURE_MODEL, RULE_SHARD_BOUNDARY, RULE_UNKNOWN, RULE_WALL_CLOCK,
 };
 
 fn fixtures_dir() -> PathBuf {
@@ -96,6 +96,7 @@ fn bad_corpus_matches_snapshots() {
 fn bad_fixtures_fire_exactly_their_rules() {
     let cases: &[(&str, &[&str])] = &[
         ("allow_once.rs", &[RULE_NONDET_ITER]),
+        ("epoch_shard.rs", &[RULE_EPOCH_BARRIER]),
         ("float_key.rs", &[RULE_FLOAT_KEY]),
         ("fork_duplicate.rs", &[RULE_FORK]),
         ("fork_unregistered.rs", &[RULE_FORK]),

@@ -1,0 +1,14 @@
+//! Seeded violations: global effects inside an epoch-shard drain.
+//! Per-shard queue operations are the drain's job; the RNG receiver
+//! draws, the global `event_seq` stamp, and the `Medium` mutation are
+//! data races — they must wait for the epoch barrier.
+
+#[cfg_attr(simlint, epoch_shard)]
+pub fn drain_shard(world: &mut World, s: usize, stream: u64) {
+    let jitter = world.rng.gen_unit_f64();
+    let node_rng = world.rng.fork(stream);
+    world.event_seq += 1;
+    world
+        .medium
+        .begin_transmission_into(s, jitter, node_rng.state());
+}

@@ -1,0 +1,20 @@
+//! An epoch-shard drain that stays inside its lane: it pops its own
+//! queue, re-stamps from the disjoint per-shard sequence lane, and
+//! buffers cross-strip effects for the barrier to merge.
+
+#[cfg_attr(simlint, epoch_shard)]
+pub fn drain_shard(
+    queue: &mut EventQueue,
+    base_seq: u64,
+    shards: u64,
+    s: u64,
+    out: &mut Vec<(u64, u64)>,
+) {
+    let mut rearmed = 0u64;
+    while let Some((time, seq)) = queue.pop_entry() {
+        let stamp = base_seq + rearmed * shards + s;
+        rearmed += 1;
+        queue.schedule_seq(time + 20_000, stamp);
+        out.push((time, seq));
+    }
+}

@@ -42,6 +42,10 @@ options:
   --shards N            spatial strips for sharded execution (default 1;
                         clamped so every strip spans >= one radio radius;
                         results are bit-identical for any N)
+  --parallel-epochs     drain the shard queues concurrently in epochs
+                        bounded by the carrier-sense horizon; same
+                        decisions and counts as sequential, but event
+                        interleaving (and so byte-identity) is waived
   --profile             measure event-loop wall time per event kind
   --snapshot-at T_NS    pause at T_NS simulated nanoseconds, write a
                         checkpoint (requires --snapshot-out), continue
@@ -142,6 +146,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut metrics = None;
     let mut profile = false;
     let mut shards = 1u32;
+    let mut parallel_epochs = false;
     let mut snapshot_at: Option<u64> = None;
     let mut snapshot_out: Option<String> = None;
     let mut resume: Option<String> = None;
@@ -206,6 +211,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     return Err("bad --shards: need at least one shard".into());
                 }
             }
+            "--parallel-epochs" => parallel_epochs = true,
             "--snapshot-at" => {
                 snapshot_at = Some(
                     value("--snapshot-at")?
@@ -250,7 +256,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         .mobility(parse_mobility(&mobility)?)
         .drop_probability(drop)
         .profile_events(profile)
-        .shards(shards);
+        .shards(shards)
+        .parallel_epochs(parallel_epochs);
     if let Some(scenario) = scenario {
         builder = builder.scenario(scenario);
     }
@@ -561,6 +568,11 @@ mod tests {
             .expect("parses")
             .expect("not help");
         assert_eq!(options.config.shards, 4);
+        assert!(!options.config.parallel_epochs, "default is sequential");
+        let options = parse_args(&args(&["--shards", "8", "--parallel-epochs"]))
+            .expect("parses")
+            .expect("not help");
+        assert!(options.config.parallel_epochs);
         assert!(parse_args(&args(&["--shards", "x"])).is_err());
         assert!(
             parse_args(&args(&["--shards", "0"])).is_err(),
