@@ -58,29 +58,40 @@ fn large_storm(s: &mut Suite) {
 
 /// The scale the sharded executor exists for: 10⁴ hosts on the 10×10 map
 /// (a wide map, so the strip partition actually narrows the geometry
-/// window). Same seed/scheme discipline as the 1000-host point. Three
+/// window). Same seed/scheme discipline as the 1000-host point. Four
 /// entries bracket the executors: sequential, 8 byte-identical strips,
-/// and 8 strips drained in parallel epochs (`--parallel-epochs`) — the
-/// last is the headline the epoch executor is judged by.
+/// 8 strips drained in parallel epochs (`--parallel-epochs`) on the
+/// auto-detected pool, and the same run pinned to 2 workers — the first
+/// multi-core configuration recorded for the epoch executor.
 fn huge_storm(s: &mut Suite) {
-    for (name, shards, parallel) in [
-        ("world/counter_c3_10x10_10000hosts", 1u32, false),
+    for (name, shards, parallel, workers) in [
+        ("world/counter_c3_10x10_10000hosts", 1u32, false, None),
         (
             "world/counter_c3_10x10_10000hosts_8shards_lockstep",
             8,
             false,
+            None,
         ),
-        ("world/counter_c3_10x10_10000hosts_8shards", 8, true),
+        ("world/counter_c3_10x10_10000hosts_8shards", 8, true, None),
+        (
+            "world/counter_c3_10x10_10000hosts_8shards_2workers",
+            8,
+            true,
+            Some(2u32),
+        ),
     ] {
         s.bench(name, move || {
-            let config = SimConfig::builder(10, SchemeSpec::Counter(3))
+            let mut builder = SimConfig::builder(10, SchemeSpec::Counter(3))
                 .hosts(10_000)
                 .broadcasts(2)
                 .neighbor_info(broadcast_core::NeighborInfo::Oracle)
                 .seed(11)
                 .shards(shards)
-                .parallel_epochs(parallel)
-                .build();
+                .parallel_epochs(parallel);
+            if let Some(workers) = workers {
+                builder = builder.workers(workers);
+            }
+            let config = builder.build();
             let report = World::new(config).run();
             black_box((report.data_frames, report.collisions))
         });

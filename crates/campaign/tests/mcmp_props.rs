@@ -1,0 +1,166 @@
+//! MCMP wire-format properties, on the in-tree harness: arbitrary frame
+//! sequences survive a writer→reader roundtrip exactly, truncating a
+//! stream anywhere yields only a prefix of what was written (never an
+//! invented frame), and no byte string — however corrupt — can panic
+//! the decoder or silently decode back to the frame it corrupted.
+
+use manet_campaign::{CampaignCounts, Frame, FrameReader, FrameWriter, JobEnvelope};
+use manet_testkit::{prop_check, Gen};
+
+/// Mix of ASCII, whitespace, and multi-byte UTF-8 so string fields
+/// exercise non-trivial encodings.
+const ALPHABET: &[char] = &['a', 'B', '0', '_', '-', '.', ' ', '\n', '"', 'π', '雪', '🛰'];
+
+fn gen_string(g: &mut Gen, max: usize) -> String {
+    g.vec(0..max, |g| ALPHABET[g.usize_in(0..ALPHABET.len())])
+        .into_iter()
+        .collect()
+}
+
+fn gen_bytes(g: &mut Gen, max: usize) -> Vec<u8> {
+    g.vec(0..max, |g| g.u32_in(0..256) as u8)
+}
+
+fn gen_envelope(g: &mut Gen) -> JobEnvelope {
+    JobEnvelope {
+        label: gen_string(g, 12),
+        scheme: gen_string(g, 12),
+        map_units: g.u32_in(0..10),
+        hosts: g.u32_in(0..200),
+        broadcasts: g.u32_in(0..50),
+        seed: g.u64(),
+        repeats: g.u32_in(0..8),
+        scenario: if g.bool() {
+            Some(gen_string(g, 40))
+        } else {
+            None
+        },
+    }
+}
+
+fn gen_counts(g: &mut Gen) -> CampaignCounts {
+    CampaignCounts {
+        total: g.u64(),
+        completed: g.u64(),
+        cancelled: g.u64(),
+        failed: g.u64(),
+    }
+}
+
+fn gen_frame(g: &mut Gen) -> Frame {
+    match g.usize_in(0..9) {
+        0 => Frame::Submit {
+            name: gen_string(g, 16),
+            jobs: g.vec(0..5, gen_envelope),
+        },
+        1 => Frame::Accepted {
+            campaign: g.u64(),
+            jobs: g.u64(),
+        },
+        2 => Frame::Rejected {
+            name: gen_string(g, 16),
+            reason: gen_string(g, 32),
+        },
+        3 => Frame::Progress {
+            campaign: g.u64(),
+            counts: gen_counts(g),
+        },
+        4 => Frame::JobMetrics {
+            campaign: g.u64(),
+            job: g.u64(),
+            label: gen_string(g, 12),
+            payload: gen_bytes(g, 64),
+        },
+        5 => Frame::JobFailed {
+            campaign: g.u64(),
+            job: g.u64(),
+            label: gen_string(g, 12),
+            reason: gen_string(g, 32),
+        },
+        6 => Frame::Summary {
+            campaign: g.u64(),
+            counts: gen_counts(g),
+        },
+        7 => Frame::Cancel { campaign: g.u64() },
+        _ => Frame::Shutdown,
+    }
+}
+
+fn encode_stream(frames: &[Frame]) -> Vec<u8> {
+    let mut writer = FrameWriter::new(Vec::new()).expect("header write");
+    for frame in frames {
+        writer.write(frame).expect("frame write");
+    }
+    writer.into_inner()
+}
+
+prop_check! {
+    /// Any frame sequence roundtrips through a full stream and ends with
+    /// a clean EOF.
+    fn frame_sequences_roundtrip(g, cases = 128) {
+        let frames = g.vec(1..6, gen_frame);
+        let bytes = encode_stream(&frames);
+        let mut reader = FrameReader::new(&bytes[..]).expect("stream header");
+        for expected in &frames {
+            assert_eq!(reader.read().expect("read frame").as_ref(), Some(expected));
+        }
+        assert_eq!(reader.read().expect("trailing read"), None, "clean EOF");
+    }
+
+    /// Truncating a stream at any byte yields a (possibly empty) prefix
+    /// of the written frames followed by an error, or a clean EOF only
+    /// when the cut falls exactly on a frame boundary — never a frame
+    /// that was not written.
+    fn truncation_never_invents_frames(g, cases = 256) {
+        let frames = g.vec(1..5, gen_frame);
+        let bytes = encode_stream(&frames);
+        let cut = g.usize_in(0..bytes.len());
+        let mut decoded = Vec::new();
+        let mut clean_eof = false;
+        match FrameReader::new(&bytes[..cut]) {
+            Err(_) => assert!(cut < 8, "only a cut inside the 8-byte header may fail it"),
+            Ok(mut reader) => loop {
+                match reader.read() {
+                    Ok(Some(frame)) => decoded.push(frame),
+                    Ok(None) => {
+                        clean_eof = true;
+                        break;
+                    }
+                    Err(_) => break,
+                }
+            },
+        }
+        assert!(decoded.len() < frames.len(), "a strict cut loses at least the last frame");
+        assert_eq!(&frames[..decoded.len()], &decoded[..], "decoded frames are a prefix");
+        if clean_eof {
+            // A clean EOF means the cut landed exactly where frame
+            // `decoded.len() + 1` would have started.
+            let boundary = encode_stream(&frames[..decoded.len()]).len();
+            assert_eq!(cut, boundary, "clean EOF only at a frame boundary");
+        }
+    }
+
+    /// The payload decoder never panics, whatever bytes it is fed.
+    fn arbitrary_payloads_never_panic_the_decoder(g) {
+        let payload = gen_bytes(g, 200);
+        let _ = Frame::decode(&payload);
+    }
+
+    /// Corruption is never silent: the encoding is canonical (fixed-width
+    /// integers, strict bools, exact lengths, no trailing bytes), so a
+    /// payload with one byte changed can never decode back to the frame
+    /// that produced it.
+    fn single_byte_corruption_is_never_silent(g, cases = 256) {
+        let frame = gen_frame(g);
+        let mut enc = manet_sim_engine::WireEncoder::new();
+        frame.encode(&mut enc);
+        let mut payload = enc.into_bytes();
+        let at = g.usize_in(0..payload.len());
+        let delta = g.u32_in(1..256) as u8;
+        payload[at] = payload[at].wrapping_add(delta);
+        match Frame::decode(&payload) {
+            Err(_) => {}
+            Ok(decoded) => assert_ne!(decoded, frame, "corrupt payload decoded as the original"),
+        }
+    }
+}

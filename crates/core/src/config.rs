@@ -154,6 +154,14 @@ pub struct SimConfig {
     /// zero. Like `shards`, this is an execution-strategy knob excluded
     /// from the snapshot fingerprint.
     pub parallel_epochs: bool,
+    /// Worker-thread override for the sharded executors' pool. `None`
+    /// auto-detects (`available_parallelism - 1`, capped by the shard
+    /// count); `Some(0)` forces inline execution; `Some(n)` asks for `n`
+    /// pool threads even on a box with fewer cores (oversubscription is
+    /// allowed — useful for exercising the concurrent paths on small
+    /// hosts). Purely an execution-strategy knob: results are unaffected,
+    /// and like `shards` it is **excluded** from the snapshot fingerprint.
+    pub workers: Option<u32>,
 }
 
 impl SimConfig {
@@ -184,6 +192,7 @@ impl SimConfig {
                 scenario: None,
                 shards: 1,
                 parallel_epochs: false,
+                workers: None,
             },
         }
     }
@@ -395,6 +404,13 @@ impl SimConfigBuilder {
     /// effect). See [`SimConfig::parallel_epochs`].
     pub fn parallel_epochs(mut self, enabled: bool) -> Self {
         self.config.parallel_epochs = enabled;
+        self
+    }
+
+    /// Worker-thread override for the sharded executors' pool (default:
+    /// auto-detect). See [`SimConfig::workers`].
+    pub fn workers(mut self, workers: u32) -> Self {
+        self.config.workers = Some(workers);
         self
     }
 

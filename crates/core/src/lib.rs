@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cancel;
 mod config;
 mod ids;
 mod ledger;
@@ -72,6 +73,7 @@ pub mod threshold;
 pub mod trace;
 pub mod world;
 
+pub use cancel::CancelToken;
 pub use config::{
     CaptureConfig, MobilitySpec, NeighborInfo, PlacementSpec, SimConfig, SimConfigBuilder,
 };

@@ -112,6 +112,66 @@ impl SchemeSpec {
         matches!(self, SchemeSpec::NeighborCoverage)
     }
 
+    /// Parses the CLI/campaign scheme syntax: `flooding`, `ac`, `al`,
+    /// `nc`, `counter:C`, `distance:D`, `location:A`, or `prob:P`.
+    ///
+    /// This is the one shared grammar for every front end that names a
+    /// scheme as a string — `manet-sim`, campaign job envelopes, service
+    /// clients — so a job submitted over the wire selects exactly the
+    /// scheme the CLI would.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use broadcast_core::SchemeSpec;
+    ///
+    /// assert_eq!(SchemeSpec::parse("counter:3").unwrap().label(), "C=3");
+    /// assert_eq!(SchemeSpec::parse("ac").unwrap().label(), "AC");
+    /// assert!(SchemeSpec::parse("bogus").is_err());
+    /// ```
+    pub fn parse(s: &str) -> Result<SchemeSpec, String> {
+        if let Some((kind, arg)) = s.split_once(':') {
+            return match kind {
+                "counter" => arg
+                    .parse::<u32>()
+                    .map(SchemeSpec::Counter)
+                    .map_err(|e| format!("bad counter threshold '{arg}': {e}")),
+                "distance" => arg
+                    .parse::<f64>()
+                    .map(SchemeSpec::Distance)
+                    .map_err(|e| format!("bad distance threshold '{arg}': {e}")),
+                "location" => arg
+                    .parse::<f64>()
+                    .map(SchemeSpec::Location)
+                    .map_err(|e| format!("bad coverage threshold '{arg}': {e}")),
+                "prob" => arg
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|p| (0.0..=1.0).contains(p))
+                    .map(SchemeSpec::Probabilistic)
+                    .ok_or_else(|| format!("bad rebroadcast probability '{arg}' (want 0..=1)")),
+                other => Err(format!("unknown parameterized scheme '{other}'")),
+            };
+        }
+        match s {
+            "flooding" => Ok(SchemeSpec::Flooding),
+            "ac" => Ok(SchemeSpec::AdaptiveCounter(
+                CounterThreshold::paper_recommended(),
+            )),
+            "al" => Ok(SchemeSpec::AdaptiveLocation(
+                AreaThreshold::paper_recommended(),
+            )),
+            "nc" => Ok(SchemeSpec::NeighborCoverage),
+            other => Err(format!(
+                "unknown scheme '{other}' (try flooding, counter:2, ac, al, nc, prob:0.7)"
+            )),
+        }
+    }
+
     /// `true` when the scheme relies on positions (GPS assumption).
     pub fn needs_positions(&self) -> bool {
         matches!(
@@ -203,6 +263,25 @@ mod tests {
             SchemeSpec::AdaptiveLocation(AreaThreshold::adaptive(6, 12)).label(),
             "AL(6,12)"
         );
+    }
+
+    #[test]
+    fn parse_covers_every_scheme_family() {
+        assert_eq!(SchemeSpec::parse("flooding").unwrap().label(), "flooding");
+        assert_eq!(SchemeSpec::parse("counter:4").unwrap().label(), "C=4");
+        assert_eq!(SchemeSpec::parse("ac").unwrap().label(), "AC");
+        assert_eq!(SchemeSpec::parse("distance:250").unwrap().label(), "D=250");
+        assert_eq!(
+            SchemeSpec::parse("location:0.0134").unwrap().label(),
+            "A=0.0134"
+        );
+        assert_eq!(SchemeSpec::parse("al").unwrap().label(), "AL");
+        assert_eq!(SchemeSpec::parse("nc").unwrap().label(), "NC");
+        assert_eq!(SchemeSpec::parse("prob:0.7").unwrap().label(), "P=0.7");
+        assert!(SchemeSpec::parse("bogus").is_err());
+        assert!(SchemeSpec::parse("counter:x").is_err());
+        assert!(SchemeSpec::parse("prob:1.5").is_err(), "probability range");
+        assert!(SchemeSpec::parse("frob:1").is_err());
     }
 
     #[test]

@@ -25,7 +25,8 @@ use manet_net::HelloPayload;
 use manet_phy::{CarrierChange, Delivery, FrameId, Medium, NeighborGrid, NodeId, ShardMap};
 use manet_scenario::{Region, WorldAction};
 use manet_sim_engine::{
-    EventKey, EventQueue, LoopProfiler, ShardDelta, SimRng, SimTime, Slab, Timeline, WorkerPool,
+    EventKey, EventQueue, LoopProfiler, ShardDelta, SimDuration, SimRng, SimTime, Slab, Timeline,
+    WorkerPool,
 };
 
 use crate::config::{NeighborInfo, SimConfig};
@@ -689,9 +690,12 @@ impl World {
         // (minus the participating caller). Zero workers means pool jobs
         // run inline — correct, just not concurrent.
         let pool_threads = if shards > 1 {
-            std::thread::available_parallelism()
-                .map_or(0, |n| n.get().saturating_sub(1))
-                .min(shards)
+            match config.workers {
+                Some(workers) => (workers as usize).min(shards),
+                None => std::thread::available_parallelism()
+                    .map_or(0, |n| n.get().saturating_sub(1))
+                    .min(shards),
+            }
         } else {
             0
         };
@@ -910,6 +914,43 @@ impl World {
     pub fn run_observed(mut self, observer: &mut dyn SimObserver) -> SimReport {
         self.advance_until(SimTime::MAX, observer);
         self.into_report()
+    }
+
+    /// Runs the simulation to completion unless `token` is cancelled
+    /// first, in which case the run is abandoned and `None` returned.
+    ///
+    /// The token is only observed at [`advance_until`](Self::advance_until)
+    /// pause boundaries — the world advances in slices of `slice`
+    /// simulated time and checks the flag between slices, so a cancelled
+    /// run always stops between events (the same consistent states a
+    /// snapshot may be taken at), never mid-dispatch. A token cancelled
+    /// before the first slice abandons the run without dispatching any
+    /// event. Cancellation latency is bounded by the wall-clock cost of
+    /// one slice; campaign-style workloads use sub-second slices so a
+    /// cancel drains within a few milliseconds of real time.
+    pub fn run_cancellable(
+        mut self,
+        token: &crate::CancelToken,
+        slice: SimDuration,
+        observer: &mut dyn SimObserver,
+    ) -> Option<SimReport> {
+        let slice = if slice.is_zero() {
+            SimDuration::from_millis(250)
+        } else {
+            slice
+        };
+        let mut pause_at = SimTime::ZERO + slice;
+        loop {
+            if token.is_cancelled() {
+                return None;
+            }
+            if self.advance_until(pause_at, observer) {
+                return Some(self.into_report());
+            }
+            // Skip idle gaps: resume one slice past the furthest point the
+            // run has reached, not merely past the previous pause.
+            pause_at = pause_at.max(self.last_event_at) + slice;
+        }
     }
 
     /// Advances the run until the next pending event would fire at or

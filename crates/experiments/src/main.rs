@@ -13,7 +13,8 @@ use std::time::Instant;
 
 use manet_experiments::{
     all_figures, drain_metrics_capture, enable_metrics_capture, render_metrics_json,
-    set_parallel_epochs_override, set_shards_override, FigureRunner, MetricsRecord, Scale,
+    set_parallel_epochs_override, set_shards_override, set_workers_override, FigureRunner,
+    MetricsRecord, Scale,
 };
 
 fn usage() -> &'static str {
@@ -36,6 +37,9 @@ fn usage() -> &'static str {
      \x20 --parallel-epochs            drain shard queues concurrently in\n\
      \x20                              carrier-sense-bounded epochs; counts are\n\
      \x20                              equivalent but byte-identity is waived\n\
+     \x20 --workers N                  pool threads for sharded execution\n\
+     \x20                              (default: cores - 1; 0 = inline);\n\
+     \x20                              execution-only, never changes results\n\
      \x20 --list                       list available figures and exit\n"
 }
 
@@ -131,6 +135,19 @@ fn main() -> ExitCode {
                 }
             }
             "--parallel-epochs" => set_parallel_epochs_override(true),
+            "--workers" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--workers needs a value\n\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<u32>() {
+                    Ok(workers) => set_workers_override(Some(workers)),
+                    Err(_) => {
+                        eprintln!("bad --workers '{value}' (integer)\n\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--csv" => {
                 let Some(value) = iter.next() else {
                     eprintln!("--csv needs a directory\n\n{}", usage());

@@ -253,6 +253,29 @@ pub fn parallel_epochs_override() -> bool {
     PARALLEL_EPOCHS_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed)
 }
 
+/// Pool-thread override for sharded executors (`u32::MAX` = none).
+/// `Some(0)` is meaningful — it forces inline execution — so the
+/// sentinel is `MAX` rather than zero. Like the shard override, this is
+/// execution-only: it never changes results, only wall time.
+static WORKERS_OVERRIDE: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(u32::MAX);
+
+/// Makes every subsequent [`run_averaged`] world use `workers` pool
+/// threads for sharded execution (`None` restores auto-detection).
+pub fn set_workers_override(workers: Option<u32>) {
+    WORKERS_OVERRIDE.store(
+        workers.unwrap_or(u32::MAX),
+        std::sync::atomic::Ordering::Relaxed,
+    );
+}
+
+/// The active worker-thread override, if any.
+pub fn workers_override() -> Option<u32> {
+    match WORKERS_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed) {
+        u32::MAX => None,
+        n => Some(n),
+    }
+}
+
 fn sink_lock() -> std::sync::MutexGuard<'static, Option<CaptureState>> {
     // A worker that panicked mid-run poisons the lock; the sink's data is
     // append-only and stays coherent, so recover rather than cascade.
@@ -304,6 +327,9 @@ pub fn run_averaged(config: &SimConfig, repeats: u64) -> AveragedReport {
         }
         if parallel_epochs_override() {
             c.parallel_epochs = true;
+        }
+        if let Some(workers) = workers_override() {
+            c.workers = Some(workers);
         }
         World::new(c).run()
     });

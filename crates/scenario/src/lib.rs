@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod campaign;
 mod json;
 mod text;
 
@@ -63,6 +64,8 @@ use std::error::Error;
 use std::fmt;
 
 use manet_sim_engine::{SimTime, Timeline};
+
+pub use campaign::{CampaignSpec, JobSpec, CAMPAIGN_SCHEMA, MAX_CAMPAIGN_JOBS};
 
 /// Schema identifier, the first line of the text format and the `schema`
 /// field of the JSON document.

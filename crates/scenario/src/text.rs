@@ -27,15 +27,15 @@ use crate::{ChurnKind, LinkBlackout, NoiseBurst, Partition, Region, Scenario, Sc
 
 /// A token plus its 1-based character column in the source line.
 #[derive(Clone, Copy)]
-struct Field<'a> {
-    col: usize,
-    text: &'a str,
+pub(crate) struct Field<'a> {
+    pub(crate) col: usize,
+    pub(crate) text: &'a str,
 }
 
 /// Splits the code portion of a line (comment stripped) into
 /// whitespace-separated tokens, each tagged with its 1-based character
 /// column in the original line.
-fn fields_with_cols(code: &str) -> Vec<Field<'_>> {
+pub(crate) fn fields_with_cols(code: &str) -> Vec<Field<'_>> {
     let mut fields = Vec::new();
     let mut start: Option<usize> = None;
     for (byte, c) in code.char_indices() {

@@ -23,9 +23,10 @@ arguments every rule is active (fixture context) and the registry is empty
 unless --forks is given.
 
 Rules: nondeterministic-iteration, wall-clock, rng-fork-discipline,
-hot-path-alloc, pure-model-effect, float-event-key, shard-boundary (plus
-unknown-rule for bad allow directives). Suppress one diagnostic with
-`// simlint: allow(<rule>)` on the same line or the line above.";
+hot-path-alloc, pure-model-effect, float-event-key, shard-boundary,
+epoch-barrier, serve-loop-block (plus unknown-rule for bad allow
+directives). Suppress one diagnostic with `// simlint: allow(<rule>)` on
+the same line or the line above.";
 
 fn run() -> Result<usize, String> {
     let mut workspace = false;

@@ -45,6 +45,13 @@ pub const RULE_SHARD_BOUNDARY: &str = "shard-boundary";
 pub const RULE_EPOCH_BARRIER: &str = "epoch-barrier";
 /// A `simlint: allow(...)` directive naming a rule that does not exist.
 pub const RULE_UNKNOWN: &str = "unknown-rule";
+/// Functions annotated `#[cfg_attr(simlint, serve_loop)]` sit on the
+/// campaign server's session path, where the peer controls the input:
+/// no whole-stream slurps (`read_to_end`/`read_to_string`), no buffer
+/// growth without a visible bound (`MAX_*`/capacity mention in the fn),
+/// and no wall-clock reads — session behavior must be a function of the
+/// protocol bytes alone.
+pub const RULE_SERVE_LOOP: &str = "serve-loop-block";
 
 /// All rule ids, in diagnostic-documentation order.
 pub const ALL_RULES: &[&str] = &[
@@ -56,6 +63,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_FLOAT_KEY,
     RULE_SHARD_BOUNDARY,
     RULE_EPOCH_BARRIER,
+    RULE_SERVE_LOOP,
     RULE_UNKNOWN,
 ];
 
@@ -189,6 +197,7 @@ impl Linter {
         rule_pure_model_effect(file, &code, &mut raw);
         rule_shard_boundary(file, &code, &mut raw);
         rule_epoch_barrier(file, &code, &mut raw);
+        rule_serve_loop_block(file, &code, &mut raw);
         if ctx.sim && !ctx.test_target {
             rule_float_event_key(file, &code, &in_test, &mut raw);
         }
@@ -758,6 +767,88 @@ fn rule_epoch_barrier(file: &str, code: &[&Token], raw: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Serve-loop fns sit between a network peer and the scheduler: the
+/// peer chooses how many bytes arrive and when. Three hazards are
+/// banned. Whole-stream slurps (`read_to_end`/`read_to_string`) hand
+/// the peer an unbounded allocation; frame loops must read
+/// length-prefixed payloads and reject lengths over an explicit cap.
+/// Buffer growth (`push`/`extend`/`extend_from_slice`/`append`/
+/// `resize`) is allowed only when the fn visibly bounds it — some
+/// identifier in the body mentioning `MAX`/capacity; otherwise
+/// per-frame growth compounds across a session. And wall-clock reads
+/// are banned outright: session behavior must be a function of the
+/// protocol bytes, so pipe-mode replays and socket sessions behave
+/// identically.
+fn rule_serve_loop_block(file: &str, code: &[&Token], raw: &mut Vec<Diagnostic>) {
+    for (fn_name, start, end) in marked_fn_bodies(code, "serve_loop") {
+        let end = end.min(code.len());
+        // A bound mention anywhere in the body legitimizes growth calls:
+        // `MAX_FRAME_LEN`, `with_capacity`, `queue_capacity`, ...
+        let has_bound = (start..end).any(|i| {
+            ident_at(code, i).is_some_and(|name| name.contains("MAX") || name.contains("capacity"))
+        });
+        for i in start..end {
+            let Some(name) = ident_at(code, i) else {
+                continue;
+            };
+            let tok = code[i];
+            if (name == "Instant" || name == "SystemTime")
+                && is_punct(code, i + 1, ":")
+                && is_punct(code, i + 2, ":")
+                && matches!(ident_at(code, i + 3), Some("now" | "UNIX_EPOCH"))
+            {
+                raw.push(Diagnostic {
+                    file: file.to_string(),
+                    line: tok.line,
+                    col: tok.col,
+                    rule: RULE_SERVE_LOOP,
+                    message: format!(
+                        "`{name}` wall-clock read inside serve-loop fn `{fn_name}`; \
+                         session behavior must be a function of the protocol \
+                         bytes, not the host clock",
+                        name = tok.text
+                    ),
+                });
+                continue;
+            }
+            if i == 0 || !is_punct(code, i - 1, ".") || !is_punct(code, i + 1, "(") {
+                continue;
+            }
+            if name == "read_to_end" || name == "read_to_string" {
+                raw.push(Diagnostic {
+                    file: file.to_string(),
+                    line: tok.line,
+                    col: tok.col,
+                    rule: RULE_SERVE_LOOP,
+                    message: format!(
+                        "`.{name}(...)` slurps unbounded peer input inside \
+                         serve-loop fn `{fn_name}`; read length-prefixed frames \
+                         and reject lengths over an explicit cap"
+                    ),
+                });
+                continue;
+            }
+            if matches!(
+                name,
+                "push" | "extend" | "extend_from_slice" | "append" | "resize"
+            ) && !has_bound
+            {
+                raw.push(Diagnostic {
+                    file: file.to_string(),
+                    line: tok.line,
+                    col: tok.col,
+                    rule: RULE_SERVE_LOOP,
+                    message: format!(
+                        "`.{name}(...)` grows a buffer inside serve-loop fn \
+                         `{fn_name}` with no visible bound (no MAX_*/capacity \
+                         mention in the fn); peer-driven growth must be capped"
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// Method calls that make a function effectful: RNG draws, event-queue
 /// scheduling/cancellation, and `Medium` mutation. The scan looks for
 /// `.name(` receivers, so type paths and doc text never fire.
@@ -1083,6 +1174,44 @@ mod tests {
         // RNG draw, global counter, Medium mutation fire; the shard's own
         // queue operations (schedule_seq/cancel) are the drain's job.
         assert_eq!(fired, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn serve_loop_fires_on_slurps_growth_and_wall_clock() {
+        let diags = lint_sim(
+            "fn anywhere(&mut self) { self.buf.read_to_end(&mut v); }\n\
+             #[cfg_attr(simlint, serve_loop)]\n\
+             fn session(&mut self, input: &mut R) {\n\
+                 input.read_to_end(&mut self.buf);\n\
+                 input.read_to_string(&mut self.text);\n\
+                 self.frames.push(frame);\n\
+                 let t = Instant::now();\n\
+             }\n",
+        );
+        let fired: Vec<u32> = diags
+            .iter()
+            .filter(|d| d.rule == RULE_SERVE_LOOP)
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(fired, vec![4, 5, 6, 7], "unmarked fns never fire");
+    }
+
+    #[test]
+    fn serve_loop_growth_passes_with_a_visible_bound() {
+        let diags = lint_sim(
+            "#[cfg_attr(simlint, serve_loop)]\n\
+             fn read_frame(&mut self) {\n\
+                 if len > MAX_FRAME_LEN { return Err(too_big(len)); }\n\
+                 self.buf.resize(len, 0);\n\
+                 self.frames.push(frame);\n\
+             }\n\
+             #[cfg_attr(simlint, serve_loop)]\n\
+             fn admit(&mut self, jobs: Vec<Job>) {\n\
+                 let mut out = Vec::with_capacity(jobs.len());\n\
+                 out.extend(jobs);\n\
+             }\n",
+        );
+        assert!(diags.iter().all(|d| d.rule != RULE_SERVE_LOOP), "{diags:?}");
     }
 
     #[test]

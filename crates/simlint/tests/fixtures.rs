@@ -10,7 +10,7 @@ use simlint::forks::ForkRegistry;
 use simlint::lint_paths;
 use simlint::rules::{
     RULE_EPOCH_BARRIER, RULE_FLOAT_KEY, RULE_FORK, RULE_HOT_PATH, RULE_NONDET_ITER,
-    RULE_PURE_MODEL, RULE_SHARD_BOUNDARY, RULE_UNKNOWN, RULE_WALL_CLOCK,
+    RULE_PURE_MODEL, RULE_SERVE_LOOP, RULE_SHARD_BOUNDARY, RULE_UNKNOWN, RULE_WALL_CLOCK,
 };
 
 fn fixtures_dir() -> PathBuf {
@@ -103,6 +103,9 @@ fn bad_fixtures_fire_exactly_their_rules() {
         ("hot_path.rs", &[RULE_HOT_PATH]),
         ("iteration.rs", &[RULE_NONDET_ITER]),
         ("pure_model.rs", &[RULE_PURE_MODEL]),
+        // The wall-clock read inside the marked fn trips both the
+        // serve-loop rule and the crate-level wall-clock rule.
+        ("serve_loop.rs", &[RULE_SERVE_LOOP, RULE_WALL_CLOCK]),
         ("shard_merge.rs", &[RULE_SHARD_BOUNDARY]),
         ("unknown_rule.rs", &[RULE_UNKNOWN]),
         ("wall_clock.rs", &[RULE_WALL_CLOCK]),

@@ -1,0 +1,17 @@
+//! Seeded violations: a serve loop that trusts its peer. The
+//! whole-stream slurps hand the client an unbounded allocation, the
+//! per-frame push grows with no visible bound, and the wall-clock read
+//! makes session behavior depend on the host instead of the protocol.
+
+#[cfg_attr(simlint, serve_loop)]
+pub fn session(input: &mut impl Read, state: &mut Session) -> io::Result<()> {
+    let mut raw = Vec::new();
+    input.read_to_end(&mut raw)?;
+    let mut text = String::new();
+    input.read_to_string(&mut text)?;
+    for frame in decode_all(&raw) {
+        state.frames.push(frame);
+    }
+    state.started = Instant::now();
+    Ok(())
+}

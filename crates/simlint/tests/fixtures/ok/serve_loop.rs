@@ -1,0 +1,30 @@
+//! A disciplined serve-loop frame reader: the payload length is checked
+//! against an explicit cap before any allocation, the buffer resize is
+//! bounded by that cap, and nothing reads the host clock — the session
+//! is a pure function of the protocol bytes.
+
+const MAX_FRAME_LEN: usize = 256 << 20;
+
+#[cfg_attr(simlint, serve_loop)]
+pub fn read_frame(input: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<Frame> {
+    let mut prefix = [0u8; 4];
+    input.read_exact(&mut prefix)?;
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(bad_length(len));
+    }
+    buf.resize(len, 0);
+    input.read_exact(buf)?;
+    Frame::decode(buf)
+}
+
+#[cfg_attr(simlint, serve_loop)]
+pub fn admit(queue: &Queue, jobs: Vec<Job>) -> Reply {
+    let mut accepted = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        if queue.depth() + accepted.len() < queue.capacity() {
+            accepted.push(job);
+        }
+    }
+    Reply::accepted(accepted)
+}

@@ -1,0 +1,278 @@
+//! `manet-client` — submit a campaign to `manet-sim serve` and stream
+//! the results.
+//!
+//! ```text
+//! manet-client --campaign examples/campaigns/bakeoff_quick.txt --out results/
+//! manet-client --campaign sweep.txt --socket /tmp/manet.sock
+//! manet-client --campaign sweep.txt --cancel-after 5 --out partial/
+//! ```
+//!
+//! By default the client spawns its sibling `manet-sim` binary in
+//! `serve --pipe` mode and talks MCMP over the child's stdin/stdout, so
+//! a single command runs a whole campaign with no setup. `--socket`
+//! connects to an already-running server instead. Each completed job's
+//! `manet-broadcast-metrics/1` document lands in `<out>/<label>.json`
+//! the moment it streams in.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use manet_broadcast::campaign::{load_campaign, run_session, ClientReport, SessionOptions};
+
+const USAGE: &str = "\
+usage: manet-client --campaign FILE [options]
+
+options:
+  --campaign FILE       campaign script to submit (manet-campaign/1);
+                        scenario paths resolve relative to this file
+  --out DIR             directory for per-job metrics JSONs
+                        (default campaign-out)
+  --socket PATH         connect to a manet-sim serve Unix socket instead
+                        of spawning a server
+  --server CMD          server binary to spawn in pipe mode (default:
+                        the manet-sim next to this executable)
+  --workers N           forwarded to the spawned server
+  --queue-capacity N    forwarded to the spawned server
+  --cancel-after N      send a cancel once N job results have arrived
+                        (drains in-flight jobs, flushes partial results)
+  --quiet               suppress per-job progress on stderr
+  -h, --help            show this help
+";
+
+#[derive(Debug)]
+struct Options {
+    campaign: PathBuf,
+    session: SessionOptions,
+    socket: Option<String>,
+    server: Option<String>,
+    workers: Option<u32>,
+    queue_capacity: Option<u32>,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut campaign: Option<PathBuf> = None;
+    let mut out_dir = PathBuf::from("campaign-out");
+    let mut socket: Option<String> = None;
+    let mut server: Option<String> = None;
+    let mut workers: Option<u32> = None;
+    let mut queue_capacity: Option<u32> = None;
+    let mut cancel_after: Option<u64> = None;
+    let mut quiet = false;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--campaign" => campaign = Some(PathBuf::from(value("--campaign")?)),
+            "--out" => out_dir = PathBuf::from(value("--out")?),
+            "--socket" => socket = Some(value("--socket")?),
+            "--server" => server = Some(value("--server")?),
+            "--workers" => {
+                workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("bad --workers: {e}"))?,
+                )
+            }
+            "--queue-capacity" => {
+                queue_capacity = Some(
+                    value("--queue-capacity")?
+                        .parse()
+                        .map_err(|e| format!("bad --queue-capacity: {e}"))?,
+                )
+            }
+            "--cancel-after" => {
+                cancel_after = Some(
+                    value("--cancel-after")?
+                        .parse()
+                        .map_err(|e| format!("bad --cancel-after: {e}"))?,
+                )
+            }
+            "--quiet" => quiet = true,
+            "-h" | "--help" => return Ok(None),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    let campaign = campaign.ok_or("--campaign is required")?;
+    if socket.is_some() && (server.is_some() || workers.is_some() || queue_capacity.is_some()) {
+        return Err("--socket connects to a running server; drop the spawn flags".into());
+    }
+    Ok(Some(Options {
+        campaign,
+        session: SessionOptions {
+            out_dir,
+            cancel_after,
+            quiet,
+        },
+        socket,
+        server,
+        workers,
+        queue_capacity,
+    }))
+}
+
+/// The manet-sim binary shipped next to this one — the default server.
+fn sibling_server() -> Result<PathBuf, String> {
+    let me = std::env::current_exe().map_err(|e| format!("cannot locate this binary: {e}"))?;
+    let dir = me.parent().ok_or("cannot locate this binary's directory")?;
+    let sibling = dir.join(format!("manet-sim{}", std::env::consts::EXE_SUFFIX));
+    if sibling.is_file() {
+        Ok(sibling)
+    } else {
+        Err(format!(
+            "no manet-sim next to this binary ({}); pass --server or --socket",
+            sibling.display()
+        ))
+    }
+}
+
+fn run(options: &Options) -> Result<ClientReport, String> {
+    let (name, jobs) = load_campaign(&options.campaign)
+        .map_err(|e| format!("{}: {e}", options.campaign.display()))?;
+    if !options.session.quiet {
+        eprintln!("manet-client: submitting '{name}' ({} jobs)", jobs.len());
+    }
+
+    if let Some(path) = &options.socket {
+        let stream = std::os::unix::net::UnixStream::connect(path)
+            .map_err(|e| format!("cannot connect to {path}: {e}"))?;
+        let input = stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone socket: {e}"))?;
+        return run_session(input, stream, &name, jobs, &options.session)
+            .map_err(|e| e.to_string());
+    }
+
+    let server = match &options.server {
+        Some(cmd) => PathBuf::from(cmd),
+        None => sibling_server()?,
+    };
+    let mut command = std::process::Command::new(&server);
+    command.arg("serve").arg("--pipe");
+    if let Some(workers) = options.workers {
+        command.arg("--workers").arg(workers.to_string());
+    }
+    if let Some(capacity) = options.queue_capacity {
+        command.arg("--queue-capacity").arg(capacity.to_string());
+    }
+    let mut child = command
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("cannot spawn {}: {e}", server.display()))?;
+    let child_stdin = child.stdin.take().expect("piped stdin");
+    let child_stdout = child.stdout.take().expect("piped stdout");
+
+    let report = run_session(child_stdout, child_stdin, &name, jobs, &options.session);
+    let status = child
+        .wait()
+        .map_err(|e| format!("server did not exit: {e}"))?;
+    let report = report.map_err(|e| e.to_string())?;
+    if !status.success() {
+        return Err(format!("server exited with {status}"));
+    }
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(Some(options)) => options,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&options) {
+        Ok(report) => {
+            println!(
+                "campaign #{}: {} completed, {} cancelled, {} failed; {} metrics files in {}",
+                report.campaign,
+                report.counts.completed,
+                report.counts.cancelled,
+                report.counts.failed,
+                report.metrics_written,
+                options.session.out_dir.display(),
+            );
+            if report.counts.failed > 0 {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn campaign_is_required() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&args(&["--out", "d"])).is_err());
+    }
+
+    #[test]
+    fn full_command_line_parses() {
+        let options = parse_args(&args(&[
+            "--campaign",
+            "c.txt",
+            "--out",
+            "results",
+            "--workers",
+            "2",
+            "--queue-capacity",
+            "4096",
+            "--cancel-after",
+            "10",
+            "--quiet",
+        ]))
+        .expect("parses")
+        .expect("not help");
+        assert_eq!(options.campaign, PathBuf::from("c.txt"));
+        assert_eq!(options.session.out_dir, PathBuf::from("results"));
+        assert_eq!(options.workers, Some(2));
+        assert_eq!(options.queue_capacity, Some(4096));
+        assert_eq!(options.session.cancel_after, Some(10));
+        assert!(options.session.quiet);
+    }
+
+    #[test]
+    fn socket_and_spawn_flags_conflict() {
+        assert!(parse_args(&args(&[
+            "--campaign",
+            "c.txt",
+            "--socket",
+            "/tmp/s",
+            "--workers",
+            "2",
+        ]))
+        .is_err());
+        let options = parse_args(&args(&["--campaign", "c.txt", "--socket", "/tmp/s"]))
+            .expect("parses")
+            .expect("not help");
+        assert_eq!(options.socket.as_deref(), Some("/tmp/s"));
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert!(parse_args(&args(&["--help"])).unwrap().is_none());
+    }
+}

@@ -11,10 +11,11 @@
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
+use manet_broadcast::campaign::{serve, ServerConfig};
 use manet_broadcast::core::trace::NoopObserver;
 use manet_broadcast::{
-    AreaThreshold, CaptureConfig, CounterThreshold, DynamicHelloParams, HelloIntervalPolicy,
-    MobilitySpec, NeighborInfo, Scenario, SchemeSpec, SimConfig, SimDuration, SimTime, World,
+    CaptureConfig, DynamicHelloParams, HelloIntervalPolicy, MobilitySpec, NeighborInfo, Scenario,
+    SchemeSpec, SimConfig, SimDuration, SimTime, World,
 };
 
 const USAGE: &str = "\
@@ -46,6 +47,9 @@ options:
                         bounded by the carrier-sense horizon; same
                         decisions and counts as sequential, but event
                         interleaving (and so byte-identity) is waived
+  --workers N           pool threads for sharded execution (default:
+                        cores - 1, capped by the shard count; 0 forces
+                        inline); execution-only, never changes results
   --profile             measure event-loop wall time per event kind
   --snapshot-at T_NS    pause at T_NS simulated nanoseconds, write a
                         checkpoint (requires --snapshot-out), continue
@@ -55,6 +59,28 @@ options:
   --record TRACE        record every dispatched action to TRACE (MTRC)
   --replay TRACE        replay TRACE through the pure models alone and
                         verify every recorded decision (standalone mode)
+  -h, --help            show this help
+
+subcommands:
+  serve                 run as a campaign job server (manet-sim serve
+                        --help for its options)
+";
+
+const SERVE_USAGE: &str = "\
+usage: manet-sim serve [options]
+
+Runs the campaign job server: clients submit campaigns of scenario jobs
+over the MCMP v1 binary protocol and stream back per-job metrics
+documents as they complete (see manet-client).
+
+options:
+  --pipe                serve one session on stdin/stdout (default);
+                        all human-readable output goes to stderr
+  --socket PATH         listen on a Unix socket instead, serving
+                        connections until a client sends Shutdown
+  --workers N           scheduler pool threads (default: cores - 1;
+                        0 runs jobs inline)
+  --queue-capacity N    max queued jobs across campaigns (default 65536)
   -h, --help            show this help
 ";
 
@@ -72,36 +98,7 @@ struct Options {
 }
 
 fn parse_scheme(s: &str) -> Result<SchemeSpec, String> {
-    if let Some((kind, arg)) = s.split_once(':') {
-        return match kind {
-            "counter" => arg
-                .parse::<u32>()
-                .map(SchemeSpec::Counter)
-                .map_err(|e| format!("bad counter threshold '{arg}': {e}")),
-            "distance" => arg
-                .parse::<f64>()
-                .map(SchemeSpec::Distance)
-                .map_err(|e| format!("bad distance threshold '{arg}': {e}")),
-            "location" => arg
-                .parse::<f64>()
-                .map(SchemeSpec::Location)
-                .map_err(|e| format!("bad coverage threshold '{arg}': {e}")),
-            other => Err(format!("unknown parameterized scheme '{other}'")),
-        };
-    }
-    match s {
-        "flooding" => Ok(SchemeSpec::Flooding),
-        "ac" => Ok(SchemeSpec::AdaptiveCounter(
-            CounterThreshold::paper_recommended(),
-        )),
-        "al" => Ok(SchemeSpec::AdaptiveLocation(
-            AreaThreshold::paper_recommended(),
-        )),
-        "nc" => Ok(SchemeSpec::NeighborCoverage),
-        other => Err(format!(
-            "unknown scheme '{other}' (try flooding, counter:2, ac, al, nc)"
-        )),
-    }
+    SchemeSpec::parse(s)
 }
 
 fn parse_hello(s: &str) -> Result<NeighborInfo, String> {
@@ -147,6 +144,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut profile = false;
     let mut shards = 1u32;
     let mut parallel_epochs = false;
+    let mut workers: Option<u32> = None;
     let mut snapshot_at: Option<u64> = None;
     let mut snapshot_out: Option<String> = None;
     let mut resume: Option<String> = None;
@@ -212,6 +210,13 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 }
             }
             "--parallel-epochs" => parallel_epochs = true,
+            "--workers" => {
+                workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("bad --workers: {e}"))?,
+                )
+            }
             "--snapshot-at" => {
                 snapshot_at = Some(
                     value("--snapshot-at")?
@@ -258,6 +263,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         .profile_events(profile)
         .shards(shards)
         .parallel_epochs(parallel_epochs);
+    if let Some(workers) = workers {
+        builder = builder.workers(workers);
+    }
     if let Some(scenario) = scenario {
         builder = builder.scenario(scenario);
     }
@@ -318,8 +326,93 @@ fn per_broadcast_csv(report: &manet_broadcast::SimReport) -> String {
     out
 }
 
+/// Serve-mode options: the transport plus the server's tuning knobs.
+#[derive(Debug)]
+struct ServeOptions {
+    socket: Option<String>,
+    config: ServerConfig,
+}
+
+fn parse_serve_args(args: &[String]) -> Result<Option<ServeOptions>, String> {
+    let mut socket: Option<String> = None;
+    let mut config = ServerConfig::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--pipe" => socket = None,
+            "--socket" => socket = Some(value("--socket")?),
+            "--workers" => {
+                config.workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("bad --workers: {e}"))?,
+                )
+            }
+            "--queue-capacity" => {
+                config.queue_capacity = value("--queue-capacity")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue-capacity: {e}"))?;
+                if config.queue_capacity == 0 {
+                    return Err("bad --queue-capacity: need room for at least one job".into());
+                }
+            }
+            "-h" | "--help" => return Ok(None),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(Some(ServeOptions { socket, config }))
+}
+
+fn serve_main(args: &[String]) -> ExitCode {
+    let options = match parse_serve_args(args) {
+        Ok(Some(options)) => options,
+        Ok(None) => {
+            println!("{SERVE_USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n\n{SERVE_USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match &options.socket {
+        Some(path) => {
+            manet_broadcast::campaign::serve_unix(std::path::Path::new(path), &options.config)
+        }
+        None => {
+            // Pipe mode: stdout carries MCMP frames, so every human-facing
+            // line goes to stderr.
+            serve(std::io::stdin(), std::io::stdout(), &options.config).map(|summary| {
+                eprintln!(
+                    "manet-sim serve: session done: {} campaigns, {} jobs ({} completed, {} cancelled, {} failed)",
+                    summary.campaigns,
+                    summary.jobs.total,
+                    summary.jobs.completed,
+                    summary.jobs.cancelled,
+                    summary.jobs.failed,
+                );
+            })
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve_main(&args[1..]);
+    }
     let options = match parse_args(&args) {
         Ok(Some(options)) => options,
         Ok(None) => {
@@ -578,6 +671,43 @@ mod tests {
             parse_args(&args(&["--shards", "0"])).is_err(),
             "zero shards rejected at parse time"
         );
+    }
+
+    #[test]
+    fn workers_flag_parses() {
+        let options = parse_args(&args(&["--shards", "4", "--workers", "2"]))
+            .expect("parses")
+            .expect("not help");
+        assert_eq!(options.config.workers, Some(2));
+        let options = parse_args(&[]).expect("parses").expect("not help");
+        assert_eq!(options.config.workers, None, "default auto-detects");
+        assert!(parse_args(&args(&["--workers", "x"])).is_err());
+    }
+
+    #[test]
+    fn serve_arguments_parse() {
+        let options = parse_serve_args(&[]).expect("parses").expect("not help");
+        assert!(options.socket.is_none(), "pipe mode is the default");
+        assert_eq!(options.config.workers, None);
+        assert_eq!(options.config.queue_capacity, 65_536);
+
+        let options = parse_serve_args(&args(&[
+            "--socket",
+            "/tmp/manet.sock",
+            "--workers",
+            "3",
+            "--queue-capacity",
+            "128",
+        ]))
+        .expect("parses")
+        .expect("not help");
+        assert_eq!(options.socket.as_deref(), Some("/tmp/manet.sock"));
+        assert_eq!(options.config.workers, Some(3));
+        assert_eq!(options.config.queue_capacity, 128);
+
+        assert!(parse_serve_args(&args(&["--help"])).unwrap().is_none());
+        assert!(parse_serve_args(&args(&["--queue-capacity", "0"])).is_err());
+        assert!(parse_serve_args(&args(&["--map", "5"])).is_err());
     }
 
     #[test]

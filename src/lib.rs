@@ -15,6 +15,7 @@
 //! * [`phy`] — the radio medium and unit-disk topology.
 //! * [`mac`] — the IEEE 802.11 DCF broadcast MAC.
 //! * [`net`] — HELLO beaconing and neighbor tables.
+//! * [`campaign`] — the `manet-sim serve` campaign job service.
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -35,6 +36,7 @@
 //! ```
 
 pub use broadcast_core as core;
+pub use manet_campaign as campaign;
 pub use manet_geom as geom;
 pub use manet_mac as mac;
 pub use manet_mobility as mobility;
