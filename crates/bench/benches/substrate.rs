@@ -154,6 +154,41 @@ fn mobility_advance(s: &mut Suite) {
     });
 }
 
+fn simlint_workspace(s: &mut Suite) {
+    // End-to-end lint of the real workspace: lex, parse, symbol table,
+    // call graph, propagation, lock-order, fork-escape. The lint runs in
+    // tier-1 CI on every PR, so its wall-clock is a substrate the same
+    // way the event queue is. Sources are read once outside the timed
+    // region; the bench times analysis, not disk.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("bench crate lives two levels below the workspace root")
+        .to_path_buf();
+    let forks_text = std::fs::read_to_string(root.join("FORKS.md")).expect("FORKS.md");
+    let locks_text = std::fs::read_to_string(root.join("LOCKS.md")).expect("LOCKS.md");
+    let files: Vec<(String, String)> = simlint::workspace_files(&root)
+        .expect("workspace scan")
+        .into_iter()
+        .map(|rel| {
+            let label = rel.to_string_lossy().replace('\\', "/");
+            let source = std::fs::read_to_string(root.join(&rel)).expect("read source");
+            (label, source)
+        })
+        .collect();
+    s.bench("simlint_workspace", || {
+        let forks = simlint::ForkRegistry::parse("FORKS.md", &forks_text);
+        let locks = simlint::LockRegistry::parse("LOCKS.md", &locks_text);
+        let mut linter = simlint::Linter::new(forks, locks);
+        for (label, source) in &files {
+            let ctx = simlint::CrateContext::for_workspace_path(label);
+            linter.lint_file(label, source, &ctx);
+        }
+        linter.finish(true);
+        black_box(linter.diagnostics.len())
+    });
+}
+
 fn main() {
     let mut suite = Suite::from_args("substrate");
     event_queue_throughput(&mut suite);
@@ -162,5 +197,6 @@ fn main() {
     mac_state_machine(&mut suite);
     medium_collisions(&mut suite);
     mobility_advance(&mut suite);
+    simlint_workspace(&mut suite);
     suite.finish();
 }

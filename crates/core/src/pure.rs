@@ -24,7 +24,7 @@
 
 use manet_geom::{CoverageGrid, Vec2};
 use manet_mac::FrameHandle;
-use manet_net::{HelloIntervalPolicy, NeighborTable, VariationTracker};
+use manet_net::{HelloIntervalPolicy, MembershipChange, NeighborTable, VariationTracker};
 use manet_phy::NodeId;
 use manet_sim_engine::{EventKey, SimDuration, SimTime};
 
@@ -376,6 +376,9 @@ pub struct PureModels {
     // hot path does not allocate).
     scratch_neighbors: Vec<NodeId>,
     scratch_sender_neighbors: Vec<NodeId>,
+    /// Scratch for expiry sweeps and deactivation drains, same reuse idea.
+    scratch_changes: Vec<MembershipChange>,
+    scratch_handles: Vec<FrameHandle>,
 }
 
 impl PureModels {
@@ -400,6 +403,8 @@ impl PureModels {
             suppression: SuppressionCounts::default(),
             scratch_neighbors: Vec::new(),
             scratch_sender_neighbors: Vec::new(),
+            scratch_changes: Vec::new(),
+            scratch_handles: Vec::new(),
         }
     }
 
@@ -484,13 +489,16 @@ impl PureModels {
             }
             PureAction::Deactivate { node, crash } => {
                 let i = node.index();
+                // The key list moves into the AbandonAssessments effect
+                // below, so it cannot reuse a scratch buffer; Deactivate
+                // fires on churn, not per packet.
+                // simlint: allow(hot-path-alloc) — churn-rate, moves into fx
                 let mut keys = Vec::new();
-                let mut handles = Vec::new();
-                self.ledgers[i].drain_active(&mut keys, &mut handles);
-                // MAC-queued rebroadcasts (`handles`) need no effect of
-                // their own: the dispatcher's MAC-queue sweep covers every
+                self.scratch_handles.clear();
+                self.ledgers[i].drain_active(&mut keys, &mut self.scratch_handles);
+                // MAC-queued rebroadcasts (`scratch_handles`) need no effect
+                // of their own: the dispatcher's MAC-queue sweep covers every
                 // queued frame, HELLOs included.
-                drop(handles);
                 if !keys.is_empty() {
                     fx.push(Effect::AbandonAssessments { keys });
                 }
@@ -653,12 +661,13 @@ impl PureModels {
     #[cfg_attr(simlint, pure_model)]
     fn expire_neighbors(&mut self, node: NodeId, now: SimTime, fx: &mut Vec<Effect>) {
         let i = node.index();
-        let mut changed = false;
-        for _leave in self.tables[i].expire(now) {
+        self.scratch_changes.clear();
+        self.tables[i].expire_into(now, &mut self.scratch_changes);
+        let leaves = self.scratch_changes.len();
+        for _ in 0..leaves {
             self.trackers[i].record_change(now);
-            changed = true;
         }
-        if changed {
+        if leaves > 0 {
             self.push_accelerate(node, now, fx);
         }
     }

@@ -38,6 +38,8 @@ impl LocationScheme {
     pub fn new(threshold: AreaThreshold) -> Self {
         LocationScheme {
             threshold,
+            // `Vec::new` reserves no heap; the set fills on first hear.
+            // simlint: allow(hot-path-alloc) — per-packet policy state
             uncovered: Vec::new(),
             total: 0,
         }

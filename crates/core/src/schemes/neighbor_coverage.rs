@@ -50,7 +50,9 @@ impl NeighborCoverageScheme {
 
 impl RebroadcastPolicy for NeighborCoverageScheme {
     fn on_first_hear(&mut self, ctx: &HearContext<'_>) -> FirstDecision {
-        // S1: T = N_x − N_{x,h} − {h}.
+        // S1: T = N_x − N_{x,h} − {h}. Building T is the scheme's own
+        // bookkeeping, once per (host, packet) first hear.
+        // simlint: allow(hot-path-alloc) — per-packet policy state
         self.pending = ctx.neighbors.iter().copied().collect();
         self.subtract_sender(ctx);
         if self.pending.is_empty() {

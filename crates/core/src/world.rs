@@ -612,13 +612,18 @@ impl World {
             if let Some(next) = mobility.next_change() {
                 queue.schedule(next, Event::MobilityTurn { node: id });
             }
-            let hello_pending = hellos_enabled.then(|| {
+            // An `if` rather than `bool::then(|| ..)`: handing a closure
+            // that captures `proto_rng` to std would hide the draw from
+            // simlint's fork-escape analysis.
+            let hello_pending = if hellos_enabled {
                 // Random initial phase so beacons do not synchronize.
                 let first =
                     proto_rng.gen_duration_up_to(manet_sim_engine::SimDuration::from_secs(1));
                 let at = SimTime::ZERO + first;
-                (queue.schedule(at, Event::HelloTimer { node: id }), at)
-            });
+                Some((queue.schedule(at, Event::HelloTimer { node: id }), at))
+            } else {
+                None
+            };
             nodes.push(Node {
                 mobility,
                 mac: Dcf::new(root.fork(10_000 + i as u64)),

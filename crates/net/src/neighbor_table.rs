@@ -133,6 +133,9 @@ impl NeighborTable {
                 vacant.insert(NeighborEntry {
                     last_heard: now,
                     interval,
+                    // One allocation per newly-joined neighbor; steady-state
+                    // HELLOs take the occupied arm above and reuse the buffer.
+                    // simlint: allow(hot-path-alloc) — join-time only
                     neighbors: neighbors.to_vec(),
                 });
                 self.joins += 1;
@@ -152,14 +155,23 @@ impl NeighborTable {
     /// each relay happens to re-beacon, and the neighbor-coverage scheme
     /// keeps "covering" a ghost.
     pub fn expire(&mut self, now: SimTime) -> Vec<MembershipChange> {
+        let mut leaves = Vec::new();
+        self.expire_into(now, &mut leaves);
+        leaves
+    }
+
+    /// Allocation-free form of [`expire`](Self::expire): appends the
+    /// leave events to `leaves` so steady-state callers can reuse one
+    /// buffer across the whole run.
+    pub fn expire_into(&mut self, now: SimTime, leaves: &mut Vec<MembershipChange>) {
         match self.min_deadline {
             // Nothing can have expired yet: every deadline is at or past
             // the cached bound.
-            Some(bound) if now <= bound => return Vec::new(),
-            None => return Vec::new(),
+            Some(bound) if now <= bound => return,
+            None => return,
             Some(_) => {}
         }
-        let mut leaves = Vec::new();
+        let first = leaves.len();
         let mut next_bound: Option<SimTime> = None;
         self.entries.retain(|&id, entry| {
             let deadline = entry.last_heard + entry.interval * 2;
@@ -172,6 +184,7 @@ impl NeighborTable {
             }
         });
         self.min_deadline = next_bound;
+        let leaves = &mut leaves[first..];
         leaves.sort_by_key(|change| match change {
             MembershipChange::Left(id) | MembershipChange::Joined(id) => *id,
         });
@@ -190,7 +203,6 @@ impl NeighborTable {
             }
         }
         self.leaves += leaves.len() as u64;
-        leaves
     }
 
     /// Hosts that have ever joined this table (lifetime churn statistic).

@@ -73,7 +73,10 @@ impl<'a> Reader<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), ScenarioError> {
+    // Named to avoid shadowing `Option::expect`/`Result::expect`: a
+    // workspace method called `expect` makes every `.expect("...")` in
+    // the workspace ambiguous to simlint's name-based call resolution.
+    fn expect_byte(&mut self, byte: u8) -> Result<(), ScenarioError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -106,7 +109,7 @@ impl<'a> Reader<'a> {
     }
 
     fn object(&mut self) -> Result<Json, ScenarioError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -117,7 +120,7 @@ impl<'a> Reader<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             members.push((key, self.value()?));
             self.skip_ws();
             match self.peek() {
@@ -132,7 +135,7 @@ impl<'a> Reader<'a> {
     }
 
     fn array(&mut self) -> Result<Json, ScenarioError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -154,7 +157,7 @@ impl<'a> Reader<'a> {
     }
 
     fn string(&mut self) -> Result<String, ScenarioError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {

@@ -12,28 +12,41 @@
 //! | `nondeterministic-iteration` | no default-hasher `HashMap`/`HashSet` in sim crates |
 //! | `wall-clock` | no `Instant`/`SystemTime` reads outside bench/testkit |
 //! | `rng-fork-discipline` | literal `fork(N)` streams registered in `FORKS.md`, unique per crate |
-//! | `hot-path-alloc` | `#[cfg_attr(simlint, hot_path)]` fns free of allocating constructs |
-//! | `pure-model-effect` | `#[cfg_attr(simlint, pure_model)]` fns free of RNG, queue, and Medium effects |
+//! | `hot-path-alloc` | `#[cfg_attr(simlint, hot_path)]` fns — and everything they reach — free of allocating constructs |
+//! | `pure-model-effect` | `#[cfg_attr(simlint, pure_model)]` fns — and everything they reach — free of RNG, queue, and Medium effects |
 //! | `float-event-key` | no `f32`/`f64` fields in `Ord`/`PartialOrd` types in sim crates |
-//! | `shard-boundary` | `#[cfg_attr(simlint, shard_merge)]` fns free of `HashMap`/`HashSet` |
+//! | `shard-boundary` | `#[cfg_attr(simlint, shard_merge)]` fns — and everything they reach — free of `HashMap`/`HashSet` |
+//! | `epoch-barrier` | `#[cfg_attr(simlint, epoch_shard)]` fns free of RNG draws, `event_seq`, `Medium` mutation (globals checked transitively) |
+//! | `serve-loop-block` | `#[cfg_attr(simlint, serve_loop)]` fns free of slurps, unbounded growth, wall clock |
+//! | `lock-order` | `.lock()`/`.read()`/`.write()` acquisition graph acyclic and ranked per `LOCKS.md` |
+//! | `fork-escape` | literal `fork(N)` handles never flow into non-workspace functions |
+//! | `unused-allow` | every allow directive suppresses something |
 //!
 //! Diagnostics are deny-by-default with `file:line:col` spans; a
-//! `// simlint: allow(<rule>)` comment on the offending line or the line
-//! above suppresses exactly one diagnostic, and unknown rule names in a
-//! directive are themselves an error (`unknown-rule`).
+//! `// simlint: allow(<rule>, ...)` comment on the offending line or the
+//! line above suppresses exactly one diagnostic per listed rule, and
+//! unknown rule names in a directive are themselves an error
+//! (`unknown-rule`).
 //!
-//! The analysis is token-based: a hand-rolled Rust lexer (strings, raw
-//! strings, char-vs-lifetime, nested block comments, numeric literals)
-//! guarantees that code samples inside strings or comments never
-//! false-positive. Zero dependencies, like everything else in the tree.
+//! The front end is a hand-rolled Rust lexer (strings, raw strings,
+//! char-vs-lifetime, nested block comments, numeric literals) so code
+//! samples inside strings or comments never false-positive; on top of it
+//! [`ast`] parses items and functions, [`graph`] builds the
+//! workspace-wide symbol table and call graph for transitive annotation
+//! propagation, and [`locks`] derives the lock-acquisition graph. Zero
+//! dependencies, like everything else in the tree.
 
 #![warn(missing_docs)]
 
+pub mod ast;
 pub mod forks;
+pub mod graph;
 pub mod lexer;
+pub mod locks;
 pub mod rules;
 
 pub use forks::ForkRegistry;
+pub use locks::LockRegistry;
 pub use rules::{CrateContext, Diagnostic, Linter, ALL_RULES};
 
 use std::path::{Path, PathBuf};
@@ -41,8 +54,11 @@ use std::path::{Path, PathBuf};
 /// Directories scanned inside the workspace root and inside each crate.
 const TARGET_DIRS: &[&str] = &["src", "tests", "examples", "benches"];
 
-/// Recursively collects `.rs` files under `dir`, skipping any directory
-/// named `fixtures` (the linter's own seeded-violation corpus).
+/// Recursively collects `.rs` files under `dir`. The linter's own
+/// seeded-violation corpus is excluded by explicit path rule: a
+/// directory named `fixtures` whose parent is named `tests` (i.e.
+/// `tests/fixtures/**`) is skipped; any other `fixtures` directory is
+/// linted like normal source.
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
         .filter_map(|e| e.ok().map(|e| e.path()))
@@ -50,7 +66,12 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     entries.sort();
     for path in entries {
         if path.is_dir() {
-            if path.file_name().is_some_and(|n| n == "fixtures") {
+            let is_fixture_corpus = path.file_name().is_some_and(|n| n == "fixtures")
+                && path
+                    .parent()
+                    .and_then(Path::file_name)
+                    .is_some_and(|n| n == "tests");
+            if is_fixture_corpus {
                 continue;
             }
             collect_rs(&path, out)?;
@@ -111,10 +132,15 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
     None
 }
 
-/// Lints the whole workspace under `root` against the registry, returning
-/// the sorted diagnostics. Stale fork-registry rows are errors here.
-pub fn lint_workspace(root: &Path, registry: ForkRegistry) -> std::io::Result<Vec<Diagnostic>> {
-    let mut linter = Linter::new(registry);
+/// Lints the whole workspace under `root` against the registries,
+/// returning the sorted diagnostics. Stale fork-registry rows and
+/// unregistered/stale locks are errors here.
+pub fn lint_workspace(
+    root: &Path,
+    forks: ForkRegistry,
+    locks: LockRegistry,
+) -> std::io::Result<Vec<Diagnostic>> {
+    let mut linter = Linter::new(forks, locks);
     for rel in workspace_files(root)? {
         let label = rel.to_string_lossy().replace('\\', "/");
         let source = std::fs::read_to_string(root.join(&rel))?;
@@ -127,8 +153,12 @@ pub fn lint_workspace(root: &Path, registry: ForkRegistry) -> std::io::Result<Ve
 
 /// Lints explicitly listed files in fixture context (every rule active;
 /// stale registry rows are not checked, since the file list is partial).
-pub fn lint_paths(paths: &[PathBuf], registry: ForkRegistry) -> std::io::Result<Vec<Diagnostic>> {
-    let mut linter = Linter::new(registry);
+pub fn lint_paths(
+    paths: &[PathBuf],
+    forks: ForkRegistry,
+    locks: LockRegistry,
+) -> std::io::Result<Vec<Diagnostic>> {
+    let mut linter = Linter::new(forks, locks);
     let ctx = CrateContext::fixture();
     for path in paths {
         let label = path.to_string_lossy().replace('\\', "/");

@@ -1,14 +1,34 @@
-//! The project-invariant rules, the allow-directive machinery, and
-//! the per-file lint driver.
+//! The project-invariant rules, the allow-directive machinery, and the
+//! two-phase lint driver.
 //!
 //! Every rule walks the comment-free code token stream from
 //! [`crate::lexer`]; comments are consulted only for
-//! `// simlint: allow(<rule>)` directives. Diagnostics carry 1-based
-//! `line:col` spans and a stable rule id, and deny by default: any
-//! diagnostic fails the build.
+//! `// simlint: allow(<rule>, ...)` directives. Diagnostics carry
+//! 1-based `line:col` spans and a stable rule id, and deny by default:
+//! any diagnostic fails the build.
+//!
+//! v2 runs in two phases. [`Linter::lint_file`] lexes, parses
+//! ([`crate::ast`]), and applies the *local* rules, storing the file's
+//! facts; [`Linter::finish`] then builds the workspace call graph
+//! ([`crate::graph`]) and runs the *transitive* analyses — annotation
+//! propagation (`hot_path`, `pure_model`, `shard_merge`, `epoch_shard`
+//! findings in any function reachable from an annotated one, with the
+//! propagation chain printed), [`crate::locks`] lock ordering, and
+//! `fork-escape` — before applying allow directives and flagging the
+//! unused ones. `serve_loop` is deliberately *not* propagated: its
+//! bounded-growth check keys off identifiers visible in the annotated
+//! fn's own body, and the session loops already confine peer input
+//! handling to the annotated fns. Likewise the RNG-draw half of the
+//! `epoch-barrier` rule stays direct-only: per-node streams drawn
+//! inside the node models a drain calls into are the sanctioned
+//! mechanism, so propagation checks callees only for the effects that
+//! are global no matter the receiver (`event_seq`, `Medium` mutation).
 
+use crate::ast::{parse_fields, parse_fns, FieldDef, ParsedFn};
 use crate::forks::ForkRegistry;
+use crate::graph::{Callee, FileView, Graph};
 use crate::lexer::{lex, Token, TokenKind};
+use crate::locks::{self, LockRegistry};
 use std::collections::BTreeMap;
 
 /// `HashMap`/`HashSet` with the default `RandomState`: iteration order is
@@ -20,31 +40,44 @@ pub const RULE_WALL_CLOCK: &str = "wall-clock";
 /// Literal `fork(N)` streams must be registered in `FORKS.md` and unique
 /// per crate, so new subsystems cannot collide with existing RNG streams.
 pub const RULE_FORK: &str = "rng-fork-discipline";
-/// Functions annotated `#[cfg_attr(simlint, hot_path)]` must not contain
-/// allocating constructs.
+/// Functions annotated `#[cfg_attr(simlint, hot_path)]` — and every
+/// workspace function reachable from one — must not contain allocating
+/// constructs.
 pub const RULE_HOT_PATH: &str = "hot-path-alloc";
-/// Functions annotated `#[cfg_attr(simlint, pure_model)]` must not draw
-/// RNG, touch the event queue, or mutate the `Medium`: every effect
-/// belongs to the dispatcher, so recorded traces replay through the pure
-/// models alone.
+/// Functions annotated `#[cfg_attr(simlint, pure_model)]` — and every
+/// workspace function reachable from one — must not draw RNG, touch the
+/// event queue, or mutate the `Medium`: every effect belongs to the
+/// dispatcher, so recorded traces replay through the pure models alone.
 pub const RULE_PURE_MODEL: &str = "pure-model-effect";
 /// Types deriving `Ord`/`PartialOrd` (candidate event-queue keys) must
 /// not contain `f32`/`f64` fields.
 pub const RULE_FLOAT_KEY: &str = "float-event-key";
 /// Functions annotated `#[cfg_attr(simlint, shard_merge)]` route or merge
-/// events across shard queues; any `HashMap`/`HashSet` there (default
-/// hasher or not) risks iteration order leaking into the global event
-/// order, which must stay a pure function of `(time, seq)`.
+/// events across shard queues; any `HashMap`/`HashSet` there — or in a
+/// function reachable from there — risks iteration order leaking into
+/// the global event order, which must stay a pure function of
+/// `(time, seq)`.
 pub const RULE_SHARD_BOUNDARY: &str = "shard-boundary";
 /// Functions annotated `#[cfg_attr(simlint, epoch_shard)]` run
 /// concurrently, one per shard, inside a parallel epoch. They must not
 /// mutate the shared `Medium`, draw from an RNG receiver (the global
 /// stream is not shard-safe; per-node streams live inside the node
 /// models), or touch the global `event_seq` counter — every global
-/// effect belongs after the epoch barrier.
+/// effect belongs after the epoch barrier. The `Medium`/`event_seq`
+/// half also applies transitively to every function a drain can reach.
 pub const RULE_EPOCH_BARRIER: &str = "epoch-barrier";
+/// Mutex/RwLock acquisition order: derived acquired-while-held edges
+/// must be acyclic and respect the ranks declared in `LOCKS.md`.
+pub const RULE_LOCK_ORDER: &str = "lock-order";
+/// A `let`-bound literal `fork(N)` RNG handle passed to a call that
+/// resolves to no workspace function: the stream leaves analyzed code
+/// and its draw discipline can no longer be checked.
+pub const RULE_FORK_ESCAPE: &str = "fork-escape";
 /// A `simlint: allow(...)` directive naming a rule that does not exist.
 pub const RULE_UNKNOWN: &str = "unknown-rule";
+/// An allow directive that suppressed nothing: stale allows hide future
+/// regressions and must be deleted (this rule cannot itself be allowed).
+pub const RULE_UNUSED_ALLOW: &str = "unused-allow";
 /// Functions annotated `#[cfg_attr(simlint, serve_loop)]` sit on the
 /// campaign server's session path, where the peer controls the input:
 /// no whole-stream slurps (`read_to_end`/`read_to_string`), no buffer
@@ -64,8 +97,14 @@ pub const ALL_RULES: &[&str] = &[
     RULE_SHARD_BOUNDARY,
     RULE_EPOCH_BARRIER,
     RULE_SERVE_LOOP,
+    RULE_LOCK_ORDER,
+    RULE_FORK_ESCAPE,
+    RULE_UNUSED_ALLOW,
     RULE_UNKNOWN,
 ];
+
+/// Markers whose rules propagate through the call graph.
+const PROPAGATED_MARKERS: &[&str] = &["hot_path", "pure_model", "shard_merge", "epoch_shard"];
 
 /// Crates whose state feeds event scheduling or report output; the
 /// iteration and float-key rules apply only here.
@@ -75,7 +114,9 @@ pub const SIM_CRATES: &[&str] = &["sim-engine", "phy", "mac", "net", "core", "sc
 /// harness measure real elapsed time).
 pub const WALL_CLOCK_EXEMPT: &[&str] = &["bench", "testkit"];
 
-/// One finding, printable as `file:line:col: error[rule]: message`.
+/// One finding, printable as `file:line:col: error[rule]: message`, with
+/// the propagation chain appended when the finding was reached through
+/// the call graph: `... (via core::world::advance → phy::medium::deliver)`.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Diagnostic {
     /// Path as given to the linter (workspace-relative in `--workspace`).
@@ -88,6 +129,22 @@ pub struct Diagnostic {
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
+    /// Call path from the annotated root to the function containing the
+    /// finding (`crate::file::fn` displays); empty for direct findings.
+    pub chain: Vec<String>,
+}
+
+impl Diagnostic {
+    fn new(file: &str, tok: &Token, rule: &'static str, message: String) -> Diagnostic {
+        Diagnostic {
+            file: file.to_string(),
+            line: tok.line,
+            col: tok.col,
+            rule,
+            message,
+            chain: Vec::new(),
+        }
+    }
 }
 
 impl std::fmt::Display for Diagnostic {
@@ -96,7 +153,11 @@ impl std::fmt::Display for Diagnostic {
             f,
             "{}:{}:{}: error[{}]: {}",
             self.file, self.line, self.col, self.rule, self.message
-        )
+        )?;
+        if !self.chain.is_empty() {
+            write!(f, " (via {})", self.chain.join(" → "))?;
+        }
+        Ok(())
     }
 }
 
@@ -149,37 +210,62 @@ impl CrateContext {
 struct Allow {
     rule: &'static str,
     line: u32,
+    col: u32,
     used: bool,
 }
 
-/// Cross-file lint state: the fork registry plus every literal fork call
-/// site seen so far.
+/// Everything [`Linter::finish`] needs from one linted file.
+struct FileFacts {
+    label: String,
+    ctx: CrateContext,
+    stem: String,
+    code: Vec<Token>,
+    fns: Vec<ParsedFn>,
+    fields: Vec<FieldDef>,
+    allows: Vec<Allow>,
+    /// Local-rule diagnostics, suppression not yet applied.
+    raw: Vec<Diagnostic>,
+}
+
+/// Cross-file lint state: the registries, every file's parsed facts, and
+/// — after [`Linter::finish`] — the final diagnostics.
 pub struct Linter {
-    registry: ForkRegistry,
+    forks: ForkRegistry,
+    locks: LockRegistry,
     /// `(crate, stream) -> (file, line)` of the first literal call site.
     fork_sites: BTreeMap<(String, u64), (String, u32)>,
-    /// Findings across all files linted so far.
+    files: Vec<FileFacts>,
+    /// Unknown-rule directives; never suppressible.
+    unknown: Vec<Diagnostic>,
+    /// Findings across all files, final after [`Linter::finish`].
     pub diagnostics: Vec<Diagnostic>,
 }
 
 impl Linter {
-    /// A linter enforcing against the given registry.
-    pub fn new(registry: ForkRegistry) -> Linter {
+    /// A linter enforcing against the given fork and lock registries.
+    pub fn new(forks: ForkRegistry, locks: LockRegistry) -> Linter {
         Linter {
-            registry,
+            forks,
+            locks,
             fork_sites: BTreeMap::new(),
+            files: Vec::new(),
+            unknown: Vec::new(),
             diagnostics: Vec::new(),
         }
     }
 
-    /// Lints one file's source text under the given crate context.
+    /// Phase one: lints one file's local rules and stores its facts for
+    /// the cross-file phase.
     pub fn lint_file(&mut self, file: &str, source: &str, ctx: &CrateContext) {
         let tokens = lex(source);
-        let (mut allows, unknown_diags) = parse_directives(file, &tokens);
-        let code: Vec<&Token> = tokens
-            .iter()
+        let (allows, unknown_diags) = parse_directives(file, &tokens);
+        self.unknown.extend(unknown_diags);
+        let code: Vec<Token> = tokens
+            .into_iter()
             .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
             .collect();
+        let fns = parse_fns(&code);
+        let fields = parse_fields(&code);
         let test_ranges = cfg_test_ranges(&code);
         let in_test = |i: usize| test_ranges.iter().any(|&(lo, hi)| lo <= i && i <= hi);
 
@@ -193,54 +279,143 @@ impl Linter {
         if !ctx.test_target {
             self.rule_fork_discipline(file, &code, ctx, &in_test, &mut raw);
         }
-        rule_hot_path_alloc(file, &code, &mut raw);
-        rule_pure_model_effect(file, &code, &mut raw);
-        rule_shard_boundary(file, &code, &mut raw);
-        rule_epoch_barrier(file, &code, &mut raw);
-        rule_serve_loop_block(file, &code, &mut raw);
+        for f in &fns {
+            let Some((start, end)) = f.body else {
+                continue;
+            };
+            for marker in &f.markers {
+                match marker.as_str() {
+                    "hot_path" => {
+                        for (i, construct) in alloc_findings(&code, start, end) {
+                            raw.push(Diagnostic::new(
+                                file,
+                                &code[i],
+                                RULE_HOT_PATH,
+                                format!(
+                                    "allocating construct `{construct}` inside hot-path fn \
+                                     `{}` (banned: {})",
+                                    f.name,
+                                    ALLOC_CONSTRUCTS.join(", ")
+                                ),
+                            ));
+                        }
+                    }
+                    "pure_model" => {
+                        for (i, what) in effect_findings(&code, start, end) {
+                            raw.push(Diagnostic::new(
+                                file,
+                                &code[i],
+                                RULE_PURE_MODEL,
+                                format!(
+                                    "`.{}(...)` is {what} inside pure-model fn `{}`; \
+                                     every effect must flow through the dispatcher so recorded \
+                                     traces replay through the pure models alone",
+                                    code[i].text, f.name
+                                ),
+                            ));
+                        }
+                    }
+                    "shard_merge" => {
+                        for i in shard_findings(&code, start, end) {
+                            raw.push(Diagnostic::new(
+                                file,
+                                &code[i],
+                                RULE_SHARD_BOUNDARY,
+                                format!(
+                                    "`{}` inside shard-merge fn `{}`: cross-shard \
+                                     routing and merging must never depend on hash-map \
+                                     iteration order — the merged event order is a pure \
+                                     function of (time, seq)",
+                                    code[i].text, f.name
+                                ),
+                            ));
+                        }
+                    }
+                    "epoch_shard" => {
+                        for (i, what) in epoch_findings(&code, start, end, true) {
+                            raw.push(epoch_direct_diag(file, &code, i, what, &f.name));
+                        }
+                    }
+                    "serve_loop" => {
+                        rule_serve_loop_block(file, &code, start, end, &f.name, &mut raw);
+                    }
+                    _ => {}
+                }
+            }
+        }
         if ctx.sim && !ctx.test_target {
             rule_float_event_key(file, &code, &in_test, &mut raw);
         }
 
-        raw.sort();
-        // A directive suppresses exactly one diagnostic of its rule, on
-        // the directive's own line or the line directly below it.
-        raw.retain(|diag| {
-            for allow in allows.iter_mut() {
-                if !allow.used
-                    && allow.rule == diag.rule
-                    && (allow.line == diag.line || allow.line + 1 == diag.line)
-                {
-                    allow.used = true;
-                    return false;
-                }
-            }
-            true
+        self.files.push(FileFacts {
+            label: file.to_string(),
+            ctx: ctx.clone(),
+            stem: file
+                .rsplit('/')
+                .next()
+                .unwrap_or(file)
+                .trim_end_matches(".rs")
+                .to_string(),
+            code,
+            fns,
+            fields,
+            allows,
+            raw,
         });
-        self.diagnostics.extend(raw);
-        // Unknown rule names are themselves errors and cannot be allowed.
-        self.diagnostics.extend(unknown_diags);
     }
 
-    /// Finishes the run: duplicate registry rows always fail; in
-    /// `check_stale` mode (the `--workspace` sweep) registered streams
-    /// with no call site fail too, so the table cannot rot.
+    /// Phase two: builds the workspace call graph, runs the transitive
+    /// analyses, applies allow directives, and flags unused ones.
+    /// Duplicate registry rows always fail; in `check_stale` mode (the
+    /// `--workspace` sweep) registered fork streams with no call site
+    /// and unregistered/stale locks fail too, so the tables cannot rot.
     pub fn finish(&mut self, check_stale: bool) {
-        for (line, krate, stream) in std::mem::take(&mut self.registry.duplicates) {
-            self.diagnostics.push(Diagnostic {
-                file: self.registry.path.clone(),
+        let mut all: Vec<Diagnostic> = Vec::new();
+        {
+            let views: Vec<FileView<'_>> = self
+                .files
+                .iter()
+                .map(|f| FileView {
+                    code: &f.code,
+                    fns: &f.fns,
+                    fields: &f.fields,
+                    file: &f.label,
+                    krate: &f.ctx.name,
+                    stem: &f.stem,
+                    test_target: f.ctx.test_target,
+                })
+                .collect();
+            let graph = Graph::build(&views);
+            for marker in PROPAGATED_MARKERS {
+                let roots = graph.roots(marker);
+                if roots.is_empty() {
+                    continue;
+                }
+                for (node, chain) in graph.propagate(marker, &roots) {
+                    all.extend(propagated_diags(&graph, marker, node, &chain));
+                }
+            }
+            all.extend(locks::check(&graph, &self.locks, check_stale));
+            all.extend(rule_fork_escape(&graph));
+        }
+        for f in &mut self.files {
+            all.append(&mut f.raw);
+        }
+        for (line, krate, stream) in std::mem::take(&mut self.forks.duplicates) {
+            all.push(Diagnostic {
+                file: self.forks.path.clone(),
                 line,
                 col: 1,
                 rule: RULE_FORK,
                 message: format!("duplicate registry row for fork({stream}) in crate `{krate}`"),
+                chain: Vec::new(),
             });
         }
         if check_stale {
-            let mut stale: Vec<Diagnostic> = Vec::new();
-            for ((krate, stream), entry) in self.registry.iter() {
+            for ((krate, stream), entry) in self.forks.iter() {
                 if !self.fork_sites.contains_key(&(krate.clone(), *stream)) {
-                    stale.push(Diagnostic {
-                        file: self.registry.path.clone(),
+                    all.push(Diagnostic {
+                        file: self.forks.path.clone(),
                         line: entry.line,
                         col: 1,
                         rule: RULE_FORK,
@@ -249,18 +424,64 @@ impl Linter {
                              (\"{}\") has no literal call site; remove the row",
                             entry.purpose
                         ),
+                        chain: Vec::new(),
                     });
                 }
             }
-            self.diagnostics.extend(stale);
         }
-        self.diagnostics.sort();
+        all.sort();
+        // A directive suppresses exactly one diagnostic of its rule, on
+        // the directive's own line or the line directly below it —
+        // including transitive findings reported at that line. The
+        // meta-rules (`unknown-rule`, `unused-allow`) cannot be allowed.
+        let files = &mut self.files;
+        all.retain(|diag| {
+            if diag.rule == RULE_UNKNOWN || diag.rule == RULE_UNUSED_ALLOW {
+                return true;
+            }
+            for f in files.iter_mut() {
+                if f.label != diag.file {
+                    continue;
+                }
+                for allow in f.allows.iter_mut() {
+                    if !allow.used
+                        && allow.rule == diag.rule
+                        && (allow.line == diag.line || allow.line + 1 == diag.line)
+                    {
+                        allow.used = true;
+                        return false;
+                    }
+                }
+            }
+            true
+        });
+        for f in &self.files {
+            for allow in &f.allows {
+                if !allow.used {
+                    all.push(Diagnostic {
+                        file: f.label.clone(),
+                        line: allow.line,
+                        col: allow.col,
+                        rule: RULE_UNUSED_ALLOW,
+                        message: format!(
+                            "allow({rule}) suppresses nothing: no `{rule}` diagnostic \
+                             fires on this line or the next — delete the directive",
+                            rule = allow.rule
+                        ),
+                        chain: Vec::new(),
+                    });
+                }
+            }
+        }
+        all.append(&mut self.unknown);
+        all.sort();
+        self.diagnostics = all;
     }
 
     fn rule_fork_discipline(
         &mut self,
         file: &str,
-        code: &[&Token],
+        code: &[Token],
         ctx: &CrateContext,
         in_test: &dyn Fn(usize) -> bool,
         raw: &mut Vec<Diagnostic>,
@@ -275,36 +496,34 @@ impl Linter {
             let Some(stream) = fork_literal_arg(code, i) else {
                 continue;
             };
-            let tok = code[i];
+            let tok = &code[i];
             let key = (ctx.name.clone(), stream);
-            if self.registry.get(&ctx.name, stream).is_none() {
-                raw.push(Diagnostic {
-                    file: file.to_string(),
-                    line: tok.line,
-                    col: tok.col,
-                    rule: RULE_FORK,
-                    message: format!(
+            if self.forks.get(&ctx.name, stream).is_none() {
+                raw.push(Diagnostic::new(
+                    file,
+                    tok,
+                    RULE_FORK,
+                    format!(
                         "fork({stream}) in crate `{}` is not registered in {}",
                         ctx.name,
-                        if self.registry.path.is_empty() {
+                        if self.forks.path.is_empty() {
                             "the fork registry (pass --forks FORKS.md)"
                         } else {
-                            &self.registry.path
+                            &self.forks.path
                         }
                     ),
-                });
+                ));
             } else if let Some((first_file, first_line)) = self.fork_sites.get(&key) {
-                raw.push(Diagnostic {
-                    file: file.to_string(),
-                    line: tok.line,
-                    col: tok.col,
-                    rule: RULE_FORK,
-                    message: format!(
+                raw.push(Diagnostic::new(
+                    file,
+                    tok,
+                    RULE_FORK,
+                    format!(
                         "fork({stream}) collides with the stream already drawn at \
                          {first_file}:{first_line} in crate `{}`",
                         ctx.name
                     ),
-                });
+                ));
             }
             self.fork_sites
                 .entry(key)
@@ -313,19 +532,196 @@ impl Linter {
     }
 }
 
+/// Findings for one function reached through the call graph; the message
+/// names the annotated root, and the chain prints the call path.
+fn propagated_diags(
+    graph: &Graph<'_>,
+    marker: &str,
+    node: crate::graph::NodeId,
+    chain: &[crate::graph::NodeId],
+) -> Vec<Diagnostic> {
+    let fv = &graph.files[node.0];
+    let f = &fv.fns[node.1];
+    let Some((start, end)) = f.body else {
+        return Vec::new();
+    };
+    let chain_disp: Vec<String> = chain.iter().map(|n| graph.display(*n)).collect();
+    let root = chain_disp[0].clone();
+    let code = fv.code;
+    let mut out = Vec::new();
+    let mut push = |i: usize, rule: &'static str, message: String| {
+        out.push(Diagnostic {
+            file: fv.file.to_string(),
+            line: code[i].line,
+            col: code[i].col,
+            rule,
+            message,
+            chain: chain_disp.clone(),
+        });
+    };
+    match marker {
+        "hot_path" => {
+            for (i, construct) in alloc_findings(code, start, end) {
+                push(
+                    i,
+                    RULE_HOT_PATH,
+                    format!(
+                        "allocating construct `{construct}` in `{}`, reachable from \
+                         hot-path fn `{root}` (banned: {})",
+                        f.name,
+                        ALLOC_CONSTRUCTS.join(", ")
+                    ),
+                );
+            }
+        }
+        "pure_model" => {
+            for (i, what) in effect_findings(code, start, end) {
+                push(
+                    i,
+                    RULE_PURE_MODEL,
+                    format!(
+                        "`.{}(...)` is {what} in `{}`, reachable from pure-model fn \
+                         `{root}`; every effect must flow through the dispatcher so \
+                         recorded traces replay through the pure models alone",
+                        code[i].text, f.name
+                    ),
+                );
+            }
+        }
+        "shard_merge" => {
+            for i in shard_findings(code, start, end) {
+                push(
+                    i,
+                    RULE_SHARD_BOUNDARY,
+                    format!(
+                        "`{}` in `{}`, reachable from shard-merge fn `{root}`: the \
+                         merged event order must stay a pure function of (time, seq)",
+                        code[i].text, f.name
+                    ),
+                );
+            }
+        }
+        "epoch_shard" => {
+            // RNG draws are direct-only (per-node streams in callees are
+            // the sanctioned mechanism); globals propagate.
+            for (i, what) in epoch_findings(code, start, end, false) {
+                let message = match what {
+                    EpochEffect::EventSeq => format!(
+                        "global `event_seq` touched in `{}`, reachable from \
+                         epoch-shard fn `{root}`; only the barrier may advance the \
+                         global counter",
+                        f.name
+                    ),
+                    _ => format!(
+                        "`.{}(...)` mutates the shared Medium in `{}`, reachable \
+                         from epoch-shard fn `{root}`; buffer the effect and apply \
+                         it after the epoch barrier",
+                        code[i].text, f.name
+                    ),
+                };
+                push(i, RULE_EPOCH_BARRIER, message);
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+/// `let`-bound literal fork handles that escape into unresolvable calls.
+fn rule_fork_escape(graph: &Graph<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (fi, fv) in graph.files.iter().enumerate() {
+        if fv.test_target {
+            continue;
+        }
+        for (ni, f) in fv.fns.iter().enumerate() {
+            if f.in_cfg_test {
+                continue;
+            }
+            let Some((start, end)) = f.body else {
+                continue;
+            };
+            let code = fv.code;
+            let Some(calls) = graph.calls.get(&crate::graph::NodeId(fi, ni)) else {
+                continue;
+            };
+            for i in start..end.min(code.len()) {
+                if !is_ident(code, i, "fork") || i == 0 || !is_punct(code, i - 1, ".") {
+                    continue;
+                }
+                let Some(stream) = fork_literal_arg(code, i) else {
+                    continue;
+                };
+                // `let [mut] handle = receiver.fork(N)` — walk back over
+                // the receiver chain to the binding.
+                let mut j = i.wrapping_sub(2);
+                while j >= 2 && is_punct(code, j - 1, ".") && ident_at(code, j - 2).is_some() {
+                    j -= 2;
+                }
+                if j < 2 || !is_punct(code, j - 1, "=") {
+                    continue;
+                }
+                let Some(handle) = ident_at(code, j - 2) else {
+                    continue;
+                };
+                let let_bound = is_ident(code, j.wrapping_sub(3), "let")
+                    || (is_ident(code, j.wrapping_sub(3), "mut")
+                        && is_ident(code, j.wrapping_sub(4), "let"));
+                if !let_bound {
+                    continue;
+                }
+                for call in calls {
+                    if call.tok <= i || !call.resolved.is_empty() {
+                        continue;
+                    }
+                    let name = call.callee.name();
+                    // Capitalized unresolved callees are constructors
+                    // (`Some(h)`, `Ok(h)`) — the handle stays in scope.
+                    if name.chars().next().is_some_and(char::is_uppercase) {
+                        continue;
+                    }
+                    if matches!(call.callee, Callee::TypeMethod(_, _)) {
+                        continue;
+                    }
+                    // Does the handle appear among the call's arguments?
+                    let mut open = call.tok + 1;
+                    while open < code.len() && !is_punct(code, open, "(") {
+                        open += 1;
+                    }
+                    let close = match_delim(code, open, "(", ")");
+                    if (open + 1..close.min(end)).any(|k| is_ident(code, k, handle)) {
+                        out.push(Diagnostic::new(
+                            fv.file,
+                            &code[call.tok],
+                            RULE_FORK_ESCAPE,
+                            format!(
+                                "RNG handle `{handle}` from fork({stream}) escapes into \
+                                 `{name}`, which resolves to no workspace function; the \
+                                 stream's draws cannot be checked — keep fork handles \
+                                 inside analyzed code or draw the values first",
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
 // ---- token helpers --------------------------------------------------------
 
-fn is_punct(code: &[&Token], i: usize, text: &str) -> bool {
+fn is_punct(code: &[Token], i: usize, text: &str) -> bool {
     code.get(i)
         .is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
 }
 
-fn is_ident(code: &[&Token], i: usize, text: &str) -> bool {
+fn is_ident(code: &[Token], i: usize, text: &str) -> bool {
     code.get(i)
         .is_some_and(|t| t.kind == TokenKind::Ident && t.text == text)
 }
 
-fn ident_at<'a>(code: &[&'a Token], i: usize) -> Option<&'a str> {
+fn ident_at(code: &[Token], i: usize) -> Option<&str> {
     code.get(i)
         .filter(|t| t.kind == TokenKind::Ident)
         .map(|t| t.text.as_str())
@@ -333,7 +729,7 @@ fn ident_at<'a>(code: &[&'a Token], i: usize) -> Option<&'a str> {
 
 /// Index of the matching closer for the opener at `open` (`(`/`[`/`{`),
 /// or `code.len()` when unbalanced.
-fn match_delim(code: &[&Token], open: usize, open_c: &str, close_c: &str) -> usize {
+fn match_delim(code: &[Token], open: usize, open_c: &str, close_c: &str) -> usize {
     let mut depth = 0usize;
     for (i, tok) in code.iter().enumerate().skip(open) {
         if tok.kind == TokenKind::Punct {
@@ -353,14 +749,14 @@ fn match_delim(code: &[&Token], open: usize, open_c: &str, close_c: &str) -> usi
 /// Counts top-level generic arguments of the `<...>` opening at `open`,
 /// returning `(args, close_index)`. `->` arrows inside (e.g. `fn(A) -> B`
 /// types) are skipped so their `>` does not close the list.
-fn generic_args(code: &[&Token], open: usize) -> (usize, usize) {
+fn generic_args(code: &[Token], open: usize) -> (usize, usize) {
     let mut angle = 0i32;
     let mut paren = 0i32;
     let mut square = 0i32;
     let mut commas = 0usize;
     let mut i = open;
     while i < code.len() {
-        let t = code[i];
+        let t = &code[i];
         if t.kind == TokenKind::Punct {
             match t.text.as_str() {
                 "<" => angle += 1,
@@ -385,7 +781,7 @@ fn generic_args(code: &[&Token], open: usize) -> (usize, usize) {
 }
 
 /// Skips a run of `#[...]` attributes starting at `j`.
-fn skip_attrs(code: &[&Token], mut j: usize) -> usize {
+fn skip_attrs(code: &[Token], mut j: usize) -> usize {
     while is_punct(code, j, "#") && is_punct(code, j + 1, "[") {
         j = match_delim(code, j + 1, "[", "]") + 1;
     }
@@ -393,7 +789,7 @@ fn skip_attrs(code: &[&Token], mut j: usize) -> usize {
 }
 
 /// `fork ( <int> )` — returns the literal stream number.
-fn fork_literal_arg(code: &[&Token], i: usize) -> Option<u64> {
+fn fork_literal_arg(code: &[Token], i: usize) -> Option<u64> {
     if !is_punct(code, i + 1, "(") || !is_punct(code, i + 3, ")") {
         return None;
     }
@@ -411,7 +807,7 @@ fn fork_literal_arg(code: &[&Token], i: usize) -> Option<u64> {
 }
 
 /// Token index ranges (inclusive) of `#[cfg(test)] mod ... { ... }` bodies.
-fn cfg_test_ranges(code: &[&Token]) -> Vec<(usize, usize)> {
+fn cfg_test_ranges(code: &[Token]) -> Vec<(usize, usize)> {
     let mut ranges = Vec::new();
     let mut i = 0;
     while i + 6 < code.len() {
@@ -474,15 +870,14 @@ fn parse_directives(file: &str, tokens: &[Token]) -> (Vec<Allow>, Vec<Diagnostic
             .and_then(|r| r.split_once(')'))
             .map(|(inside, _)| inside);
         let Some(args) = args else {
-            diags.push(Diagnostic {
-                file: file.to_string(),
-                line: tok.line,
-                col: tok.col,
-                rule: RULE_UNKNOWN,
-                message: "malformed simlint directive; expected \
-                          `simlint: allow(<rule>)`"
+            diags.push(Diagnostic::new(
+                file,
+                tok,
+                RULE_UNKNOWN,
+                "malformed simlint directive; expected \
+                 `simlint: allow(<rule>)`"
                     .to_string(),
-            });
+            ));
             continue;
         };
         for name in args.split(',') {
@@ -491,18 +886,18 @@ fn parse_directives(file: &str, tokens: &[Token]) -> (Vec<Allow>, Vec<Diagnostic
                 Some(rule) => allows.push(Allow {
                     rule,
                     line: tok.line,
+                    col: tok.col,
                     used: false,
                 }),
-                None => diags.push(Diagnostic {
-                    file: file.to_string(),
-                    line: tok.line,
-                    col: tok.col,
-                    rule: RULE_UNKNOWN,
-                    message: format!(
+                None => diags.push(Diagnostic::new(
+                    file,
+                    tok,
+                    RULE_UNKNOWN,
+                    format!(
                         "unknown rule `{name}` in allow directive (known: {})",
                         ALL_RULES.join(", ")
                     ),
-                }),
+                )),
             }
         }
     }
@@ -511,7 +906,7 @@ fn parse_directives(file: &str, tokens: &[Token]) -> (Vec<Allow>, Vec<Diagnostic
 
 // ---- individual rules -----------------------------------------------------
 
-fn rule_nondet_iteration(file: &str, code: &[&Token], raw: &mut Vec<Diagnostic>) {
+fn rule_nondet_iteration(file: &str, code: &[Token], raw: &mut Vec<Diagnostic>) {
     for i in 0..code.len() {
         let Some(name) = ident_at(code, i) else {
             continue;
@@ -531,46 +926,44 @@ fn rule_nondet_iteration(file: &str, code: &[&Token], raw: &mut Vec<Diagnostic>)
         } else {
             None
         };
-        let tok = code[i];
+        let tok = &code[i];
         if let Some(open) = open {
             let (args, _) = generic_args(code, open);
             if args < with_hasher_arity {
-                raw.push(Diagnostic {
-                    file: file.to_string(),
-                    line: tok.line,
-                    col: tok.col,
-                    rule: RULE_NONDET_ITER,
-                    message: format!(
+                raw.push(Diagnostic::new(
+                    file,
+                    tok,
+                    RULE_NONDET_ITER,
+                    format!(
                         "`{name}` with the default `RandomState` hasher: iteration \
                          order is nondeterministic; use a BTree collection or an \
                          explicit deterministic hasher"
                     ),
-                });
+                ));
             }
         } else if is_punct(code, i + 1, ":")
             && is_punct(code, i + 2, ":")
             && matches!(ident_at(code, i + 3), Some("new" | "with_capacity"))
         {
-            raw.push(Diagnostic {
-                file: file.to_string(),
-                line: tok.line,
-                col: tok.col,
-                rule: RULE_NONDET_ITER,
-                message: format!(
+            raw.push(Diagnostic::new(
+                file,
+                tok,
+                RULE_NONDET_ITER,
+                format!(
                     "`{name}::{}` always uses the random-seeded `RandomState`; \
                      use a BTree collection or `::default()` on an alias with a \
                      deterministic hasher",
                     ident_at(code, i + 3).expect("checked")
                 ),
-            });
+            ));
         }
     }
 }
 
-fn rule_wall_clock(file: &str, code: &[&Token], raw: &mut Vec<Diagnostic>) {
+fn rule_wall_clock(file: &str, code: &[Token], raw: &mut Vec<Diagnostic>) {
     let mut in_use = false;
     for i in 0..code.len() {
-        let tok = code[i];
+        let tok = &code[i];
         match tok.kind {
             TokenKind::Ident if tok.text == "use" => in_use = true,
             TokenKind::Punct if tok.text == ";" => in_use = false,
@@ -579,17 +972,16 @@ fn rule_wall_clock(file: &str, code: &[&Token], raw: &mut Vec<Diagnostic>) {
                     && is_punct(code, i + 2, ":")
                     && matches!(ident_at(code, i + 3), Some("now" | "UNIX_EPOCH"));
                 if in_use || construction {
-                    raw.push(Diagnostic {
-                        file: file.to_string(),
-                        line: tok.line,
-                        col: tok.col,
-                        rule: RULE_WALL_CLOCK,
-                        message: format!(
+                    raw.push(Diagnostic::new(
+                        file,
+                        tok,
+                        RULE_WALL_CLOCK,
+                        format!(
                             "`{}` reads the wall clock; simulation code must use \
                              `SimTime` (bench/testkit are exempt)",
                             tok.text
                         ),
-                    });
+                    ));
                 }
             }
             _ => {}
@@ -607,259 +999,50 @@ const ALLOC_CONSTRUCTS: &[&str] = &[
     "String::from",
 ];
 
-/// Body token ranges of every fn carrying `#[cfg_attr(simlint, <marker>)]`,
-/// as `(fn_name, body_start, body_end)` with the braces excluded.
-fn marked_fn_bodies(code: &[&Token], marker: &str) -> Vec<(String, usize, usize)> {
-    let mut bodies = Vec::new();
-    let mut i = 0;
-    while i + 8 < code.len() {
-        let is_marker = is_punct(code, i, "#")
-            && is_punct(code, i + 1, "[")
-            && is_ident(code, i + 2, "cfg_attr")
-            && is_punct(code, i + 3, "(")
-            && is_ident(code, i + 4, "simlint")
-            && is_punct(code, i + 5, ",")
-            && is_ident(code, i + 6, marker)
-            && is_punct(code, i + 7, ")")
-            && is_punct(code, i + 8, "]");
-        if !is_marker {
-            i += 1;
+/// Allocating constructs in `[start, end)`, as `(token index, label)`.
+fn alloc_findings(code: &[Token], start: usize, end: usize) -> Vec<(usize, &'static str)> {
+    let mut out = Vec::new();
+    for i in start..end.min(code.len()) {
+        let Some(name) = ident_at(code, i) else {
             continue;
-        }
-        let mut j = skip_attrs(code, i + 9);
-        // Skip visibility and qualifiers up to `fn`.
-        let mut guard = 0;
-        while !is_ident(code, j, "fn") && j < code.len() && guard < 16 {
-            j += 1;
-            guard += 1;
-        }
-        if !is_ident(code, j, "fn") {
-            i += 1;
-            continue;
-        }
-        let fn_name = ident_at(code, j + 1).unwrap_or("?").to_string();
-        // Body: first `{` outside parentheses (signature) and brackets.
-        let mut k = j + 1;
-        let mut paren = 0i32;
-        while k < code.len() {
-            let t = code[k];
-            if t.kind == TokenKind::Punct {
-                match t.text.as_str() {
-                    "(" => paren += 1,
-                    ")" => paren -= 1,
-                    "{" if paren == 0 => break,
-                    ";" if paren == 0 => break, // trait method: no body
-                    _ => {}
-                }
-            }
-            k += 1;
-        }
-        if !is_punct(code, k, "{") {
-            i = j + 1;
-            continue;
-        }
-        let end = match_delim(code, k, "{", "}");
-        bodies.push((fn_name, k + 1, end));
-        i = end + 1;
-    }
-    bodies
-}
-
-fn rule_hot_path_alloc(file: &str, code: &[&Token], raw: &mut Vec<Diagnostic>) {
-    for (fn_name, start, end) in marked_fn_bodies(code, "hot_path") {
-        scan_alloc_constructs(file, code, start, end, &fn_name, raw);
-    }
-}
-
-fn rule_pure_model_effect(file: &str, code: &[&Token], raw: &mut Vec<Diagnostic>) {
-    for (fn_name, start, end) in marked_fn_bodies(code, "pure_model") {
-        scan_effect_constructs(file, code, start, end, &fn_name, raw);
-    }
-}
-
-/// Shard-merge paths must be map-free: even a seeded/deterministic hasher
-/// invites order-dependent iteration, and the merged event order must be
-/// a pure function of `(time, seq)` for any shard count.
-fn rule_shard_boundary(file: &str, code: &[&Token], raw: &mut Vec<Diagnostic>) {
-    for (fn_name, start, end) in marked_fn_bodies(code, "shard_merge") {
-        for i in start..end.min(code.len()) {
-            let Some(name) = ident_at(code, i) else {
-                continue;
-            };
-            if name != "HashMap" && name != "HashSet" {
-                continue;
-            }
-            let tok = code[i];
-            raw.push(Diagnostic {
-                file: file.to_string(),
-                line: tok.line,
-                col: tok.col,
-                rule: RULE_SHARD_BOUNDARY,
-                message: format!(
-                    "`{name}` inside shard-merge fn `{fn_name}`: cross-shard \
-                     routing and merging must never depend on hash-map \
-                     iteration order — the merged event order is a pure \
-                     function of (time, seq)"
-                ),
-            });
-        }
-    }
-}
-
-/// Epoch-shard drains run concurrently, one per shard, between two
-/// barriers; inside them every global effect is a data race or a
-/// determinism leak. Banned: `Medium` mutation (deferred transmissions
-/// belong to the barrier merge), RNG receiver draws (the global stream
-/// is single-owner; per-node streams live inside the node models the
-/// drain calls into), and any touch of the global `event_seq` counter
-/// (shard drains stamp re-arms from their own disjoint
-/// `base + j·shards + s` lane).
-fn rule_epoch_barrier(file: &str, code: &[&Token], raw: &mut Vec<Diagnostic>) {
-    for (fn_name, start, end) in marked_fn_bodies(code, "epoch_shard") {
-        for i in start..end.min(code.len()) {
-            let Some(name) = ident_at(code, i) else {
-                continue;
-            };
-            let tok = code[i];
-            if name == "event_seq" {
-                raw.push(Diagnostic {
-                    file: file.to_string(),
-                    line: tok.line,
-                    col: tok.col,
-                    rule: RULE_EPOCH_BARRIER,
-                    message: format!(
-                        "global `event_seq` touched inside epoch-shard fn \
-                         `{fn_name}`; shard drains must stamp re-armed events \
-                         from their disjoint (base + j*shards + s) lane and let \
-                         the barrier advance the global counter"
-                    ),
-                });
-                continue;
-            }
-            if i == 0 || !is_punct(code, i - 1, ".") || !is_punct(code, i + 1, "(") {
-                continue;
-            }
-            let what = if name == "fork" || name.starts_with("gen_") {
-                "draws from an RNG receiver"
-            } else if matches!(
-                name,
-                "begin_transmission"
-                    | "begin_transmission_into"
-                    | "finish_transmission"
-                    | "end_transmission"
-            ) {
-                "mutates the shared Medium"
-            } else {
-                continue;
-            };
-            raw.push(Diagnostic {
-                file: file.to_string(),
-                line: tok.line,
-                col: tok.col,
-                rule: RULE_EPOCH_BARRIER,
-                message: format!(
-                    "`.{name}(...)` {what} inside epoch-shard fn `{fn_name}`; \
-                     shard drains run concurrently — buffer the effect and \
-                     apply it after the epoch barrier"
-                ),
-            });
-        }
-    }
-}
-
-/// Serve-loop fns sit between a network peer and the scheduler: the
-/// peer chooses how many bytes arrive and when. Three hazards are
-/// banned. Whole-stream slurps (`read_to_end`/`read_to_string`) hand
-/// the peer an unbounded allocation; frame loops must read
-/// length-prefixed payloads and reject lengths over an explicit cap.
-/// Buffer growth (`push`/`extend`/`extend_from_slice`/`append`/
-/// `resize`) is allowed only when the fn visibly bounds it — some
-/// identifier in the body mentioning `MAX`/capacity; otherwise
-/// per-frame growth compounds across a session. And wall-clock reads
-/// are banned outright: session behavior must be a function of the
-/// protocol bytes, so pipe-mode replays and socket sessions behave
-/// identically.
-fn rule_serve_loop_block(file: &str, code: &[&Token], raw: &mut Vec<Diagnostic>) {
-    for (fn_name, start, end) in marked_fn_bodies(code, "serve_loop") {
-        let end = end.min(code.len());
-        // A bound mention anywhere in the body legitimizes growth calls:
-        // `MAX_FRAME_LEN`, `with_capacity`, `queue_capacity`, ...
-        let has_bound = (start..end).any(|i| {
-            ident_at(code, i).is_some_and(|name| name.contains("MAX") || name.contains("capacity"))
-        });
-        for i in start..end {
-            let Some(name) = ident_at(code, i) else {
-                continue;
-            };
-            let tok = code[i];
-            if (name == "Instant" || name == "SystemTime")
+        };
+        let path_new = |what: &str| {
+            name == what
                 && is_punct(code, i + 1, ":")
                 && is_punct(code, i + 2, ":")
-                && matches!(ident_at(code, i + 3), Some("now" | "UNIX_EPOCH"))
-            {
-                raw.push(Diagnostic {
-                    file: file.to_string(),
-                    line: tok.line,
-                    col: tok.col,
-                    rule: RULE_SERVE_LOOP,
-                    message: format!(
-                        "`{name}` wall-clock read inside serve-loop fn `{fn_name}`; \
-                         session behavior must be a function of the protocol \
-                         bytes, not the host clock",
-                        name = tok.text
-                    ),
-                });
-                continue;
-            }
-            if i == 0 || !is_punct(code, i - 1, ".") || !is_punct(code, i + 1, "(") {
-                continue;
-            }
-            if name == "read_to_end" || name == "read_to_string" {
-                raw.push(Diagnostic {
-                    file: file.to_string(),
-                    line: tok.line,
-                    col: tok.col,
-                    rule: RULE_SERVE_LOOP,
-                    message: format!(
-                        "`.{name}(...)` slurps unbounded peer input inside \
-                         serve-loop fn `{fn_name}`; read length-prefixed frames \
-                         and reject lengths over an explicit cap"
-                    ),
-                });
-                continue;
-            }
-            if matches!(
-                name,
-                "push" | "extend" | "extend_from_slice" | "append" | "resize"
-            ) && !has_bound
-            {
-                raw.push(Diagnostic {
-                    file: file.to_string(),
-                    line: tok.line,
-                    col: tok.col,
-                    rule: RULE_SERVE_LOOP,
-                    message: format!(
-                        "`.{name}(...)` grows a buffer inside serve-loop fn \
-                         `{fn_name}` with no visible bound (no MAX_*/capacity \
-                         mention in the fn); peer-driven growth must be capped"
-                    ),
-                });
-            }
+                && is_ident(code, i + 3, "new")
+        };
+        if path_new("Vec") {
+            out.push((i, "Vec::new"));
+        } else if path_new("Box") {
+            out.push((i, "Box::new"));
+        } else if name == "String"
+            && is_punct(code, i + 1, ":")
+            && is_punct(code, i + 2, ":")
+            && is_ident(code, i + 3, "from")
+        {
+            out.push((i, "String::from"));
+        } else if (name == "vec" || name == "format") && is_punct(code, i + 1, "!") {
+            out.push((i, if name == "vec" { "vec![]" } else { "format!" }));
+        } else if (name == "to_vec" || name == "collect") && i > 0 && is_punct(code, i - 1, ".") {
+            out.push((
+                i,
+                if name == "to_vec" {
+                    "to_vec"
+                } else {
+                    "collect"
+                },
+            ));
         }
     }
+    out
 }
 
-/// Method calls that make a function effectful: RNG draws, event-queue
+/// Effectful method calls in `[start, end)`: RNG draws, event-queue
 /// scheduling/cancellation, and `Medium` mutation. The scan looks for
 /// `.name(` receivers, so type paths and doc text never fire.
-fn scan_effect_constructs(
-    file: &str,
-    code: &[&Token],
-    start: usize,
-    end: usize,
-    fn_name: &str,
-    raw: &mut Vec<Diagnostic>,
-) {
+fn effect_findings(code: &[Token], start: usize, end: usize) -> Vec<(usize, &'static str)> {
+    let mut out = Vec::new();
     for i in start..end.min(code.len()) {
         let Some(name) = ident_at(code, i) else {
             continue;
@@ -876,74 +1059,186 @@ fn scan_effect_constructs(
         } else {
             continue;
         };
-        let tok = code[i];
-        raw.push(Diagnostic {
-            file: file.to_string(),
-            line: tok.line,
-            col: tok.col,
-            rule: RULE_PURE_MODEL,
-            message: format!(
-                "`.{name}(...)` is {what} inside pure-model fn `{fn_name}`; \
-                 every effect must flow through the dispatcher so recorded \
-                 traces replay through the pure models alone"
-            ),
-        });
+        out.push((i, what));
     }
+    out
 }
 
-fn scan_alloc_constructs(
+/// `HashMap`/`HashSet` mentions in `[start, end)` (any hasher).
+fn shard_findings(code: &[Token], start: usize, end: usize) -> Vec<usize> {
+    (start..end.min(code.len()))
+        .filter(|&i| matches!(ident_at(code, i), Some("HashMap" | "HashSet")))
+        .collect()
+}
+
+/// What an epoch-shard finding touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EpochEffect {
+    /// The global `event_seq` counter.
+    EventSeq,
+    /// An RNG receiver draw (`.fork(` / `.gen_*(`); direct scans only.
+    Rng,
+    /// Shared `Medium` mutation.
+    Medium,
+}
+
+/// Epoch-barrier hazards in `[start, end)`. With `include_rng` false
+/// (the propagated scan) RNG receiver draws are skipped: per-node
+/// streams inside the node models a drain calls into are sanctioned.
+fn epoch_findings(
+    code: &[Token],
+    start: usize,
+    end: usize,
+    include_rng: bool,
+) -> Vec<(usize, EpochEffect)> {
+    let mut out = Vec::new();
+    for i in start..end.min(code.len()) {
+        let Some(name) = ident_at(code, i) else {
+            continue;
+        };
+        if name == "event_seq" {
+            out.push((i, EpochEffect::EventSeq));
+            continue;
+        }
+        if i == 0 || !is_punct(code, i - 1, ".") || !is_punct(code, i + 1, "(") {
+            continue;
+        }
+        if name == "fork" || name.starts_with("gen_") {
+            if include_rng {
+                out.push((i, EpochEffect::Rng));
+            }
+        } else if matches!(
+            name,
+            "begin_transmission"
+                | "begin_transmission_into"
+                | "finish_transmission"
+                | "end_transmission"
+        ) {
+            out.push((i, EpochEffect::Medium));
+        }
+    }
+    out
+}
+
+/// The v1-format direct diagnostic for one epoch-shard finding.
+fn epoch_direct_diag(
     file: &str,
-    code: &[&Token],
+    code: &[Token],
+    i: usize,
+    what: EpochEffect,
+    fn_name: &str,
+) -> Diagnostic {
+    let tok = &code[i];
+    let message = match what {
+        EpochEffect::EventSeq => format!(
+            "global `event_seq` touched inside epoch-shard fn \
+             `{fn_name}`; shard drains must stamp re-armed events \
+             from their disjoint (base + j*shards + s) lane and let \
+             the barrier advance the global counter"
+        ),
+        EpochEffect::Rng => format!(
+            "`.{}(...)` draws from an RNG receiver inside epoch-shard fn `{fn_name}`; \
+             shard drains run concurrently — buffer the effect and \
+             apply it after the epoch barrier",
+            tok.text
+        ),
+        EpochEffect::Medium => format!(
+            "`.{}(...)` mutates the shared Medium inside epoch-shard fn `{fn_name}`; \
+             shard drains run concurrently — buffer the effect and \
+             apply it after the epoch barrier",
+            tok.text
+        ),
+    };
+    Diagnostic::new(file, tok, RULE_EPOCH_BARRIER, message)
+}
+
+/// Serve-loop fns sit between a network peer and the scheduler: the
+/// peer chooses how many bytes arrive and when. Three hazards are
+/// banned. Whole-stream slurps (`read_to_end`/`read_to_string`) hand
+/// the peer an unbounded allocation; frame loops must read
+/// length-prefixed payloads and reject lengths over an explicit cap.
+/// Buffer growth (`push`/`extend`/`extend_from_slice`/`append`/
+/// `resize`) is allowed only when the fn visibly bounds it — some
+/// identifier in the body mentioning `MAX`/capacity; otherwise
+/// per-frame growth compounds across a session. And wall-clock reads
+/// are banned outright: session behavior must be a function of the
+/// protocol bytes, so pipe-mode replays and socket sessions behave
+/// identically.
+fn rule_serve_loop_block(
+    file: &str,
+    code: &[Token],
     start: usize,
     end: usize,
     fn_name: &str,
     raw: &mut Vec<Diagnostic>,
 ) {
-    let mut push = |tok: &Token, construct: &str| {
-        raw.push(Diagnostic {
-            file: file.to_string(),
-            line: tok.line,
-            col: tok.col,
-            rule: RULE_HOT_PATH,
-            message: format!(
-                "allocating construct `{construct}` inside hot-path fn \
-                 `{fn_name}` (banned: {})",
-                ALLOC_CONSTRUCTS.join(", ")
-            ),
-        });
-    };
-    for i in start..end.min(code.len()) {
+    let end = end.min(code.len());
+    // A bound mention anywhere in the body legitimizes growth calls:
+    // `MAX_FRAME_LEN`, `with_capacity`, `queue_capacity`, ...
+    let has_bound = (start..end).any(|i| {
+        ident_at(code, i).is_some_and(|name| name.contains("MAX") || name.contains("capacity"))
+    });
+    for i in start..end {
         let Some(name) = ident_at(code, i) else {
             continue;
         };
-        let tok = code[i];
-        let path_new = |what: &str| {
-            name == what
-                && is_punct(code, i + 1, ":")
-                && is_punct(code, i + 2, ":")
-                && is_ident(code, i + 3, "new")
-        };
-        if path_new("Vec") {
-            push(tok, "Vec::new");
-        } else if path_new("Box") {
-            push(tok, "Box::new");
-        } else if name == "String"
+        let tok = &code[i];
+        if (name == "Instant" || name == "SystemTime")
             && is_punct(code, i + 1, ":")
             && is_punct(code, i + 2, ":")
-            && is_ident(code, i + 3, "from")
+            && matches!(ident_at(code, i + 3), Some("now" | "UNIX_EPOCH"))
         {
-            push(tok, "String::from");
-        } else if (name == "vec" || name == "format") && is_punct(code, i + 1, "!") {
-            push(tok, if name == "vec" { "vec![]" } else { "format!" });
-        } else if (name == "to_vec" || name == "collect") && i > 0 && is_punct(code, i - 1, ".") {
-            push(tok, name);
+            raw.push(Diagnostic::new(
+                file,
+                tok,
+                RULE_SERVE_LOOP,
+                format!(
+                    "`{name}` wall-clock read inside serve-loop fn `{fn_name}`; \
+                     session behavior must be a function of the protocol \
+                     bytes, not the host clock",
+                    name = tok.text
+                ),
+            ));
+            continue;
+        }
+        if i == 0 || !is_punct(code, i - 1, ".") || !is_punct(code, i + 1, "(") {
+            continue;
+        }
+        if name == "read_to_end" || name == "read_to_string" {
+            raw.push(Diagnostic::new(
+                file,
+                tok,
+                RULE_SERVE_LOOP,
+                format!(
+                    "`.{name}(...)` slurps unbounded peer input inside \
+                     serve-loop fn `{fn_name}`; read length-prefixed frames \
+                     and reject lengths over an explicit cap"
+                ),
+            ));
+            continue;
+        }
+        if matches!(
+            name,
+            "push" | "extend" | "extend_from_slice" | "append" | "resize"
+        ) && !has_bound
+        {
+            raw.push(Diagnostic::new(
+                file,
+                tok,
+                RULE_SERVE_LOOP,
+                format!(
+                    "`.{name}(...)` grows a buffer inside serve-loop fn \
+                     `{fn_name}` with no visible bound (no MAX_*/capacity \
+                     mention in the fn); peer-driven growth must be capped"
+                ),
+            ));
         }
     }
 }
 
 fn rule_float_event_key(
     file: &str,
-    code: &[&Token],
+    code: &[Token],
     in_test: &dyn Fn(usize) -> bool,
     raw: &mut Vec<Diagnostic>,
 ) {
@@ -1006,19 +1301,18 @@ fn rule_float_event_key(
         if let Some((lo, hi)) = body_range {
             for f in lo..hi.min(code.len()) {
                 if matches!(ident_at(code, f), Some("f32" | "f64")) {
-                    let tok = code[f];
-                    raw.push(Diagnostic {
-                        file: file.to_string(),
-                        line: tok.line,
-                        col: tok.col,
-                        rule: RULE_FLOAT_KEY,
-                        message: format!(
+                    let tok = &code[f];
+                    raw.push(Diagnostic::new(
+                        file,
+                        tok,
+                        RULE_FLOAT_KEY,
+                        format!(
                             "`{}` field in `{type_name}`, which derives an ordering: \
                              floats must never key the event queue (NaN breaks \
                              total order; rounding breaks replay)",
                             tok.text
                         ),
-                    });
+                    ));
                 }
             }
             i = hi.max(attr_end) + 1;
@@ -1033,7 +1327,7 @@ mod tests {
     use super::*;
 
     fn lint_sim(source: &str) -> Vec<Diagnostic> {
-        let mut linter = Linter::new(ForkRegistry::default());
+        let mut linter = Linter::new(ForkRegistry::default(), LockRegistry::default());
         linter.lint_file("test.rs", source, &CrateContext::fixture());
         linter.finish(false);
         linter.diagnostics
@@ -1101,6 +1395,34 @@ mod tests {
     }
 
     #[test]
+    fn comma_separated_allow_covers_multiple_rules() {
+        let diags = lint_sim(
+            "// simlint: allow(nondeterministic-iteration, wall-clock)\n\
+             fn f() { let a = HashMap::<u32, u32>::new(); let t = Instant::now(); }\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unused_allow_is_an_error_and_cannot_be_allowed() {
+        let diags = lint_sim("// simlint: allow(wall-clock)\nfn f() {}\n");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, RULE_UNUSED_ALLOW);
+        // Allowing unused-allow does not mask it.
+        let diags = lint_sim(
+            "// simlint: allow(unused-allow)\n\
+             // simlint: allow(wall-clock)\n\
+             fn f() {}\n",
+        );
+        let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+        assert_eq!(
+            rules,
+            vec![RULE_UNUSED_ALLOW, RULE_UNUSED_ALLOW],
+            "{diags:?}"
+        );
+    }
+
+    #[test]
     fn unknown_rule_is_an_error() {
         let diags = lint_sim("// simlint: allow(no-such-rule)\n");
         assert_eq!(diags.len(), 1);
@@ -1124,6 +1446,44 @@ mod tests {
             .map(|d| d.line)
             .collect();
         assert_eq!(hot, vec![4, 5]);
+    }
+
+    #[test]
+    fn hot_path_alloc_propagates_through_helpers_with_chain() {
+        let diags = lint_sim(
+            "struct W;\n\
+             impl W {\n\
+                 #[cfg_attr(simlint, hot_path)]\n\
+                 fn hot(&mut self) { self.step(); }\n\
+                 fn step(&mut self) { helper(); }\n\
+             }\n\
+             fn helper() { let v = vec![1]; }\n",
+        );
+        let hot: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == RULE_HOT_PATH).collect();
+        assert_eq!(hot.len(), 1, "{diags:?}");
+        assert_eq!(hot[0].line, 7);
+        assert_eq!(
+            hot[0].chain,
+            vec!["test::hot", "test::step", "test::helper"]
+        );
+        assert!(hot[0]
+            .message
+            .contains("reachable from hot-path fn `test::hot`"));
+        assert!(format!("{}", hot[0]).contains("(via test::hot → test::step → test::helper)"));
+    }
+
+    #[test]
+    fn allow_suppresses_a_propagated_finding_at_the_violation_site() {
+        let diags = lint_sim(
+            "struct W;\n\
+             impl W {\n\
+                 #[cfg_attr(simlint, hot_path)]\n\
+                 fn hot(&mut self) { self.step(); }\n\
+                 // simlint: allow(hot-path-alloc) — cold branch, measured\n\
+                 fn step(&mut self) { let v = vec![1]; }\n\
+             }\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]
@@ -1154,6 +1514,22 @@ mod tests {
     }
 
     #[test]
+    fn pure_model_effects_propagate_to_callees() {
+        let diags = lint_sim(
+            "struct M;\n\
+             impl M {\n\
+                 #[cfg_attr(simlint, pure_model)]\n\
+                 fn decide(&self) { self.inner(); }\n\
+                 fn inner(&self) { self.rng.gen_unit_f64(); }\n\
+             }\n",
+        );
+        let pure: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == RULE_PURE_MODEL).collect();
+        assert_eq!(pure.len(), 1, "{diags:?}");
+        assert_eq!(pure[0].line, 5);
+        assert_eq!(pure[0].chain, vec!["test::decide", "test::inner"]);
+    }
+
+    #[test]
     fn epoch_barrier_fires_only_in_annotated_fns() {
         let diags = lint_sim(
             "fn barrier(&mut self) { self.event_seq += 1; self.medium.begin_transmission(n, t); }\n\
@@ -1174,6 +1550,29 @@ mod tests {
         // RNG draw, global counter, Medium mutation fire; the shard's own
         // queue operations (schedule_seq/cancel) are the drain's job.
         assert_eq!(fired, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn epoch_barrier_propagates_globals_but_not_per_node_rng() {
+        let diags = lint_sim(
+            "struct Shard;\n\
+             impl Shard {\n\
+                 #[cfg_attr(simlint, epoch_shard)]\n\
+                 fn drain(&mut self) { self.node_step(); }\n\
+                 fn node_step(&mut self) {\n\
+                     let r = self.rng.gen_unit_f64();\n\
+                     self.event_seq += 1;\n\
+                 }\n\
+             }\n",
+        );
+        let fired: Vec<u32> = diags
+            .iter()
+            .filter(|d| d.rule == RULE_EPOCH_BARRIER)
+            .map(|d| d.line)
+            .collect();
+        // The per-node RNG draw in the callee is sanctioned; the global
+        // counter touch propagates.
+        assert_eq!(fired, vec![7], "{diags:?}");
     }
 
     #[test]
@@ -1235,7 +1634,7 @@ mod tests {
     #[test]
     fn fork_literals_must_be_registered_and_unique() {
         let registry = ForkRegistry::parse("R.md", "| fixture | 4 | x |\n");
-        let mut linter = Linter::new(registry);
+        let mut linter = Linter::new(registry, LockRegistry::default());
         linter.lint_file(
             "a.rs",
             "fn f(r: &SimRng) { let a = r.fork(4); let b = r.fork(4); let c = r.fork(9); }\n",
@@ -1256,7 +1655,7 @@ mod tests {
     #[test]
     fn stale_registry_rows_fail_workspace_runs() {
         let registry = ForkRegistry::parse("R.md", "| fixture | 4 | x |\n| fixture | 5 | y |\n");
-        let mut linter = Linter::new(registry);
+        let mut linter = Linter::new(registry, LockRegistry::default());
         linter.lint_file(
             "a.rs",
             "fn f(r: &SimRng) { let a = r.fork(4); }\n",
@@ -1279,5 +1678,78 @@ mod tests {
              }\n",
         );
         assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn fork_escape_fires_when_a_handle_leaves_the_workspace() {
+        let registry = ForkRegistry::parse("R.md", "| fixture | 7 | x |\n");
+        let mut linter = Linter::new(registry, LockRegistry::default());
+        linter.lint_file(
+            "a.rs",
+            "fn f(r: &SimRng) {\n\
+                 let mut h = r.fork(7);\n\
+                 stash(&mut h);\n\
+             }\n",
+            &CrateContext::fixture(),
+        );
+        linter.finish(false);
+        let escapes: Vec<&Diagnostic> = linter
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == RULE_FORK_ESCAPE)
+            .collect();
+        assert_eq!(escapes.len(), 1, "{:?}", linter.diagnostics);
+        assert!(escapes[0].message.contains("escapes into `stash`"));
+    }
+
+    #[test]
+    fn fork_escape_passes_for_workspace_resolvable_calls_and_draws() {
+        let registry = ForkRegistry::parse("R.md", "| fixture | 7 | x |\n");
+        let mut linter = Linter::new(registry, LockRegistry::default());
+        linter.lint_file(
+            "a.rs",
+            "fn f(r: &SimRng) {\n\
+                 let mut h = r.fork(7);\n\
+                 place(&mut h, 4);\n\
+                 let x = h.gen_unit_f64();\n\
+                 let w = Some(h);\n\
+             }\n\
+             fn place(rng: &mut SimRng, n: u32) {}\n",
+            &CrateContext::fixture(),
+        );
+        linter.finish(false);
+        assert!(
+            linter
+                .diagnostics
+                .iter()
+                .all(|d| d.rule != RULE_FORK_ESCAPE),
+            "{:?}",
+            linter.diagnostics
+        );
+    }
+
+    #[test]
+    fn cross_file_propagation_carries_both_files_in_the_chain() {
+        let mut linter = Linter::new(ForkRegistry::default(), LockRegistry::default());
+        linter.lint_file(
+            "entry.rs",
+            "#[cfg_attr(simlint, shard_merge)]\n\
+             fn merge(&mut self) { route_all(self); }\n",
+            &CrateContext::fixture(),
+        );
+        linter.lint_file(
+            "router.rs",
+            "pub fn route_all(w: &mut W) { let m: HashMap<u32, u32> = seed(); }\n",
+            &CrateContext::fixture(),
+        );
+        linter.finish(false);
+        let shard: Vec<&Diagnostic> = linter
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == RULE_SHARD_BOUNDARY)
+            .collect();
+        assert_eq!(shard.len(), 1, "{:?}", linter.diagnostics);
+        assert_eq!(shard[0].file, "router.rs");
+        assert_eq!(shard[0].chain, vec!["entry::merge", "router::route_all"]);
     }
 }

@@ -1,0 +1,16 @@
+//! Seeded violation one call-graph hop below the annotation: the
+//! annotated delivery fn is clean, but the helper it calls allocates.
+
+struct Medium;
+
+impl Medium {
+    #[cfg_attr(simlint, hot_path)]
+    fn deliver(&mut self, host: u32) {
+        self.log_delivery(host);
+    }
+
+    fn log_delivery(&mut self, host: u32) {
+        let line = format!("rx host-{host}");
+        let _ = line;
+    }
+}

@@ -1,0 +1,21 @@
+//! Seeded violation two call-graph hops below the annotation: the
+//! pure-model decision fn calls an assessor that calls a jitter helper
+//! that draws from the RNG.
+
+struct Gossip;
+
+impl Gossip {
+    #[cfg_attr(simlint, pure_model)]
+    fn decide(&mut self, now: u64) {
+        self.assess(now);
+    }
+
+    fn assess(&mut self, now: u64) {
+        self.jitter(now);
+    }
+
+    fn jitter(&mut self, now: u64) {
+        let j = self.rng.gen_range_u32(95..106);
+        let _ = (now, j);
+    }
+}

@@ -1,0 +1,24 @@
+//! Seeded violation three call-graph hops below the annotation: the
+//! hot-path advance fn reaches an audit helper that copies a slice.
+
+struct World;
+
+impl World {
+    #[cfg_attr(simlint, hot_path)]
+    fn advance(&mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        self.fanout();
+    }
+
+    fn fanout(&mut self) {
+        self.audit();
+    }
+
+    fn audit(&mut self) {
+        let snapshot = self.hosts.to_vec();
+        let _ = snapshot;
+    }
+}

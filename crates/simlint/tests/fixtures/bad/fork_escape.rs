@@ -1,0 +1,8 @@
+//! Seeded violation: a registered fork handle flows into a function the
+//! workspace does not define, so the stream's draws can no longer be
+//! audited.
+
+fn seed_placement(root: &SimRng, hosts: &mut [Host]) {
+    let mut placement = root.fork(9);
+    external_shuffle(hosts, &mut placement);
+}

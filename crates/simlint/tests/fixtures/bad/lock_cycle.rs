@@ -1,0 +1,23 @@
+//! Seeded violation: two sessions acquire the same pair of mutexes in
+//! opposite orders — a deadlock-in-waiting no registry rank can bless.
+
+use std::sync::Mutex;
+
+struct Hub {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Hub {
+    fn forward(&self) {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        let _ = (a, b);
+    }
+
+    fn backward(&self) {
+        let b = self.beta.lock().unwrap();
+        let a = self.alpha.lock().unwrap();
+        let _ = (a, b);
+    }
+}

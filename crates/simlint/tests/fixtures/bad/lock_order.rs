@@ -1,0 +1,18 @@
+//! Seeded violation: nested acquisition against the ranked order in
+//! LOCKS.md — `counts` (rank 2) is held while `writer` (rank 1) is
+//! acquired.
+
+use std::sync::Mutex;
+
+struct Session {
+    writer: Mutex<u32>,
+    counts: Mutex<u32>,
+}
+
+impl Session {
+    fn backwards(&self) {
+        let c = self.counts.lock().unwrap();
+        let w = self.writer.lock().unwrap();
+        let _ = (c, w);
+    }
+}

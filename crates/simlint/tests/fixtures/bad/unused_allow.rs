@@ -1,0 +1,8 @@
+//! Seeded violation: an allow directive that suppresses nothing is
+//! itself an error — stale escape hatches hide future regressions.
+
+fn tidy() {
+    // simlint: allow(wall-clock) — nothing here reads the clock
+    let x = 0u64;
+    let _ = x;
+}

@@ -1,0 +1,9 @@
+//! A comma-separated allow list: each listed rule may suppress one
+//! diagnostic from the directive's line or the line below.
+
+fn snapshot_for_logs() {
+    // simlint: allow(wall-clock, nondeterministic-iteration) — log-only scratch
+    let (t, mut seen) = (Instant::now(), HashSet::new());
+    seen.insert(1u64);
+    let _ = (t, seen);
+}

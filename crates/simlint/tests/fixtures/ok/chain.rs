@@ -1,0 +1,21 @@
+//! Transitive propagation passes: every fn reachable from the annotated
+//! hot path reuses caller buffers; the allocating report helper is only
+//! reachable from cold code.
+
+struct World;
+
+impl World {
+    #[cfg_attr(simlint, hot_path)]
+    fn advance(&mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        self.deliveries.clear();
+        self.scratch.push(1u32);
+    }
+
+    fn report(&self) -> String {
+        format!("{} deliveries", self.delivered)
+    }
+}

@@ -1,0 +1,25 @@
+//! Lock discipline passes: nested acquisitions follow the ranked order
+//! in LOCKS.md, and guards released (dropped) before the next
+//! acquisition never create edges.
+
+use std::sync::Mutex;
+
+struct Session {
+    writer: Mutex<u32>,
+    counts: Mutex<u32>,
+}
+
+impl Session {
+    fn flush(&self) {
+        let w = self.writer.lock().unwrap();
+        let c = self.counts.lock().unwrap();
+        let _ = (w, c);
+    }
+
+    fn tally(&self) {
+        let c = self.counts.lock().unwrap();
+        drop(c);
+        let w = self.writer.lock().unwrap();
+        let _ = w;
+    }
+}
